@@ -1,0 +1,342 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation and times each experiment with Bechamel.
+
+     dune exec bench/main.exe             # everything
+     dune exec bench/main.exe -- quick    # smaller simulation counts
+
+   Experiments (see DESIGN.md for the index):
+     table3/table4  primitive -> event mappings
+     table5         model verdicts vs simulated hardware vs C11
+     figures        Figures 2,4,5,6,7,9,10,11,13,14 with explanations
+     theorem1       law <=> axiom equivalence sweep
+     fig15          the RCU implementation study (Theorem 2) + ablations
+     diy_sweep      generated-test sweep: soundness + model comparisons
+     c11_delta      LK vs C11 disagreement quantification
+     timings        Bechamel micro-benchmarks, one per experiment *)
+
+let quick = Array.exists (fun a -> a = "quick") Sys.argv
+
+let sim_runs = if quick then 2_000 else 20_000
+let rcu_runs = if quick then 300 else 1_500
+
+let section title =
+  Fmt.pr "@.==================== %s ====================@." title
+
+(* ------------------------------------------------------------------ *)
+(* Tables 3 and 4: primitives and their events                         *)
+(* ------------------------------------------------------------------ *)
+
+let tables34 () =
+  section "Table 3 & 4: LK primitives and corresponding events";
+  let show body =
+    let src =
+      Printf.sprintf "C t\n{ x=0; }\nP0(int *x) {\n  %s\n}\nexists (x=0)" body
+    in
+    let test = Litmus.parse src in
+    let x = List.hd (Exec.of_test test) in
+    let events =
+      Array.to_list x.Exec.events
+      |> List.filter (fun (e : Exec.Event.t) -> e.tid = 0)
+      |> List.map (fun (e : Exec.Event.t) ->
+             Printf.sprintf "%s[%s]"
+               (Exec.Event.dir_to_string e.dir)
+               (Exec.Event.annot_to_string e.annot))
+    in
+    Fmt.pr "  %-42s %s@." body (String.concat ", " events)
+  in
+  List.iter show
+    [
+      "int r1 = READ_ONCE(x);";
+      "WRITE_ONCE(x, 1);";
+      "int r1 = smp_load_acquire(x);";
+      "smp_store_release(x, 1);";
+      "smp_rmb();";
+      "smp_wmb();";
+      "smp_mb();";
+      "smp_read_barrier_depends();";
+      "int r1 = xchg_relaxed(x, 1);";
+      "int r1 = xchg_acquire(x, 1);";
+      "int r1 = xchg_release(x, 1);";
+      "int r1 = xchg(x, 1);";
+      "int r1 = rcu_dereference(x);";
+      "rcu_assign_pointer(x, 1);";
+      "rcu_read_lock();";
+      "rcu_read_unlock();";
+      "synchronize_rcu();";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 5                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table5 () =
+  section
+    (Printf.sprintf
+       "Table 5: verdicts vs simulated hardware (%d runs/cell) vs C11"
+       sim_runs);
+  let rows = Harness.Table5.rows ~runs:sim_runs ~seed:7 () in
+  Fmt.pr "%a" Harness.Table5.pp rows;
+  (match Harness.Table5.shape_issues ~check_observed:(not quick) rows with
+  | [] -> Fmt.pr "@.shape check against the paper's Table 5: OK@."
+  | issues ->
+      Fmt.pr "@.shape issues:@.";
+      List.iter (Fmt.pr "  %s@.") issues);
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let figures () =
+  section "Figures 2, 4, 5, 6, 7, 9, 10, 11, 13, 14";
+  Fmt.pr "%a" Harness.Figures.pp ();
+  match Harness.Figures.issues () with
+  | [] -> Fmt.pr "figure verdicts match the paper: OK@."
+  | issues -> List.iter (Fmt.pr "ISSUE: %s@.") issues
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let theorem1 () =
+  section "Theorem 1: fundamental law <=> Pb + RCU axioms";
+  let total = ref 0 and bad = ref 0 in
+  List.iter
+    (fun (e : Harness.Battery.entry) ->
+      List.iter
+        (fun x ->
+          incr total;
+          if not (Lkmm.Rcu.theorem1_holds x) then incr bad)
+        (Exec.of_test (Harness.Battery.test_of e)))
+    Harness.Battery.all;
+  let rng = Random.State.make [| 2018 |] in
+  let gen =
+    Diygen.sample ~vocabulary:Diygen.Edge.vocabulary ~rng
+      ~count:(if quick then 20 else 60)
+      4
+  in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun x ->
+          incr total;
+          if not (Lkmm.Rcu.theorem1_holds x) then incr bad)
+        (Exec.of_test t))
+    gen;
+  Fmt.pr
+    "checked on %d candidate executions (battery + generated, incl. \
+     synchronize_rcu edges): %d violations@."
+    !total !bad
+
+(* ------------------------------------------------------------------ *)
+(* Figures 15/16: the RCU implementation                               *)
+(* ------------------------------------------------------------------ *)
+
+let fig15 () =
+  section "Figures 15/16: RCU implementation study (Theorem 2, empirical)";
+  let results = Harness.Rcu_study.run_all ~runs:rcu_runs () in
+  List.iter (fun r -> Fmt.pr "%a@." Harness.Rcu_study.pp r) results;
+  (match Harness.Rcu_study.issues results with
+  | [] ->
+      Fmt.pr
+        "faithful Figure-15 implementation: forbidden outcomes never \
+         observed (Theorem 2); broken variants exhibit them@."
+  | issues -> List.iter (Fmt.pr "ISSUE: %s@.") issues);
+  results
+
+(* ------------------------------------------------------------------ *)
+(* diy sweep + C11 delta                                               *)
+(* ------------------------------------------------------------------ *)
+
+let diy_sweep () =
+  section "Section 5: systematic test generation sweep";
+  let rng = Random.State.make [| 7 |] in
+  let tests =
+    Diygen.generate ~vocabulary:Diygen.Edge.core_vocabulary 4
+    @ Diygen.sample ~vocabulary:Diygen.Edge.core_vocabulary ~rng
+        ~count:(if quick then 30 else 120)
+        5
+    @ Diygen.sample ~vocabulary:Diygen.Edge.core_vocabulary ~rng
+        ~count:(if quick then 10 else 40)
+        6
+  in
+  let stats =
+    Harness.Sweep.classify ~runs:(if quick then 150 else 400) tests
+  in
+  Fmt.pr "%a@." Harness.Sweep.pp stats;
+  (match Harness.Sweep.strength_issues tests with
+  | [] -> Fmt.pr "model-strength ordering SC >= TSO >= LK: OK@."
+  | issues -> List.iter (Fmt.pr "ISSUE: %s@.") issues);
+  (match stats.Harness.Sweep.unsound with
+  | [] -> Fmt.pr "simulator soundness over the sweep: OK@."
+  | l -> List.iter (fun (t, a) -> Fmt.pr "UNSOUND: %s on %s@." t a) l);
+  tests
+
+let c11_delta tests =
+  section "Section 5.2: LK vs C11 disagreements over the sweep";
+  let disag =
+    List.filter
+      (fun t ->
+        Models.C11.applicable t
+        &&
+        let lk = (Exec.Check.run (module Lkmm) t).Exec.Check.verdict in
+        let c11 = (Exec.Check.run (module Models.C11) t).Exec.Check.verdict in
+        lk <> c11)
+      tests
+  in
+  Fmt.pr "%d/%d generated tests distinguish LK from C11@." (List.length disag)
+    (List.length tests);
+  List.iteri
+    (fun i (t : Litmus.Ast.t) ->
+      if i < 10 then
+        let lk = (Exec.Check.run (module Lkmm) t).Exec.Check.verdict in
+        let c11 = (Exec.Check.run (module Models.C11) t).Exec.Check.verdict in
+        Fmt.pr "  %-45s LK:%-6s C11:%-6s@." t.name
+          (Exec.Check.verdict_to_string lk)
+          (Exec.Check.verdict_to_string c11))
+    disag
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: native vs cat-interpreted model                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_cat () =
+  section "Ablation: native LK model vs cat-interpreted lk.cat";
+  let lk_cat = Cat.parse Cat.Stdmodels.lk in
+  let mismatches = ref 0 and execs = ref 0 in
+  List.iter
+    (fun (e : Harness.Battery.entry) ->
+      List.iter
+        (fun x ->
+          incr execs;
+          if Lkmm.consistent x <> Cat.consistent lk_cat x then
+            incr mismatches)
+        (Exec.of_test (Harness.Battery.test_of e)))
+    Harness.Battery.all;
+  Fmt.pr "%d executions, %d native/cat disagreements@." !execs !mismatches
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timings                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let timings () =
+  section "Bechamel timings (one per experiment)";
+  let open Bechamel in
+  let mp = Harness.Battery.test_of (Harness.Battery.find "MP+wmb+rmb") in
+  let rcu = Harness.Battery.test_of (Harness.Battery.find "RCU-MP") in
+  let lk_cat = Cat.parse Cat.Stdmodels.lk in
+  let tests =
+    [
+      Test.make ~name:"table5:lk-verdict(MP+wmb+rmb)"
+        (Staged.stage (fun () -> ignore (Lkmm.check mp)));
+      Test.make ~name:"table5:lk-cat-verdict(MP+wmb+rmb)"
+        (Staged.stage (fun () ->
+             ignore (Exec.Check.run (Cat.to_check_model ~name:"LK" lk_cat) mp)));
+      Test.make ~name:"table5:c11-verdict(MP+wmb+rmb)"
+        (Staged.stage (fun () ->
+             ignore (Exec.Check.run (module Models.C11) mp)));
+      Test.make ~name:"table5:sim-100-runs(MP,Power8)"
+        (Staged.stage (fun () ->
+             ignore
+               (Hwsim.run_test Hwsim.Arch.power8 ~runs:100 ~seed:1
+                  (Harness.Battery.test_of (Harness.Battery.find "MP")))));
+      Test.make ~name:"fig10:rcu-axiom(RCU-MP)"
+        (Staged.stage (fun () -> ignore (Lkmm.check rcu)));
+      Test.make ~name:"theorem1:law-check(RCU-MP)"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun x -> ignore (Lkmm.Rcu.theorem1_holds x))
+               (Exec.of_test rcu)));
+      Test.make ~name:"fig15:impl-run(RCU-MP,Power8)"
+        (Staged.stage (fun () ->
+             ignore
+               (Hwsim.run_program Hwsim.Arch.power8 ~runs:5 ~seed:1
+                  (Kir.Rcu_impl.transform (Kir.of_litmus rcu)))));
+      Test.make ~name:"diy:realize-one-cycle"
+        (Staged.stage (fun () ->
+             ignore
+               (Diygen.Realize.test_of_cycle
+                  [
+                    Diygen.Edge.Fenced (Wmb, W, W);
+                    Diygen.Edge.Rfe;
+                    Diygen.Edge.Fenced (Rmb, R, R);
+                    Diygen.Edge.Fre;
+                  ])));
+      Test.make ~name:"exec:enumerate(MP+wmb+rmb)"
+        (Staged.stage (fun () -> ignore (Exec.of_test mp)));
+    ]
+  in
+  let benchmark test =
+    let quota = Time.second 0.3 in
+    Benchmark.all
+      (Benchmark.cfg ~quota ~kde:(Some 10) ())
+      Toolkit.Instance.[ monotonic_clock ]
+      test
+  in
+  let analyze results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false
+         ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      let res = analyze results in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Fmt.pr "  %-42s %12.0f ns/run@." name est
+          | _ -> Fmt.pr "  %-42s (no estimate)@." name)
+        res)
+    tests
+
+(* Model-variant ablations: surgical edits to lk.cat flip exactly the
+   verdicts they should (see examples/custom_model.ml). *)
+let ablation_variants () =
+  section "Ablation: lk.cat variants (no-Alpha, no-ctrl)";
+  let replace ~what ~with_ src =
+    let rec go acc rest =
+      let wl = String.length what and rl = String.length rest in
+      if rl < wl then acc ^ rest
+      else if String.sub rest 0 wl = what then
+        acc ^ with_ ^ String.sub rest wl (rl - wl)
+      else go (acc ^ String.make 1 rest.[0]) (String.sub rest 1 (rl - 1))
+    in
+    go "" src
+  in
+  let verdict model test =
+    Exec.Check.verdict_to_string
+      (Exec.Check.run (Cat.to_check_model ~name:"v" model) test)
+        .Exec.Check.verdict
+  in
+  let lk = Cat.parse Cat.Stdmodels.lk in
+  let no_alpha =
+    Cat.parse
+      (replace ~what:"let strong-rrdep = rrdep^+ & rb-dep"
+         ~with_:"let strong-rrdep = rrdep^+" Cat.Stdmodels.lk)
+  in
+  let no_ctrl =
+    Cat.parse
+      (replace ~what:"let rwdep = (dep | ctrl) & (R * W)"
+         ~with_:"let rwdep = dep & (R * W)" Cat.Stdmodels.lk)
+  in
+  let show name =
+    let t = Harness.Battery.test_of (Harness.Battery.find name) in
+    Fmt.pr "  %-20s LK:%-7s no-Alpha:%-7s no-ctrl:%-7s@." name (verdict lk t)
+      (verdict no_alpha t) (verdict no_ctrl t)
+  in
+  List.iter show [ "MP+wmb+addr"; "LB+ctrl+mb"; "LB+datas"; "MP+wmb+rmb" ]
+
+let () =
+  tables34 ();
+  ignore (table5 ());
+  figures ();
+  theorem1 ();
+  ignore (fig15 ());
+  let tests = diy_sweep () in
+  c11_delta tests;
+  ablation_cat ();
+  ablation_variants ();
+  timings ();
+  Fmt.pr "@.bench: all experiments complete@."

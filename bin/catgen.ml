@@ -1,0 +1,13 @@
+(* Writes the shipped cat models to the models/ directory (the OCaml
+   strings in Cat.Stdmodels are the source of truth; a test keeps the two
+   in sync). *)
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "models" in
+  List.iter
+    (fun (_, file, src) ->
+      let path = Filename.concat dir file in
+      let oc = open_out path in
+      output_string oc src;
+      close_out oc;
+      Printf.printf "wrote %s\n" path)
+    Cat.Stdmodels.all

@@ -1,0 +1,95 @@
+(* diy_gen: generate litmus tests from cycles of relaxation edges — the
+   repository's diy7 equivalent.
+
+     diy_gen -size 4                    # enumerate all size-4 cycles
+     diy_gen -size 5 -sample 50         # sample larger sizes
+     diy_gen -size 4 -verdicts          # also print LK verdicts
+     diy_gen -size 4 -o tests/          # write .litmus files *)
+
+open Cmdliner
+
+let main size sample verdicts outdir =
+  let tests =
+    match sample with
+    | None -> Diygen.generate ~vocabulary:Diygen.Edge.core_vocabulary size
+    | Some count ->
+        let rng = Random.State.make [| 2018 |] in
+        Diygen.sample ~vocabulary:Diygen.Edge.core_vocabulary ~rng ~count size
+  in
+  Fmt.pr "generated %d tests of size %d@." (List.length tests) size;
+  List.iter
+    (fun (t : Litmus.Ast.t) ->
+      (if verdicts then
+         let lk = (Exec.Check.run (module Lkmm) t).Exec.Check.verdict in
+         let c11 =
+           if Models.C11.applicable t then
+             Exec.Check.verdict_to_string
+               (Exec.Check.run (module Models.C11) t).Exec.Check.verdict
+           else "-"
+         in
+         Fmt.pr "%-45s LK:%-6s C11:%s@." t.name
+           (Exec.Check.verdict_to_string lk)
+           c11
+       else Fmt.pr "%s@." t.name);
+      match outdir with
+      | None -> ()
+      | Some dir ->
+          let path =
+            Filename.concat dir
+              (String.map (function '+' -> '-' | c -> c) t.name ^ ".litmus")
+          in
+          let oc = open_out path in
+          output_string oc (Litmus.to_string t);
+          close_out oc)
+    tests
+
+let size_arg =
+  Arg.(value & opt int 4 & info [ "size"; "s" ] ~doc:"Cycle length.")
+
+let sample_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sample" ] ~docv:"N"
+        ~doc:"Sample N random cycles instead of enumerating.")
+
+let verdicts_arg =
+  Arg.(value & flag & info [ "verdicts" ] ~doc:"Print LK and C11 verdicts.")
+
+let outdir_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "o" ] ~docv:"DIR" ~doc:"Write the tests as .litmus files.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "diy_gen" ~doc:"Generate litmus tests from relaxation cycles")
+    Term.(const main $ size_arg $ sample_arg $ verdicts_arg $ outdir_arg)
+
+(* user errors become one-line messages, not uncaught exceptions *)
+let () =
+  match Cmd.eval_value ~catch:false cmd with
+  | Ok _ -> exit 0
+  | Error _ -> exit 124
+  | exception Litmus.Parser.Error (msg, line) ->
+      Fmt.epr "diy_gen: parse error, line %d: %s@." line msg;
+      exit 2
+  | exception Litmus.Lexer.Error (msg, line) ->
+      Fmt.epr "diy_gen: lexical error, line %d: %s@." line msg;
+      exit 2
+  | exception Cat.Parser.Error (msg, line) ->
+      Fmt.epr "diy_gen: cat parse error, line %d: %s@." line msg;
+      exit 2
+  | exception Cat.Lexer.Error (msg, line) ->
+      Fmt.epr "diy_gen: cat lexical error, line %d: %s@." line msg;
+      exit 2
+  | exception Cat.Interp.Type_error msg ->
+      Fmt.epr "diy_gen: cat evaluation error: %s@." msg;
+      exit 2
+  | exception Failure msg ->
+      Fmt.epr "diy_gen: %s@." msg;
+      exit 2
+  | exception Not_found ->
+      Fmt.epr "diy_gen: unknown built-in test (see lib/harness/battery.ml for names)@.";
+      exit 2

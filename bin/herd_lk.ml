@@ -1,0 +1,145 @@
+(* herd_lk: run litmus tests against a consistency model — the repository's
+   herd7 equivalent.
+
+     herd_lk test.litmus                 # LK model (native)
+     herd_lk -model c11 test.litmus      # a shipped model
+     herd_lk -model my.cat test.litmus   # any cat file
+     herd_lk -v test.litmus              # verdict + witness explanation
+     herd_lk -outcomes test.litmus       # all observable outcomes *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let model_of_name name : (module Exec.Check.MODEL) =
+  match String.lowercase_ascii name with
+  | "lk" | "lkmm" | "linux" -> (module Lkmm)
+  | "lk-cat" ->
+      Cat.to_check_model ~name:"LK(cat)" (Cat.parse Cat.Stdmodels.lk)
+  | "sc" -> (module Models.Sc)
+  | "tso" | "x86" -> (module Models.Tso)
+  | "c11" -> (module Models.C11)
+  | "c11-psc" | "rc11" -> (module Models.C11.Strengthened)
+  | _ when Filename.check_suffix name ".cat" ->
+      Cat.to_check_model ~name (Cat.load_file name)
+  | other -> failwith ("unknown model: " ^ other)
+
+let run_one model verbose outcomes dot path =
+  let test = Litmus.parse (read_file path) in
+  List.iter
+    (fun i -> Fmt.pr "lint: %a@." Litmus.Lint.pp_issue i)
+    (Litmus.Lint.check_all test);
+  let module M = (val model : Exec.Check.MODEL) in
+  let r = Exec.Check.run model test in
+  Fmt.pr "Test %s: %a under %s (%d candidate executions, %d consistent)@."
+    test.Litmus.Ast.name Exec.Check.pp_verdict r.Exec.Check.verdict M.name
+    r.Exec.Check.n_candidates r.Exec.Check.n_consistent;
+  if outcomes then
+    List.iter
+      (fun (o, matches) ->
+        Fmt.pr "  %a %s@." Exec.pp_outcome o
+          (if matches then "<- condition" else ""))
+      r.Exec.Check.outcomes;
+  if verbose && M.name = "LK" then
+    Fmt.pr "%a@." Lkmm.Explain.pp_test_verdict test;
+  match dot with
+  | Some path ->
+      (* render the witness (or the first candidate) as a Graphviz file *)
+      let x =
+        match r.Exec.Check.witness with
+        | Some x -> Some x
+        | None -> (match Exec.of_test test with x :: _ -> Some x | [] -> None)
+      in
+      (match x with
+      | Some x ->
+          Exec.Dot.to_file path x;
+          Fmt.pr "wrote %s@." path
+      | None -> ())
+  | None -> ()
+
+let main model verbose outcomes dot builtin files =
+  let model = model_of_name model in
+  (match builtin with
+  | Some name ->
+      let e = Harness.Battery.find name in
+      let tmp = Filename.temp_file "battery" ".litmus" in
+      let oc = open_out tmp in
+      output_string oc e.Harness.Battery.source;
+      close_out oc;
+      run_one model verbose outcomes dot tmp
+  | None -> ());
+  List.iter (run_one model verbose outcomes dot) files;
+  if files = [] && builtin = None then
+    Fmt.pr
+      "no tests given; try: herd_lk -b MP+wmb+rmb  (built-in battery test)@."
+
+let model_arg =
+  Arg.(
+    value
+    & opt string "lk"
+    & info [ "model"; "m" ] ~docv:"MODEL"
+        ~doc:
+          "Consistency model: lk (native), lk-cat (cat-interpreted), sc, \
+           tso, c11, c11-psc, or a .cat file.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v" ] ~doc:"Explain forbidden tests (LK only).")
+
+let outcomes_arg =
+  Arg.(value & flag & info [ "outcomes" ] ~doc:"Print observable outcomes.")
+
+let builtin_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "b"; "battery" ] ~docv:"NAME"
+        ~doc:"Run a built-in battery test by name (e.g. MP+wmb+rmb).")
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE"
+        ~doc:"Write a Graphviz rendering of the witness execution.")
+
+let files_arg =
+  Arg.(value & pos_all file [] & info [] ~docv:"TEST.litmus")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "herd_lk" ~doc:"Run litmus tests against memory models")
+    Term.(
+      const main $ model_arg $ verbose_arg $ outcomes_arg $ dot_arg
+      $ builtin_arg $ files_arg)
+
+(* user errors become one-line messages, not uncaught exceptions *)
+let () =
+  match Cmd.eval_value ~catch:false cmd with
+  | Ok _ -> exit 0
+  | Error _ -> exit 124
+  | exception Litmus.Parser.Error (msg, line) ->
+      Fmt.epr "herd_lk: parse error, line %d: %s@." line msg;
+      exit 2
+  | exception Litmus.Lexer.Error (msg, line) ->
+      Fmt.epr "herd_lk: lexical error, line %d: %s@." line msg;
+      exit 2
+  | exception Cat.Parser.Error (msg, line) ->
+      Fmt.epr "herd_lk: cat parse error, line %d: %s@." line msg;
+      exit 2
+  | exception Cat.Lexer.Error (msg, line) ->
+      Fmt.epr "herd_lk: cat lexical error, line %d: %s@." line msg;
+      exit 2
+  | exception Cat.Interp.Type_error msg ->
+      Fmt.epr "herd_lk: cat evaluation error: %s@." msg;
+      exit 2
+  | exception Failure msg ->
+      Fmt.epr "herd_lk: %s@." msg;
+      exit 2
+  | exception Not_found ->
+      Fmt.epr "herd_lk: unknown built-in test (see lib/harness/battery.ml for names)@.";
+      exit 2

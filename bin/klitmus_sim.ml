@@ -1,0 +1,118 @@
+(* klitmus_sim: run litmus tests on the simulated architectures — the
+   repository's stand-in for the paper's klitmus kernel modules.
+
+     klitmus_sim -b SB -runs 20000             # a built-in battery test
+     klitmus_sim -arch Power8,X86 test.litmus  # specific architectures
+     klitmus_sim -check -b MP                  # also verify soundness *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_one archs runs seed check test =
+  Fmt.pr "Test %s:@." test.Litmus.Ast.name;
+  List.iter
+    (fun arch ->
+      let s = Hwsim.run_test arch ~runs ~seed test in
+      Fmt.pr "  %-7s condition matched %d/%d@." s.Hwsim.arch s.Hwsim.matched
+        s.Hwsim.total;
+      if check then
+        match Hwsim.unsound_outcomes (module Lkmm) test s with
+        | [] -> Fmt.pr "  %-7s sound w.r.t. the LK model@." s.Hwsim.arch
+        | bad ->
+            List.iter
+              (fun (o, n) ->
+                Fmt.pr "  %-7s UNSOUND outcome %a (%d times)@." s.Hwsim.arch
+                  Exec.pp_outcome o n)
+              bad)
+    archs
+
+let main archs runs seed check builtin files =
+  let archs =
+    match archs with
+    | [] -> Hwsim.Arch.table5
+    | names ->
+        List.map
+          (fun n ->
+            try Hwsim.Arch.find n
+            with Not_found -> failwith ("unknown architecture: " ^ n))
+          names
+  in
+  (match builtin with
+  | Some name ->
+      run_one archs runs seed check
+        (Litmus.parse (Harness.Battery.find name).Harness.Battery.source)
+  | None -> ());
+  List.iter
+    (fun path -> run_one archs runs seed check (Litmus.parse (read_file path)))
+    files;
+  if files = [] && builtin = None then
+    Fmt.pr "no tests given; try: klitmus_sim -b SB@."
+
+let archs_arg =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "arch"; "a" ] ~docv:"ARCHS"
+        ~doc:
+          "Comma-separated architectures (SC, X86, ARMv7, ARMv8, Power8, \
+           Alpha); default: the Table 5 set.")
+
+let runs_arg =
+  Arg.(value & opt int 10_000 & info [ "runs"; "n" ] ~doc:"Runs per test.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.")
+
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:"Check every observed outcome is allowed by the LK model.")
+
+let builtin_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "b"; "battery" ] ~docv:"NAME" ~doc:"Run a built-in battery test.")
+
+let files_arg = Arg.(value & pos_all file [] & info [] ~docv:"TEST.litmus")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "klitmus_sim"
+       ~doc:"Run litmus tests on simulated weak-memory hardware")
+    Term.(
+      const main $ archs_arg $ runs_arg $ seed_arg $ check_arg $ builtin_arg
+      $ files_arg)
+
+(* user errors become one-line messages, not uncaught exceptions *)
+let () =
+  match Cmd.eval_value ~catch:false cmd with
+  | Ok _ -> exit 0
+  | Error _ -> exit 124
+  | exception Litmus.Parser.Error (msg, line) ->
+      Fmt.epr "klitmus_sim: parse error, line %d: %s@." line msg;
+      exit 2
+  | exception Litmus.Lexer.Error (msg, line) ->
+      Fmt.epr "klitmus_sim: lexical error, line %d: %s@." line msg;
+      exit 2
+  | exception Cat.Parser.Error (msg, line) ->
+      Fmt.epr "klitmus_sim: cat parse error, line %d: %s@." line msg;
+      exit 2
+  | exception Cat.Lexer.Error (msg, line) ->
+      Fmt.epr "klitmus_sim: cat lexical error, line %d: %s@." line msg;
+      exit 2
+  | exception Cat.Interp.Type_error msg ->
+      Fmt.epr "klitmus_sim: cat evaluation error: %s@." msg;
+      exit 2
+  | exception Failure msg ->
+      Fmt.epr "klitmus_sim: %s@." msg;
+      exit 2
+  | exception Not_found ->
+      Fmt.epr "klitmus_sim: unknown built-in test (see lib/harness/battery.ml for names)@.";
+      exit 2

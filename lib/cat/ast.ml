@@ -1,0 +1,29 @@
+(* Abstract syntax of the cat language (Alglave, Cousot, Maranget [3]) —
+   the subset needed to express the LK model, C11, SC and TSO:
+   definitions (possibly recursive), unary functions, and the three
+   constraint forms. *)
+
+type expr =
+  | Id of string
+  | Empty_rel (* the literal 0 *)
+  | Union of expr * expr (* e1 | e2 *)
+  | Inter of expr * expr (* e1 & e2 *)
+  | Diff of expr * expr (* e1 \ e2 *)
+  | Seq of expr * expr (* e1 ; e2 *)
+  | Cartesian of expr * expr (* S1 * S2 *)
+  | Inverse of expr (* e^-1 *)
+  | Plus of expr (* e^+ *)
+  | Star of expr (* e^* *)
+  | Opt of expr (* e? *)
+  | Complement of expr (* ~e *)
+  | Bracket of expr (* [S] : identity over the set S *)
+  | App of string * expr (* f(e) *)
+
+type check_kind = Acyclic | Irreflexive | Is_empty
+
+type stmt =
+  | Let of (string * string list * expr) list * bool
+      (* bindings (name, params, body); the flag marks [let rec] *)
+  | Check of check_kind * expr * string option (* acyclic e as name *)
+
+type t = { title : string; stmts : stmt list }

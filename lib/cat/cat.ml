@@ -1,0 +1,53 @@
+(* The cat language: consistency models as executable constraint sets, as
+   in the herd simulator.
+
+   - {!Ast}, {!Lexer}, {!Parser}: the language (see {!Stdmodels} for the
+     supported dialect);
+   - {!Interp}: evaluation against one candidate execution;
+   - {!Stdmodels}: the shipped models (lk.cat, sc.cat, tso.cat, c11.cat,
+     c11-psc.cat). *)
+
+module Ast = Ast
+module Lexer = Lexer
+module Parser = Parser
+module Interp = Interp
+module Stdmodels = Stdmodels
+
+type model = Ast.t
+
+(** [parse src] parses a cat model from source.  Raises {!Parser.Error} or
+    {!Lexer.Error} on malformed input. *)
+let parse = Parser.parse_model
+
+(** [load_file path] parses the cat model stored at [path]. *)
+let load_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse src
+
+(** [outcomes model x] evaluates every constraint of [model] on the
+    candidate execution [x]. *)
+let outcomes (model : model) (x : Exec.t) =
+  Interp.run model (Interp.env_of_execution x)
+
+(** [consistent model x] holds iff [x] satisfies all of [model]'s
+    constraints. *)
+let consistent (model : model) (x : Exec.t) =
+  List.for_all (fun (o : Interp.outcome) -> o.holds) (outcomes model x)
+
+(** [to_check_model ~name model] packages a cat model for
+    {!Exec.Check.run}. *)
+let to_check_model ~name (model : model) : (module Exec.Check.MODEL) =
+  (module struct
+    let name = name
+    let consistent = consistent model
+  end)
+
+(** The shipped LK model (lk.cat), parsed. *)
+let lk = lazy (parse Stdmodels.lk)
+
+(** [check_lk test] runs [test] against the cat-interpreted LK model. *)
+let check_lk test =
+  Exec.Check.run (to_check_model ~name:"LK(cat)" (Lazy.force lk)) test

@@ -1,0 +1,182 @@
+(* Interpreter for the cat subset: evaluates a model's statements against
+   the base relations of one candidate execution, in the style of the herd
+   simulator. *)
+
+module Iset = Rel.Iset
+
+type value =
+  | Vset of Iset.t
+  | Vrel of Rel.t
+  | Vfun of string list * Ast.expr * env
+
+and env = { universe : Iset.t; bindings : (string * value) list }
+
+exception Type_error of string
+
+let lookup env x =
+  match List.assoc_opt x env.bindings with
+  | Some v -> v
+  | None -> raise (Type_error ("unbound identifier " ^ x))
+
+let bind env x v = { env with bindings = (x, v) :: env.bindings }
+
+(* Sets appearing where a relation is expected become identities, the
+   usual [S] coercion. *)
+let as_rel = function
+  | Vrel r -> r
+  | Vset s -> Rel.id_of_set s
+  | Vfun _ -> raise (Type_error "function used as a relation")
+
+let as_set = function
+  | Vset s -> s
+  | Vrel _ -> raise (Type_error "relation used as a set")
+  | Vfun _ -> raise (Type_error "function used as a set")
+
+let rec eval env (e : Ast.expr) =
+  match e with
+  | Ast.Id x -> lookup env x
+  | Ast.Empty_rel -> Vrel Rel.empty
+  | Ast.Union (a, b) -> (
+      match (eval env a, eval env b) with
+      | Vset s1, Vset s2 -> Vset (Iset.union s1 s2)
+      | v1, v2 -> Vrel (Rel.union (as_rel v1) (as_rel v2)))
+  | Ast.Inter (a, b) -> (
+      match (eval env a, eval env b) with
+      | Vset s1, Vset s2 -> Vset (Iset.inter s1 s2)
+      | v1, v2 -> Vrel (Rel.inter (as_rel v1) (as_rel v2)))
+  | Ast.Diff (a, b) -> (
+      match (eval env a, eval env b) with
+      | Vset s1, Vset s2 -> Vset (Iset.diff s1 s2)
+      | v1, v2 -> Vrel (Rel.diff (as_rel v1) (as_rel v2)))
+  | Ast.Seq (a, b) -> Vrel (Rel.seq (as_rel (eval env a)) (as_rel (eval env b)))
+  | Ast.Cartesian (a, b) ->
+      Vrel (Rel.cartesian (as_set (eval env a)) (as_set (eval env b)))
+  | Ast.Inverse a -> Vrel (Rel.inverse (as_rel (eval env a)))
+  | Ast.Plus a -> Vrel (Rel.transitive_closure (as_rel (eval env a)))
+  | Ast.Star a ->
+      Vrel
+        (Rel.reflexive_transitive_closure ~universe:env.universe
+           (as_rel (eval env a)))
+  | Ast.Opt a ->
+      Vrel (Rel.reflexive_closure ~universe:env.universe (as_rel (eval env a)))
+  | Ast.Complement a -> (
+      match eval env a with
+      | Vset s -> Vset (Iset.diff env.universe s)
+      | v -> Vrel (Rel.complement ~universe:env.universe (as_rel v)))
+  | Ast.Bracket a -> Vrel (Rel.id_of_set (as_set (eval env a)))
+  | Ast.App (f, arg) -> (
+      match lookup env f with
+      | Vfun ([ p ], body, closure_env) ->
+          eval (bind closure_env p (eval env arg)) body
+      | Vfun (ps, _, _) ->
+          raise
+            (Type_error
+               (Printf.sprintf "%s expects %d arguments" f (List.length ps)))
+      | _ -> raise (Type_error (f ^ " is not a function")))
+
+(* Evaluate one let group; recursive groups are solved by Kleene iteration
+   from empty relations (cat's rec is a least fixed point of monotone
+   equations). *)
+let eval_let env bindings is_rec =
+  if not is_rec then
+    List.fold_left
+      (fun env' (name, params, body) ->
+        match params with
+        | [] -> bind env' name (eval env body)
+        | ps -> bind env' name (Vfun (ps, body, env)))
+      env bindings
+  else begin
+    let names = List.map (fun (n, _, _) -> n) bindings in
+    let start =
+      List.fold_left (fun e n -> bind e n (Vrel Rel.empty)) env names
+    in
+    let step e =
+      List.fold_left
+        (fun acc (name, params, body) ->
+          if params <> [] then
+            raise (Type_error "recursive functions are not supported");
+          bind acc name (eval e body))
+        e bindings
+    in
+    let values e = List.map (fun n -> as_rel (lookup e n)) names in
+    let rec go e n =
+      if n > 1000 then raise (Type_error "rec definition did not converge");
+      let e' = step e in
+      if List.for_all2 Rel.equal (values e) (values e') then e' else go e' n
+    in
+    go start 0
+  end
+
+type outcome = { check_name : string; kind : Ast.check_kind; holds : bool }
+
+let run_check env kind e name =
+  let holds =
+    match kind with
+    | Ast.Acyclic -> Rel.is_acyclic (as_rel (eval env e))
+    | Ast.Irreflexive -> Rel.is_irreflexive (as_rel (eval env e))
+    | Ast.Is_empty -> (
+        match eval env e with
+        | Vset s -> Iset.is_empty s
+        | v -> Rel.is_empty (as_rel v))
+  in
+  { check_name = Option.value ~default:"(unnamed)" name; kind; holds }
+
+(* Run all statements; returns the outcome of every constraint. *)
+let run (model : Ast.t) env =
+  let rec go env acc = function
+    | [] -> List.rev acc
+    | Ast.Let (bs, is_rec) :: rest -> go (eval_let env bs is_rec) acc rest
+    | Ast.Check (kind, e, name) :: rest ->
+        go env (run_check env kind e name :: acc) rest
+  in
+  go env [] model.stmts
+
+(* ------------------------------------------------------------------ *)
+(* The predefined environment of a candidate execution                 *)
+(* ------------------------------------------------------------------ *)
+
+let env_of_execution (x : Exec.t) =
+  let set p = Exec.events_where x p in
+  let annot a = set (fun e -> e.Exec.Event.annot = a) in
+  let bindings =
+    [
+      ("_", Vset x.universe);
+      ("W", Vset x.writes);
+      ("R", Vset x.reads);
+      ("M", Vset x.mem);
+      ("F", Vset x.fences);
+      ("IW", Vset x.init_ws);
+      ("Once", Vset (annot Exec.Event.Once));
+      ("Acquire", Vset (annot Exec.Event.Acquire));
+      ("Release", Vset (annot Exec.Event.Release));
+      ("Rmb", Vset (annot Exec.Event.Rmb));
+      ("Wmb", Vset (annot Exec.Event.Wmb));
+      ("Mb", Vset (annot Exec.Event.Mb));
+      ("Rb-dep", Vset (annot Exec.Event.Rb_dep));
+      ("Sync", Vset (annot Exec.Event.Sync_rcu));
+      ("Rcu-lock", Vset (annot Exec.Event.Rcu_lock));
+      ("Rcu-unlock", Vset (annot Exec.Event.Rcu_unlock));
+      ("po", Vrel x.po);
+      ("addr", Vrel x.addr);
+      ("data", Vrel x.data);
+      ("ctrl", Vrel x.ctrl);
+      ("rmw", Vrel x.rmw);
+      ("rf", Vrel x.rf);
+      ("co", Vrel x.co);
+      ("fr", Vrel x.fr);
+      ("rfi", Vrel x.rfi);
+      ("rfe", Vrel x.rfe);
+      ("coi", Vrel x.coi);
+      ("coe", Vrel x.coe);
+      ("fri", Vrel x.fri);
+      ("fre", Vrel x.fre);
+      ("com", Vrel x.com);
+      ("po-loc", Vrel x.po_loc);
+      ("loc", Vrel x.loc_r);
+      ("int", Vrel x.int_r);
+      ("ext", Vrel x.ext_r);
+      ("id", Vrel x.id_r);
+      ("crit", Vrel x.crit);
+    ]
+  in
+  { universe = x.universe; bindings }

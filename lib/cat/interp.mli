@@ -1,0 +1,44 @@
+(** Interpreter for the cat subset: evaluates a model's statements against
+    the base relations of one candidate execution, herd-style.
+
+    Values are sets of events, relations, or (unapplied) functions; sets
+    appearing in relation position are coerced to identities, as with the
+    bracket form [[S]].  Recursive definitions are solved by Kleene
+    iteration from the empty relation (cat's [rec] is a least fixed point
+    of monotone equations). *)
+
+module Iset = Rel.Iset
+
+type value =
+  | Vset of Iset.t
+  | Vrel of Rel.t
+  | Vfun of string list * Ast.expr * env
+
+and env = { universe : Iset.t; bindings : (string * value) list }
+
+(** Raised on unbound identifiers, arity mismatches, or set/relation
+    confusion ([empty W * po], a function used as a relation, ...). *)
+exception Type_error of string
+
+val lookup : env -> string -> value
+val bind : env -> string -> value -> env
+val as_rel : value -> Rel.t
+val as_set : value -> Iset.t
+val eval : env -> Ast.expr -> value
+
+type outcome = {
+  check_name : string;  (** the [as name] label, or ["(unnamed)"] *)
+  kind : Ast.check_kind;
+  holds : bool;
+}
+
+(** [run model env] executes all statements; returns every constraint's
+    outcome in source order. *)
+val run : Ast.t -> env -> outcome list
+
+(** The predefined cat environment of an execution: the event sets ([_],
+    [W], [R], [M], [F], [IW], and one per annotation), the base relations
+    ([po], [addr], [data], [ctrl], [rmw], [rf], [co]), the usual derived
+    ones ([fr], [rfi]/[rfe], [coi]/[coe], [fri]/[fre], [com], [po-loc],
+    [loc], [int], [ext], [id]) and the RCU [crit] matching. *)
+val env_of_execution : Exec.t -> env

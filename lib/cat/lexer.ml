@@ -1,0 +1,172 @@
+(* Lexer for the cat language.  Identifiers may contain '-' (e.g. rb-dep,
+   rcu-path), as in herd's dialect; comments are OCaml-style. *)
+
+type token =
+  | ID of string
+  | STRING of string
+  | ZERO
+  | LPAR
+  | RPAR
+  | LBRACK
+  | RBRACK
+  | EQ
+  | BAR
+  | AMP
+  | BSLASH
+  | SEMI
+  | STAR
+  | QMARK
+  | TILDE
+  | HAT_INV (* ^-1 *)
+  | HAT_PLUS (* ^+ *)
+  | HAT_STAR (* ^* *)
+  | COMMA
+  | EOF
+
+exception Error of string * int
+
+type state = { src : string; mutable pos : int; mutable line : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peekn st n =
+  if st.pos + n < String.length st.src then Some st.src.[st.pos + n] else None
+
+let advance st =
+  (match peek st with Some '\n' -> st.line <- st.line + 1 | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_id_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws st
+  | Some '(' when peekn st 1 = Some '*' ->
+      advance st;
+      advance st;
+      let rec eat depth =
+        match (peek st, peekn st 1) with
+        | Some '*', Some ')' ->
+            advance st;
+            advance st;
+            if depth > 0 then eat (depth - 1)
+        | Some '(', Some '*' ->
+            advance st;
+            advance st;
+            eat (depth + 1)
+        | None, _ -> raise (Error ("unterminated comment", st.line))
+        | Some _, _ ->
+            advance st;
+            eat depth
+      in
+      eat 0;
+      skip_ws st
+  | Some '/' when peekn st 1 = Some '/' ->
+      let rec eat () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            eat ()
+      in
+      eat ();
+      skip_ws st
+  | _ -> ()
+
+let next st =
+  skip_ws st;
+  let line = st.line in
+  match peek st with
+  | None -> (EOF, line)
+  | Some c when is_id_start c ->
+      let start = st.pos in
+      while match peek st with Some c -> is_id_char c | None -> false do
+        advance st
+      done;
+      (* identifiers must not end in '-' (so [a ^-1] lexes); trim *)
+      let s = String.sub st.src start (st.pos - start) in
+      (ID s, line)
+  | Some '"' ->
+      advance st;
+      let start = st.pos in
+      while (match peek st with Some '"' -> false | Some _ -> true | None -> false) do
+        advance st
+      done;
+      let s = String.sub st.src start (st.pos - start) in
+      (match peek st with
+      | Some '"' -> advance st
+      | _ -> raise (Error ("unterminated string", line)));
+      (STRING s, line)
+  | Some '0' ->
+      advance st;
+      (ZERO, line)
+  | Some '^' -> (
+      advance st;
+      match (peek st, peekn st 1) with
+      | Some '-', Some '1' ->
+          advance st;
+          advance st;
+          (HAT_INV, line)
+      | Some '+', _ ->
+          advance st;
+          (HAT_PLUS, line)
+      | Some '*', _ ->
+          advance st;
+          (HAT_STAR, line)
+      | _ -> raise (Error ("expected -1, + or * after ^", line)))
+  | Some c ->
+      advance st;
+      let t =
+        match c with
+        | '(' -> LPAR
+        | ')' -> RPAR
+        | '[' -> LBRACK
+        | ']' -> RBRACK
+        | '=' -> EQ
+        | '|' -> BAR
+        | '&' -> AMP
+        | '\\' -> BSLASH
+        | ';' -> SEMI
+        | '*' -> STAR
+        | '?' -> QMARK
+        | '~' -> TILDE
+        | ',' -> COMMA
+        | c -> raise (Error (Printf.sprintf "unexpected character %C" c, line))
+      in
+      (t, line)
+
+let tokens src =
+  let st = { src; pos = 0; line = 1 } in
+  let rec go acc =
+    match next st with
+    | (EOF, _) as t -> List.rev (t :: acc)
+    | t -> go (t :: acc)
+  in
+  go []
+
+let to_string = function
+  | ID s -> s
+  | STRING s -> Printf.sprintf "%S" s
+  | ZERO -> "0"
+  | LPAR -> "("
+  | RPAR -> ")"
+  | LBRACK -> "["
+  | RBRACK -> "]"
+  | EQ -> "="
+  | BAR -> "|"
+  | AMP -> "&"
+  | BSLASH -> "\\"
+  | SEMI -> ";"
+  | STAR -> "*"
+  | QMARK -> "?"
+  | TILDE -> "~"
+  | HAT_INV -> "^-1"
+  | HAT_PLUS -> "^+"
+  | HAT_STAR -> "^*"
+  | COMMA -> ","
+  | EOF -> "<eof>"

@@ -1,0 +1,207 @@
+(* Recursive-descent parser for the cat subset.
+
+   Precedence, loosest to tightest:
+     |   union
+     &   intersection
+     \   difference
+     ;   sequence
+     *   cartesian product
+     postfix ^-1 ^+ ^* ?
+     atoms: identifiers, 0, [S], ~e, f(e), (e)                       *)
+
+open Ast
+
+exception Error of string * int
+
+type cursor = { mutable toks : (Lexer.token * int) list }
+
+let line c = match c.toks with (_, l) :: _ -> l | [] -> 0
+let peek c = match c.toks with (t, _) :: _ -> t | [] -> Lexer.EOF
+let peek2 c = match c.toks with _ :: (t, _) :: _ -> t | _ -> Lexer.EOF
+let junk c = match c.toks with _ :: rest -> c.toks <- rest | [] -> ()
+
+let fail c msg =
+  raise
+    (Error (Printf.sprintf "%s (near %s)" msg (Lexer.to_string (peek c)), line c))
+
+let expect c tok =
+  if peek c = tok then junk c
+  else fail c (Printf.sprintf "expected %s" (Lexer.to_string tok))
+
+let ident c =
+  match peek c with
+  | Lexer.ID s ->
+      junk c;
+      s
+  | _ -> fail c "expected identifier"
+
+let rec parse_expr c = parse_union c
+
+and parse_union c =
+  let lhs = parse_inter c in
+  match peek c with
+  | Lexer.BAR ->
+      junk c;
+      Union (lhs, parse_union c)
+  | _ -> lhs
+
+and parse_inter c =
+  let lhs = parse_diff c in
+  match peek c with
+  | Lexer.AMP ->
+      junk c;
+      Inter (lhs, parse_inter c)
+  | _ -> lhs
+
+and parse_diff c =
+  let rec go lhs =
+    match peek c with
+    | Lexer.BSLASH ->
+        junk c;
+        go (Diff (lhs, parse_seq c))
+    | _ -> lhs
+  in
+  go (parse_seq c)
+
+and parse_seq c =
+  let lhs = parse_cart c in
+  match peek c with
+  | Lexer.SEMI ->
+      junk c;
+      Seq (lhs, parse_seq c)
+  | _ -> lhs
+
+and parse_cart c =
+  let lhs = parse_postfix c in
+  match peek c with
+  | Lexer.STAR ->
+      junk c;
+      Cartesian (lhs, parse_cart c)
+  | _ -> lhs
+
+and parse_postfix c =
+  let rec go e =
+    match peek c with
+    | Lexer.HAT_INV ->
+        junk c;
+        go (Inverse e)
+    | Lexer.HAT_PLUS ->
+        junk c;
+        go (Plus e)
+    | Lexer.HAT_STAR ->
+        junk c;
+        go (Star e)
+    | Lexer.QMARK ->
+        junk c;
+        go (Opt e)
+    | _ -> e
+  in
+  go (parse_atom c)
+
+and parse_atom c =
+  match peek c with
+  | Lexer.ZERO ->
+      junk c;
+      Empty_rel
+  | Lexer.TILDE ->
+      junk c;
+      Complement (parse_atom c)
+  | Lexer.LBRACK ->
+      junk c;
+      let e = parse_expr c in
+      expect c Lexer.RBRACK;
+      Bracket e
+  | Lexer.LPAR ->
+      junk c;
+      let e = parse_expr c in
+      expect c Lexer.RPAR;
+      e
+  | Lexer.ID f when peek2 c = Lexer.LPAR ->
+      junk c;
+      junk c;
+      let arg = parse_expr c in
+      expect c Lexer.RPAR;
+      App (f, arg)
+  | Lexer.ID x ->
+      junk c;
+      Id x
+  | _ -> fail c "expected expression"
+
+(* let [rec] name [(params)] = expr { and ... } *)
+let parse_let c =
+  expect c (Lexer.ID "let");
+  let is_rec =
+    match peek c with
+    | Lexer.ID "rec" ->
+        junk c;
+        true
+    | _ -> false
+  in
+  let parse_binding () =
+    let name = ident c in
+    let params =
+      match peek c with
+      | Lexer.LPAR ->
+          junk c;
+          let rec go acc =
+            let p = ident c in
+            match peek c with
+            | Lexer.COMMA ->
+                junk c;
+                go (p :: acc)
+            | _ ->
+                expect c Lexer.RPAR;
+                List.rev (p :: acc)
+          in
+          go []
+      | _ -> []
+    in
+    expect c Lexer.EQ;
+    let body = parse_expr c in
+    (name, params, body)
+  in
+  let rec go acc =
+    let b = parse_binding () in
+    match peek c with
+    | Lexer.ID "and" ->
+        junk c;
+        go (b :: acc)
+    | _ -> List.rev (b :: acc)
+  in
+  Let (go [], is_rec)
+
+let parse_check c kind =
+  junk c;
+  let e = parse_expr c in
+  let name =
+    match peek c with
+    | Lexer.ID "as" ->
+        junk c;
+        Some (ident c)
+    | _ -> None
+  in
+  Check (kind, e, name)
+
+let parse_model src =
+  let c = { toks = Lexer.tokens src } in
+  let title =
+    match peek c with
+    | Lexer.STRING s ->
+        junk c;
+        s
+    | Lexer.ID s when peek2 c <> Lexer.EQ ->
+        (* herd also allows a bare-identifier title *)
+        junk c;
+        s
+    | _ -> "unnamed"
+  in
+  let rec go acc =
+    match peek c with
+    | Lexer.EOF -> List.rev acc
+    | Lexer.ID "let" -> go (parse_let c :: acc)
+    | Lexer.ID "acyclic" -> go (parse_check c Acyclic :: acc)
+    | Lexer.ID "irreflexive" -> go (parse_check c Irreflexive :: acc)
+    | Lexer.ID "empty" -> go (parse_check c Is_empty :: acc)
+    | _ -> fail c "expected let, acyclic, irreflexive or empty"
+  in
+  { title; stmts = go [] }

@@ -1,0 +1,121 @@
+(* The models shipped with the library, as cat source.  These strings are
+   the source of truth; the files under models/ are generated from them
+   (see bin/catgen) and a test keeps them in sync.
+
+   Dialect note: closures are written with an explicit hat — r^+ and the
+   hat-star spelling — so the infix cartesian product of sets stays
+   unambiguous; herd's cat accepts both spellings. *)
+
+let lk =
+  {|"Linux-kernel memory model (ASPLOS 2018, Figures 3, 8 and 12)"
+
+(* auxiliary relations, Section 3.1 *)
+let acq-po = [R & Acquire] ; po
+let po-rel = po ; [W & Release]
+let rfi-rel-acq = [W & Release] ; rfi ; [R & Acquire]
+let rmb = [R] ; po ; [Rmb] ; po ; [R]
+let wmb = [W] ; po ; [Wmb] ; po ; [W]
+let mb = po ; [Mb] ; po
+let rb-dep = [R] ; po ; [Rb-dep] ; po ; [R]
+
+(* RCU base relations, Figure 12; crit is predefined *)
+let gp = (po & (_ * Sync)) ; po?
+let rscs = po ; crit^-1 ; po?
+
+(* Figure 8 *)
+let dep = addr | data
+let rwdep = (dep | ctrl) & (R * W)
+let overwrite = co | fr
+let to-w = rwdep | (overwrite & int)
+let rrdep = addr | (dep ; rfi)
+let strong-rrdep = rrdep^+ & rb-dep
+let to-r = strong-rrdep | rfi-rel-acq
+let strong-fence = mb | gp
+let fence = strong-fence | po-rel | wmb | rmb | acq-po
+let ppo = rrdep^* ; (to-r | to-w | fence)
+let A-cumul(r) = rfe? ; r
+let cumul-fence = A-cumul(strong-fence | po-rel) | wmb
+let prop = (overwrite & ext)? ; cumul-fence^* ; rfe?
+let hb = ((prop \ id) & int) | ppo | rfe
+let pb = prop ; strong-fence ; hb^*
+
+(* Figure 12 *)
+let link = hb^* ; pb^* ; prop
+let gp-link = gp ; link
+let rscs-link = rscs ; link
+let rec rcu-path = gp-link
+  | (rcu-path ; rcu-path)
+  | (gp-link ; rscs-link)
+  | (rscs-link ; gp-link)
+  | (gp-link ; rcu-path ; rscs-link)
+  | (rscs-link ; rcu-path ; gp-link)
+
+(* the axioms: Figure 3 plus the RCU axiom of Figure 12 *)
+acyclic po-loc | com as sc-per-variable
+empty rmw & (fre ; coe) as atomicity
+acyclic hb as happens-before
+acyclic pb as propagates-before
+irreflexive rcu-path as rcu
+|}
+
+let sc =
+  {|"Sequential consistency"
+acyclic po | rf | co | fr as sc
+empty rmw & (fre ; coe) as atomicity
+|}
+
+let tso =
+  {|"x86-TSO (LK mapping: smp_mb is mfence, other fences are compiler-only)"
+let ppo-tso = (po & (M * M)) \ (W * R)
+let implied = po ; [Mb] ; po
+let ghb = ppo-tso | implied | rfe | co | fr
+acyclic ghb as tso
+acyclic po-loc | com as sc-per-variable
+empty rmw & (fre ; coe) as atomicity
+|}
+
+let c11 =
+  {|"C11, original SC-fence semantics (Batty et al.), LK mapping of P0124"
+let relw = W & Release
+let acqr = R & Acquire
+let relf = Wmb | Mb
+let acqf = Rmb | Mb
+let sw = ([relw] ; rf ; [acqr])
+  | ([relw] ; rf ; [R] ; po ; [acqf])
+  | ([relf] ; po ; [W] ; rf ; [acqr])
+  | ([relf] ; po ; [W] ; rf ; [R] ; po ; [acqf])
+let hb = (po | sw)^+
+let eco = (rf | co | fr)^+
+irreflexive hb ; eco? as coherence
+empty rmw & (fre ; coe) as atomicity
+let sc-ord = ([Mb] ; hb ; [Mb]) | ([Mb] ; po ; (fr | co) ; po ; [Mb])
+acyclic sc-ord as sc-fences
+|}
+
+let c11_psc =
+  {|"C11 with strengthened (RC11-style) SC fences"
+let relw = W & Release
+let acqr = R & Acquire
+let relf = Wmb | Mb
+let acqf = Rmb | Mb
+let sw = ([relw] ; rf ; [acqr])
+  | ([relw] ; rf ; [R] ; po ; [acqf])
+  | ([relf] ; po ; [W] ; rf ; [acqr])
+  | ([relf] ; po ; [W] ; rf ; [R] ; po ; [acqf])
+let hb = (po | sw)^+
+let eco = (rf | co | fr)^+
+irreflexive hb ; eco? as coherence
+empty rmw & (fre ; coe) as atomicity
+let psc = [Mb] ; (hb | (hb ; eco ; hb)) ; [Mb]
+acyclic psc as sc-fences
+|}
+
+(* (name, file name, source) for every shipped model *)
+let all =
+  [
+    ("LK", "lk.cat", lk);
+    ("SC", "sc.cat", sc);
+    ("x86-TSO", "tso.cat", tso);
+    ("C11", "c11.cat", c11);
+    ("C11-psc", "c11-psc.cat", c11_psc);
+  ]

@@ -1,0 +1,34 @@
+(** Cycles of relaxation edges: validity, canonical forms, enumeration.
+
+    A candidate cycle must have agreeing event directions at every
+    junction (including the wrap-around), at least two external
+    (communication) edges, and a location assignment that can close. *)
+
+(** Do two consecutive edges agree on the direction of their shared
+    event? *)
+val junction_ok : Edge.t -> Edge.t -> bool
+
+val dirs_ok : Edge.t list -> bool
+val n_external : Edge.t list -> int
+val n_diff_loc : Edge.t list -> int
+val locs_ok : Edge.t list -> bool
+
+(** [sane c] holds iff [c] passes every structural check and is worth
+    realising. *)
+val sane : Edge.t list -> bool
+
+(** All rotations of a cycle (a cycle has no distinguished start). *)
+val rotations : Edge.t list -> Edge.t list list
+
+(** The lexicographically least rotation — the representative used for
+    deduplication. *)
+val canonical : Edge.t list -> Edge.t list
+
+val is_canonical : Edge.t list -> bool
+
+(** [enumerate ?vocabulary n] is every sane, canonical cycle of length
+    [n].  Exponential in [n]; use {!Diygen.sample} for large sizes. *)
+val enumerate : ?vocabulary:Edge.t list -> int -> Edge.t list list
+
+(** diy-style name: edges joined with [+], e.g. [PodWW+Rfe+PodRR+Fre]. *)
+val name : Edge.t list -> string

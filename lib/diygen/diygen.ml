@@ -1,0 +1,61 @@
+(* A diy-style litmus-test generator (Section 5): enumerate cycles of
+   relaxation edges of increasing size and realise each as a litmus test.
+
+   - {!Edge}: the relaxation vocabulary (communications, program order,
+     fences, dependencies, release/acquire);
+   - {!Cycle}: enumeration, validity, canonicalisation;
+   - {!Realize}: cycle -> litmus test, with self-validation. *)
+
+module Edge = Edge
+module Cycle = Cycle
+module Realize = Realize
+
+(** [generate ?vocabulary n] is every valid canonical cycle of length [n]
+    realised as a litmus test. *)
+let generate ?vocabulary n =
+  List.filter_map Realize.test_of_cycle (Cycle.enumerate ?vocabulary n)
+
+(** [sample ?vocabulary ~rng ~count n] realises up to [count] random
+    cycles of length [n]; used for sweeps where full enumeration is too
+    large. *)
+let sample ?(vocabulary = Edge.vocabulary) ~rng ~count n =
+  (* build junction-consistent cycles edge by edge, so most candidates are
+     sane; full validity is still checked by Cycle.sane / Realize *)
+  let pick_from l = List.nth l (Random.State.int rng (List.length l)) in
+  let pick () =
+    let rec go acc prev k =
+      if k = 0 then Some (List.rev acc)
+      else
+        let compat =
+          List.filter
+            (fun e ->
+              match (prev, Edge.src_dir e) with
+              | Some d, Some d' -> d = d'
+              | _ -> true)
+            vocabulary
+        in
+        match compat with
+        | [] -> None
+        | _ ->
+            let e = pick_from compat in
+            go (e :: acc) (Edge.tgt_dir e) (k - 1)
+    in
+    go [] None n
+  in
+  let seen = Hashtbl.create 64 in
+  let rec go acc tries =
+    if List.length acc >= count || tries > count * 200 then List.rev acc
+    else
+      match pick () with
+      | Some c when Cycle.sane c -> (
+          let key = Cycle.name (Cycle.canonical c) in
+          if Hashtbl.mem seen key then go acc (tries + 1)
+          else begin
+            Hashtbl.replace seen key ();
+            match Realize.test_of_cycle c with
+            | Some t -> go (t :: acc) (tries + 1)
+            | None -> go acc (tries + 1)
+          end)
+      | _ -> go acc (tries + 1)
+  in
+  go [] 0

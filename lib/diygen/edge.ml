@@ -1,0 +1,92 @@
+(* The relaxation-edge vocabulary of the diy7 generator (Section 5:
+   "systematically generate thousands of tests with cycles of edges of
+   increasing size").  An edge constrains the directions of its two
+   endpoint events, whether they access the same location, and whether
+   they sit on the same thread. *)
+
+type dir = R | W
+
+type fence = Mb | Wmb | Rmb | Sync
+
+type dep = Addr | Data | Ctrl
+
+type t =
+  | Rfe (* external reads-from: W -> R, same location, new thread *)
+  | Fre (* external from-reads: R -> W, same location, new thread *)
+  | Coe (* external coherence: W -> W, same location, new thread *)
+  | Pod of dir * dir (* program order, different location *)
+  | Pos of dir * dir (* program order, same location *)
+  | Fenced of fence * dir * dir (* program order with a fence between *)
+  | Dp of dep * dir (* dependency from a read, different location *)
+  | Po_rel of dir (* program order into a store-release *)
+  | Acq_po of dir (* program order out of a load-acquire *)
+
+let src_dir = function
+  | Rfe | Coe -> Some W
+  | Fre -> Some R
+  | Pod (d, _) | Pos (d, _) | Fenced (_, d, _) -> Some d
+  | Dp _ -> Some R
+  | Po_rel d -> Some d
+  | Acq_po _ -> Some R
+
+let tgt_dir = function
+  | Rfe -> Some R
+  | Fre | Coe -> Some W
+  | Pod (_, d) | Pos (_, d) | Fenced (_, _, d) -> Some d
+  | Dp (_, d) -> Some d
+  | Po_rel _ -> Some W
+  | Acq_po d -> Some d
+
+let external_ = function Rfe | Fre | Coe -> true | _ -> false
+
+(* Does the edge change location?  External communications stay on one
+   location; all internal edges except Pos move to a fresh one. *)
+let diff_loc = function
+  | Rfe | Fre | Coe | Pos _ -> false
+  | Pod _ | Fenced _ | Dp _ | Po_rel _ | Acq_po _ -> true
+
+let dir_to_string = function R -> "R" | W -> "W"
+
+let fence_to_string = function
+  | Mb -> "Mb"
+  | Wmb -> "Wmb"
+  | Rmb -> "Rmb"
+  | Sync -> "Sync"
+
+let dep_to_string = function Addr -> "Addr" | Data -> "Data" | Ctrl -> "Ctrl"
+
+let to_string = function
+  | Rfe -> "Rfe"
+  | Fre -> "Fre"
+  | Coe -> "Coe"
+  | Pod (a, b) -> Printf.sprintf "Pod%s%s" (dir_to_string a) (dir_to_string b)
+  | Pos (a, b) -> Printf.sprintf "Pos%s%s" (dir_to_string a) (dir_to_string b)
+  | Fenced (f, a, b) ->
+      Printf.sprintf "%sd%s%s" (fence_to_string f) (dir_to_string a)
+        (dir_to_string b)
+  | Dp (d, b) -> Printf.sprintf "Dp%sd%s" (dep_to_string d) (dir_to_string b)
+  | Po_rel a -> Printf.sprintf "Rel%sW" (dir_to_string a)
+  | Acq_po b -> Printf.sprintf "AcqR%s" (dir_to_string b)
+
+(* The default vocabulary used by sweeps; Fenced Wmb/Rmb come with their
+   direction constraints built in. *)
+let vocabulary =
+  let dirs = [ R; W ] in
+  let pods = List.concat_map (fun a -> List.map (fun b -> Pod (a, b)) dirs) dirs in
+  let mbs =
+    List.concat_map (fun a -> List.map (fun b -> Fenced (Mb, a, b)) dirs) dirs
+  in
+  let syncs =
+    List.concat_map
+      (fun a -> List.map (fun b -> Fenced (Sync, a, b)) dirs)
+      dirs
+  in
+  [ Rfe; Fre; Coe ] @ pods
+  @ [ Fenced (Wmb, W, W); Fenced (Rmb, R, R) ]
+  @ mbs @ syncs
+  @ [ Dp (Addr, R); Dp (Addr, W); Dp (Data, W); Dp (Ctrl, W) ]
+  @ [ Po_rel R; Po_rel W; Acq_po R; Acq_po W ]
+
+(* A cheaper vocabulary for big sweeps (no Sync edges). *)
+let core_vocabulary =
+  List.filter (function Fenced (Sync, _, _) -> false | _ -> true) vocabulary

@@ -1,0 +1,48 @@
+(** The relaxation-edge vocabulary of the diy-style generator (Section 5).
+
+    An edge of a cycle constrains the directions of its endpoint events,
+    whether they access the same location and whether they sit on the same
+    thread; a cycle of edges is realised as a litmus test whose condition
+    pins exactly the execution exhibiting the cycle. *)
+
+type dir = R | W
+
+type fence = Mb | Wmb | Rmb | Sync
+
+type dep = Addr | Data | Ctrl
+
+type t =
+  | Rfe  (** external reads-from: W to R, same location, new thread *)
+  | Fre  (** external from-reads: R to W, same location, new thread *)
+  | Coe  (** external coherence: W to W, same location, new thread *)
+  | Pod of dir * dir  (** program order, different location *)
+  | Pos of dir * dir  (** program order, same location *)
+  | Fenced of fence * dir * dir  (** program order with a fence between *)
+  | Dp of dep * dir  (** dependency out of a read, different location *)
+  | Po_rel of dir  (** program order into a store-release *)
+  | Acq_po of dir  (** program order out of a load-acquire *)
+
+(** Direction required of the edge's source event, if constrained. *)
+val src_dir : t -> dir option
+
+(** Direction required of the edge's target event, if constrained. *)
+val tgt_dir : t -> dir option
+
+(** Communication edges change thread. *)
+val external_ : t -> bool
+
+(** Does the edge move to a fresh location? *)
+val diff_loc : t -> bool
+
+val dir_to_string : dir -> string
+val fence_to_string : fence -> string
+val dep_to_string : dep -> string
+
+(** diy-style edge name, e.g. [PodWR], [MbdWR], [DpAddrdR]. *)
+val to_string : t -> string
+
+(** The full vocabulary used by sweeps. *)
+val vocabulary : t list
+
+(** [vocabulary] without the synchronize_rcu edges (cheaper sweeps). *)
+val core_vocabulary : t list

@@ -1,0 +1,67 @@
+(* Running a litmus test against a consistency model.
+
+   A model decides which candidate executions are consistent; a test is
+   *allowed* iff some consistent execution satisfies its (existential)
+   condition — herd's Ok/No verdicts. *)
+
+module type MODEL = sig
+  val name : string
+
+  (* [consistent x] holds iff the candidate execution [x] satisfies every
+     constraint of the model. *)
+  val consistent : Execution.t -> bool
+end
+
+type verdict = Allow | Forbid
+
+let verdict_to_string = function Allow -> "Allow" | Forbid -> "Forbid"
+let pp_verdict ppf v = Fmt.string ppf (verdict_to_string v)
+
+type result = {
+  verdict : verdict;
+  n_candidates : int; (* candidate executions enumerated *)
+  n_consistent : int; (* consistent under the model *)
+  n_matching : int; (* consistent and satisfying the condition *)
+  witness : Execution.t option; (* a consistent execution matching the condition *)
+  outcomes : (Execution.outcome * bool) list;
+      (* observable outcomes of consistent executions; the flag tells
+         whether the outcome satisfies the condition *)
+}
+
+(* Interpret the test's quantifier over the consistent executions:
+   - exists c  : Allow iff some consistent execution satisfies c;
+   - ~exists c : Allow iff some consistent execution satisfies c
+                 (the quantifier expresses the author's expectation, not a
+                 different question — herd reports Ok/No either way);
+   - forall c  : Allow iff some consistent execution *violates* c.
+   In all cases the verdict answers: "is the distinguishing outcome
+   observable?". *)
+let run (module M : MODEL) (test : Litmus.Ast.t) =
+  let candidates = Execution.of_test test in
+  let consistent = List.filter M.consistent candidates in
+  let satisfies x =
+    match test.quant with
+    | Litmus.Ast.Q_exists | Litmus.Ast.Q_not_exists -> Execution.satisfies_cond x
+    | Litmus.Ast.Q_forall -> not (Execution.satisfies_cond x)
+  in
+  let matching = List.filter satisfies consistent in
+  let outcomes =
+    List.sort_uniq compare
+      (List.map (fun x -> (Execution.outcome x, satisfies x)) consistent)
+  in
+  {
+    verdict = (if matching <> [] then Allow else Forbid);
+    n_candidates = List.length candidates;
+    n_consistent = List.length consistent;
+    n_matching = List.length matching;
+    witness = (match matching with [] -> None | x :: _ -> Some x);
+    outcomes;
+  }
+
+(* The set of observable outcomes under the model, ignoring the condition:
+   used to compare models with operational simulators. *)
+let allowed_outcomes (module M : MODEL) (test : Litmus.Ast.t) =
+  Execution.of_test test
+  |> List.filter M.consistent
+  |> List.map Execution.outcome
+  |> List.sort_uniq compare

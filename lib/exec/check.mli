@@ -1,0 +1,41 @@
+(** Running a litmus test against a consistency model.
+
+    A model is anything deciding per-execution consistency; a test is
+    Allowed iff some consistent execution exhibits the distinguishing
+    outcome of its condition (herd's Ok/No verdicts). *)
+
+module type MODEL = sig
+  val name : string
+
+  (** [consistent x] holds iff [x] satisfies every constraint of the
+      model. *)
+  val consistent : Execution.t -> bool
+end
+
+type verdict = Allow | Forbid
+
+val verdict_to_string : verdict -> string
+val pp_verdict : verdict Fmt.t
+
+type result = {
+  verdict : verdict;
+  n_candidates : int;  (** candidate executions enumerated *)
+  n_consistent : int;  (** consistent under the model *)
+  n_matching : int;  (** consistent and satisfying the condition *)
+  witness : Execution.t option;
+      (** a consistent execution matching the condition, if any *)
+  outcomes : (Execution.outcome * bool) list;
+      (** observable outcomes of consistent executions; the flag marks
+          outcomes satisfying the condition *)
+}
+
+(** [run (module M) test] enumerates the candidate executions of [test],
+    filters them through [M.consistent] and interprets the quantifier:
+    for [exists]/[~exists] the verdict asks whether some consistent
+    execution satisfies the condition body, for [forall] whether some
+    consistent execution violates it. *)
+val run : (module MODEL) -> Litmus.Ast.t -> result
+
+(** The observable outcomes allowed by the model, ignoring the condition;
+    used to compare models with the operational simulators. *)
+val allowed_outcomes : (module MODEL) -> Litmus.Ast.t -> Execution.outcome list

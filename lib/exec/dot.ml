@@ -1,0 +1,113 @@
+(* Graphviz export of candidate executions, in the style of herd's
+   diagrams (and of the paper's figures): one box per thread, events in
+   program order, communication and dependency edges labelled and
+   coloured. *)
+
+let edge_styles =
+  [
+    ("rf", "red");
+    ("co", "brown");
+    ("fr", "orange");
+    ("addr", "blue");
+    ("data", "blue");
+    ("ctrl", "blue");
+    ("rmw", "purple");
+  ]
+
+let quote s = "\"" ^ s ^ "\""
+
+let node_label (e : Event.t) =
+  if Event.is_fence e then
+    Printf.sprintf "%c: F[%s]" (Char.chr (Char.code 'a' + (e.id mod 26)))
+      (Event.annot_to_string e.annot)
+  else
+    Printf.sprintf "%c: %s[%s] %s=%d"
+      (Char.chr (Char.code 'a' + (e.id mod 26)))
+      (Event.dir_to_string e.dir)
+      (Event.annot_to_string e.annot)
+      e.loc e.v
+
+(* [to_string ?extra x] renders [x]; [extra] adds named relations (e.g.
+   hb or prop from the LK model) as dashed grey edges. *)
+let to_string ?(extra = []) (x : Execution.t) =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph %s {\n" (quote x.Execution.test.Litmus.Ast.name);
+  pr "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  (* threads as clusters; init writes outside *)
+  let tids =
+    Array.to_list x.Execution.events
+    |> List.map (fun (e : Event.t) -> e.tid)
+    |> List.filter (fun t -> t >= 0)
+    |> List.sort_uniq Int.compare
+  in
+  Array.iter
+    (fun (e : Event.t) ->
+      if Event.is_init e then
+        pr "  e%d [label=%s, style=dotted];\n" e.id (quote (node_label e)))
+    x.Execution.events;
+  List.iter
+    (fun tid ->
+      pr "  subgraph cluster_T%d {\n    label=\"T%d\";\n" tid tid;
+      Array.iter
+        (fun (e : Event.t) ->
+          if e.tid = tid then
+            pr "    e%d [label=%s];\n" e.id (quote (node_label e)))
+        x.Execution.events;
+      pr "  }\n")
+    tids;
+  (* po as invisible-ish ordering edges between consecutive events *)
+  List.iter
+    (fun tid ->
+      let evs =
+        Array.to_list x.Execution.events
+        |> List.filter (fun (e : Event.t) -> e.tid = tid)
+        |> List.map (fun (e : Event.t) -> e.id)
+        |> List.sort Int.compare
+      in
+      let rec chain = function
+        | a :: (b :: _ as rest) ->
+            pr "  e%d -> e%d [color=black, label=\"po\", fontsize=8];\n" a b;
+            chain rest
+        | _ -> ()
+      in
+      chain evs)
+    tids;
+  let emit_rel name color rel =
+    Rel.iter
+      (fun a b ->
+        pr "  e%d -> e%d [color=%s, label=%s, fontsize=8, constraint=false];\n"
+          a b color (quote name))
+      rel
+  in
+  List.iter
+    (fun (name, color) ->
+      let rel =
+        match name with
+        | "rf" -> x.Execution.rf
+        | "co" ->
+            (* only immediate coherence edges, to keep graphs readable *)
+            Rel.filter
+              (fun a b ->
+                not
+                  (Rel.exists
+                     (fun a' c -> a' = a && Rel.mem c b x.Execution.co)
+                     x.Execution.co))
+              x.Execution.co
+        | "fr" -> x.Execution.fr
+        | "addr" -> x.Execution.addr
+        | "data" -> x.Execution.data
+        | "ctrl" -> x.Execution.ctrl
+        | "rmw" -> x.Execution.rmw
+        | _ -> Rel.empty
+      in
+      emit_rel name color rel)
+    edge_styles;
+  List.iter (fun (name, rel) -> emit_rel name "grey" rel) extra;
+  pr "}\n";
+  Buffer.contents buf
+
+let to_file ?extra path x =
+  let oc = open_out path in
+  output_string oc (to_string ?extra x);
+  close_out oc

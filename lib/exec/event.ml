@@ -1,0 +1,54 @@
+(* Events model primitives (paper, Section 2): reads, writes and fences,
+   annotated per Tables 3 and 4. *)
+
+type dir = R | W | F
+
+type annot =
+  | Once
+  | Acquire
+  | Release
+  | Rmb
+  | Wmb
+  | Mb
+  | Rb_dep
+  | Rcu_lock
+  | Rcu_unlock
+  | Sync_rcu
+  | Init (* initialising writes; not in any thread *)
+
+type t = {
+  id : int;
+  tid : int; (* -1 for initialising writes *)
+  dir : dir;
+  loc : string; (* "" for fences *)
+  v : int; (* value read / written; 0 for fences *)
+  annot : annot;
+}
+
+let is_read e = e.dir = R
+let is_write e = e.dir = W
+let is_mem e = e.dir <> F
+let is_fence e = e.dir = F
+let is_init e = e.annot = Init
+
+let annot_to_string = function
+  | Once -> "once"
+  | Acquire -> "acquire"
+  | Release -> "release"
+  | Rmb -> "rmb"
+  | Wmb -> "wmb"
+  | Mb -> "mb"
+  | Rb_dep -> "rb-dep"
+  | Rcu_lock -> "rcu-lock"
+  | Rcu_unlock -> "rcu-unlock"
+  | Sync_rcu -> "sync-rcu"
+  | Init -> "init"
+
+let dir_to_string = function R -> "R" | W -> "W" | F -> "F"
+
+let pp ppf e =
+  if e.dir = F then
+    Fmt.pf ppf "%d: T%d F[%s]" e.id e.tid (annot_to_string e.annot)
+  else
+    Fmt.pf ppf "%d: T%d %s[%s] %s=%d" e.id e.tid (dir_to_string e.dir)
+      (annot_to_string e.annot) e.loc e.v

@@ -1,0 +1,44 @@
+(** Events of candidate executions (paper, Section 2).
+
+    Events model primitives: reads (R) and writes (W) to shared locations,
+    and fences (F), each carrying an annotation per Tables 3 and 4 —
+    [once]/[acquire] for reads, [once]/[release] for writes, the fence
+    kinds, and the RCU markers. *)
+
+type dir = R | W | F
+
+type annot =
+  | Once
+  | Acquire
+  | Release
+  | Rmb
+  | Wmb
+  | Mb
+  | Rb_dep
+  | Rcu_lock
+  | Rcu_unlock
+  | Sync_rcu
+  | Init  (** initialising writes; they belong to no thread *)
+
+type t = {
+  id : int;  (** dense identifier, index into the execution's event array *)
+  tid : int;  (** thread, or [-1] for initialising writes *)
+  dir : dir;
+  loc : string;  (** accessed location; [""] for fences *)
+  v : int;  (** value read or written; [0] for fences *)
+  annot : annot;
+}
+
+val is_read : t -> bool
+val is_write : t -> bool
+
+(** [is_mem e] holds for reads and writes (the cat set [M]). *)
+val is_mem : t -> bool
+
+val is_fence : t -> bool
+val is_init : t -> bool
+val annot_to_string : annot -> string
+val dir_to_string : dir -> string
+
+(** Prints in the paper's style, e.g. [3: T1 R[once] x=1]. *)
+val pp : t Fmt.t

@@ -1,0 +1,14 @@
+(* Candidate executions and model checking of litmus tests.
+
+   - {!Event}: reads, writes and fences with their annotations (Tables 3–4);
+   - {!Sem}: per-thread symbolic semantics;
+   - {!Execution} (included here): candidate executions with all base and
+     derived relations, and their enumeration via {!of_test};
+   - {!Check}: running a test against a consistency model;
+   - {!Dot}: Graphviz export of executions. *)
+
+module Event = Event
+module Sem = Sem
+module Check = Check
+module Dot = Dot
+include Execution

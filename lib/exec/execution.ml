@@ -1,0 +1,498 @@
+(* Candidate executions (paper, Section 2): abstract executions
+   (E, po, addr, data, ctrl, rmw) paired with execution witnesses (rf, co).
+   {!of_test} enumerates every candidate execution of a litmus test; a
+   consistency model then decides which are allowed. *)
+
+module Iset = Rel.Iset
+
+type t = {
+  test : Litmus.Ast.t;
+  events : Event.t array; (* indexed by event id *)
+  po : Rel.t;
+  addr : Rel.t;
+  data : Rel.t;
+  ctrl : Rel.t;
+  rmw : Rel.t;
+  rf : Rel.t;
+  co : Rel.t;
+  final_regs : (int * string * int) list; (* (tid, register, value) *)
+  (* Derived relations and sets, computed once at construction: *)
+  universe : Iset.t;
+  fr : Rel.t;
+  rfi : Rel.t;
+  rfe : Rel.t;
+  coi : Rel.t;
+  coe : Rel.t;
+  fri : Rel.t;
+  fre : Rel.t;
+  com : Rel.t;
+  po_loc : Rel.t;
+  int_r : Rel.t;
+  ext_r : Rel.t;
+  loc_r : Rel.t;
+  id_r : Rel.t;
+  reads : Iset.t;
+  writes : Iset.t;
+  fences : Iset.t;
+  mem : Iset.t; (* R union W *)
+  init_ws : Iset.t;
+  crit : Rel.t; (* outermost rcu_read_lock -> matching rcu_read_unlock *)
+}
+
+let event t id = t.events.(id)
+let n_events t = Array.length t.events
+
+let events_where t p =
+  Array.to_seq t.events
+  |> Seq.filter p
+  |> Seq.fold_left (fun acc (e : Event.t) -> Iset.add e.id acc) Iset.empty
+
+(* Events carrying a given annotation. *)
+let with_annot t a = events_where t (fun e -> e.annot = a)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* crit connects each outermost rcu_read_lock to its matching unlock;
+   nesting is resolved with a per-thread depth counter over po (events are
+   id-ordered within a thread, ids being assigned in program order). *)
+let compute_crit (events : Event.t array) =
+  let by_tid = Hashtbl.create 4 in
+  Array.iter
+    (fun (e : Event.t) ->
+      if e.tid >= 0 then
+        Hashtbl.replace by_tid e.tid
+          (e :: (try Hashtbl.find by_tid e.tid with Not_found -> [])))
+    events;
+  Hashtbl.fold
+    (fun _tid rev_events acc ->
+      let thread_events = List.rev rev_events in
+      let acc', _, _ =
+        List.fold_left
+          (fun (acc, depth, outer) (e : Event.t) ->
+            match e.annot with
+            | Event.Rcu_lock ->
+                if depth = 0 then (acc, 1, Some e.id)
+                else (acc, depth + 1, outer)
+            | Event.Rcu_unlock -> (
+                match (depth, outer) with
+                | 1, Some l -> (Rel.add l e.id acc, 0, None)
+                | d, _ when d > 1 -> (acc, d - 1, outer)
+                | _ -> (acc, 0, None) (* unmatched unlock: ignored *))
+            | _ -> (acc, depth, outer))
+          (acc, 0, None) thread_events
+      in
+      acc')
+    by_tid Rel.empty
+
+let build test events po addr data ctrl rmw rf co final_regs =
+  let n = Array.length events in
+  let universe = Iset.of_range 0 (n - 1) in
+  let same_loc (e1 : Event.t) (e2 : Event.t) =
+    Event.is_mem e1 && Event.is_mem e2 && e1.loc = e2.loc
+  in
+  let loc_r =
+    Rel.of_list
+      (List.concat_map
+         (fun i ->
+           List.filter_map
+             (fun j ->
+               if i <> j && same_loc events.(i) events.(j) then Some (i, j)
+               else None)
+             (List.init n Fun.id))
+         (List.init n Fun.id))
+  in
+  let int_r =
+    Rel.of_list
+      (List.concat_map
+         (fun i ->
+           List.filter_map
+             (fun j ->
+               if
+                 i <> j
+                 && events.(i).Event.tid >= 0
+                 && events.(i).Event.tid = events.(j).Event.tid
+               then Some (i, j)
+               else None)
+             (List.init n Fun.id))
+         (List.init n Fun.id))
+  in
+  let ext_r = Rel.diff (Rel.complement ~universe int_r) (Rel.id_of_set universe) in
+  let fr = Rel.diff (Rel.seq (Rel.inverse rf) co) (Rel.id_of_set universe) in
+  let rfi = Rel.inter rf int_r in
+  let rfe = Rel.inter rf ext_r in
+  let coi = Rel.inter co int_r in
+  let coe = Rel.inter co ext_r in
+  let fri = Rel.inter fr int_r in
+  let fre = Rel.inter fr ext_r in
+  let com = Rel.union rf (Rel.union co fr) in
+  let po_loc = Rel.inter po loc_r in
+  let t0 =
+    {
+      test;
+      events;
+      po;
+      addr;
+      data;
+      ctrl;
+      rmw;
+      rf;
+      co;
+      final_regs;
+      universe;
+      fr;
+      rfi;
+      rfe;
+      coi;
+      coe;
+      fri;
+      fre;
+      com;
+      po_loc;
+      int_r;
+      ext_r;
+      loc_r;
+      id_r = Rel.id_of_set universe;
+      reads = Iset.empty;
+      writes = Iset.empty;
+      fences = Iset.empty;
+      mem = Iset.empty;
+      init_ws = Iset.empty;
+      crit = compute_crit events;
+    }
+  in
+  {
+    t0 with
+    reads = events_where t0 Event.is_read;
+    writes = events_where t0 Event.is_write;
+    fences = events_where t0 Event.is_fence;
+    mem = events_where t0 Event.is_mem;
+    init_ws = events_where t0 Event.is_init;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Initial read-value domain: everything an expression could syntactically
+   produce.  It is grown by a fixpoint over observed written values, so
+   data-dependent writes (e.g. WRITE_ONCE(y, r1 + 1)) are covered. *)
+let initial_domain (test : Litmus.Ast.t) =
+  let consts = ref [ 0; 1 ] in
+  let add n = if not (List.mem n !consts) then consts := n :: !consts in
+  let rec expr = function
+    | Litmus.Ast.Const n -> add n
+    | Litmus.Ast.Addr x -> add (Litmus.Ast.address_of test x)
+    | Litmus.Ast.Reg _ -> ()
+    | Litmus.Ast.Binop (_, a, b) ->
+        expr a;
+        expr b
+    | Litmus.Ast.Unop (_, a) -> expr a
+  in
+  let rec instr = function
+    | Litmus.Ast.Read _ | Litmus.Ast.Rcu_dereference _ | Litmus.Ast.Fence _
+    | Litmus.Ast.Spin_lock _ | Litmus.Ast.Spin_unlock _ ->
+        ()
+    | Litmus.Ast.Write (_, _, e)
+    | Litmus.Ast.Xchg (_, _, _, e)
+    | Litmus.Ast.Assign (_, e) ->
+        expr e
+    | Litmus.Ast.Cmpxchg (_, _, _, e1, e2) ->
+        expr e1;
+        expr e2
+    | Litmus.Ast.Atomic_add_return (_, _, _, e) | Litmus.Ast.Atomic_add (_, e)
+      ->
+        expr e
+    | Litmus.Ast.If (e, a, b) ->
+        expr e;
+        List.iter instr a;
+        List.iter instr b
+  in
+  Array.iter (List.iter instr) test.threads;
+  List.iter (fun (x, _) -> add (Litmus.Ast.init_value test x)) test.init;
+  List.iter
+    (fun (x, _) -> add (Litmus.Ast.address_of test x))
+    (Litmus.Ast.addresses test);
+  let rec cond = function
+    | Litmus.Ast.Atom (Litmus.Ast.Reg_eq (_, _, v))
+    | Litmus.Ast.Atom (Litmus.Ast.Mem_eq (_, v)) ->
+        add (Litmus.Ast.cvalue_to_int test v)
+    | Litmus.Ast.Not c -> cond c
+    | Litmus.Ast.And (a, b) | Litmus.Ast.Or (a, b) ->
+        cond a;
+        cond b
+    | Litmus.Ast.Ctrue -> ()
+  in
+  cond test.cond;
+  List.sort_uniq Int.compare !consts
+
+(* Per-thread candidates under a per-location read-value domain, iterated
+   until the set of observed written values stops growing. *)
+let thread_candidate_lists test =
+  let all = initial_domain test in
+  let globals = Litmus.Ast.globals test in
+  let value_tbl : (string, Iset.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun x ->
+      Hashtbl.replace value_tbl x
+        (Iset.add (Litmus.Ast.init_value test x) (Iset.of_list all)))
+    globals;
+  let domain loc =
+    match Hashtbl.find_opt value_tbl loc with
+    | Some s -> Iset.to_list s
+    | None -> all
+  in
+  let compute () =
+    Array.to_list test.threads
+    |> List.map (Sem.thread_candidates test domain)
+  in
+  let written cands =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun x ->
+        Hashtbl.replace tbl x (Iset.singleton (Litmus.Ast.init_value test x)))
+      globals;
+    List.iter
+      (List.iter (fun (c : Sem.candidate) ->
+           List.iter
+             (fun (pe : Sem.proto_event) ->
+               if pe.dir = Event.W then
+                 Hashtbl.replace tbl pe.loc
+                   (Iset.add pe.v
+                      (try Hashtbl.find tbl pe.loc
+                       with Not_found -> Iset.empty)))
+             c.events))
+      cands;
+    tbl
+  in
+  (* Two rounds: the first shrinks the read domains to the values actually
+     written per location; the second accounts for writes whose value became
+     expressible only once reads were so constrained.  Grow-only from round
+     one on, so this terminates. *)
+  let rec go prev rounds =
+    let tbl = written prev in
+    let changed = ref false in
+    Hashtbl.iter
+      (fun x s ->
+        let old = try Hashtbl.find value_tbl x with Not_found -> Iset.empty in
+        if not (Iset.equal s old) then changed := true;
+        Hashtbl.replace value_tbl x s)
+      tbl;
+    let next = compute () in
+    if !changed && rounds > 0 then go next (rounds - 1) else next
+  in
+  go (compute ()) 4
+
+let cartesian_product lists =
+  List.fold_right
+    (fun l acc -> List.concat_map (fun x -> List.map (fun r -> x :: r) acc) l)
+    lists [ [] ]
+
+let of_test (test : Litmus.Ast.t) =
+  let per_thread = thread_candidate_lists test in
+  let globals = Litmus.Ast.globals test in
+  let n_init = List.length globals in
+  List.concat_map
+    (fun (chosen : Sem.candidate list) ->
+      (* Assemble events: init writes first, then threads in order. *)
+      let events = ref [] in
+      let po = ref Rel.empty in
+      let addr = ref Rel.empty
+      and data = ref Rel.empty
+      and ctrl = ref Rel.empty
+      and rmw = ref Rel.empty in
+      List.iteri
+        (fun i x ->
+          events :=
+            {
+              Event.id = i;
+              tid = -1;
+              dir = Event.W;
+              loc = x;
+              v = Litmus.Ast.init_value test x;
+              annot = Event.Init;
+            }
+            :: !events)
+        globals;
+      let base = ref n_init in
+      List.iteri
+        (fun tid (c : Sem.candidate) ->
+          let b = !base in
+          List.iteri
+            (fun i (pe : Sem.proto_event) ->
+              let id = b + i in
+              events :=
+                {
+                  Event.id;
+                  tid;
+                  dir = pe.dir;
+                  loc = pe.loc;
+                  v = pe.v;
+                  annot = pe.annot;
+                }
+                :: !events;
+              (* po: total order within the thread *)
+              for j = 0 to i - 1 do
+                po := Rel.add (b + j) id !po
+              done)
+            c.events;
+          let remap = List.map (fun (x, y) -> (b + x, b + y)) in
+          addr := Rel.union !addr (Rel.of_list (remap c.addr));
+          data := Rel.union !data (Rel.of_list (remap c.data));
+          ctrl := Rel.union !ctrl (Rel.of_list (remap c.ctrl));
+          rmw := Rel.union !rmw (Rel.of_list (remap c.rmw));
+          base := b + List.length c.events)
+        chosen;
+      let events =
+        Array.of_list (List.sort (fun (a : Event.t) b -> compare a.id b.id)
+                         (!events))
+      in
+      let final_regs =
+        List.concat
+          (List.mapi
+             (fun tid (c : Sem.candidate) ->
+               List.map (fun (r, v) -> (tid, r, v)) c.regs)
+             chosen)
+      in
+      (* Enumerate rf: each read takes its value from a same-location,
+         same-value write. *)
+      let all_reads =
+        Array.to_list events |> List.filter Event.is_read
+      in
+      let writes_for (r : Event.t) =
+        Array.to_list events
+        |> List.filter (fun (w : Event.t) ->
+               Event.is_write w && w.loc = r.loc && w.v = r.v)
+      in
+      let rf_choices =
+        cartesian_product
+          (List.map
+             (fun r -> List.map (fun w -> (w.Event.id, r.Event.id)) (writes_for r))
+             all_reads)
+      in
+      (* Enumerate co: per location, all total orders of the non-init
+         writes, after the initialising write. *)
+      let ws_by_loc =
+        List.map
+          (fun x ->
+            ( x,
+              Array.to_list events
+              |> List.filter (fun (w : Event.t) ->
+                     Event.is_write w && (not (Event.is_init w)) && w.loc = x)
+              |> List.map (fun (w : Event.t) -> w.id) ))
+          globals
+      in
+      let init_id x =
+        let rec find i = if (events.(i)).Event.loc = x then i else find (i + 1) in
+        find 0
+      in
+      let co_choices =
+        cartesian_product
+          (List.map
+             (fun (x, ws) ->
+               List.map
+                 (fun order ->
+                   List.fold_left
+                     (fun acc w -> Rel.add (init_id x) w acc)
+                     order ws)
+                 (Rel.linear_extensions ws))
+             ws_by_loc)
+      in
+      List.concat_map
+        (fun rf_pairs ->
+          let rf = Rel.of_list rf_pairs in
+          List.map
+            (fun co_parts ->
+              let co = List.fold_left Rel.union Rel.empty co_parts in
+              build test events !po !addr !data !ctrl !rmw rf co final_regs)
+            co_choices)
+        rf_choices)
+    (cartesian_product per_thread)
+
+(* ------------------------------------------------------------------ *)
+(* Final states                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Value of [x] after the execution: the co-maximal write. *)
+let final_mem t x =
+  let ws =
+    Array.to_list t.events
+    |> List.filter (fun (w : Event.t) -> Event.is_write w && w.loc = x)
+  in
+  let maximal =
+    List.filter
+      (fun (w : Event.t) ->
+        not
+          (List.exists
+             (fun (w' : Event.t) -> Rel.mem w.id w'.id t.co)
+             ws))
+      ws
+  in
+  match maximal with
+  | [ w ] -> w.v
+  | [] -> Litmus.Ast.init_value t.test x
+  | w :: _ -> w.v (* co is total per location, so this is unreachable *)
+
+let reg_value t tid r =
+  List.find_map
+    (fun (tid', r', v) -> if tid = tid' && r = r' then Some v else None)
+    t.final_regs
+
+let eval_atom t = function
+  | Litmus.Ast.Reg_eq (tid, r, cv) ->
+      let expected = Litmus.Ast.cvalue_to_int t.test cv in
+      (match reg_value t tid r with Some v -> v = expected | None -> 0 = expected)
+  | Litmus.Ast.Mem_eq (x, cv) ->
+      final_mem t x = Litmus.Ast.cvalue_to_int t.test cv
+
+let rec eval_cond t = function
+  | Litmus.Ast.Atom a -> eval_atom t a
+  | Litmus.Ast.Not c -> not (eval_cond t c)
+  | Litmus.Ast.And (a, b) -> eval_cond t a && eval_cond t b
+  | Litmus.Ast.Or (a, b) -> eval_cond t a || eval_cond t b
+  | Litmus.Ast.Ctrue -> true
+
+(* Does the final state of this execution satisfy the test's condition
+   body?  (The quantifier is interpreted by the checker, not here.) *)
+let satisfies_cond t = eval_cond t t.test.cond
+
+(* The observable outcome of an execution: values of every register and
+   location mentioned in the final condition, as a canonical assoc list.
+   Two executions with equal outcomes are indistinguishable to the test. *)
+type outcome = (string * int) list
+
+let observables (test : Litmus.Ast.t) =
+  let acc = ref [] in
+  let add x = if not (List.mem x !acc) then acc := x :: !acc in
+  let atom = function
+    | Litmus.Ast.Reg_eq (tid, r, _) -> add (`Reg (tid, r))
+    | Litmus.Ast.Mem_eq (x, _) -> add (`Mem x)
+  in
+  let rec go = function
+    | Litmus.Ast.Atom a -> atom a
+    | Litmus.Ast.Not c -> go c
+    | Litmus.Ast.And (a, b) | Litmus.Ast.Or (a, b) ->
+        go a;
+        go b
+    | Litmus.Ast.Ctrue -> ()
+  in
+  go test.cond;
+  List.rev !acc
+
+let outcome t : outcome =
+  List.map
+    (function
+      | `Reg (tid, r) ->
+          ( Printf.sprintf "%d:%s" tid r,
+            Option.value ~default:0 (reg_value t tid r) )
+      | `Mem x -> (x, final_mem t x))
+    (observables t.test)
+
+let pp_outcome ppf (o : outcome) =
+  Fmt.(list ~sep:(any "; ") (pair ~sep:(any "=") string int)) ppf o
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@,rf: %a@,co: %a@]"
+    Fmt.(array ~sep:(any "@,") Event.pp)
+    t.events Rel.pp t.rf Rel.pp t.co

@@ -1,0 +1,85 @@
+(** Candidate executions (paper, Section 2): an abstract execution
+    (E, po, addr, data, ctrl, rmw) paired with an execution witness
+    (rf, co), plus every derived relation the models consume, computed
+    once at construction.
+
+    {!of_test} enumerates all candidate executions of a litmus test:
+    per-thread symbolic runs branch over read values, then every
+    reads-from assignment (same location, same value) and every per-
+    location coherence total order is combined.  Consistency is the
+    model's business — enumeration includes incoherent witnesses. *)
+
+module Iset = Rel.Iset
+
+type t = {
+  test : Litmus.Ast.t;
+  events : Event.t array;  (** indexed by event id *)
+  po : Rel.t;  (** program order (transitive, total per thread) *)
+  addr : Rel.t;  (** address dependencies, from reads *)
+  data : Rel.t;  (** data dependencies, reads to writes *)
+  ctrl : Rel.t;  (** control dependencies, scoped to branch bodies *)
+  rmw : Rel.t;  (** read of a read-modify-write to its write *)
+  rf : Rel.t;  (** reads-from: exactly one writer per read *)
+  co : Rel.t;  (** coherence: total per location, init first *)
+  final_regs : (int * string * int) list;  (** (tid, register, value) *)
+  universe : Iset.t;
+  fr : Rel.t;  (** from-reads: rf^-1 ; co, minus identity *)
+  rfi : Rel.t;
+  rfe : Rel.t;
+  coi : Rel.t;
+  coe : Rel.t;
+  fri : Rel.t;
+  fre : Rel.t;
+  com : Rel.t;  (** rf | co | fr *)
+  po_loc : Rel.t;
+  int_r : Rel.t;  (** same (real) thread; init writes are in no thread *)
+  ext_r : Rel.t;  (** distinct pairs not in int *)
+  loc_r : Rel.t;  (** same-location memory accesses *)
+  id_r : Rel.t;
+  reads : Iset.t;
+  writes : Iset.t;
+  fences : Iset.t;
+  mem : Iset.t;  (** reads and writes *)
+  init_ws : Iset.t;
+  crit : Rel.t;  (** outermost rcu_read_lock -> matching rcu_read_unlock *)
+}
+
+val event : t -> int -> Event.t
+val n_events : t -> int
+
+(** [events_where t p] is the set of event ids satisfying [p]. *)
+val events_where : t -> (Event.t -> bool) -> Iset.t
+
+(** Events carrying the given annotation. *)
+val with_annot : t -> Event.annot -> Iset.t
+
+(** The candidate read values per location, grown by a fixpoint over
+    observed written values (exposed for tests). *)
+val initial_domain : Litmus.Ast.t -> int list
+
+val thread_candidate_lists : Litmus.Ast.t -> Sem.candidate list list
+
+(** [of_test test] enumerates every candidate execution. *)
+val of_test : Litmus.Ast.t -> t list
+
+(** [final_mem t x] is the value of [x] after the execution: its
+    co-maximal write (or the initial value). *)
+val final_mem : t -> string -> int
+
+val reg_value : t -> int -> string -> int option
+
+(** Does the final state satisfy the test's condition body?  (The
+    quantifier is interpreted by {!Check}, not here.) *)
+val satisfies_cond : t -> bool
+
+(** The observable outcome: values of everything the condition mentions,
+    as a canonical assoc list with keys like ["1:r2"] and ["x"].  Two
+    executions with equal outcomes are indistinguishable to the test. *)
+type outcome = (string * int) list
+
+val observables :
+  Litmus.Ast.t -> [ `Mem of string | `Reg of int * string ] list
+
+val outcome : t -> outcome
+val pp_outcome : outcome Fmt.t
+val pp : t Fmt.t

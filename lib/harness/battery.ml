@@ -1,0 +1,920 @@
+(* The built-in litmus-test battery: every test named in Table 5 and every
+   figure of the paper, plus classic coherence/atomicity tests used by the
+   test suite.  Tests are kept in concrete syntax so the battery also
+   exercises the parser. *)
+
+type entry = {
+  name : string;
+  source : string;
+  lk : Exec.Check.verdict; (* paper's "Model" column / figure caption *)
+  c11 : Exec.Check.verdict option; (* paper's C11 column; None = "—" *)
+  in_table5 : bool;
+  figure : string option;
+  hw_observable : string list;
+      (* architectures of Table 5 where the weak outcome was observed on
+         hardware: subset of ["Power8"; "ARMv8"; "ARMv7"; "X86"] *)
+}
+
+let allow = Exec.Check.Allow
+let forbid = Exec.Check.Forbid
+
+let mk ?(c11 = None) ?(t5 = false) ?fig ?(hw = []) name lk source =
+  {
+    name;
+    source;
+    lk;
+    c11;
+    in_table5 = t5;
+    figure = fig;
+    hw_observable = hw;
+  }
+
+let lb =
+  mk "LB" allow ~c11:(Some allow) ~t5:true
+    {|C LB
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  int r1 = READ_ONCE(x);
+  WRITE_ONCE(y, 1);
+}
+P1(int *x, int *y) {
+  int r2 = READ_ONCE(y);
+  WRITE_ONCE(x, 1);
+}
+exists (0:r1=1 /\ 1:r2=1)|}
+
+let lb_ctrl_mb =
+  mk "LB+ctrl+mb" forbid ~c11:(Some allow) ~t5:true ~fig:"4"
+    {|C LB+ctrl+mb
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  int r1 = READ_ONCE(x);
+  if (r1 == 1) {
+    WRITE_ONCE(y, 1);
+  }
+}
+P1(int *x, int *y) {
+  int r2 = READ_ONCE(y);
+  smp_mb();
+  WRITE_ONCE(x, 1);
+}
+exists (0:r1=1 /\ 1:r2=1)|}
+
+let wrc =
+  mk "WRC" allow ~c11:(Some allow) ~t5:true ~hw:[ "Power8"; "ARMv8" ]
+    {|C WRC
+{ x=0; y=0; }
+P0(int *x) {
+  WRITE_ONCE(x, 1);
+}
+P1(int *x, int *y) {
+  int r1 = READ_ONCE(x);
+  WRITE_ONCE(y, 1);
+}
+P2(int *x, int *y) {
+  int r2 = READ_ONCE(y);
+  int r3 = READ_ONCE(x);
+}
+exists (1:r1=1 /\ 2:r2=1 /\ 2:r3=0)|}
+
+let wrc_wmb_acq =
+  mk "WRC+wmb+acq" allow ~c11:(Some forbid) ~t5:true ~fig:"14"
+    {|C WRC+wmb+acq
+{ x=0; y=0; }
+P0(int *x) {
+  WRITE_ONCE(x, 1);
+}
+P1(int *x, int *y) {
+  int r1 = READ_ONCE(x);
+  smp_wmb();
+  WRITE_ONCE(y, 1);
+}
+P2(int *x, int *y) {
+  int r2 = smp_load_acquire(y);
+  int r3 = READ_ONCE(x);
+}
+exists (1:r1=1 /\ 2:r2=1 /\ 2:r3=0)|}
+
+let wrc_porel_rmb =
+  mk "WRC+po-rel+rmb" forbid ~c11:(Some forbid) ~t5:true ~fig:"5"
+    {|C WRC+po-rel+rmb
+{ x=0; y=0; }
+P0(int *x) {
+  WRITE_ONCE(x, 1);
+}
+P1(int *x, int *y) {
+  int r1 = READ_ONCE(x);
+  smp_store_release(y, 1);
+}
+P2(int *x, int *y) {
+  int r2 = READ_ONCE(y);
+  smp_rmb();
+  int r3 = READ_ONCE(x);
+}
+exists (1:r1=1 /\ 2:r2=1 /\ 2:r3=0)|}
+
+let sb =
+  mk "SB" allow ~c11:(Some allow) ~t5:true
+    ~hw:[ "Power8"; "ARMv8"; "ARMv7"; "X86" ]
+    {|C SB
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  WRITE_ONCE(x, 1);
+  int r1 = READ_ONCE(y);
+}
+P1(int *x, int *y) {
+  WRITE_ONCE(y, 1);
+  int r2 = READ_ONCE(x);
+}
+exists (0:r1=0 /\ 1:r2=0)|}
+
+let sb_mbs =
+  mk "SB+mbs" forbid ~c11:(Some forbid) ~t5:true ~fig:"6"
+    {|C SB+mbs
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  WRITE_ONCE(x, 1);
+  smp_mb();
+  int r1 = READ_ONCE(y);
+}
+P1(int *x, int *y) {
+  WRITE_ONCE(y, 1);
+  smp_mb();
+  int r2 = READ_ONCE(x);
+}
+exists (0:r1=0 /\ 1:r2=0)|}
+
+let mp =
+  mk "MP" allow ~c11:(Some allow) ~t5:true ~hw:[ "Power8"; "ARMv8"; "ARMv7" ]
+    {|C MP
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  WRITE_ONCE(x, 1);
+  WRITE_ONCE(y, 1);
+}
+P1(int *x, int *y) {
+  int r1 = READ_ONCE(y);
+  int r2 = READ_ONCE(x);
+}
+exists (1:r1=1 /\ 1:r2=0)|}
+
+let mp_wmb_rmb =
+  mk "MP+wmb+rmb" forbid ~c11:(Some forbid) ~t5:true ~fig:"2"
+    {|C MP+wmb+rmb
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  WRITE_ONCE(x, 1);
+  smp_wmb();
+  WRITE_ONCE(y, 1);
+}
+P1(int *x, int *y) {
+  int r1 = READ_ONCE(y);
+  smp_rmb();
+  int r2 = READ_ONCE(x);
+}
+exists (1:r1=1 /\ 1:r2=0)|}
+
+let peterz_no_synchro =
+  mk "PeterZ-No-Synchro" allow ~c11:(Some allow) ~t5:true
+    ~hw:[ "Power8"; "ARMv8"; "ARMv7"; "X86" ]
+    {|C PeterZ-No-Synchro
+{ x=0; y=0; z=0; }
+P0(int *x, int *y) {
+  WRITE_ONCE(x, 1);
+  int r1 = READ_ONCE(y);
+}
+P1(int *y, int *z) {
+  WRITE_ONCE(y, 1);
+  smp_store_release(z, 1);
+}
+P2(int *x, int *z) {
+  int r2 = READ_ONCE(z);
+  int r3 = READ_ONCE(x);
+}
+exists (0:r1=0 /\ 2:r2=1 /\ 2:r3=0)|}
+
+let peterz =
+  mk "PeterZ" forbid ~c11:(Some allow) ~t5:true ~fig:"7"
+    {|C PeterZ
+{ x=0; y=0; z=0; }
+P0(int *x, int *y) {
+  WRITE_ONCE(x, 1);
+  smp_mb();
+  int r1 = READ_ONCE(y);
+}
+P1(int *y, int *z) {
+  WRITE_ONCE(y, 1);
+  smp_store_release(z, 1);
+}
+P2(int *x, int *z) {
+  int r2 = READ_ONCE(z);
+  smp_mb();
+  int r3 = READ_ONCE(x);
+}
+exists (0:r1=0 /\ 2:r2=1 /\ 2:r3=0)|}
+
+let rcu_deferred_free =
+  mk "RCU-deferred-free" forbid ~t5:true ~fig:"11"
+    {|C RCU-deferred-free
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  rcu_read_lock();
+  int r1 = READ_ONCE(x);
+  int r2 = READ_ONCE(y);
+  rcu_read_unlock();
+}
+P1(int *x, int *y) {
+  WRITE_ONCE(x, 1);
+  synchronize_rcu();
+  WRITE_ONCE(y, 1);
+}
+exists (0:r1=0 /\ 0:r2=1)|}
+
+let rcu_mp =
+  mk "RCU-MP" forbid ~t5:true ~fig:"10"
+    {|C RCU-MP
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  rcu_read_lock();
+  int r1 = READ_ONCE(y);
+  int r2 = READ_ONCE(x);
+  rcu_read_unlock();
+}
+P1(int *x, int *y) {
+  WRITE_ONCE(x, 1);
+  synchronize_rcu();
+  WRITE_ONCE(y, 1);
+}
+exists (0:r1=1 /\ 0:r2=0)|}
+
+let rwc =
+  mk "RWC" allow ~c11:(Some allow) ~t5:true
+    ~hw:[ "Power8"; "ARMv8"; "ARMv7"; "X86" ]
+    {|C RWC
+{ x=0; y=0; }
+P0(int *x) {
+  WRITE_ONCE(x, 1);
+}
+P1(int *x, int *y) {
+  int r1 = READ_ONCE(x);
+  int r2 = READ_ONCE(y);
+}
+P2(int *x, int *y) {
+  WRITE_ONCE(y, 1);
+  int r3 = READ_ONCE(x);
+}
+exists (1:r1=1 /\ 1:r2=0 /\ 2:r3=0)|}
+
+let rwc_mbs =
+  mk "RWC+mbs" forbid ~c11:(Some allow) ~t5:true ~fig:"13"
+    {|C RWC+mbs
+{ x=0; y=0; }
+P0(int *x) {
+  WRITE_ONCE(x, 1);
+}
+P1(int *x, int *y) {
+  int r1 = READ_ONCE(x);
+  smp_mb();
+  int r2 = READ_ONCE(y);
+}
+P2(int *x, int *y) {
+  WRITE_ONCE(y, 1);
+  smp_mb();
+  int r3 = READ_ONCE(x);
+}
+exists (1:r1=1 /\ 1:r2=0 /\ 2:r3=0)|}
+
+(* Figure 9: the rrdep* prefix of ppo — an address dependency followed by an
+   acquire load orders the first read before everything after the acquire. *)
+let mp_wmb_addr_acq =
+  mk "MP+wmb+addr-acq" forbid ~fig:"9"
+    {|C MP+wmb+addr-acq
+{ x=0; y=&w; z=0; w=0; }
+P0(int *x, int *y, int *z) {
+  WRITE_ONCE(x, 1);
+  smp_wmb();
+  WRITE_ONCE(y, &z);
+}
+P1(int *x, int *y) {
+  int r1 = READ_ONCE(y);
+  int r2 = smp_load_acquire(*r1);
+  int r3 = READ_ONCE(x);
+}
+exists (1:r1=&z /\ 1:r3=0)|}
+
+(* Alpha's infamous behaviour: a plain read-read address dependency is not
+   preserved (Section 3.2.2) ... *)
+let mp_wmb_addr =
+  mk "MP+wmb+addr" allow
+    {|C MP+wmb+addr
+{ x=&w; z=0; w=0; }
+P0(int *x, int *z) {
+  WRITE_ONCE(z, 1);
+  smp_wmb();
+  WRITE_ONCE(x, &z);
+}
+P1(int *x) {
+  int r1 = READ_ONCE(x);
+  int r2 = READ_ONCE(*r1);
+}
+exists (1:r1=&z /\ 1:r2=0)|}
+
+(* ... unless an smp_read_barrier_depends intervenes, which is what
+   rcu_dereference emits (Table 4). *)
+let mp_wmb_rcu_deref =
+  mk "MP+wmb+rcu-deref" forbid
+    {|C MP+wmb+rcu-deref
+{ x=&w; z=0; w=0; }
+P0(int *x, int *z) {
+  WRITE_ONCE(z, 1);
+  smp_wmb();
+  rcu_assign_pointer(x, &z);
+}
+P1(int *x) {
+  int r1 = rcu_dereference(x);
+  int r2 = READ_ONCE(*r1);
+}
+exists (1:r1=&z /\ 1:r2=0)|}
+
+let mp_rel_acq =
+  mk "MP+po-rel+acq" forbid
+    {|C MP+po-rel+acq
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  WRITE_ONCE(x, 1);
+  smp_store_release(y, 1);
+}
+P1(int *x, int *y) {
+  int r1 = smp_load_acquire(y);
+  int r2 = READ_ONCE(x);
+}
+exists (1:r1=1 /\ 1:r2=0)|}
+
+let lb_datas =
+  mk "LB+datas" forbid
+    {|C LB+datas
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  int r1 = READ_ONCE(x);
+  WRITE_ONCE(y, r1);
+}
+P1(int *x, int *y) {
+  int r2 = READ_ONCE(y);
+  WRITE_ONCE(x, r2);
+}
+exists (0:r1=1 /\ 1:r2=1)|}
+
+let two_plus_two_w =
+  mk "2+2W" allow
+    {|C 2+2W
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  WRITE_ONCE(x, 1);
+  WRITE_ONCE(y, 2);
+}
+P1(int *x, int *y) {
+  WRITE_ONCE(y, 1);
+  WRITE_ONCE(x, 2);
+}
+exists (x=1 /\ y=1)|}
+
+let corr =
+  mk "CoRR" forbid
+    {|C CoRR
+{ x=0; }
+P0(int *x) {
+  WRITE_ONCE(x, 1);
+}
+P1(int *x) {
+  int r1 = READ_ONCE(x);
+  int r2 = READ_ONCE(x);
+}
+exists (1:r1=1 /\ 1:r2=0)|}
+
+let cowr =
+  mk "CoWR" forbid
+    {|C CoWR
+{ x=0; }
+P0(int *x) {
+  WRITE_ONCE(x, 1);
+  int r1 = READ_ONCE(x);
+}
+P1(int *x) {
+  WRITE_ONCE(x, 2);
+}
+exists (0:r1=0)|}
+
+let coww =
+  mk "CoWW" forbid
+    {|C CoWW
+{ x=0; }
+P0(int *x) {
+  WRITE_ONCE(x, 1);
+  WRITE_ONCE(x, 2);
+}
+exists (x=1)|}
+
+let atomicity =
+  mk "Atomicity" forbid
+    {|C Atomicity
+{ x=0; }
+P0(int *x) {
+  int r1 = xchg(x, 2);
+}
+P1(int *x) {
+  WRITE_ONCE(x, 1);
+}
+exists (0:r1=0 /\ x=2)|}
+
+let xchg_is_strong =
+  (* a full xchg carries smp_mb ordering on both sides: SB with xchg *)
+  mk "SB+xchg-mb" forbid
+    {|C SB+xchg-mb
+{ x=0; y=0; a=0; b=0; }
+P0(int *x, int *y, int *a) {
+  WRITE_ONCE(x, 1);
+  int r0 = xchg(a, 1);
+  int r1 = READ_ONCE(y);
+}
+P1(int *x, int *y, int *b) {
+  WRITE_ONCE(y, 1);
+  int r9 = xchg(b, 1);
+  int r2 = READ_ONCE(x);
+}
+exists (0:r1=0 /\ 1:r2=0)|}
+
+let rcu_gp_is_mb =
+  (* synchronize_rcu can replace smp_mb (gp is a strong fence): SB with one
+     mb and one synchronize_rcu is forbidden. *)
+  mk "SB+mb+sync" forbid
+    {|C SB+mb+sync
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  WRITE_ONCE(x, 1);
+  smp_mb();
+  int r1 = READ_ONCE(y);
+}
+P1(int *x, int *y) {
+  WRITE_ONCE(y, 1);
+  synchronize_rcu();
+  int r2 = READ_ONCE(x);
+}
+exists (0:r1=0 /\ 1:r2=0)|}
+
+(* IRIW: two writers, two readers disagreeing on the order of the
+   writes.  Allowed without fences (Power is not multi-copy atomic);
+   smp_mb in both readers restores agreement. *)
+let iriw =
+  mk "IRIW" allow
+    {|C IRIW
+{ x=0; y=0; }
+P0(int *x) {
+  WRITE_ONCE(x, 1);
+}
+P1(int *x, int *y) {
+  int r1 = READ_ONCE(x);
+  int r2 = READ_ONCE(y);
+}
+P2(int *y) {
+  WRITE_ONCE(y, 1);
+}
+P3(int *x, int *y) {
+  int r3 = READ_ONCE(y);
+  int r4 = READ_ONCE(x);
+}
+exists (1:r1=1 /\ 1:r2=0 /\ 3:r3=1 /\ 3:r4=0)|}
+
+let iriw_mbs =
+  mk "IRIW+mbs" forbid
+    {|C IRIW+mbs
+{ x=0; y=0; }
+P0(int *x) {
+  WRITE_ONCE(x, 1);
+}
+P1(int *x, int *y) {
+  int r1 = READ_ONCE(x);
+  smp_mb();
+  int r2 = READ_ONCE(y);
+}
+P2(int *y) {
+  WRITE_ONCE(y, 1);
+}
+P3(int *x, int *y) {
+  int r3 = READ_ONCE(y);
+  smp_mb();
+  int r4 = READ_ONCE(x);
+}
+exists (1:r1=1 /\ 1:r2=0 /\ 3:r3=1 /\ 3:r4=0)|}
+
+(* ISA2: a three-thread transitive message pass. *)
+let isa2 =
+  mk "ISA2" allow
+    {|C ISA2
+{ x=0; y=0; z=0; }
+P0(int *x, int *y) {
+  WRITE_ONCE(x, 1);
+  WRITE_ONCE(y, 1);
+}
+P1(int *y, int *z) {
+  int r1 = READ_ONCE(y);
+  WRITE_ONCE(z, 1);
+}
+P2(int *x, int *z) {
+  int r2 = READ_ONCE(z);
+  int r3 = READ_ONCE(x);
+}
+exists (1:r1=1 /\ 2:r2=1 /\ 2:r3=0)|}
+
+(* release/acquire chains compose transitively: forbidden. *)
+let isa2_rel_acq =
+  mk "ISA2+po-rel+acq-data+acq" forbid
+    {|C ISA2+po-rel+acq-data+acq
+{ x=0; y=0; z=0; }
+P0(int *x, int *y) {
+  WRITE_ONCE(x, 1);
+  smp_store_release(y, 1);
+}
+P1(int *y, int *z) {
+  int r1 = smp_load_acquire(y);
+  smp_store_release(z, r1);
+}
+P2(int *x, int *z) {
+  int r2 = smp_load_acquire(z);
+  int r3 = READ_ONCE(x);
+}
+exists (1:r1=1 /\ 2:r2=1 /\ 2:r3=0)|}
+
+(* R: a write race observed through coherence. *)
+let r_test =
+  mk "R" allow
+    {|C R
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  WRITE_ONCE(x, 1);
+  WRITE_ONCE(y, 1);
+}
+P1(int *x, int *y) {
+  WRITE_ONCE(y, 2);
+  int r1 = READ_ONCE(x);
+}
+exists (y=2 /\ 1:r1=0)|}
+
+let r_mbs =
+  mk "R+mbs" forbid
+    {|C R+mbs
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  WRITE_ONCE(x, 1);
+  smp_mb();
+  WRITE_ONCE(y, 1);
+}
+P1(int *x, int *y) {
+  WRITE_ONCE(y, 2);
+  smp_mb();
+  int r1 = READ_ONCE(x);
+}
+exists (y=2 /\ 1:r1=0)|}
+
+(* S: store-to-load with a coherence tail. *)
+let s_test =
+  mk "S" allow
+    {|C S
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  WRITE_ONCE(x, 2);
+  WRITE_ONCE(y, 1);
+}
+P1(int *x, int *y) {
+  int r1 = READ_ONCE(y);
+  WRITE_ONCE(x, 1);
+}
+exists (x=2 /\ 1:r1=1)|}
+
+let s_wmb_data =
+  mk "S+wmb+data" forbid
+    {|C S+wmb+data
+{ x=0; y=0; }
+P0(int *x, int *y) {
+  WRITE_ONCE(x, 2);
+  smp_wmb();
+  WRITE_ONCE(y, 1);
+}
+P1(int *x, int *y) {
+  int r1 = READ_ONCE(y);
+  WRITE_ONCE(x, r1);
+}
+exists (x=2 /\ 1:r1=1)|}
+
+(* Z6-0: the classic three-thread 2+2W / MP hybrid. *)
+let z6 =
+  mk "Z6-0" allow
+    {|C Z6-0
+{ x=0; y=0; z=0; }
+P0(int *x, int *y) {
+  WRITE_ONCE(x, 1);
+  WRITE_ONCE(y, 1);
+}
+P1(int *y, int *z) {
+  WRITE_ONCE(y, 2);
+  WRITE_ONCE(z, 1);
+}
+P2(int *x, int *z) {
+  int r1 = READ_ONCE(z);
+  int r2 = READ_ONCE(x);
+}
+exists (y=2 /\ 2:r1=1 /\ 2:r2=0)|}
+
+let z6_mbs =
+  mk "Z6-0+mbs" forbid
+    {|C Z6-0+mbs
+{ x=0; y=0; z=0; }
+P0(int *x, int *y) {
+  WRITE_ONCE(x, 1);
+  smp_mb();
+  WRITE_ONCE(y, 1);
+}
+P1(int *y, int *z) {
+  WRITE_ONCE(y, 2);
+  smp_mb();
+  WRITE_ONCE(z, 1);
+}
+P2(int *x, int *z) {
+  int r1 = READ_ONCE(z);
+  smp_mb();
+  int r2 = READ_ONCE(x);
+}
+exists (y=2 /\ 2:r1=1 /\ 2:r2=0)|}
+
+(* Value-returning atomics carry full ordering (atomic_ops.rst)... *)
+let sb_atomic_add_return =
+  mk "SB+atomic-add-return" forbid
+    {|C SB+atomic-add-return
+{ x=0; y=0; c=0; d=0; }
+P0(int *x, int *y, int *c) {
+  WRITE_ONCE(x, 1);
+  int r0 = atomic_add_return(1, c);
+  int r1 = READ_ONCE(y);
+}
+P1(int *x, int *y, int *d) {
+  WRITE_ONCE(y, 1);
+  int r9 = atomic_add_return(1, d);
+  int r2 = READ_ONCE(x);
+}
+exists (0:r1=0 /\ 1:r2=0)|}
+
+(* ... while void atomics provide no ordering at all. *)
+let sb_atomic_add =
+  mk "SB+atomic-add" allow
+    {|C SB+atomic-add
+{ x=0; y=0; c=0; }
+P0(int *x, int *y, int *c) {
+  WRITE_ONCE(x, 1);
+  atomic_add(1, c);
+  int r1 = READ_ONCE(y);
+}
+P1(int *x, int *y, int *c) {
+  WRITE_ONCE(y, 1);
+  atomic_inc(c);
+  int r2 = READ_ONCE(x);
+}
+exists (0:r1=0 /\ 1:r2=0)|}
+
+(* Lost updates are impossible: two concurrent increments always sum. *)
+let atomic_counter =
+  mk "Atomic-counter" forbid
+    {|C Atomic-counter
+{ c=0; }
+P0(int *c) {
+  atomic_inc(c);
+}
+P1(int *c) {
+  atomic_inc(c);
+}
+exists (~(c=2))|}
+
+(* A successful full cmpxchg carries smp_mb ordering on both sides... *)
+let sb_cmpxchg_success =
+  mk "SB+cmpxchg-success+mb" forbid
+    {|C SB+cmpxchg-success+mb
+{ x=0; y=0; a=0; }
+P0(int *x, int *y, int *a) {
+  WRITE_ONCE(x, 1);
+  int r0 = cmpxchg(a, 0, 1);
+  int r1 = READ_ONCE(y);
+}
+P1(int *x, int *y) {
+  WRITE_ONCE(y, 1);
+  smp_mb();
+  int r2 = READ_ONCE(x);
+}
+exists (0:r0=0 /\ 0:r1=0 /\ 1:r2=0)|}
+
+(* ... but a failed cmpxchg provides no ordering at all, per the kernel's
+   documented RMW semantics. *)
+let sb_cmpxchg_fail =
+  mk "SB+cmpxchg-fail+mb" allow
+    {|C SB+cmpxchg-fail+mb
+{ x=0; y=0; a=0; }
+P0(int *x, int *y, int *a) {
+  WRITE_ONCE(x, 1);
+  int r0 = cmpxchg(a, 5, 1);
+  int r1 = READ_ONCE(y);
+}
+P1(int *x, int *y) {
+  WRITE_ONCE(y, 1);
+  smp_mb();
+  int r2 = READ_ONCE(x);
+}
+exists (0:r0=0 /\ 0:r1=0 /\ 1:r2=0)|}
+
+(* Atomicity makes cmpxchg a mutual-exclusion primitive: two competing
+   compare-and-swaps cannot both win. *)
+let cmpxchg_excl =
+  mk "Cmpxchg-excl" forbid
+    {|C Cmpxchg-excl
+{ x=0; }
+P0(int *x) {
+  int r1 = cmpxchg(x, 0, 1);
+}
+P1(int *x) {
+  int r2 = cmpxchg(x, 0, 2);
+}
+exists (0:r1=0 /\ 1:r2=0)|}
+
+(* Section 7: locking emulated with xchg_acquire / store-release.
+   Serialised critical sections forbid message passing outright. *)
+let mp_locks =
+  mk "MP+locks" forbid
+    {|C MP+locks
+{ x=0; y=0; s=0; }
+P0(int *x, int *y, int *s) {
+  spin_lock(s);
+  WRITE_ONCE(x, 1);
+  WRITE_ONCE(y, 1);
+  spin_unlock(s);
+}
+P1(int *x, int *y, int *s) {
+  spin_lock(s);
+  int r1 = READ_ONCE(y);
+  int r2 = READ_ONCE(x);
+  spin_unlock(s);
+}
+exists (1:r1=1 /\ 1:r2=0)|}
+
+(* An unlock-lock pair on one thread orders the surrounding writes
+   locally (po-rel ; rfi-rel-acq ; acq-po is in ppo), but under the
+   paper's Figure 8 that chain is NOT cumulative: a third-party observer
+   may still see the writes out of order.  (Later LKMM revisions added
+   po-unlock-rf-lock-po to cumul-fence, flipping this to Forbid — exactly
+   the kind of evolution Section 7 anticipates.) *)
+let mp_unlock_lock =
+  mk "MP+unlock-lock+rmb" allow
+    {|C MP+unlock-lock+rmb
+{ x=0; y=0; s=0; }
+P0(int *x, int *y, int *s) {
+  WRITE_ONCE(x, 1);
+  spin_unlock(s);
+  spin_lock(s);
+  WRITE_ONCE(y, 1);
+}
+P1(int *x, int *y) {
+  int r1 = READ_ONCE(y);
+  smp_rmb();
+  int r2 = READ_ONCE(x);
+}
+exists (1:r1=1 /\ 1:r2=0)|}
+
+(* ... but NOT a full barrier: store buffering survives an unlock-lock
+   pair — the incorrect assumption the paper's work helped fix ([64] in
+   Table 2). *)
+let sb_unlock_lock =
+  mk "SB+unlock-lock+mb" allow
+    {|C SB+unlock-lock+mb
+{ x=0; y=0; s=0; }
+P0(int *x, int *y, int *s) {
+  WRITE_ONCE(x, 1);
+  spin_unlock(s);
+  spin_lock(s);
+  int r1 = READ_ONCE(y);
+}
+P1(int *x, int *y) {
+  WRITE_ONCE(y, 1);
+  smp_mb();
+  int r2 = READ_ONCE(x);
+}
+exists (0:r1=0 /\ 1:r2=0)|}
+
+(* Three-thread RCU: one grace period, two critical sections — allowed,
+   because two RSCSes outnumber the single GP (rule of thumb, Section 4.2). *)
+let rcu_3_2rscs_1gp =
+  mk "RCU+2rscs+1gp" allow
+    {|C RCU+2rscs+1gp
+{ x=0; y=0; z=0; }
+P0(int *x, int *y) {
+  rcu_read_lock();
+  int r1 = READ_ONCE(y);
+  WRITE_ONCE(x, 1);
+  rcu_read_unlock();
+}
+P1(int *x, int *z) {
+  int r2 = READ_ONCE(x);
+  synchronize_rcu();
+  WRITE_ONCE(z, 1);
+}
+P2(int *z, int *y) {
+  rcu_read_lock();
+  int r3 = READ_ONCE(z);
+  WRITE_ONCE(y, 1);
+  rcu_read_unlock();
+}
+exists (0:r1=1 /\ 1:r2=1 /\ 2:r3=1)|}
+
+(* Three-thread RCU with two GPs against two RSCSes: forbidden again. *)
+let rcu_4_2rscs_2gp =
+  mk "RCU+2rscs+2gp" forbid
+    {|C RCU+2rscs+2gp
+{ x=0; y=0; z=0; w=0; }
+P0(int *x, int *y) {
+  rcu_read_lock();
+  int r1 = READ_ONCE(y);
+  WRITE_ONCE(x, 1);
+  rcu_read_unlock();
+}
+P1(int *x, int *z) {
+  int r2 = READ_ONCE(x);
+  synchronize_rcu();
+  WRITE_ONCE(z, 1);
+}
+P2(int *z, int *w) {
+  rcu_read_lock();
+  int r3 = READ_ONCE(z);
+  WRITE_ONCE(w, 1);
+  rcu_read_unlock();
+}
+P3(int *w, int *y) {
+  int r4 = READ_ONCE(w);
+  synchronize_rcu();
+  WRITE_ONCE(y, 1);
+}
+exists (0:r1=1 /\ 1:r2=1 /\ 2:r3=1 /\ 3:r4=1)|}
+
+(* Table 5, in paper order. *)
+let table5 =
+  [
+    lb;
+    lb_ctrl_mb;
+    wrc;
+    wrc_wmb_acq;
+    wrc_porel_rmb;
+    sb;
+    sb_mbs;
+    mp;
+    mp_wmb_rmb;
+    peterz_no_synchro;
+    peterz;
+    rcu_deferred_free;
+    rcu_mp;
+    rwc;
+    rwc_mbs;
+  ]
+
+let extras =
+  [
+    mp_wmb_addr_acq;
+    mp_wmb_addr;
+    mp_wmb_rcu_deref;
+    mp_rel_acq;
+    lb_datas;
+    two_plus_two_w;
+    corr;
+    cowr;
+    coww;
+    atomicity;
+    xchg_is_strong;
+    rcu_gp_is_mb;
+    iriw;
+    iriw_mbs;
+    isa2;
+    isa2_rel_acq;
+    r_test;
+    r_mbs;
+    s_test;
+    s_wmb_data;
+    z6;
+    z6_mbs;
+    sb_atomic_add_return;
+    sb_atomic_add;
+    atomic_counter;
+    sb_cmpxchg_success;
+    sb_cmpxchg_fail;
+    cmpxchg_excl;
+    mp_locks;
+    mp_unlock_lock;
+    sb_unlock_lock;
+    rcu_3_2rscs_1gp;
+    rcu_4_2rscs_2gp;
+  ]
+
+let all = table5 @ extras
+let test_of entry = Litmus.parse entry.source
+let find name = List.find (fun e -> e.name = name) all

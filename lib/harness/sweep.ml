@@ -1,0 +1,79 @@
+(* Systematic sweeps in the spirit of Section 5: generate many tests with
+   the diy-style generator, check them under several models, and verify
+   the simulated hardware is sound with respect to the LK model. *)
+
+type stats = {
+  n_tests : int;
+  lk_allow : int;
+  lk_forbid : int;
+  sc_forbid : int; (* forbidden under SC: sanity, SC is strongest *)
+  c11_disagree : int; (* tests where C11 and LK verdicts differ *)
+  unsound : (string * string) list; (* test, arch: sim outcome not in model *)
+}
+
+let classify ?(archs = [ Hwsim.Arch.power8; Hwsim.Arch.x86 ]) ?(runs = 300)
+    ?(seed = 5) tests =
+  let lk_allow = ref 0
+  and lk_forbid = ref 0
+  and sc_forbid = ref 0
+  and c11_disagree = ref 0
+  and unsound = ref [] in
+  List.iter
+    (fun (t : Litmus.Ast.t) ->
+      let lk = (Exec.Check.run (module Lkmm) t).Exec.Check.verdict in
+      (match lk with
+      | Exec.Check.Allow -> incr lk_allow
+      | Exec.Check.Forbid -> incr lk_forbid);
+      (match (Exec.Check.run (module Models.Sc) t).Exec.Check.verdict with
+      | Exec.Check.Forbid -> incr sc_forbid
+      | Exec.Check.Allow -> ());
+      (if Models.C11.applicable t then
+         let c11 = (Exec.Check.run (module Models.C11) t).Exec.Check.verdict in
+         if c11 <> lk then incr c11_disagree);
+      List.iter
+        (fun arch ->
+          let s = Hwsim.run_test arch ~runs ~seed t in
+          match Hwsim.unsound_outcomes (module Lkmm) t s with
+          | [] -> ()
+          | _ -> unsound := (t.name, arch.Hwsim.Arch.name) :: !unsound)
+        archs)
+    tests;
+  {
+    n_tests = List.length tests;
+    lk_allow = !lk_allow;
+    lk_forbid = !lk_forbid;
+    sc_forbid = !sc_forbid;
+    c11_disagree = !c11_disagree;
+    unsound = !unsound;
+  }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "tests: %d, LK allow/forbid: %d/%d, SC-forbidden: %d, C11 disagreements: \
+     %d, unsound sim cells: %d"
+    s.n_tests s.lk_allow s.lk_forbid s.sc_forbid s.c11_disagree
+    (List.length s.unsound)
+
+(* Weak-inclusion sanity across models: everything SC allows, TSO allows;
+   everything TSO allows, LK allows (on non-RCU tests under the LK->x86
+   mapping this is the expected strength ordering). *)
+let strength_issues tests =
+  List.concat_map
+    (fun (t : Litmus.Ast.t) ->
+      let v m = (Exec.Check.run m t).Exec.Check.verdict in
+      let sc = v (module Models.Sc)
+      and tso = v (module Models.Tso)
+      and lk = v (module Lkmm) in
+      (if sc = Exec.Check.Allow && tso = Exec.Check.Forbid then
+         [ Printf.sprintf "%s: SC allows but TSO forbids" t.name ]
+       else [])
+      @
+      (* RCU guarantees come from the grace-period algorithm, not from the
+         hardware model, so the comparison only makes sense without RCU *)
+      if
+        (not (Litmus.Ast.has_rcu t))
+        && tso = Exec.Check.Allow
+        && lk = Exec.Check.Forbid
+      then [ Printf.sprintf "%s: TSO allows but LK forbids" t.name ]
+      else [])
+    tests

@@ -1,0 +1,30 @@
+(** Systematic sweeps in the spirit of the paper's Section 5: classify
+    many (usually generated) litmus tests under several models and check
+    the simulated hardware stays within the LK model. *)
+
+type stats = {
+  n_tests : int;
+  lk_allow : int;
+  lk_forbid : int;
+  sc_forbid : int;  (** sanity: SC is the strongest model *)
+  c11_disagree : int;  (** tests where C11 and LK verdicts differ *)
+  unsound : (string * string) list;
+      (** (test, architecture) cells where the simulator produced an
+          outcome the LK model forbids — must be empty *)
+}
+
+(** [classify ?archs ?runs ?seed tests] runs every test under LK, SC and
+    C11 and against the given simulated architectures. *)
+val classify :
+  ?archs:Hwsim.Arch.t list ->
+  ?runs:int ->
+  ?seed:int ->
+  Litmus.Ast.t list ->
+  stats
+
+val pp : stats Fmt.t
+
+(** Model-strength violations: a test SC allows but TSO forbids, or (on
+    non-RCU tests) TSO allows but LK forbids.  Empty on a correct
+    implementation. *)
+val strength_issues : Litmus.Ast.t list -> string list

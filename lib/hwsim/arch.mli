@@ -1,0 +1,42 @@
+(** Architecture profiles for the operational simulators — the stand-ins
+    for the paper's hardware testbed (Section 5.1).
+
+    A profile switches the machine's reordering features on or off and
+    sets the scheduling biases that govern how often weak behaviours are
+    exhibited.  None of the profiles executes writes early, so
+    load-buffering (LB) outcomes are never produced, matching Table 5. *)
+
+type t = {
+  name : string;
+  store_buffer : bool;  (** writes are buffered and commit later *)
+  fifo_drain : bool;  (** TSO: buffer drains in order *)
+  early_reads : bool;  (** reads may execute ahead of program order *)
+  alpha_stale : bool;
+      (** reads may hit a stale snapshot even through an address
+          dependency, unless smp_read_barrier_depends intervenes *)
+  p_prefetch : float;  (** chance of attempting an early read per step *)
+  p_drain : float;  (** chance of preferring a buffer drain per step *)
+  p_stale : float;  (** chance a read uses the stale snapshot (Alpha) *)
+}
+
+(** Sequentially consistent machine: no buffering, no reordering. *)
+val sc : t
+
+(** x86-TSO: FIFO store buffer only. *)
+val x86 : t
+
+val armv7 : t
+val armv8 : t
+val power8 : t
+
+(** ARM-like relaxed machine plus the stale-snapshot mechanism that breaks
+    read-read address dependencies (Section 3.2.2). *)
+val alpha : t
+
+(** The four hardware columns of Table 5: Power8, ARMv8, ARMv7, X86. *)
+val table5 : t list
+
+val all : t list
+
+(** [find name] looks a profile up by name.  Raises [Not_found]. *)
+val find : string -> t

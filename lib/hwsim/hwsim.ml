@@ -1,0 +1,103 @@
+(* Operational hardware simulators — the repository's stand-in for the
+   paper's hardware testbed and klitmus kernel-module runs (Section 5).
+
+   - {!Arch}: per-architecture profiles (X86/TSO, ARMv7, ARMv8, Power8,
+     Alpha, SC);
+   - {!Machine}: the randomised operational machine over {!Kir} programs;
+   - this module: running litmus tests many times and histogramming
+     outcomes, in Table 5's observed/total format. *)
+
+module Arch = Arch
+module Machine = Machine
+
+type stats = {
+  arch : string;
+  total : int; (* completed runs *)
+  matched : int; (* runs whose final state satisfies the condition *)
+  outcomes : (Exec.outcome * int) list; (* histogram *)
+}
+
+(* Extract an {!Exec.outcome}-compatible assoc list from a run, so that
+   simulator results are directly comparable with model verdicts. *)
+let outcome_of_run (test : Litmus.Ast.t) (r : Machine.run_result) :
+    Exec.outcome =
+  List.map
+    (function
+      | `Reg (tid, reg) ->
+          ( Printf.sprintf "%d:%s" tid reg,
+            List.fold_left
+              (fun acc (tid', reg', v) ->
+                if tid = tid' && reg = reg' then v else acc)
+              0 r.Machine.regs )
+      | `Mem x -> (x, try List.assoc x r.Machine.mem with Not_found -> 0))
+    (Exec.observables test)
+
+let eval_cond (test : Litmus.Ast.t) (r : Machine.run_result) =
+  let reg_val tid reg =
+    List.fold_left
+      (fun acc (tid', reg', v) -> if tid = tid' && reg = reg' then v else acc)
+      0 r.Machine.regs
+  in
+  let mem_val x = try List.assoc x r.Machine.mem with Not_found -> 0 in
+  let atom = function
+    | Litmus.Ast.Reg_eq (tid, reg, cv) ->
+        reg_val tid reg = Litmus.Ast.cvalue_to_int test cv
+    | Litmus.Ast.Mem_eq (x, cv) -> mem_val x = Litmus.Ast.cvalue_to_int test cv
+  in
+  let rec go = function
+    | Litmus.Ast.Atom a -> atom a
+    | Litmus.Ast.Not c -> not (go c)
+    | Litmus.Ast.And (a, b) -> go a && go b
+    | Litmus.Ast.Or (a, b) -> go a || go b
+    | Litmus.Ast.Ctrue -> true
+  in
+  go test.cond
+
+(* [run_test arch ~runs ~seed test] executes [test] [runs] times on the
+   simulated architecture and reports how often the condition matched —
+   one cell of Table 5. *)
+let run_test (arch : Arch.t) ?(runs = 10_000) ?(seed = 42)
+    (test : Litmus.Ast.t) =
+  let prog = Kir.of_litmus test in
+  let rng = Random.State.make [| seed |] in
+  let hist = Hashtbl.create 16 in
+  let matched = ref 0 and total = ref 0 in
+  for _ = 1 to runs do
+    match Machine.run ~rng arch prog with
+    | None -> () (* aborted run (step cap); not counted *)
+    | Some r ->
+        incr total;
+        if eval_cond test r then incr matched;
+        let o = outcome_of_run test r in
+        Hashtbl.replace hist o (1 + Option.value ~default:0 (Hashtbl.find_opt hist o))
+  done;
+  {
+    arch = arch.Arch.name;
+    total = !total;
+    matched = !matched;
+    outcomes =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist []);
+  }
+
+(* [run_program arch ~runs ~seed prog] histograms the raw final states of an
+   arbitrary IR program (used for the Figure 15 / Theorem 2 study). *)
+let run_program (arch : Arch.t) ?(runs = 1_000) ?(seed = 42)
+    (prog : Kir.program) =
+  let rng = Random.State.make [| seed |] in
+  let results = ref [] and aborted = ref 0 in
+  for _ = 1 to runs do
+    match Machine.run ~rng arch prog with
+    | None -> incr aborted
+    | Some r -> results := r :: !results
+  done;
+  (List.rev !results, !aborted)
+
+(* Soundness against a model: every outcome the simulator produced must be
+   allowed by the model (the paper's Table 5 claim).  Returns offending
+   outcomes, empty = sound. *)
+let unsound_outcomes (model : (module Exec.Check.MODEL)) (test : Litmus.Ast.t)
+    (s : stats) =
+  let allowed = Exec.Check.allowed_outcomes model test in
+  List.filter_map
+    (fun (o, n) -> if List.mem o allowed then None else Some (o, n))
+    s.outcomes

@@ -1,0 +1,601 @@
+(* The operational weak-memory machine: interprets Kir programs under an
+   architecture profile with a randomised scheduler, playing the role of
+   the paper's klitmus kernel-module runs.
+
+   Memory is multi-copy atomic (a single versioned store); weak behaviours
+   come from three mechanisms, per profile:
+   - a per-thread store buffer with out-of-order drain (unless fifo_drain),
+     wmb group markers, and head-only drain for releases;
+   - early execution of reads ("prefetch") within the current straight-line
+     window, blocked by fences, acquires, same-location accesses, and
+     register dependencies — address/data/control dependencies are thus
+     respected, except that
+   - the Alpha profile may satisfy a read from a stale memory snapshot,
+     which breaks even address-dependent read pairs unless an
+     smp_read_barrier_depends refreshed the snapshot. *)
+
+open Kir
+
+type buf_entry = { key : string; v : int; release : bool; group : int }
+
+type wait = Wait_gp of (int * int) list (* (tid, epoch) at GP start *)
+
+type thread = {
+  tid : int;
+  regs : (string, int) Hashtbl.t;
+  floors : (string, int) Hashtbl.t; (* per-location coherence floor *)
+  stale : (string, int * int) Hashtbl.t; (* Alpha snapshot: key -> v, ver *)
+  mutable conts : stmt list;
+  mutable buf : buf_entry list; (* oldest first *)
+  mutable group : int;
+  mutable nesting : int; (* native RCU read-side nesting *)
+  mutable epoch : int; (* bumped at each outermost rcu_read_unlock *)
+  mutable waiting : wait option;
+  mutable stall : int; (* remaining steps of a preemption / msleep stall *)
+}
+
+type state = {
+  prog : program;
+  arch : Arch.t;
+  rng : Random.State.t;
+  mem : (string, int * int) Hashtbl.t; (* key -> value, version *)
+  mutable version : int;
+  mutexes : (string, int option) Hashtbl.t;
+  threads : thread array; (* program threads plus one callback thread *)
+  mutable cb_queue : (wait * stmt list) list; (* pending call_rcu, FIFO *)
+  mutable steps : int;
+}
+
+exception Stuck of string
+
+(* ------------------------------------------------------------------ *)
+(* Expressions and locations                                           *)
+(* ------------------------------------------------------------------ *)
+
+let reg_value t r = try Hashtbl.find t.regs r with Not_found -> 0
+
+let rec eval st t = function
+  | Int n -> n
+  | Reg r -> reg_value t r
+  | Tid -> t.tid
+  | Addr x -> (
+      match List.assoc_opt x st.prog.addr_table with
+      | Some a -> a
+      | None -> raise (Stuck ("no address for global " ^ x)))
+  | Bin (op, a, b) -> Exec.Sem.eval_binop op (eval st t a) (eval st t b)
+  | Un (Litmus.Ast.Neg, a) -> -eval st t a
+  | Un (Litmus.Ast.Lnot, a) -> if eval st t a = 0 then 1 else 0
+
+let key_of_loc st t = function
+  | Var x -> x
+  | Arr (x, e) -> Printf.sprintf "%s[%d]" x (eval st t e)
+  | Deref r -> (
+      let a = reg_value t r in
+      match
+        List.find_map
+          (fun (x, a') -> if a = a' then Some x else None)
+          st.prog.addr_table
+      with
+      | Some x -> x
+      | None -> raise (Stuck (Printf.sprintf "bad pointer %d in %s" a r)))
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mem_read st key = try Hashtbl.find st.mem key with Not_found -> (0, 0)
+
+let commit st t key v =
+  st.version <- st.version + 1;
+  Hashtbl.replace st.mem key (v, st.version);
+  Hashtbl.replace t.floors key st.version
+
+let refresh_stale st t =
+  if st.arch.alpha_stale then begin
+    Hashtbl.reset t.stale;
+    Hashtbl.iter (fun k v -> Hashtbl.replace t.stale k v) st.mem
+  end
+
+(* A read: own store buffer first, then (on Alpha, possibly) the stale
+   snapshot, then memory.  The coherence floor guarantees po-loc order. *)
+let do_read st t key =
+  let rec forwarded = function
+    | [] -> None
+    | e :: rest -> (
+        match forwarded rest with
+        | Some v -> Some v
+        | None -> if e.key = key then Some e.v else None)
+  in
+  match forwarded t.buf with
+  | Some v -> v
+  | None ->
+      let floor = try Hashtbl.find t.floors key with Not_found -> 0 in
+      let fresh () =
+        let v, ver = mem_read st key in
+        Hashtbl.replace t.floors key (max floor ver);
+        v
+      in
+      if
+        st.arch.alpha_stale
+        && Random.State.float st.rng 1.0 < st.arch.p_stale
+      then
+        match Hashtbl.find_opt t.stale key with
+        | Some (v, ver) when ver >= floor ->
+            Hashtbl.replace t.floors key ver;
+            v
+        | _ -> fresh ()
+      else fresh ()
+
+(* ------------------------------------------------------------------ *)
+(* Store buffer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Indices of drainable entries. *)
+let drainable st t =
+  match t.buf with
+  | [] -> []
+  | head :: _ when st.arch.fifo_drain ->
+      ignore head;
+      [ 0 ]
+  | buf ->
+      List.mapi (fun k e -> (k, e)) buf
+      |> List.filter_map (fun (k, e) ->
+             let earlier = List.filteri (fun i _ -> i < k) buf in
+             let ok =
+               (not (e.release && k > 0))
+               && List.for_all
+                    (fun e' -> e'.key <> e.key && e'.group = e.group)
+                    earlier
+             in
+             if ok then Some k else None)
+
+let drain_at st t k =
+  let e = List.nth t.buf k in
+  commit st t e.key e.v;
+  t.buf <- List.filteri (fun i _ -> i <> k) t.buf
+
+let drain_random st t =
+  match drainable st t with
+  | [] -> false
+  | ks ->
+      drain_at st t (List.nth ks (Random.State.int st.rng (List.length ks)));
+      true
+
+(* ------------------------------------------------------------------ *)
+(* Early reads (prefetching)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_regs = function
+  | Int _ | Tid | Addr _ -> []
+  | Reg r -> [ r ]
+  | Bin (_, a, b) -> expr_regs a @ expr_regs b
+  | Un (_, a) -> expr_regs a
+
+let loc_regs = function
+  | Var _ -> []
+  | Arr (_, e) -> expr_regs e
+  | Deref r -> [ r ]
+
+(* Find read statements eligible for early execution: scan the current
+   straight-line window, stopping at anything that orders later reads. *)
+let prefetch_candidates st t =
+  let rec scan i blocked seen acc = function
+    | [] -> acc
+    | s :: rest -> (
+        match s with
+        | Skip | Sleep -> scan (i + 1) blocked seen acc rest
+        | Assign (r, _) ->
+            (* the assignment has not executed: r's new value is not
+               available to anything hoisted above it *)
+            scan (i + 1) (r :: blocked) seen acc rest
+        | Fence Litmus.Ast.F_wmb ->
+            scan (i + 1) blocked seen acc rest (* wmb orders writes only *)
+        | Fence _ -> acc (* every other fence blocks later reads here *)
+        | Write (_, loc, _) -> (
+            (* reads may pass a plain or release write to another location *)
+            if List.exists (fun u -> List.mem u blocked) (loc_regs loc) then
+              acc
+            else
+              match (try Some (key_of_loc st t loc) with Stuck _ -> None) with
+              | None -> acc
+              | Some key -> scan (i + 1) blocked (key :: seen) acc rest)
+        | Read (annot, r, loc) -> (
+            if List.exists (fun u -> List.mem u blocked) (loc_regs loc) then
+              (* address depends on an earlier read: cannot go early; an
+                 acquire additionally stops everything behind it *)
+              if annot = Litmus.Ast.R_acquire then acc
+              else scan (i + 1) (r :: blocked) seen acc rest
+            else
+              match (try Some (key_of_loc st t loc) with Stuck _ -> None) with
+              | None -> acc
+              | Some key ->
+                  let acc' =
+                    if i > 0 && not (List.mem key seen) then (i, r, key) :: acc
+                    else acc
+                  in
+                  if annot = Litmus.Ast.R_acquire then acc'
+                    (* nothing moves above an acquire: stop *)
+                  else scan (i + 1) (r :: blocked) (key :: seen) acc' rest)
+        | Xchg _ | Cmpxchg _ | Atomic_add _ | If _ | While _ | Mutex_lock _
+        | Mutex_unlock _ | Call_rcu _ | Rcu_barrier ->
+            acc)
+    (* blocked: registers whose value is not available in program order *)
+  in
+  scan 0 [] [] [] t.conts
+
+(* A prefetched read must not interfere with uses of its target register
+   by the skipped-over prefix. *)
+let register_free t j r =
+  let rec check i = function
+    | [] -> true
+    | _ when i >= j -> true
+    | s :: rest ->
+        let uses =
+          match s with
+          | Assign (_, e) -> expr_regs e
+          | Write (_, loc, e) -> loc_regs loc @ expr_regs e
+          | Read (_, _, loc) | Xchg (_, _, loc, _)
+          | Cmpxchg (_, _, loc, _, _)
+          | Atomic_add (_, _, loc, _) ->
+              loc_regs loc
+          | If (e, _, _) | While (e, _) -> expr_regs e
+          | _ -> []
+        in
+        let defs =
+          match s with
+          | Assign (d, _) | Read (_, d, _) | Xchg (_, d, _, _)
+          | Cmpxchg (_, d, _, _, _)
+          | Atomic_add (_, Some d, _, _) ->
+              [ d ]
+          | _ -> []
+        in
+        if List.mem r uses || List.mem r defs then false
+        else check (i + 1) rest
+  in
+  check 0 t.conts
+
+let try_prefetch st t =
+  match prefetch_candidates st t with
+  | [] -> false
+  | cands -> (
+      let cands = List.filter (fun (j, r, _) -> register_free t j r) cands in
+      match cands with
+      | [] -> false
+      | _ ->
+          let j, r, key =
+            List.nth cands (Random.State.int st.rng (List.length cands))
+          in
+          let v = do_read st t key in
+          Hashtbl.replace t.regs r v;
+          t.conts <- List.mapi (fun i s -> if i = j then Skip else s) t.conts;
+          true)
+
+(* ------------------------------------------------------------------ *)
+(* Executing one statement                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Execute the head statement of [t] if possible; returns false when the
+   thread cannot make that kind of progress right now. *)
+let exec_head st t =
+  match t.conts with
+  | [] -> false
+  | s :: rest -> (
+      match s with
+      | Skip ->
+          t.conts <- rest;
+          true
+      | Sleep ->
+          (* msleep: deschedule for a while *)
+          t.stall <- 20 + Random.State.int st.rng 100;
+          t.conts <- rest;
+          true
+      | Assign (r, e) ->
+          Hashtbl.replace t.regs r (eval st t e);
+          t.conts <- rest;
+          true
+      | Read (annot, r, loc) ->
+          let key = key_of_loc st t loc in
+          Hashtbl.replace t.regs r (do_read st t key);
+          if annot = Litmus.Ast.R_acquire then refresh_stale st t;
+          t.conts <- rest;
+          true
+      | Write (annot, loc, e) ->
+          let key = key_of_loc st t loc in
+          let v = eval st t e in
+          if st.arch.store_buffer then
+            t.buf <-
+              t.buf
+              @ [
+                  {
+                    key;
+                    v;
+                    release = annot = Litmus.Ast.W_release;
+                    group = t.group;
+                  };
+                ]
+          else commit st t key v;
+          t.conts <- rest;
+          true
+      | Fence Litmus.Ast.F_wmb ->
+          t.group <- t.group + 1;
+          t.conts <- rest;
+          true
+      | Fence (Litmus.Ast.F_rmb | Litmus.Ast.F_rb_dep) ->
+          refresh_stale st t;
+          t.conts <- rest;
+          true
+      | Fence Litmus.Ast.F_mb ->
+          if t.buf <> [] then drain_random st t
+          else begin
+            refresh_stale st t;
+            t.conts <- rest;
+            true
+          end
+      | Fence Litmus.Ast.F_rcu_lock ->
+          t.nesting <- t.nesting + 1;
+          refresh_stale st t;
+          t.conts <- rest;
+          true
+      | Fence Litmus.Ast.F_rcu_unlock ->
+          if t.buf <> [] then drain_random st t
+          else begin
+            t.nesting <- max 0 (t.nesting - 1);
+            if t.nesting = 0 then t.epoch <- t.epoch + 1;
+            t.conts <- rest;
+            true
+          end
+      | Call_rcu body ->
+          (* publish the callback: release semantics, then defer it until
+             every current read-side critical section has ended *)
+          if t.buf <> [] then drain_random st t
+          else begin
+            let snapshot =
+              Array.to_list st.threads
+              |> List.filter (fun t' -> t'.tid <> t.tid && t'.nesting > 0)
+              |> List.map (fun t' -> (t'.tid, t'.epoch))
+            in
+            st.cb_queue <- st.cb_queue @ [ (Wait_gp snapshot, body) ];
+            t.conts <- rest;
+            true
+          end
+      | Rcu_barrier ->
+          (* wait until every pending callback has been promoted and the
+             callback thread has finished running them *)
+          if t.buf <> [] then drain_random st t
+          else
+            let cb = st.threads.(Array.length st.threads - 1) in
+            if st.cb_queue = [] && cb.conts = [] && cb.buf = [] then begin
+              t.conts <- rest;
+              true
+            end
+            else false
+      | Fence Litmus.Ast.F_sync_rcu ->
+          if t.buf <> [] then drain_random st t
+          else begin
+            let snapshot =
+              Array.to_list st.threads
+              |> List.filter (fun t' -> t'.tid <> t.tid && t'.nesting > 0)
+              |> List.map (fun t' -> (t'.tid, t'.epoch))
+            in
+            t.waiting <- Some (Wait_gp snapshot);
+            t.conts <- rest;
+            true
+          end
+      | Cmpxchg (_, r, loc, e_old, e_new) ->
+          (* like xchg: drain, then an atomic compare-and-swap on memory *)
+          if t.buf <> [] then drain_random st t
+          else begin
+            let key = key_of_loc st t loc in
+            let v_old = eval st t e_old and v_new = eval st t e_new in
+            let v_cur, _ = mem_read st key in
+            if v_cur = v_old then commit st t key v_new;
+            Hashtbl.replace t.regs r v_cur;
+            refresh_stale st t;
+            t.conts <- rest;
+            true
+          end
+      | Atomic_add (_, reg, loc, e) ->
+          if t.buf <> [] then drain_random st t
+          else begin
+            let key = key_of_loc st t loc in
+            let v_cur, _ = mem_read st key in
+            let v_new = v_cur + eval st t e in
+            commit st t key v_new;
+            (match reg with
+            | Some r -> Hashtbl.replace t.regs r v_new
+            | None -> ());
+            refresh_stale st t;
+            t.conts <- rest;
+            true
+          end
+      | Xchg (_, r, loc, e) ->
+          (* all xchg flavours are modelled at full strength: drain, then
+             atomically swap against memory *)
+          if t.buf <> [] then drain_random st t
+          else begin
+            let key = key_of_loc st t loc in
+            let v_new = eval st t e in
+            let v_old, _ = mem_read st key in
+            commit st t key v_new;
+            Hashtbl.replace t.regs r v_old;
+            refresh_stale st t;
+            t.conts <- rest;
+            true
+          end
+      | If (e, a, b) ->
+          t.conts <- (if eval st t e <> 0 then a else b) @ rest;
+          true
+      | While (e, body) ->
+          if eval st t e <> 0 then t.conts <- body @ (s :: rest)
+          else t.conts <- rest;
+          true
+      | Mutex_lock m -> (
+          match Hashtbl.find_opt st.mutexes m with
+          | Some (Some holder) when holder <> t.tid -> false
+          | _ ->
+              Hashtbl.replace st.mutexes m (Some t.tid);
+              refresh_stale st t;
+              t.conts <- rest;
+              true)
+      | Mutex_unlock m ->
+          if t.buf <> [] then drain_random st t
+          else begin
+            Hashtbl.replace st.mutexes m None;
+            t.conts <- rest;
+            true
+          end)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let gp_done st = function
+  | Wait_gp snapshot ->
+      List.for_all
+        (fun (tid, epoch) ->
+          let t' = st.threads.(tid) in
+          t'.nesting = 0 || t'.epoch > epoch)
+        snapshot
+
+let thread_live t = t.conts <> [] || t.buf <> [] || t.waiting <> None
+
+let step_thread st t =
+  match t.waiting with
+  | Some w ->
+      if gp_done st w then begin
+        t.waiting <- None;
+        refresh_stale st t;
+        true
+      end
+      else false
+  | None ->
+      (* the Alpha snapshot drifts: refreshed at random moments, so a
+         dependent read may observe memory as of an earlier time *)
+      if st.arch.alpha_stale && Random.State.float st.rng 1.0 < 0.2 then
+        refresh_stale st t;
+      let r = Random.State.float st.rng 1.0 in
+      if st.arch.early_reads && r < st.arch.p_prefetch && try_prefetch st t
+      then true
+      else if
+        r < st.arch.p_prefetch +. st.arch.p_drain && drain_random st t
+      then true
+      else if t.conts <> [] then exec_head st t
+      else drain_random st t
+
+type run_result = {
+  regs : (int * string * int) list; (* tid, register, value *)
+  mem : (string * int) list;
+}
+
+let max_steps = 200_000
+
+let run ?(rng = Random.State.make_self_init ()) (arch : Arch.t)
+    (prog : program) =
+  let st =
+    {
+      prog;
+      arch;
+      rng;
+      mem = Hashtbl.create 16;
+      version = 0;
+      mutexes = Hashtbl.create 4;
+      threads =
+        Array.of_list
+          (List.mapi
+             (fun tid conts ->
+               {
+                 tid;
+                 regs = Hashtbl.create 8;
+                 floors = Hashtbl.create 8;
+                 stale = Hashtbl.create 8;
+                 conts;
+                 buf = [];
+                 group = 0;
+                 nesting = 0;
+                 epoch = 0;
+                 waiting = None;
+                 stall = 0;
+               })
+             (prog.threads @ [ [] (* the callback thread *) ]));
+      cb_queue = [];
+      steps = 0;
+    }
+  in
+  List.iter (fun (x, v) -> Hashtbl.replace st.mem x (v, 0)) prog.init;
+  List.iter
+    (fun (x, n) ->
+      for i = 0 to n - 1 do
+        Hashtbl.replace st.mem (Printf.sprintf "%s[%d]" x i) (0, 0)
+      done)
+    prog.arrays;
+  Array.iter (fun t -> refresh_stale st t) st.threads;
+  let cb_thread = st.threads.(Array.length st.threads - 1) in
+  let promote_callbacks () =
+    match st.cb_queue with
+    | (w, body) :: rest when gp_done st w ->
+        (* callbacks run in order on the dedicated callback thread *)
+        cb_thread.conts <- cb_thread.conts @ body;
+        st.cb_queue <- rest
+    | _ -> ()
+  in
+  (* Per-run thread speeds, drawn log-uniformly: real machines interleave
+     with wildly asymmetric timing (interrupts, frequency scaling), and
+     many races only open up when one thread stalls for a long stretch. *)
+  let weights =
+    Array.map
+      (fun _ -> exp (Random.State.float rng 4.0))
+      st.threads
+  in
+  let live () =
+    promote_callbacks ();
+    let base = Array.to_list st.threads |> List.filter thread_live in
+    if st.cb_queue <> [] then
+      (* keep the machine alive while callbacks are pending *)
+      if List.memq cb_thread base then base else cb_thread :: base
+    else base
+  in
+  let pick ts =
+    let total = List.fold_left (fun s t -> s +. weights.(t.tid)) 0.0 ts in
+    let x = Random.State.float st.rng total in
+    let rec go acc = function
+      | [ t ] -> t
+      | t :: rest ->
+          let acc = acc +. weights.(t.tid) in
+          if x < acc then t else go acc rest
+      | [] -> assert false
+    in
+    go 0.0 ts
+  in
+  let rec go () =
+    match live () with
+    | [] ->
+        let regs =
+          Array.to_list st.threads
+          |> List.concat_map (fun t ->
+                 Hashtbl.fold (fun r v acc -> (t.tid, r, v) :: acc) t.regs [])
+        in
+        let mem =
+          Hashtbl.fold (fun k (v, _) acc -> (k, v) :: acc) st.mem []
+        in
+        Some { regs; mem }
+    | ts ->
+        st.steps <- st.steps + 1;
+        if st.steps > max_steps then None
+        else begin
+          List.iter
+            (fun t -> if t.stall > 0 then t.stall <- t.stall - 1)
+            ts;
+          (match List.filter (fun t -> t.stall = 0) ts with
+          | [] -> () (* everyone descheduled; let time pass *)
+          | runnable ->
+              let t = pick runnable in
+              (* preemption: occasionally a thread loses the CPU for a
+                 long stretch — interrupts and scheduling on a real
+                 machine; many RCU races only open in such windows *)
+              if Random.State.float st.rng 1.0 < 0.01 then
+                t.stall <- 20 + Random.State.int st.rng 300
+              else ignore (step_thread st t));
+          go ()
+        end
+  in
+  go ()

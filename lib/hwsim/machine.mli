@@ -1,0 +1,60 @@
+(** The operational weak-memory machine: interprets Kir programs under an
+    architecture profile with a randomised scheduler, playing the role of
+    the paper's klitmus kernel-module runs.
+
+    Memory is a single versioned multi-copy-atomic store; weak behaviours
+    come from three per-profile mechanisms:
+    - a per-thread store buffer with out-of-order drain (unless
+      [fifo_drain]), smp_wmb group markers and head-only drain for
+      releases;
+    - early execution of reads within the current straight-line window,
+      blocked by fences, acquires, same-location accesses and register
+      dependencies — so address/data/control dependencies are respected;
+    - the Alpha stale-snapshot mode, which lets even an address-dependent
+      read observe old memory until an smp_read_barrier_depends.
+
+    The scheduler draws per-run thread speeds log-uniformly and injects
+    random preemption stalls (and honours [msleep]), because many races —
+    notably the broken-RCU ablations — only open when one thread stalls
+    for a long stretch.  RCU is native here: read-side nesting counters,
+    grace periods that wait for the critical sections active at their
+    start, and a callback thread for [call_rcu]/[rcu_barrier]. *)
+
+type buf_entry = { key : string; v : int; release : bool; group : int }
+
+type wait = Wait_gp of (int * int) list
+    (** threads (with their unlock epochs) that were inside a read-side
+        critical section when the grace period began *)
+
+type thread = {
+  tid : int;
+  regs : (string, int) Hashtbl.t;
+  floors : (string, int) Hashtbl.t;  (** per-location coherence floor *)
+  stale : (string, int * int) Hashtbl.t;  (** Alpha snapshot *)
+  mutable conts : Kir.stmt list;
+  mutable buf : buf_entry list;  (** store buffer, oldest first *)
+  mutable group : int;  (** current smp_wmb group *)
+  mutable nesting : int;  (** RCU read-side nesting depth *)
+  mutable epoch : int;  (** bumped at each outermost rcu_read_unlock *)
+  mutable waiting : wait option;  (** blocked in synchronize_rcu *)
+  mutable stall : int;  (** remaining preemption / msleep steps *)
+}
+
+type state
+
+(** Raised when a program dereferences a value that is not the address of
+    a global, or similar execution errors. *)
+exception Stuck of string
+
+type run_result = {
+  regs : (int * string * int) list;  (** (tid, register, final value) *)
+  mem : (string * int) list;  (** final memory, one entry per location *)
+}
+
+(** Runs aborting after this many scheduler steps return [None]
+    (livelock protection). *)
+val max_steps : int
+
+(** [run ~rng arch prog] executes [prog] once to completion under the
+    architecture profile; [None] if the step cap was hit. *)
+val run : ?rng:Random.State.t -> Arch.t -> Kir.program -> run_result option

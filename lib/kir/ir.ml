@@ -1,0 +1,141 @@
+(* A small imperative kernel IR: the litmus subset plus loops, arrays,
+   mutexes and native RCU primitives.  It is what the operational hardware
+   simulators (lib/hwsim) execute, and is rich enough to run the paper's
+   Figure 15 RCU implementation (while loops over rc[], a grace-period
+   mutex, msleep). *)
+
+type expr =
+  | Int of int
+  | Reg of string
+  | Tid (* get_my_tid() *)
+  | Addr of string (* &x as a value, resolved via the address table *)
+  | Bin of Litmus.Ast.binop * expr * expr
+  | Un of Litmus.Ast.unop * expr
+
+type loc =
+  | Var of string
+  | Arr of string * expr (* rc[i] *)
+  | Deref of string (* location whose address is held in a register *)
+
+type stmt =
+  | Read of Litmus.Ast.r_annot * string * loc
+  | Write of Litmus.Ast.w_annot * loc * expr
+  | Fence of Litmus.Ast.fence_kind (* rcu_* fences = native RCU below *)
+  | Xchg of Litmus.Ast.xchg_kind * string * loc * expr
+  | Cmpxchg of Litmus.Ast.xchg_kind * string * loc * expr * expr
+  | Atomic_add of Litmus.Ast.xchg_kind * string option * loc * expr
+  | Assign of string * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Mutex_lock of string
+  | Mutex_unlock of string
+  | Sleep (* msleep: a deschedule hint *)
+  | Skip (* no-op; also left behind by prefetched reads *)
+  (* Asynchronous grace periods (the paper's Section 7 future work):
+     call_rcu defers a callback until after a grace period; rcu_barrier
+     waits for all pending callbacks to have run. *)
+  | Call_rcu of stmt list
+  | Rcu_barrier
+
+type program = {
+  name : string;
+  init : (string * int) list; (* scalar globals; unlisted start at 0 *)
+  arrays : (string * int) list; (* array name -> length, zero-initialised *)
+  threads : stmt list list;
+  addr_table : (string * int) list; (* &x encoding *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Compiling litmus tests to the IR                                    *)
+(* ------------------------------------------------------------------ *)
+
+let spin_gensym =
+  let k = ref 0 in
+  fun () ->
+    incr k;
+    Printf.sprintf "__spin%d" !k
+
+let rec expr_of_litmus (e : Litmus.Ast.expr) =
+  match e with
+  | Litmus.Ast.Const n -> Int n
+  | Litmus.Ast.Reg r -> Reg r
+  | Litmus.Ast.Addr x -> Addr x
+  | Litmus.Ast.Binop (op, a, b) -> Bin (op, expr_of_litmus a, expr_of_litmus b)
+  | Litmus.Ast.Unop (op, a) -> Un (op, expr_of_litmus a)
+
+let loc_of_litmus (l : Litmus.Ast.loc_expr) =
+  match l with Litmus.Ast.Sym x -> Var x | Litmus.Ast.Deref r -> Deref r
+
+let rec stmt_of_litmus (i : Litmus.Ast.instr) =
+  match i with
+  | Litmus.Ast.Read (a, r, l) -> [ Read (a, r, loc_of_litmus l) ]
+  | Litmus.Ast.Rcu_dereference (r, l) ->
+      [ Read (Litmus.Ast.R_once, r, loc_of_litmus l);
+        Fence Litmus.Ast.F_rb_dep ]
+  | Litmus.Ast.Write (a, l, e) ->
+      [ Write (a, loc_of_litmus l, expr_of_litmus e) ]
+  | Litmus.Ast.Fence f -> [ Fence f ]
+  | Litmus.Ast.Xchg (k, r, l, e) ->
+      [ Xchg (k, r, loc_of_litmus l, expr_of_litmus e) ]
+  | Litmus.Ast.Cmpxchg (k, r, l, e1, e2) ->
+      [ Cmpxchg (k, r, loc_of_litmus l, expr_of_litmus e1, expr_of_litmus e2) ]
+  | Litmus.Ast.Atomic_add_return (k, r, l, e) ->
+      [ Atomic_add (k, Some r, loc_of_litmus l, expr_of_litmus e) ]
+  | Litmus.Ast.Atomic_add (l, e) ->
+      [ Atomic_add (Litmus.Ast.X_relaxed, None, loc_of_litmus l,
+                    expr_of_litmus e) ]
+  | Litmus.Ast.Assign (r, e) -> [ Assign (r, expr_of_litmus e) ]
+  | Litmus.Ast.If (e, t, f) ->
+      [
+        If
+          ( expr_of_litmus e,
+            List.concat_map stmt_of_litmus t,
+            List.concat_map stmt_of_litmus f );
+      ]
+  | Litmus.Ast.Spin_lock l ->
+      (* the Section 7 emulation, operationally: spin on xchg_acquire *)
+      let r = spin_gensym () in
+      [
+        Xchg (Litmus.Ast.X_acquire, r, loc_of_litmus l, Int 1);
+        While
+          ( Bin (Litmus.Ast.Neq, Reg r, Int 0),
+            [ Sleep; Xchg (Litmus.Ast.X_acquire, r, loc_of_litmus l, Int 1) ]
+          );
+      ]
+  | Litmus.Ast.Spin_unlock l ->
+      [ Write (Litmus.Ast.W_release, loc_of_litmus l, Int 0) ]
+
+let of_litmus (test : Litmus.Ast.t) =
+  {
+    name = test.name;
+    init =
+      List.map
+        (fun x -> (x, Litmus.Ast.init_value test x))
+        (Litmus.Ast.globals test);
+    arrays = [];
+    threads =
+      Array.to_list test.threads |> List.map (List.concat_map stmt_of_litmus);
+    addr_table = Litmus.Ast.addresses test;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Helpers for hand-written programs                                   *)
+(* ------------------------------------------------------------------ *)
+
+let seq_name = function
+  | Var x -> x
+  | Arr (x, _) -> x ^ "[]"
+  | Deref r -> "*" ^ r
+
+(* Registers written by a statement, for readers of simulation results. *)
+let rec stmt_regs = function
+  | Read (_, r, _) | Xchg (_, r, _, _) | Assign (r, _) -> [ r ]
+  | If (_, a, b) -> List.concat_map stmt_regs a @ List.concat_map stmt_regs b
+  | While (_, a) -> List.concat_map stmt_regs a
+  | Cmpxchg (_, r, _, _, _) -> [ r ]
+  | Atomic_add (_, Some r, _, _) -> [ r ]
+  | Atomic_add (_, None, _, _) -> []
+  | Call_rcu body -> List.concat_map stmt_regs body
+  | Write _ | Fence _ | Mutex_lock _ | Mutex_unlock _ | Sleep | Skip
+  | Rcu_barrier ->
+      []

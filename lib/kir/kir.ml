@@ -1,0 +1,9 @@
+(* The kernel IR: the litmus subset plus loops, arrays, mutexes and RCU —
+   what the operational simulators execute.
+
+   - {!Ir} (included here): the IR and the litmus-to-IR compiler;
+   - {!Rcu_impl}: the Figure 15 userspace-RCU implementation and the
+     Section 6.2 transformation replacing RCU primitives by it. *)
+
+module Rcu_impl = Rcu_impl
+include Ir

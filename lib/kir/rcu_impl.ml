@@ -1,0 +1,135 @@
+(* The userspace-RCU implementation of the paper's Figure 15 (Desnoyers et
+   al., used in the Linux trace tool), transcribed into the IR, and the
+   program transformation of Section 6.2: replace every RCU primitive of a
+   program P by the routines below, yielding P'.
+
+   Threads communicate through an array rc[] of per-thread counters and a
+   grace-period control variable gc; gp_lock serialises grace periods; the
+   GP_PHASE bit of gc flips twice per grace period. *)
+
+open Litmus.Ast
+open Ir
+
+let gp_phase = 0x10000
+let cs_mask = 0x0ffff
+
+let band a b = Bin (Band, a, b)
+let bxor a b = Bin (Bxor, a, b)
+let land_ a b = Bin (Land, a, b)
+let add a b = Bin (Add, a, b)
+let sub a b = Bin (Sub, a, b)
+let not_ a = Un (Lnot, a)
+let lt a b = Bin (Lt, a, b)
+
+(* Fresh register names per expansion site. *)
+let gensym =
+  let k = ref 0 in
+  fun base ->
+    incr k;
+    Printf.sprintf "__%s%d" base !k
+
+(* Deliberately broken variants, used by the ablation benches to show the
+   verification harness has teeth: [No_wait] turns synchronize_rcu into a
+   bare fence pair (no grace period), [No_reader_mb] drops the smp_mb of
+   rcu_read_lock (line 14), so a reader's counter update may still sit in
+   its store buffer when the updater scans rc[]. *)
+type variant = Full | No_wait | No_reader_mb
+
+(* rcu_read_lock(), Figure 15 lines 8-18. *)
+let read_lock ?(variant = Full) () =
+  let tmp = gensym "tmp" and g = gensym "g" in
+  [
+    Read (R_once, tmp, Arr ("rc", Tid));
+    If
+      ( not_ (band (Reg tmp) (Int cs_mask)),
+        [
+          Read (R_once, g, Var "gc");
+          Write (W_once, Arr ("rc", Tid), Reg g);
+        ]
+        @ (if variant = No_reader_mb then [] else [ Fence F_mb ]),
+        [ Write (W_once, Arr ("rc", Tid), add (Reg tmp) (Int 1)) ] );
+  ]
+
+(* rcu_read_unlock(), Figure 15 lines 20-25. *)
+let read_unlock () =
+  let tmp = gensym "tmp" in
+  [
+    Fence F_mb;
+    Read (R_once, tmp, Arr ("rc", Tid));
+    Write (W_once, Arr ("rc", Tid), sub (Reg tmp) (Int 1));
+  ]
+
+(* gp_ongoing(i), lines 26-31, inlined: leaves the truth value in [dst]. *)
+let gp_ongoing ~i ~dst =
+  let v = gensym "val" and g = gensym "g" in
+  [
+    Read (R_once, v, Arr ("rc", Reg i));
+    Read (R_once, g, Var "gc");
+    Assign
+      ( dst,
+        land_
+          (band (Reg v) (Int cs_mask))
+          (band (bxor (Reg v) (Reg g)) (Int gp_phase)) );
+  ]
+
+(* update_counter_and_wait(), lines 33-41. *)
+let update_counter_and_wait ~n_threads =
+  let g = gensym "g" and i = gensym "i" and ongoing = gensym "ongoing" in
+  [ Read (R_once, g, Var "gc");
+    Write (W_once, Var "gc", bxor (Reg g) (Int gp_phase));
+    Assign (i, Int 0);
+    While
+      ( lt (Reg i) (Int n_threads),
+        gp_ongoing ~i ~dst:ongoing
+        @ [
+            While (Reg ongoing, Sleep :: gp_ongoing ~i ~dst:ongoing);
+            Assign (i, add (Reg i) (Int 1));
+          ] );
+  ]
+
+(* synchronize_rcu(), lines 43-50. *)
+let synchronize ?(variant = Full) ~n_threads () =
+  let waits =
+    match variant with
+    | No_wait -> []
+    | Full | No_reader_mb ->
+        update_counter_and_wait ~n_threads
+        @ update_counter_and_wait ~n_threads
+  in
+  [ Fence F_mb; Mutex_lock "gp_lock" ]
+  @ waits
+  @ [ Mutex_unlock "gp_lock"; Fence F_mb ]
+
+(* The Section 6.2 transformation: P -> P'. *)
+let rec transform_stmt ~variant ~n_threads = function
+  | Fence F_rcu_lock -> read_lock ~variant ()
+  | Fence F_rcu_unlock -> read_unlock ()
+  | Fence F_sync_rcu -> synchronize ~variant ~n_threads ()
+  | If (e, a, b) ->
+      [
+        If
+          ( e,
+            List.concat_map (transform_stmt ~variant ~n_threads) a,
+            List.concat_map (transform_stmt ~variant ~n_threads) b );
+      ]
+  | While (e, a) ->
+      [ While (e, List.concat_map (transform_stmt ~variant ~n_threads) a) ]
+  | s -> [ s ]
+
+let variant_name = function
+  | Full -> "rcu-impl"
+  | No_wait -> "rcu-impl-no-wait"
+  | No_reader_mb -> "rcu-impl-no-reader-mb"
+
+let transform ?(variant = Full) (p : program) =
+  let n_threads = List.length p.threads in
+  {
+    p with
+    name = p.name ^ "+" ^ variant_name variant;
+    init = ("gc", 1) :: p.init;
+    arrays = ("rc", n_threads) :: p.arrays;
+    threads =
+      List.map
+        (List.concat_map (transform_stmt ~variant ~n_threads))
+        p.threads;
+  }

@@ -1,0 +1,41 @@
+(** The userspace-RCU implementation of the paper's Figure 15 (Desnoyers
+    et al., used in the Linux trace tool), in the kernel IR, and the
+    Section 6.2 transformation replacing a program's RCU primitives with
+    it.
+
+    Threads communicate through an array [rc[]] of per-thread counters
+    (low 16 bits: read-side nesting depth; bit 16: the grace-period phase
+    observed at outermost lock) and a control variable [gc]; [gp_lock]
+    serialises grace periods, each of which flips the phase twice. *)
+
+val gp_phase : int
+val cs_mask : int
+
+(** Deliberately broken variants for the ablation benches: [No_wait]
+    turns synchronize_rcu into a bare fence pair (no grace period);
+    [No_reader_mb] drops the smp_mb of rcu_read_lock (Figure 15 line 14),
+    so a reader's counter update may still sit in its store buffer when
+    the updater scans [rc[]].  Both make the forbidden RCU outcomes
+    observable on the simulated architectures. *)
+type variant = Full | No_wait | No_reader_mb
+
+(** rcu_read_lock(), Figure 15 lines 8-18. *)
+val read_lock : ?variant:variant -> unit -> Ir.stmt list
+
+(** rcu_read_unlock(), Figure 15 lines 20-25. *)
+val read_unlock : unit -> Ir.stmt list
+
+(** gp_ongoing(i), lines 26-31, leaving the truth value in [dst]. *)
+val gp_ongoing : i:string -> dst:string -> Ir.stmt list
+
+(** update_counter_and_wait(), lines 33-41. *)
+val update_counter_and_wait : n_threads:int -> Ir.stmt list
+
+(** synchronize_rcu(), lines 43-50. *)
+val synchronize : ?variant:variant -> n_threads:int -> unit -> Ir.stmt list
+
+val variant_name : variant -> string
+
+(** The Section 6.2 transformation P -> P': replace every RCU primitive
+    by the implementation, adding [gc], [rc[]] and [gp_lock]. *)
+val transform : ?variant:variant -> Ir.program -> Ir.program

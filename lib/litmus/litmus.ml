@@ -1,0 +1,26 @@
+(* Litmus tests: the LK subset of C of the paper's Section 2.
+
+   - {!Ast} defines programs (Table 3 / Table 4 primitives, conditionals,
+     register arithmetic) and final conditions;
+   - {!Parser} reads the C-flavoured concrete format;
+   - {!Pp} prints tests back;
+   - {!Build} offers combinators for programmatic construction;
+   - {!Lint} statically checks well-formedness. *)
+
+module Ast = Ast
+module Lexer = Lexer
+module Parser = Parser
+module Pp = Pp
+module Build = Build
+module Lint = Lint
+
+type t = Ast.t
+
+(** [parse src] parses a litmus test from its concrete syntax.
+    Raises {!Parser.Error} or {!Lexer.Error} on malformed input. *)
+let parse = Parser.parse_string
+
+(** [to_string t] prints [t] in the concrete syntax accepted by {!parse}. *)
+let to_string = Pp.to_string
+
+let pp = Pp.pp

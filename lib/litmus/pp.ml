@@ -1,0 +1,138 @@
+(* Pretty-printing of litmus tests back to their concrete syntax. *)
+
+open Ast
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | Land -> "&&"
+  | Lor -> "||"
+
+let rec pp_expr ppf = function
+  | Const n -> Fmt.int ppf n
+  | Reg r -> Fmt.string ppf r
+  | Addr x -> Fmt.pf ppf "&%s" x
+  | Binop (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_to_string op) pp_expr b
+  | Unop (Neg, a) -> Fmt.pf ppf "(-%a)" pp_expr a
+  | Unop (Lnot, a) -> Fmt.pf ppf "(!%a)" pp_expr a
+
+let pp_loc ppf = function
+  | Sym x -> Fmt.pf ppf "*%s" x
+  | Deref r -> Fmt.pf ppf "*%s" r
+
+let fence_name = function
+  | F_rmb -> "smp_rmb"
+  | F_wmb -> "smp_wmb"
+  | F_mb -> "smp_mb"
+  | F_rb_dep -> "smp_read_barrier_depends"
+  | F_rcu_lock -> "rcu_read_lock"
+  | F_rcu_unlock -> "rcu_read_unlock"
+  | F_sync_rcu -> "synchronize_rcu"
+
+let xchg_name = function
+  | X_relaxed -> "xchg_relaxed"
+  | X_acquire -> "xchg_acquire"
+  | X_release -> "xchg_release"
+  | X_full -> "xchg"
+
+let rec pp_instr ~indent ppf i =
+  let pad = String.make indent ' ' in
+  match i with
+  | Read (R_once, r, l) ->
+      Fmt.pf ppf "%sint %s = READ_ONCE(%a);" pad r pp_loc l
+  | Read (R_acquire, r, l) ->
+      Fmt.pf ppf "%sint %s = smp_load_acquire(%a);" pad r pp_loc l
+  | Rcu_dereference (r, l) ->
+      Fmt.pf ppf "%sint %s = rcu_dereference(%a);" pad r pp_loc l
+  | Write (W_once, l, e) ->
+      Fmt.pf ppf "%sWRITE_ONCE(%a, %a);" pad pp_loc l pp_expr e
+  | Write (W_release, l, e) ->
+      Fmt.pf ppf "%ssmp_store_release(%a, %a);" pad pp_loc l pp_expr e
+  | Fence f -> Fmt.pf ppf "%s%s();" pad (fence_name f)
+  | Xchg (k, r, l, e) ->
+      Fmt.pf ppf "%sint %s = %s(%a, %a);" pad r (xchg_name k) pp_loc l
+        pp_expr e
+  | Cmpxchg (k, r, l, e1, e2) ->
+      let base =
+        match k with
+        | X_relaxed -> "cmpxchg_relaxed"
+        | X_acquire -> "cmpxchg_acquire"
+        | X_release -> "cmpxchg_release"
+        | X_full -> "cmpxchg"
+      in
+      Fmt.pf ppf "%sint %s = %s(%a, %a, %a);" pad r base pp_loc l pp_expr e1
+        pp_expr e2
+  | Atomic_add_return (k, r, l, e) ->
+      let base =
+        match k with
+        | X_relaxed -> "atomic_add_return_relaxed"
+        | X_acquire -> "atomic_add_return_acquire"
+        | X_release -> "atomic_add_return_release"
+        | X_full -> "atomic_add_return"
+      in
+      Fmt.pf ppf "%sint %s = %s(%a, %a);" pad r base pp_expr e pp_loc l
+  | Atomic_add (l, e) ->
+      Fmt.pf ppf "%satomic_add(%a, %a);" pad pp_expr e pp_loc l
+  | Assign (r, e) -> Fmt.pf ppf "%sint %s = %a;" pad r pp_expr e
+  | Spin_lock l -> Fmt.pf ppf "%sspin_lock(%a);" pad pp_loc l
+  | Spin_unlock l -> Fmt.pf ppf "%sspin_unlock(%a);" pad pp_loc l
+  | If (e, t, []) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s}" pad pp_expr e
+        (pp_body ~indent:(indent + 2))
+        t pad
+  | If (e, t, f) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s} else {@\n%a@\n%s}" pad pp_expr e
+        (pp_body ~indent:(indent + 2))
+        t pad
+        (pp_body ~indent:(indent + 2))
+        f pad
+
+and pp_body ~indent ppf instrs =
+  Fmt.(list ~sep:(any "@\n") (pp_instr ~indent)) ppf instrs
+
+let pp_cvalue ppf = function
+  | VInt n -> Fmt.int ppf n
+  | VAddr x -> Fmt.pf ppf "&%s" x
+
+let pp_atom ppf = function
+  | Reg_eq (tid, r, v) -> Fmt.pf ppf "%d:%s=%a" tid r pp_cvalue v
+  | Mem_eq (x, v) -> Fmt.pf ppf "%s=%a" x pp_cvalue v
+
+let rec pp_cond ppf = function
+  | Atom a -> pp_atom ppf a
+  | Not c -> Fmt.pf ppf "~(%a)" pp_cond c
+  | And (a, b) -> Fmt.pf ppf "(%a /\\ %a)" pp_cond a pp_cond b
+  | Or (a, b) -> Fmt.pf ppf "(%a \\/ %a)" pp_cond a pp_cond b
+  | Ctrue -> Fmt.string ppf "true"
+
+let quant_to_string = function
+  | Q_exists -> "exists"
+  | Q_not_exists -> "~exists"
+  | Q_forall -> "forall"
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "C %s@\n@\n" t.name;
+  Fmt.pf ppf "{ %a }@\n@\n"
+    Fmt.(list ~sep:(any " ") (fun ppf (x, v) -> pf ppf "%s=%a;" x pp_cvalue v))
+    t.init;
+  Array.iteri
+    (fun tid body ->
+      let params =
+        String.concat ", " (List.map (fun g -> "int *" ^ g) (globals t))
+      in
+      Fmt.pf ppf "P%d(%s) {@\n%a@\n}@\n@\n" tid params (pp_body ~indent:2)
+        body)
+    t.threads;
+  Fmt.pf ppf "%s (%a)@\n" (quant_to_string t.quant) pp_cond t.cond
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,35 @@
+(** The axioms of the LK model: Figure 3 of the paper plus the RCU axiom
+    of Figure 12.
+
+    A candidate execution is allowed by the model iff all five hold:
+    - {b Scpv} (sc-per-variable): [acyclic(po-loc | com)] — one variable
+      behaves as under SC;
+    - {b At} (atomicity): [empty(rmw & (fre ; coe))] — no intervening
+      write between the read and write of a read-modify-write;
+    - {b Hb}: [acyclic(hb)] — the causality order;
+    - {b Pb}: [acyclic(pb)] — propagation constrained by strong fences;
+    - {b Rcu}: [irreflexive(rcu-path)] — critical sections cannot span
+      grace periods. *)
+
+type name = Scpv | At | Hb | Pb | Rcu
+
+(** The five axioms, in Figure 3 order (RCU last). *)
+val all : name list
+
+val to_string : name -> string
+
+(** [relation c a] is the relation axiom [a] constrains in context [c]
+    (for [At], the intersection that must be empty). *)
+val relation : Relations.ctx -> name -> Rel.t
+
+(** [holds c a] decides axiom [a] on the execution of [c]. *)
+val holds : Relations.ctx -> name -> bool
+
+(** Axioms violated by the execution, in order; empty iff consistent. *)
+val violations : Relations.ctx -> name list
+
+val consistent_ctx : Relations.ctx -> bool
+
+(** [consistent x] builds the Figure 8 relations and checks all axioms —
+    the LK model's consistency predicate. *)
+val consistent : Exec.t -> bool

@@ -1,0 +1,58 @@
+(* Human-readable explanations of LKMM verdicts: which axioms an execution
+   violates and a witness cycle for each, with events printed in the
+   paper's style. *)
+
+type violation = {
+  axiom : Axioms.name;
+  cycle : int list; (* event ids; first = last *)
+}
+
+let violations_of (c : Relations.ctx) =
+  List.filter_map
+    (fun axiom ->
+      if Axioms.holds c axiom then None
+      else
+        let rel = Axioms.relation c axiom in
+        let cycle =
+          match axiom with
+          | Axioms.At ->
+              (* the violated constraint is emptiness, show an offending pair *)
+              (match Rel.to_list rel with (a, b) :: _ -> [ a; b ] | [] -> [])
+          | _ -> Option.value ~default:[] (Rel.find_cycle rel)
+        in
+        Some { axiom; cycle })
+    Axioms.all
+
+let pp_violation (x : Exec.t) ppf { axiom; cycle } =
+  Fmt.pf ppf "violates %s%a" (Axioms.to_string axiom)
+    Fmt.(
+      list ~sep:nop (fun ppf id ->
+          pf ppf "@\n    %a" Exec.Event.pp x.events.(id)))
+    cycle
+
+let pp_execution_verdict ppf (x : Exec.t) =
+  let c = Relations.make x in
+  match violations_of c with
+  | [] -> Fmt.pf ppf "consistent"
+  | vs ->
+      Fmt.pf ppf "@[<v>forbidden:@,%a@]"
+        Fmt.(list ~sep:cut (pp_violation x))
+        vs
+
+(* Explain a whole test: the verdict plus, for a forbidden test, why the
+   candidate executions matching the condition are inconsistent. *)
+let pp_test_verdict ppf (test : Litmus.Ast.t) =
+  let result = Exec.Check.run (module Model) test in
+  Fmt.pf ppf "@[<v>%s: %a (%d candidate executions, %d consistent)@,"
+    test.name Exec.Check.pp_verdict result.verdict result.n_candidates
+    result.n_consistent;
+  (match result.verdict with
+  | Exec.Check.Allow -> ()
+  | Exec.Check.Forbid ->
+      let matching =
+        List.filter Exec.satisfies_cond (Exec.of_test test)
+      in
+      (match matching with
+      | [] -> Fmt.pf ppf "no candidate execution matches the condition@,"
+      | x :: _ -> Fmt.pf ppf "%a@," pp_execution_verdict x));
+  Fmt.pf ppf "@]"

@@ -1,0 +1,23 @@
+(* The Linux-kernel memory model — the paper's primary contribution.
+
+   - {!Relations}: the relations of Figure 8 and Figure 12 (ppo, prop, hb,
+     pb, gp, rscs, rcu-path, ...), computed per candidate execution;
+   - {!Axioms}: the constraints of Figure 3 plus the RCU axiom;
+   - {!Rcu}: the fundamental law of RCU (Section 4.1) and the Theorem-1
+     equivalence check;
+   - {!Explain}: human-readable verdicts with witness cycles;
+   - [name]/[consistent]: the model packaged for {!Exec.Check.run}. *)
+
+module Relations = Relations
+module Axioms = Axioms
+module Rcu = Rcu
+module Explain = Explain
+
+let name = Model.name
+let consistent = Model.consistent
+
+(** [check test] runs a litmus test against the LK model. *)
+let check test = Exec.Check.run (module Model) test
+
+(** [verdict test] is the LK verdict for [test]. *)
+let verdict test = (check test).Exec.Check.verdict

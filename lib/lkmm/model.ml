@@ -1,0 +1,5 @@
+(* The LK memory model as a checkable model: Figure 3's axioms plus the RCU
+   axiom of Figure 12, over the relations of Figure 8. *)
+
+let name = "LK"
+let consistent = Axioms.consistent

@@ -1,0 +1,84 @@
+(* The fundamental law of RCU (paper, Section 4.1): "read-side critical
+   sections cannot span grace periods", formalised with a precedes function
+   F choosing, for every (RSCS, GP) pair, which precedes the other.  A
+   candidate execution satisfies the law iff some choice of F makes the
+   enlarged propagates-before relation pb(F) acyclic.
+
+   Theorem 1 states this is equivalent to the Pb + RCU axioms; the
+   equivalence is checked extensionally by the test suite and the Theorem-1
+   bench over every candidate execution of the battery. *)
+
+module Iset = Rel.Iset
+
+type side = Rscs_first | Gp_first
+
+(* The (RSCS, GP) pairs of an execution: outermost critical sections from
+   crit, grace periods from the sync-rcu events. *)
+let pairs (c : Relations.ctx) =
+  let rscses = Rel.to_list c.crit in
+  let gps = Iset.to_list c.sync in
+  List.concat_map (fun lu -> List.map (fun s -> (lu, s)) gps) rscses
+
+(* rcu-fence(F) for one (RSCS, GP) pair under a given choice. *)
+let rcu_fence_one (c : Relations.ctx) ((l, u), s) side =
+  let po = c.x.po in
+  let universe = c.x.universe in
+  let preds e =
+    Iset.filter (fun e1 -> Rel.mem e1 e po) universe
+  in
+  let succs_opt e =
+    Iset.add e (Iset.filter (fun e2 -> Rel.mem e e2 po) universe)
+  in
+  match side with
+  | Rscs_first ->
+      (* e1 po-before u, e2 is s or po-after s *)
+      Rel.cartesian (preds u) (succs_opt s)
+  | Gp_first ->
+      (* e1 po-before s, e2 is l or po-after l *)
+      Rel.cartesian (preds s) (succs_opt l)
+
+(* pb(F) := prop ; (strong-fence | rcu-fence(F)) ; hb*  *)
+let pb_of (c : Relations.ctx) choices =
+  let rcu_fence =
+    List.fold_left
+      (fun acc (pair, side) -> Rel.union acc (rcu_fence_one c pair side))
+      Rel.empty choices
+  in
+  let star r = Rel.reflexive_transitive_closure ~universe:c.x.universe r in
+  Rel.seq c.prop (Rel.seq (Rel.union c.strong_fence rcu_fence) (star c.hb))
+
+(* Enumerate precedes functions.  With n (RSCS, GP) pairs there are 2^n
+   choices; executions in practice have at most a few pairs.  A guard
+   refuses pathological inputs rather than hanging. *)
+let all_choices pairs =
+  let n = List.length pairs in
+  if n > 16 then
+    invalid_arg "Rcu.satisfies_law: too many (RSCS, GP) pairs to enumerate";
+  let rec go = function
+    | [] -> [ [] ]
+    | p :: rest ->
+        let tails = go rest in
+        List.concat_map
+          (fun t -> [ (p, Rscs_first) :: t; (p, Gp_first) :: t ])
+          tails
+  in
+  go pairs
+
+(* A witness precedes function making pb(F) acyclic, if any. *)
+let law_witness (c : Relations.ctx) =
+  List.find_opt
+    (fun choices -> Rel.is_acyclic (pb_of c choices))
+    (all_choices (pairs c))
+
+(* Does the execution satisfy the fundamental law of RCU? *)
+let satisfies_law_ctx c = law_witness c <> None
+let satisfies_law x = satisfies_law_ctx (Relations.make x)
+
+(* Theorem 1 (RCU guarantee), checked on one execution: the Pb and RCU
+   axioms hold iff the fundamental law does. *)
+let theorem1_holds_ctx (c : Relations.ctx) =
+  let axioms = Axioms.holds c Axioms.Pb && Axioms.holds c Axioms.Rcu in
+  let law = satisfies_law_ctx c in
+  axioms = law
+
+let theorem1_holds x = theorem1_holds_ctx (Relations.make x)

@@ -1,0 +1,43 @@
+(** The fundamental law of RCU (paper, Section 4.1) and Theorem 1.
+
+    The law — "read-side critical sections cannot span grace periods" —
+    is formalised with a precedes function [F] that chooses, for every
+    (RSCS, GP) pair, which precedes the other; each choice induces an
+    rcu-fence relation treated like a strong fence inside an enlarged
+    propagates-before relation pb(F).  An execution satisfies the law iff
+    some [F] makes pb(F) acyclic.
+
+    Theorem 1 states the law is equivalent to the Pb + RCU axioms; this
+    module checks the equivalence extensionally per execution. *)
+
+type side = Rscs_first | Gp_first
+
+(** The (RSCS, GP) pairs of an execution: outermost critical sections
+    (as (lock, unlock) event pairs) crossed with grace-period events. *)
+val pairs : Relations.ctx -> ((int * int) * int) list
+
+(** The rcu-fence relation induced by one pair under one choice. *)
+val rcu_fence_one : Relations.ctx -> (int * int) * int -> side -> Rel.t
+
+(** [pb_of c choices] is pb(F):
+    [prop ; (strong-fence | rcu-fence(F)) ; hb^*]. *)
+val pb_of : Relations.ctx -> (((int * int) * int) * side) list -> Rel.t
+
+(** Every precedes function, as an explicit choice list.  Raises
+    [Invalid_argument] beyond 16 pairs (2^16 functions). *)
+val all_choices :
+  ((int * int) * int) list -> (((int * int) * int) * side) list list
+
+(** A precedes function making pb(F) acyclic, if any. *)
+val law_witness :
+  Relations.ctx -> (((int * int) * int) * side) list option
+
+(** Does the execution satisfy the fundamental law of RCU? *)
+val satisfies_law_ctx : Relations.ctx -> bool
+
+val satisfies_law : Exec.t -> bool
+
+(** Theorem 1 on one execution: Pb ∧ RCU axioms ⟺ fundamental law. *)
+val theorem1_holds_ctx : Relations.ctx -> bool
+
+val theorem1_holds : Exec.t -> bool

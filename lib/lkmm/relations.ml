@@ -1,0 +1,154 @@
+(* The relations of the LK memory model, exactly as defined in Figure 8 and
+   Figure 12 of the paper.  Everything is computed once per candidate
+   execution into a [ctx] record. *)
+
+module Iset = Rel.Iset
+
+type ctx = {
+  x : Exec.t;
+  (* auxiliary relations (Section 3.1) *)
+  acq_po : Rel.t; (* first event is an acquire *)
+  po_rel : Rel.t; (* second event is a release *)
+  rfi_rel_acq : Rel.t; (* internal reads-from, release into acquire *)
+  rmb : Rel.t; (* reads separated by smp_rmb *)
+  wmb : Rel.t; (* writes separated by smp_wmb *)
+  mb : Rel.t; (* events separated by smp_mb *)
+  rb_dep : Rel.t; (* reads separated by smp_read_barrier_depends *)
+  (* RCU base relations (Figure 12) *)
+  sync : Iset.t; (* F[sync-rcu] events *)
+  crit : Rel.t; (* outermost rcu_read_lock -> matching unlock *)
+  gp : Rel.t;
+  rscs : Rel.t;
+  (* Figure 8 *)
+  dep : Rel.t;
+  rwdep : Rel.t;
+  overwrite : Rel.t;
+  to_w : Rel.t;
+  rrdep : Rel.t;
+  strong_rrdep : Rel.t;
+  to_r : Rel.t;
+  strong_fence : Rel.t; (* mb U gp, per Figure 12 *)
+  fence : Rel.t;
+  ppo : Rel.t;
+  cumul_fence : Rel.t;
+  prop : Rel.t;
+  hb : Rel.t;
+  pb : Rel.t;
+  (* Figure 12 *)
+  link : Rel.t;
+  gp_link : Rel.t;
+  rscs_link : Rel.t;
+  rcu_path : Rel.t;
+}
+
+let make (x : Exec.t) =
+  let ( |>> ) = Rel.seq in
+  let universe = x.universe in
+  let star r = Rel.reflexive_transitive_closure ~universe r in
+  let opt r = Rel.reflexive_closure ~universe r in
+  let set p = Exec.events_where x p in
+  let is a (e : Exec.Event.t) = e.annot = a in
+  let acq = set (fun e -> Exec.Event.is_read e && is Exec.Event.Acquire e) in
+  let rel = set (fun e -> Exec.Event.is_write e && is Exec.Event.Release e) in
+  let f_rmb = set (is Exec.Event.Rmb) in
+  let f_wmb = set (is Exec.Event.Wmb) in
+  let f_mb = set (is Exec.Event.Mb) in
+  let f_rb_dep = set (is Exec.Event.Rb_dep) in
+  let sync = set (is Exec.Event.Sync_rcu) in
+  let r_id = Rel.id_of_set x.reads in
+  let w_id = Rel.id_of_set x.writes in
+  let acq_po = Rel.id_of_set acq |>> x.po in
+  let po_rel = x.po |>> Rel.id_of_set rel in
+  let rfi_rel_acq = Rel.id_of_set rel |>> x.rfi |>> Rel.id_of_set acq in
+  let rmb = r_id |>> x.po |>> Rel.id_of_set f_rmb |>> x.po |>> r_id in
+  let wmb = w_id |>> x.po |>> Rel.id_of_set f_wmb |>> x.po |>> w_id in
+  let mb = x.po |>> Rel.id_of_set f_mb |>> x.po in
+  let rb_dep = r_id |>> x.po |>> Rel.id_of_set f_rb_dep |>> x.po |>> r_id in
+  (* gp := (po & (_ * Sync)) ; po?   (Figure 12) *)
+  let gp = Rel.inter x.po (Rel.cartesian universe sync) |>> opt x.po in
+  let crit = x.crit in
+  (* rscs := po ; crit^-1 ; po? *)
+  let rscs = x.po |>> Rel.inverse crit |>> opt x.po in
+  (* Figure 8 *)
+  let dep = Rel.union x.addr x.data in
+  let rwdep =
+    Rel.inter (Rel.union dep x.ctrl) (Rel.cartesian x.reads x.writes)
+  in
+  let overwrite = Rel.union x.co x.fr in
+  let to_w = Rel.union rwdep (Rel.inter overwrite x.int_r) in
+  let rrdep = Rel.union x.addr (dep |>> x.rfi) in
+  let strong_rrdep = Rel.inter (Rel.transitive_closure rrdep) rb_dep in
+  let to_r = Rel.union strong_rrdep rfi_rel_acq in
+  let strong_fence = Rel.union mb gp in
+  let fence =
+    List.fold_left Rel.union strong_fence [ po_rel; wmb; rmb; acq_po ]
+  in
+  let ppo =
+    star rrdep |>> Rel.union to_r (Rel.union to_w fence)
+  in
+  (* A-cumul(r) := rfe? ; r *)
+  let a_cumul r = opt x.rfe |>> r in
+  let cumul_fence = Rel.union (a_cumul (Rel.union strong_fence po_rel)) wmb in
+  let prop =
+    opt (Rel.inter overwrite x.ext_r) |>> star cumul_fence |>> opt x.rfe
+  in
+  let hb =
+    Rel.union
+      (Rel.inter (Rel.diff prop x.id_r) x.int_r)
+      (Rel.union ppo x.rfe)
+  in
+  let pb = prop |>> strong_fence |>> star hb in
+  (* Figure 12 *)
+  let link = star hb |>> star pb |>> prop in
+  let gp_link = gp |>> link in
+  let rscs_link = rscs |>> link in
+  (* rec rcu-path, by Kleene iteration of its monotone defining equation *)
+  let rcu_path =
+    let step p =
+      List.fold_left Rel.union gp_link
+        [
+          p |>> p;
+          gp_link |>> rscs_link;
+          rscs_link |>> gp_link;
+          gp_link |>> p |>> rscs_link;
+          rscs_link |>> p |>> gp_link;
+        ]
+    in
+    let rec go p =
+      let next = step p in
+      if Rel.equal next p then p else go next
+    in
+    go gp_link
+  in
+  {
+    x;
+    acq_po;
+    po_rel;
+    rfi_rel_acq;
+    rmb;
+    wmb;
+    mb;
+    rb_dep;
+    sync;
+    crit;
+    gp;
+    rscs;
+    dep;
+    rwdep;
+    overwrite;
+    to_w;
+    rrdep;
+    strong_rrdep;
+    to_r;
+    strong_fence;
+    fence;
+    ppo;
+    cumul_fence;
+    prop;
+    hb;
+    pb;
+    link;
+    gp_link;
+    rscs_link;
+    rcu_path;
+  }

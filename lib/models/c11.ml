@@ -1,0 +1,121 @@
+(* The C11 model used for the paper's comparison column (Section 5.2),
+   i.e. the *original* C11 semantics of Batty et al. [15], under the LK ->
+   C11 mapping of [68]:
+
+     READ_ONCE            -> relaxed load
+     WRITE_ONCE           -> relaxed store
+     smp_load_acquire     -> acquire load
+     smp_store_release    -> release store
+     smp_rmb              -> atomic_thread_fence(acquire)
+     smp_wmb              -> atomic_thread_fence(release)
+     smp_mb               -> atomic_thread_fence(seq_cst)
+
+   The fragment reachable from LK tests has no SC atomics, so the SC axiom
+   reduces to the fence-fence rules of N1570 29.3: the total order S over SC
+   fences must be consistent with happens-before, with the read observation
+   rule (a read after one fence must not read a write mo-older than a write
+   before an S-earlier fence), and with modification order between writes
+   separated by fence pairs.  Such an S exists iff the [sc_order] relation
+   below is acyclic.
+
+   Crucially, C11 has no dependency ordering for relaxed accesses (ctrl,
+   addr, data are not respected) and its SC fences do not "restore SC":
+   Figure 4 (LB+ctrl+mb), Figure 7 (PeterZ) and Figure 13 (RWC+mbs) are all
+   allowed — the discrepancies Table 5 reports. *)
+
+module E = Exec.Event
+
+let name = "C11"
+
+(* The test uses primitives that have no C11 counterpart (RCU). *)
+let applicable (test : Litmus.Ast.t) = not (Litmus.Ast.has_rcu test)
+
+type sets = {
+  rel_w : Rel.t; (* [W & release] *)
+  acq_r : Rel.t; (* [R & acquire] *)
+  rel_f : Rel.t; (* [release or seq_cst fences] *)
+  acq_f : Rel.t; (* [acquire or seq_cst fences] *)
+  sc_f : Rel.Iset.t; (* seq_cst fences *)
+}
+
+let classify (x : Exec.t) =
+  let set p = Exec.events_where x p in
+  {
+    rel_w = Rel.id_of_set (set (fun e -> e.dir = E.W && e.annot = E.Release));
+    acq_r = Rel.id_of_set (set (fun e -> e.dir = E.R && e.annot = E.Acquire));
+    rel_f =
+      Rel.id_of_set
+        (set (fun e -> e.dir = E.F && (e.annot = E.Wmb || e.annot = E.Mb)));
+    acq_f =
+      Rel.id_of_set
+        (set (fun e -> e.dir = E.F && (e.annot = E.Rmb || e.annot = E.Mb)));
+    sc_f = set (fun e -> e.dir = E.F && e.annot = E.Mb);
+  }
+
+(* synchronizes-with, including the four fence shapes of 32.9 [atomics.fences]. *)
+let sw (x : Exec.t) s =
+  let ( |>> ) = Rel.seq in
+  let w_id = Rel.id_of_set x.writes and r_id = Rel.id_of_set x.reads in
+  let direct = s.rel_w |>> x.rf |>> s.acq_r in
+  let w_to_fence = s.rel_w |>> x.rf |>> r_id |>> x.po |>> s.acq_f in
+  let fence_to_r = s.rel_f |>> x.po |>> w_id |>> x.rf |>> s.acq_r in
+  let fence_to_fence =
+    s.rel_f |>> x.po |>> w_id |>> x.rf |>> r_id |>> x.po |>> s.acq_f
+  in
+  List.fold_left Rel.union direct [ w_to_fence; fence_to_r; fence_to_fence ]
+
+let hb (x : Exec.t) s = Rel.transitive_closure (Rel.union x.po (sw x s))
+
+let eco (x : Exec.t) =
+  Rel.transitive_closure (Rel.union x.rf (Rel.union x.co x.fr))
+
+(* The order S must extend; acyclicity of this is existence of S. *)
+let sc_order (x : Exec.t) s hb_rel =
+  let ( |>> ) = Rel.seq in
+  let sc_id = Rel.id_of_set s.sc_f in
+  let hb_between = sc_id |>> hb_rel |>> sc_id in
+  let observation =
+    sc_id |>> x.po |>> Rel.union x.fr x.co |>> x.po |>> sc_id
+  in
+  Rel.union hb_between observation
+
+let consistent (x : Exec.t) =
+  let s = classify x in
+  let hb_rel = hb x s in
+  let coherence =
+    Rel.is_irreflexive
+      (Rel.seq hb_rel (Rel.reflexive_closure ~universe:x.universe (eco x)))
+  in
+  let atomicity = Rel.is_empty (Rel.inter x.rmw (Rel.seq x.fre x.coe)) in
+  let sc = Rel.is_acyclic (sc_order x s hb_rel) in
+  coherence && atomicity && sc
+
+(* ------------------------------------------------------------------ *)
+(* The strengthened SC-fence semantics (RC11 / "Overhauling SC atomics",
+   later adopted): fences restore sequential consistency via psc.  Under
+   this repair, RWC+mbs and PeterZ flip to Forbidden — the ablation bench
+   quantifies exactly the delta discussed in Section 5.2.                *)
+(* ------------------------------------------------------------------ *)
+
+module Strengthened = struct
+  let name = "C11-psc"
+  let applicable = applicable
+
+  let consistent (x : Exec.t) =
+    let s = classify x in
+    let hb_rel = hb x s in
+    let coherence =
+      Rel.is_irreflexive
+        (Rel.seq hb_rel (Rel.reflexive_closure ~universe:x.universe (eco x)))
+    in
+    let atomicity = Rel.is_empty (Rel.inter x.rmw (Rel.seq x.fre x.coe)) in
+    let sc_id = Rel.id_of_set s.sc_f in
+    let psc =
+      Rel.seq sc_id
+        (Rel.seq
+           (Rel.union hb_rel
+              (Rel.seq hb_rel (Rel.seq (eco x) hb_rel)))
+           sc_id)
+    in
+    coherence && atomicity && Rel.is_acyclic psc
+end

@@ -1,0 +1,11 @@
+(* Reference consistency models used for comparison with the LK model:
+
+   - {!Sc}: sequential consistency;
+   - {!Tso}: x86-TSO (the strongest hardware target of the LK);
+   - {!C11}: original C11 under the mapping of [68] — the paper's
+     comparison column — plus {!C11.Strengthened}, the repaired SC-fence
+     semantics (RC11-style psc). *)
+
+module Sc = Sc
+module Tso = Tso
+module C11 = C11

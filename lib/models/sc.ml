@@ -1,0 +1,8 @@
+(* Sequential consistency (Lamport): one interleaving explains everything.
+   Axiomatically: po together with all communications is acyclic. *)
+
+let name = "SC"
+
+let consistent (x : Exec.t) =
+  Rel.is_acyclic (Rel.union x.po x.com)
+  && Rel.is_empty (Rel.inter x.rmw (Rel.seq x.fre x.coe))

@@ -1,0 +1,44 @@
+(* x86-TSO: program order is preserved except write-to-read (the store
+   buffer), smp_mb drains the buffer, and writes are multi-copy atomic.
+   The standard axiomatisation: ghb := ppo U implied-fences U rfe U co U fr
+   must be acyclic, plus per-location SC and rmw atomicity.
+
+   LK primitives map to x86 as: smp_mb -> mfence; smp_rmb / smp_wmb /
+   acquire / release -> compiler-only (TSO already provides the
+   ordering). *)
+
+let name = "x86-TSO"
+
+let consistent (x : Exec.t) =
+  let w_to_r =
+    Rel.filter
+      (fun a b ->
+        Exec.Event.is_write x.events.(a) && Exec.Event.is_read x.events.(b))
+      x.po
+  in
+  (* po minus the store-buffer relaxation, restricted to memory events *)
+  let ppo =
+    Rel.filter
+      (fun a b ->
+        Exec.Event.is_mem x.events.(a) && Exec.Event.is_mem x.events.(b))
+      (Rel.diff x.po w_to_r)
+  in
+  let mb_fences =
+    Exec.events_where x (fun e -> e.annot = Exec.Event.Mb)
+  in
+  (* any access before an mfence is ordered with any access after it *)
+  let implied =
+    Rel.seq
+      (Rel.seq x.po (Rel.id_of_set mb_fences))
+      x.po
+  in
+  (* full xchg is a locked instruction: both its events order like a fence
+     with everything around them; approximate via the rmw pair itself plus
+     the implied fences the LK mapping inserts (xchg already carries
+     F[mb] events in our event decomposition, so nothing more needed). *)
+  let ghb =
+    List.fold_left Rel.union ppo [ implied; x.rfe; x.co; x.fr ]
+  in
+  Rel.is_acyclic ghb
+  && Rel.is_acyclic (Rel.union x.po_loc x.com)
+  && Rel.is_empty (Rel.inter x.rmw (Rel.seq x.fre x.coe))

@@ -1,0 +1,12 @@
+(* Sets of event identifiers (small dense integers). *)
+
+include Set.Make (Int)
+
+let of_range lo hi =
+  let rec go acc i = if i > hi then acc else go (add i acc) (i + 1) in
+  go empty lo
+
+let to_list t = elements t
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") int) (elements t)

@@ -1,0 +1,16 @@
+(** Sets of event identifiers (small dense integers).
+
+    This is the set half of the relational algebra used by every axiomatic
+    model in the library: the predefined sets of the cat language ([W], [R],
+    [F], ...) and every set computed from them are values of this type. *)
+
+include Set.S with type elt = int
+
+(** [of_range lo hi] is the set [{lo, lo+1, ..., hi}] (empty if [lo > hi]). *)
+val of_range : int -> int -> t
+
+(** [to_list t] is the elements of [t] in increasing order. *)
+val to_list : t -> int list
+
+(** Pretty-printer, e.g. [{0,3,5}]. *)
+val pp : t Fmt.t

@@ -1,0 +1,264 @@
+(* Tests for the cat language: lexer, parser, interpreter semantics, the
+   shipped models, and full agreement with the native OCaml models. *)
+
+module I = Cat.Interp
+module Iset = Rel.Iset
+
+let parse_model = Cat.parse
+
+(* A tiny fixed execution to evaluate expressions against. *)
+let sample_exec =
+  List.hd
+    (Exec.of_test
+       (Litmus.parse
+          "C s\n{ x=0; }\nP0(int *x) { WRITE_ONCE(x, 1); }\nP1(int *x, int *y) { int r1 = READ_ONCE(x); WRITE_ONCE(y, r1); }\nexists (1:r1=1)"))
+
+let env = I.env_of_execution sample_exec
+
+(* ------------------------------------------------------------------ *)
+(* Lexer / parser                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_tokens () =
+  let toks = Cat.Lexer.tokens "let a-b = rf^-1 ; [W] | co^+ & x^* ~y (* c *) 0" in
+  let strs = List.map (fun (t, _) -> Cat.Lexer.to_string t) toks in
+  Alcotest.(check (list string)) "tokens"
+    [ "let"; "a-b"; "="; "rf"; "^-1"; ";"; "["; "W"; "]"; "|"; "co"; "^+";
+      "&"; "x"; "^*"; "~"; "y"; "0"; "<eof>" ]
+    strs
+
+let test_parser_title () =
+  Alcotest.(check string) "string title" "My model"
+    (parse_model "\"My model\"\nempty 0 as e").Cat.Ast.title
+
+let test_parser_precedence () =
+  (* a ; b | c ; d parses as (a;b) | (c;d) *)
+  let m = parse_model "\"t\"\nlet r = po ; rf | co ; fr\nempty 0 as e" in
+  match m.Cat.Ast.stmts with
+  | Cat.Ast.Let ([ (_, _, Cat.Ast.Union (Cat.Ast.Seq _, Cat.Ast.Seq _)) ], _)
+    :: _ ->
+      ()
+  | _ -> Alcotest.fail "precedence"
+
+let test_parser_postfix () =
+  let m = parse_model "\"t\"\nlet r = (rf ; co)^+\nempty 0 as e" in
+  match m.Cat.Ast.stmts with
+  | Cat.Ast.Let ([ (_, _, Cat.Ast.Plus (Cat.Ast.Seq _)) ], _) :: _ -> ()
+  | _ -> Alcotest.fail "postfix"
+
+let test_parser_rec_and () =
+  let m =
+    parse_model "\"t\"\nlet rec a = b and b = a\nirreflexive a as e"
+  in
+  match m.Cat.Ast.stmts with
+  | Cat.Ast.Let ([ _; _ ], true) :: _ -> ()
+  | _ -> Alcotest.fail "rec-and"
+
+let test_parser_errors () =
+  let bad src =
+    match parse_model src with
+    | exception (Cat.Parser.Error _ | Cat.Lexer.Error _) -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "missing =" true (bad "\"t\"\nlet a po");
+  Alcotest.(check bool) "bad hat" true (bad "\"t\"\nlet a = po^2\nempty 0");
+  Alcotest.(check bool) "stray token" true (bad "\"t\"\n] let a = po")
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter semantics                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_checks src =
+  I.run (parse_model src) env
+  |> List.map (fun (o : I.outcome) -> (o.check_name, o.holds))
+
+let test_acyclic_check () =
+  Alcotest.(check (list (pair string bool)))
+    "po is acyclic"
+    [ ("c", true) ]
+    (run_checks "\"t\"\nacyclic po as c");
+  Alcotest.(check (list (pair string bool)))
+    "po U po^-1 is cyclic"
+    [ ("c", false) ]
+    (run_checks "\"t\"\nacyclic po | po^-1 as c")
+
+let test_empty_check () =
+  Alcotest.(check (list (pair string bool)))
+    "rf nonempty; rmw empty"
+    [ ("a", false); ("b", true) ]
+    (run_checks "\"t\"\nempty rf as a\nempty rmw as b")
+
+let test_brackets_and_product () =
+  (* [W] ; po ; [R] vs the full product *)
+  Alcotest.(check (list (pair string bool)))
+    "bracket filtering"
+    [ ("c", true) ]
+    (run_checks "\"t\"\nempty ([W] ; po ; [R]) \\ (W * R) as c")
+
+let test_set_operations () =
+  Alcotest.(check (list (pair string bool)))
+    "M = R | W"
+    [ ("c", true) ]
+    (run_checks "\"t\"\nempty (R | W) \\ M as c");
+  Alcotest.(check (list (pair string bool)))
+    "W & R empty"
+    [ ("c", true) ]
+    (run_checks "\"t\"\nempty W & R as c")
+
+let test_fr_from_primitives () =
+  Alcotest.(check (list (pair string bool)))
+    "fr = rf^-1;co minus id"
+    [ ("c", true) ]
+    (run_checks
+       "\"t\"\nlet myfr = (rf^-1 ; co) \\ id\nempty (myfr \\ fr) | (fr \\ myfr) as c")
+
+let test_function_application () =
+  Alcotest.(check (list (pair string bool)))
+    "A-cumul"
+    [ ("c", true) ]
+    (run_checks
+       "\"t\"\nlet f(r) = rfe? ; r\nempty (f(po) \\ (rfe? ; po)) as c")
+
+let test_rec_fixpoint () =
+  (* transitive closure by recursion: rec tc = po | tc;tc equals po^+ *)
+  Alcotest.(check (list (pair string bool)))
+    "recursive closure"
+    [ ("c", true) ]
+    (run_checks
+       "\"t\"\nlet rec tc = po | (tc ; tc)\nempty (tc \\ po^+) | (po^+ \\ tc) as c")
+
+let test_complement () =
+  Alcotest.(check (list (pair string bool)))
+    "~0 is the full product"
+    [ ("c", true) ]
+    (run_checks "\"t\"\nempty (_ * _) \\ ~0 as c")
+
+let test_unbound_identifier () =
+  match I.run (parse_model "\"t\"\nempty nonsuch as c") env with
+  | exception I.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected type error"
+
+let test_type_errors () =
+  (match I.run (parse_model "\"t\"\nempty W * po as c") env with
+  | exception I.Type_error _ -> ()
+  | _ -> Alcotest.fail "relation used as set");
+  match I.run (parse_model "\"t\"\nlet f(r) = r\nempty f as c") env with
+  | exception I.Type_error _ -> ()
+  | _ -> Alcotest.fail "function used as relation"
+
+(* ------------------------------------------------------------------ *)
+(* Shipped models                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_stdmodels_parse () =
+  List.iter
+    (fun (name, _, src) ->
+      match parse_model src with
+      | _ -> ()
+      | exception e ->
+          Alcotest.failf "%s does not parse: %s" name (Printexc.to_string e))
+    Cat.Stdmodels.all
+
+let test_models_dir_in_sync () =
+  (* models/*.cat are generated from Stdmodels; keep them identical *)
+  List.iter
+    (fun (_, file, src) ->
+      let path = Filename.concat "../../../models" file in
+      if Sys.file_exists path then begin
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let disk = really_input_string ic n in
+        close_in ic;
+        Alcotest.(check bool) (file ^ " in sync") true (disk = src)
+      end)
+    Cat.Stdmodels.all
+
+let test_lk_cat_named_checks () =
+  let outcomes = Cat.outcomes (Lazy.force Cat.lk) sample_exec in
+  let names = List.map (fun (o : I.outcome) -> o.check_name) outcomes in
+  Alcotest.(check (list string)) "five named axioms"
+    [ "sc-per-variable"; "atomicity"; "happens-before"; "propagates-before";
+      "rcu" ]
+    names
+
+(* Full agreement between cat and native models over every candidate
+   execution of the battery. *)
+let test_cat_native_agreement () =
+  let pairs =
+    [
+      ("LK", Cat.Stdmodels.lk, (module Lkmm : Exec.Check.MODEL));
+      ("SC", Cat.Stdmodels.sc, (module Models.Sc));
+      ("x86-TSO", Cat.Stdmodels.tso, (module Models.Tso));
+      ("C11", Cat.Stdmodels.c11, (module Models.C11));
+      ("C11-psc", Cat.Stdmodels.c11_psc, (module Models.C11.Strengthened));
+    ]
+  in
+  List.iter
+    (fun (name, src, native) ->
+      let cat_model = parse_model src in
+      let module N = (val native : Exec.Check.MODEL) in
+      List.iter
+        (fun (e : Harness.Battery.entry) ->
+          List.iter
+            (fun x ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s agrees on %s" name e.name)
+                (N.consistent x) (Cat.consistent cat_model x))
+            (Exec.of_test (Harness.Battery.test_of e)))
+        Harness.Battery.all)
+    pairs
+
+let test_cat_native_agreement_generated () =
+  let rng = Random.State.make [| 5 |] in
+  let tests = Diygen.sample ~vocabulary:Diygen.Edge.vocabulary ~rng ~count:25 4 in
+  let lk_cat = parse_model Cat.Stdmodels.lk in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun x ->
+          Alcotest.(check bool)
+            (t.Litmus.Ast.name ^ ": cat agrees")
+            (Lkmm.consistent x) (Cat.consistent lk_cat x))
+        (Exec.of_test t))
+    tests
+
+let () =
+  Alcotest.run "cat"
+    [
+      ( "syntax",
+        [
+          Alcotest.test_case "lexer" `Quick test_lexer_tokens;
+          Alcotest.test_case "title" `Quick test_parser_title;
+          Alcotest.test_case "precedence" `Quick test_parser_precedence;
+          Alcotest.test_case "postfix" `Quick test_parser_postfix;
+          Alcotest.test_case "rec-and" `Quick test_parser_rec_and;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "acyclic" `Quick test_acyclic_check;
+          Alcotest.test_case "empty" `Quick test_empty_check;
+          Alcotest.test_case "brackets/product" `Quick
+            test_brackets_and_product;
+          Alcotest.test_case "set operations" `Quick test_set_operations;
+          Alcotest.test_case "fr from primitives" `Quick
+            test_fr_from_primitives;
+          Alcotest.test_case "functions" `Quick test_function_application;
+          Alcotest.test_case "rec fixpoint" `Quick test_rec_fixpoint;
+          Alcotest.test_case "complement" `Quick test_complement;
+          Alcotest.test_case "unbound id" `Quick test_unbound_identifier;
+          Alcotest.test_case "type errors" `Quick test_type_errors;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "stdmodels parse" `Quick test_stdmodels_parse;
+          Alcotest.test_case "models dir in sync" `Quick
+            test_models_dir_in_sync;
+          Alcotest.test_case "lk.cat named checks" `Quick
+            test_lk_cat_named_checks;
+          Alcotest.test_case "cat = native (battery)" `Slow
+            test_cat_native_agreement;
+          Alcotest.test_case "cat = native (generated)" `Slow
+            test_cat_native_agreement_generated;
+        ] );
+    ]

@@ -1,0 +1,73 @@
+(* Golden-verdict corpus: every .litmus file under corpus/ must parse and
+   produce exactly the LK and C11 verdicts recorded in the MANIFEST.
+   Guards the parser, the enumeration and both models against
+   regressions.  Regenerate with tools/gen_corpus after intentional model
+   changes. *)
+
+let corpus_dir =
+  (* tests run from _build/default/test *)
+  List.find_opt Sys.file_exists [ "../../../corpus"; "corpus" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let manifest dir =
+  read_file (Filename.concat dir "MANIFEST")
+  |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.split_on_char ' ' line with
+           | [ file; lk; c11 ] -> Some (file, lk, c11)
+           | _ -> Alcotest.failf "bad manifest line: %s" line)
+
+let test_corpus () =
+  match corpus_dir with
+  | None -> Alcotest.fail "corpus directory not found"
+  | Some dir ->
+      let entries = manifest dir in
+      Alcotest.(check bool) "corpus is substantial" true
+        (List.length entries > 200);
+      List.iter
+        (fun (file, lk_expected, c11_expected) ->
+          let t = Litmus.parse (read_file (Filename.concat dir file)) in
+          let lk =
+            Exec.Check.verdict_to_string
+              (Exec.Check.run (module Lkmm) t).Exec.Check.verdict
+          in
+          Alcotest.(check string) (file ^ " LK") lk_expected lk;
+          let c11 =
+            if Models.C11.applicable t then
+              Exec.Check.verdict_to_string
+                (Exec.Check.run (module Models.C11) t).Exec.Check.verdict
+            else "-"
+          in
+          Alcotest.(check string) (file ^ " C11") c11_expected c11)
+        entries
+
+let test_corpus_lints_clean () =
+  match corpus_dir with
+  | None -> ()
+  | Some dir ->
+      List.iter
+        (fun (file, _, _) ->
+          let t = Litmus.parse (read_file (Filename.concat dir file)) in
+          Alcotest.(check int)
+            (file ^ " lints clean")
+            0
+            (List.length (Litmus.Lint.errors (Litmus.Lint.check_all t))))
+        (manifest dir)
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "verdicts" `Slow test_corpus;
+          Alcotest.test_case "lint" `Quick test_corpus_lints_clean;
+        ] );
+    ]

@@ -1,0 +1,142 @@
+(* Tests for the experiment harness: the battery's integrity, the Table 5
+   reproduction machinery, figures, sweeps and the RCU study. *)
+
+let test_battery_parses () =
+  List.iter
+    (fun (e : Harness.Battery.entry) ->
+      match Harness.Battery.test_of e with
+      | t -> Alcotest.(check string) "name agrees" e.name t.Litmus.Ast.name
+      | exception exn ->
+          Alcotest.failf "%s does not parse: %s" e.name
+            (Printexc.to_string exn))
+    Harness.Battery.all
+
+let test_battery_names_unique () =
+  let names = List.map (fun (e : Harness.Battery.entry) -> e.name) Harness.Battery.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_table5_is_paper_shape () =
+  let table5 = List.filter (fun e -> e.Harness.Battery.in_table5) Harness.Battery.all in
+  Alcotest.(check int) "fifteen rows" 15 (List.length table5);
+  (* paper order: LB first, RWC+mbs last *)
+  Alcotest.(check string) "first row" "LB"
+    (List.hd table5).Harness.Battery.name;
+  Alcotest.(check string) "last row" "RWC+mbs"
+    (List.nth table5 14).Harness.Battery.name;
+  (* RCU rows have no C11 column *)
+  List.iter
+    (fun (e : Harness.Battery.entry) ->
+      if Litmus.Ast.has_rcu (Harness.Battery.test_of e) then
+        Alcotest.(check bool) (e.name ^ " has dash in C11 column") true
+          (e.c11 = None))
+    table5
+
+let test_table5_row_generation () =
+  let e = Harness.Battery.find "SB" in
+  let row = Harness.Table5.row_of_entry ~runs:500 ~seed:1 e in
+  Alcotest.(check int) "four architectures" 4
+    (List.length row.Harness.Table5.hw);
+  Alcotest.(check bool) "verdict matches paper" true
+    (row.Harness.Table5.lk = row.Harness.Table5.lk_expected);
+  List.iter
+    (fun (_, m, t) ->
+      Alcotest.(check bool) "counts within runs" true (m <= t && t <= 500))
+    row.Harness.Table5.hw
+
+let test_table5_shape_checker_detects () =
+  (* feed the checker a doctored row and make sure it complains *)
+  let e = Harness.Battery.find "SB+mbs" in
+  let row = Harness.Table5.row_of_entry ~runs:200 ~seed:1 e in
+  let doctored =
+    { row with Harness.Table5.hw = [ ("Power8", 5, 200) ] }
+  in
+  Alcotest.(check bool) "forbidden-observed detected" true
+    (Harness.Table5.shape_issues ~check_observed:false [ doctored ] <> []);
+  let wrong_verdict = { row with Harness.Table5.lk = Exec.Check.Allow } in
+  Alcotest.(check bool) "verdict mismatch detected" true
+    (Harness.Table5.shape_issues ~check_observed:false [ wrong_verdict ]
+    <> [])
+
+let test_figures_cover_paper () =
+  let ids = List.map (fun f -> f.Harness.Figures.id) Harness.Figures.all in
+  Alcotest.(check (list string)) "all evaluation figures"
+    [ "2"; "4"; "5"; "6"; "7"; "9"; "10"; "11"; "13"; "14" ]
+    ids;
+  Alcotest.(check (list string)) "verdicts match paper" []
+    (Harness.Figures.issues ())
+
+let test_sweep_classify () =
+  let tests =
+    List.map Harness.Battery.test_of
+      [ Harness.Battery.find "MP"; Harness.Battery.find "MP+wmb+rmb" ]
+  in
+  let s = Harness.Sweep.classify ~archs:[ Hwsim.Arch.x86 ] ~runs:100 tests in
+  Alcotest.(check int) "two tests" 2 s.Harness.Sweep.n_tests;
+  Alcotest.(check int) "one allowed" 1 s.Harness.Sweep.lk_allow;
+  Alcotest.(check int) "one forbidden" 1 s.Harness.Sweep.lk_forbid;
+  Alcotest.(check int) "both SC-forbidden" 2 s.Harness.Sweep.sc_forbid;
+  Alcotest.(check int) "no unsound cells" 0
+    (List.length s.Harness.Sweep.unsound)
+
+let test_strength_issues_on_battery () =
+  Alcotest.(check (list string)) "battery respects strength ordering" []
+    (Harness.Sweep.strength_issues
+       (List.map Harness.Battery.test_of Harness.Battery.all))
+
+let test_rcu_study_runs () =
+  let r =
+    Harness.Rcu_study.run_variant ~runs:60 ~seed:5 ~variant:Kir.Rcu_impl.Full
+      (Harness.Battery.find "RCU-MP")
+      Hwsim.Arch.x86
+  in
+  Alcotest.(check int) "no forbidden outcomes" 0 r.Harness.Rcu_study.matched;
+  Alcotest.(check bool) "runs completed" true (r.Harness.Rcu_study.total > 0)
+
+let test_rcu_study_issue_detection () =
+  let fake =
+    {
+      Harness.Rcu_study.program = "RCU-MP+rcu-impl";
+      arch = "X86";
+      matched = 3;
+      total = 100;
+      aborted = 0;
+    }
+  in
+  Alcotest.(check bool) "faithful violation flagged" true
+    (Harness.Rcu_study.issues [ fake ] <> []);
+  let broken_ok = { fake with Harness.Rcu_study.program = "RCU-MP+rcu-impl-no-wait" } in
+  Alcotest.(check bool) "broken variants not flagged" true
+    (Harness.Rcu_study.issues [ broken_ok ] = [])
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "battery",
+        [
+          Alcotest.test_case "all parse" `Quick test_battery_parses;
+          Alcotest.test_case "unique names" `Quick test_battery_names_unique;
+          Alcotest.test_case "table5 shape" `Quick test_table5_is_paper_shape;
+        ] );
+      ( "table5",
+        [
+          Alcotest.test_case "row generation" `Quick
+            test_table5_row_generation;
+          Alcotest.test_case "shape checker" `Quick
+            test_table5_shape_checker_detects;
+        ] );
+      ( "figures",
+        [ Alcotest.test_case "coverage" `Quick test_figures_cover_paper ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "classify" `Quick test_sweep_classify;
+          Alcotest.test_case "strength on battery" `Quick
+            test_strength_issues_on_battery;
+        ] );
+      ( "rcu-study",
+        [
+          Alcotest.test_case "runs" `Quick test_rcu_study_runs;
+          Alcotest.test_case "issue detection" `Quick
+            test_rcu_study_issue_detection;
+        ] );
+    ]

@@ -1,0 +1,332 @@
+(* Tests for the operational hardware simulators: per-architecture weak
+   behaviours, fence/dependency enforcement, soundness against the models,
+   and the machine's bookkeeping (buffers, coherence floors, RCU
+   primitives, mutexes). *)
+
+let battery name = Harness.Battery.test_of (Harness.Battery.find name)
+
+let observed arch ?(runs = 3_000) ?(seed = 123) name =
+  (Hwsim.run_test arch ~runs ~seed (battery name)).Hwsim.matched
+
+(* ------------------------------------------------------------------ *)
+(* Per-architecture behaviour                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_sc_shows_nothing_weak () =
+  List.iter
+    (fun name ->
+      Alcotest.(check int) ("SC never shows " ^ name) 0
+        (observed Hwsim.Arch.sc name))
+    [ "SB"; "MP"; "LB"; "WRC"; "RWC"; "PeterZ-No-Synchro" ]
+
+let test_x86_store_buffering_only () =
+  Alcotest.(check bool) "x86 shows SB" true (observed Hwsim.Arch.x86 "SB" > 0);
+  Alcotest.(check int) "x86 hides MP" 0 (observed Hwsim.Arch.x86 "MP");
+  Alcotest.(check int) "x86 hides WRC" 0 (observed Hwsim.Arch.x86 "WRC");
+  Alcotest.(check int) "x86 hides LB" 0 (observed Hwsim.Arch.x86 "LB")
+
+let test_relaxed_archs_show_mp () =
+  List.iter
+    (fun arch ->
+      Alcotest.(check bool)
+        (arch.Hwsim.Arch.name ^ " shows MP")
+        true
+        (observed arch "MP" > 0))
+    [ Hwsim.Arch.armv7; Hwsim.Arch.armv8; Hwsim.Arch.power8 ]
+
+let test_lb_never_observed () =
+  (* Table 5: LB was not observed on any tested machine; our machines
+     never execute writes early, so this is structural *)
+  List.iter
+    (fun arch ->
+      Alcotest.(check int)
+        (arch.Hwsim.Arch.name ^ " never shows LB")
+        0 (observed arch "LB"))
+    Hwsim.Arch.table5
+
+let test_fences_kill_weakness () =
+  List.iter
+    (fun (name : string) ->
+      List.iter
+        (fun arch ->
+          Alcotest.(check int)
+            (name ^ " never observed on " ^ arch.Hwsim.Arch.name)
+            0 (observed arch name))
+        Hwsim.Arch.table5)
+    [ "SB+mbs"; "MP+wmb+rmb"; "WRC+po-rel+rmb"; "PeterZ"; "RWC+mbs";
+      "MP+po-rel+acq"; "LB+ctrl+mb" ]
+
+let test_peterz_no_synchro_on_x86 () =
+  (* the surprising Table 5 cell: observable through the store buffer
+     alone, no read reordering needed *)
+  Alcotest.(check bool) "PeterZ-No-Synchro on x86" true
+    (observed Hwsim.Arch.x86 ~runs:20_000 "PeterZ-No-Synchro" > 0)
+
+let test_alpha_breaks_addr_deps () =
+  Alcotest.(check bool) "Alpha shows MP+wmb+addr" true
+    (observed Hwsim.Arch.alpha ~runs:6_000 "MP+wmb+addr" > 0);
+  Alcotest.(check int) "ARMv8 keeps the dependency" 0
+    (observed Hwsim.Arch.armv8 ~runs:6_000 "MP+wmb+addr");
+  Alcotest.(check int) "rb-dep repairs Alpha" 0
+    (observed Hwsim.Arch.alpha ~runs:6_000 "MP+wmb+rcu-deref")
+
+let test_rcu_forbidden_never_observed () =
+  List.iter
+    (fun name ->
+      List.iter
+        (fun arch ->
+          Alcotest.(check int)
+            (name ^ " on " ^ arch.Hwsim.Arch.name)
+            0 (observed arch name))
+        Hwsim.Arch.table5)
+    [ "RCU-MP"; "RCU-deferred-free" ]
+
+(* ------------------------------------------------------------------ *)
+(* Soundness                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_soundness_battery () =
+  List.iter
+    (fun (e : Harness.Battery.entry) ->
+      let test = Harness.Battery.test_of e in
+      List.iter
+        (fun arch ->
+          let s = Hwsim.run_test arch ~runs:800 ~seed:3 test in
+          Alcotest.(check (list (pair (list (pair string int)) int)))
+            (e.name ^ " sound on " ^ arch.Hwsim.Arch.name)
+            []
+            (Hwsim.unsound_outcomes (module Lkmm) test s))
+        (Hwsim.Arch.alpha :: Hwsim.Arch.table5))
+    Harness.Battery.all
+
+let test_tso_sim_sound_wrt_tso_model () =
+  (* the x86 machine stays within the x86-TSO axiomatic model *)
+  List.iter
+    (fun (e : Harness.Battery.entry) ->
+      let test = Harness.Battery.test_of e in
+      if not (Litmus.Ast.has_rcu test) then
+        let s = Hwsim.run_test Hwsim.Arch.x86 ~runs:800 ~seed:3 test in
+        Alcotest.(check (list (pair (list (pair string int)) int)))
+          (e.name ^ " x86 within TSO")
+          []
+          (Hwsim.unsound_outcomes (module Models.Tso) test s))
+    Harness.Battery.all
+
+let test_sc_sim_sound_wrt_sc_model () =
+  List.iter
+    (fun (e : Harness.Battery.entry) ->
+      let test = Harness.Battery.test_of e in
+      if not (Litmus.Ast.has_rcu test) then
+        let s = Hwsim.run_test Hwsim.Arch.sc ~runs:400 ~seed:3 test in
+        Alcotest.(check (list (pair (list (pair string int)) int)))
+          (e.name ^ " SC machine within SC")
+          []
+          (Hwsim.unsound_outcomes (module Models.Sc) test s))
+    Harness.Battery.all
+
+let test_soundness_generated () =
+  let rng = Random.State.make [| 31 |] in
+  let tests =
+    Diygen.sample ~vocabulary:Diygen.Edge.core_vocabulary ~rng ~count:25 4
+    @ Diygen.sample ~vocabulary:Diygen.Edge.core_vocabulary ~rng ~count:15 5
+  in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun arch ->
+          let s = Hwsim.run_test arch ~runs:400 ~seed:3 t in
+          Alcotest.(check (list (pair (list (pair string int)) int)))
+            (t.Litmus.Ast.name ^ " sound on " ^ arch.Hwsim.Arch.name)
+            []
+            (Hwsim.unsound_outcomes (module Lkmm) t s))
+        [ Hwsim.Arch.power8; Hwsim.Arch.x86 ])
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Machine bookkeeping on hand-written IR programs                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_ir ?(arch = Hwsim.Arch.power8) ?(seed = 9) prog =
+  match
+    Hwsim.Machine.run ~rng:(Random.State.make [| seed |]) arch prog
+  with
+  | Some r -> r
+  | None -> Alcotest.fail "machine aborted"
+
+let reg (r : Hwsim.Machine.run_result) tid name =
+  List.fold_left
+    (fun acc (t, n, v) -> if t = tid && n = name then v else acc)
+    min_int r.Hwsim.Machine.regs
+
+let mem (r : Hwsim.Machine.run_result) key =
+  try List.assoc key r.Hwsim.Machine.mem with Not_found -> min_int
+
+let base_prog threads =
+  {
+    Kir.name = "t";
+    init = [];
+    arrays = [];
+    threads;
+    addr_table = [];
+  }
+
+let test_machine_sequential () =
+  (* arithmetic, loops, arrays, in one thread *)
+  let p =
+    base_prog
+      [
+        [
+          Kir.Assign ("i", Kir.Int 0);
+          Kir.Assign ("sum", Kir.Int 0);
+          Kir.While
+            ( Kir.Bin (Litmus.Ast.Lt, Kir.Reg "i", Kir.Int 5),
+              [
+                Kir.Write (Litmus.Ast.W_once, Kir.Arr ("a", Kir.Reg "i"),
+                           Kir.Reg "i");
+                Kir.Assign
+                  ("sum", Kir.Bin (Litmus.Ast.Add, Kir.Reg "sum", Kir.Reg "i"));
+                Kir.Assign ("i", Kir.Bin (Litmus.Ast.Add, Kir.Reg "i", Kir.Int 1));
+              ] );
+        ];
+      ]
+  in
+  let p = { p with Kir.arrays = [ ("a", 5) ] } in
+  let r = run_ir p in
+  Alcotest.(check int) "sum 0..4" 10 (reg r 0 "sum");
+  Alcotest.(check int) "a[3]" 3 (mem r "a[3]")
+
+let test_machine_buffer_forwarding () =
+  (* a thread reads its own buffered write *)
+  let p =
+    base_prog
+      [
+        [
+          Kir.Write (Litmus.Ast.W_once, Kir.Var "x", Kir.Int 7);
+          Kir.Read (Litmus.Ast.R_once, "r", Kir.Var "x");
+        ];
+      ]
+  in
+  for seed = 0 to 20 do
+    let r = run_ir ~seed p in
+    Alcotest.(check int) "forwarding" 7 (reg r 0 "r")
+  done
+
+let test_machine_po_loc_coherence () =
+  (* reads of one location never go backwards, on any profile *)
+  let p =
+    base_prog
+      [
+        [ Kir.Write (Litmus.Ast.W_once, Kir.Var "x", Kir.Int 1);
+          Kir.Write (Litmus.Ast.W_once, Kir.Var "x", Kir.Int 2) ];
+        [ Kir.Read (Litmus.Ast.R_once, "r1", Kir.Var "x");
+          Kir.Read (Litmus.Ast.R_once, "r2", Kir.Var "x") ];
+      ]
+  in
+  List.iter
+    (fun arch ->
+      for seed = 0 to 80 do
+        let r = run_ir ~arch ~seed p in
+        let r1 = reg r 1 "r1" and r2 = reg r 1 "r2" in
+        Alcotest.(check bool)
+          (Printf.sprintf "coherent on %s (r1=%d r2=%d)" arch.Hwsim.Arch.name
+             r1 r2)
+          true
+          (not (r1 = 2 && r2 = 1) && not (r1 > 0 && r2 = 0))
+      done)
+    [ Hwsim.Arch.power8; Hwsim.Arch.alpha ]
+
+let test_machine_mutex () =
+  (* mutual exclusion: both threads increment a counter under a lock *)
+  let incr_body =
+    [
+      Kir.Mutex_lock "m";
+      Kir.Read (Litmus.Ast.R_once, "r", Kir.Var "c");
+      Kir.Write
+        (Litmus.Ast.W_once, Kir.Var "c",
+         Kir.Bin (Litmus.Ast.Add, Kir.Reg "r", Kir.Int 1));
+      Kir.Mutex_unlock "m";
+    ]
+  in
+  for seed = 0 to 50 do
+    let r = run_ir ~seed (base_prog [ incr_body; incr_body ]) in
+    Alcotest.(check int) "both increments land" 2 (mem r "c")
+  done
+
+let test_machine_native_gp_waits () =
+  (* a GP starting while a reader is inside its RSCS must wait for the
+     unlock: the reader's two reads then bracket no GP *)
+  let t = battery "RCU-MP" in
+  let p = Kir.of_litmus t in
+  for seed = 0 to 200 do
+    let r = run_ir ~seed ~arch:Hwsim.Arch.power8 p in
+    Alcotest.(check bool) "forbidden outcome absent" false
+      (reg r 0 "r1" = 1 && reg r 0 "r2" = 0)
+  done
+
+let test_machine_abort_on_livelock () =
+  (* a program that can never finish hits the step cap and aborts *)
+  let p =
+    base_prog [ [ Kir.While (Kir.Int 1, [ Kir.Skip ]) ] ]
+  in
+  Alcotest.(check bool) "aborts" true
+    (Hwsim.Machine.run ~rng:(Random.State.make [| 1 |]) Hwsim.Arch.x86 p
+    = None)
+
+let test_outcome_extraction () =
+  let t = battery "MP" in
+  let s = Hwsim.run_test Hwsim.Arch.sc ~runs:200 ~seed:4 t in
+  (* outcomes carry the same keys as the model side *)
+  let model_keys =
+    match Exec.Check.allowed_outcomes (module Models.Sc) t with
+    | o :: _ -> List.map fst o
+    | [] -> []
+  in
+  List.iter
+    (fun (o, _) ->
+      Alcotest.(check (list string)) "keys align" model_keys (List.map fst o))
+    s.Hwsim.outcomes
+
+let () =
+  Alcotest.run "hwsim"
+    [
+      ( "architectures",
+        [
+          Alcotest.test_case "SC machine" `Quick test_sc_shows_nothing_weak;
+          Alcotest.test_case "x86 = store buffer" `Quick
+            test_x86_store_buffering_only;
+          Alcotest.test_case "relaxed show MP" `Quick
+            test_relaxed_archs_show_mp;
+          Alcotest.test_case "LB never" `Quick test_lb_never_observed;
+          Alcotest.test_case "fences enforce" `Slow test_fences_kill_weakness;
+          Alcotest.test_case "PeterZ-NS on x86" `Slow
+            test_peterz_no_synchro_on_x86;
+          Alcotest.test_case "Alpha addr deps" `Slow
+            test_alpha_breaks_addr_deps;
+          Alcotest.test_case "RCU forbidden" `Slow
+            test_rcu_forbidden_never_observed;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "battery vs LK" `Slow test_soundness_battery;
+          Alcotest.test_case "x86 vs TSO" `Slow test_tso_sim_sound_wrt_tso_model;
+          Alcotest.test_case "SC machine vs SC" `Quick
+            test_sc_sim_sound_wrt_sc_model;
+          Alcotest.test_case "generated vs LK" `Slow test_soundness_generated;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "sequential programs" `Quick
+            test_machine_sequential;
+          Alcotest.test_case "buffer forwarding" `Quick
+            test_machine_buffer_forwarding;
+          Alcotest.test_case "po-loc coherence" `Quick
+            test_machine_po_loc_coherence;
+          Alcotest.test_case "mutex" `Quick test_machine_mutex;
+          Alcotest.test_case "native GP waits" `Slow
+            test_machine_native_gp_waits;
+          Alcotest.test_case "livelock abort" `Quick
+            test_machine_abort_on_livelock;
+          Alcotest.test_case "outcome extraction" `Quick
+            test_outcome_extraction;
+        ] );
+    ]

@@ -1,0 +1,231 @@
+(* Unit and property tests for the relation algebra. *)
+
+module R = Rel
+module Iset = Rel.Iset
+
+let rel = Alcotest.testable R.pp R.equal
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_rel =
+  (* Relations over a universe of 6 events. *)
+  let open QCheck2.Gen in
+  let pair = tup2 (int_range 0 5) (int_range 0 5) in
+  map R.of_list (list_size (int_range 0 12) pair)
+
+let universe = Iset.of_range 0 5
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_seq () =
+  let r1 = R.of_list [ (0, 1); (1, 2) ] in
+  let r2 = R.of_list [ (1, 3); (2, 4) ] in
+  Alcotest.check rel "seq" (R.of_list [ (0, 3); (1, 4) ]) (R.seq r1 r2)
+
+let test_seq_empty () =
+  let r = R.of_list [ (0, 1) ] in
+  Alcotest.check rel "seq with empty" R.empty (R.seq r R.empty);
+  Alcotest.check rel "empty with seq" R.empty (R.seq R.empty r)
+
+let test_inverse () =
+  let r = R.of_list [ (0, 1); (2, 3) ] in
+  Alcotest.check rel "inverse" (R.of_list [ (1, 0); (3, 2) ]) (R.inverse r)
+
+let test_transitive_closure () =
+  let r = R.of_list [ (0, 1); (1, 2); (2, 3) ] in
+  let expected =
+    R.of_list [ (0, 1); (1, 2); (2, 3); (0, 2); (1, 3); (0, 3) ]
+  in
+  Alcotest.check rel "chain closure" expected (R.transitive_closure r)
+
+let test_acyclic () =
+  Alcotest.(check bool) "chain is acyclic" true
+    (R.is_acyclic (R.of_list [ (0, 1); (1, 2) ]));
+  Alcotest.(check bool) "2-cycle is cyclic" false
+    (R.is_acyclic (R.of_list [ (0, 1); (1, 0) ]));
+  Alcotest.(check bool) "self-loop is cyclic" false
+    (R.is_acyclic (R.of_list [ (3, 3) ]));
+  Alcotest.(check bool) "empty is acyclic" true (R.is_acyclic R.empty)
+
+let test_find_cycle () =
+  (match R.find_cycle (R.of_list [ (0, 1); (1, 2); (2, 0); (4, 4) ]) with
+  | None -> Alcotest.fail "expected a cycle"
+  | Some path ->
+      Alcotest.(check int) "shortest cycle is the self-loop" 2
+        (List.length path));
+  Alcotest.(check bool) "acyclic has no cycle" true
+    (R.find_cycle (R.of_list [ (0, 1); (1, 2) ]) = None)
+
+let test_brackets () =
+  let s = Iset.of_list [ 0; 2 ] in
+  let r = R.of_list [ (0, 1); (2, 3); (1, 2) ] in
+  Alcotest.check rel "[S];r keeps sources in S"
+    (R.of_list [ (0, 1); (2, 3) ])
+    (R.seq (R.id_of_set s) r)
+
+let test_cartesian () =
+  let s1 = Iset.of_list [ 0; 1 ] and s2 = Iset.of_list [ 2 ] in
+  Alcotest.check rel "product" (R.of_list [ (0, 2); (1, 2) ])
+    (R.cartesian s1 s2)
+
+let test_topological_sort () =
+  let r = R.of_list [ (2, 1); (1, 0) ] in
+  (match R.topological_sort ~universe:(Iset.of_list [ 0; 1; 2 ]) r with
+  | Some [ 2; 1; 0 ] -> ()
+  | Some other ->
+      Alcotest.failf "bad topo order: %a" Fmt.(Dump.list int) other
+  | None -> Alcotest.fail "expected an order");
+  Alcotest.(check bool) "cyclic has no topo sort" true
+    (R.topological_sort ~universe:(Iset.of_list [ 0; 1 ])
+       (R.of_list [ (0, 1); (1, 0) ])
+    = None)
+
+let test_linear_extensions () =
+  let exts = R.linear_extensions [ 0; 1; 2 ] in
+  Alcotest.(check int) "3! total orders" 6 (List.length exts);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "each is total" true
+        (R.cardinal r = 3 && R.is_acyclic r))
+    exts
+
+let test_restrict () =
+  let r = R.of_list [ (0, 1); (1, 2); (4, 5) ] in
+  Alcotest.check rel "restrict"
+    (R.of_list [ (0, 1); (1, 2) ])
+    (R.restrict (Iset.of_list [ 0; 1; 2 ]) r)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_tc_idempotent =
+  QCheck2.Test.make ~name:"transitive closure is idempotent" ~count:200
+    gen_rel (fun r ->
+      let tc = R.transitive_closure r in
+      R.equal tc (R.transitive_closure tc))
+
+let prop_tc_contains =
+  QCheck2.Test.make ~name:"r subset of r+" ~count:200 gen_rel (fun r ->
+      R.subset r (R.transitive_closure r))
+
+let prop_tc_transitive =
+  QCheck2.Test.make ~name:"r+ is transitive" ~count:200 gen_rel (fun r ->
+      let tc = R.transitive_closure r in
+      R.subset (R.seq tc tc) tc)
+
+let prop_seq_assoc =
+  QCheck2.Test.make ~name:"seq is associative" ~count:200
+    QCheck2.Gen.(tup3 gen_rel gen_rel gen_rel)
+    (fun (a, b, c) -> R.equal (R.seq (R.seq a b) c) (R.seq a (R.seq b c)))
+
+let prop_seq_distributes_union =
+  QCheck2.Test.make ~name:"seq distributes over union" ~count:200
+    QCheck2.Gen.(tup3 gen_rel gen_rel gen_rel)
+    (fun (a, b, c) ->
+      R.equal (R.seq a (R.union b c)) (R.union (R.seq a b) (R.seq a c)))
+
+let prop_inverse_involution =
+  QCheck2.Test.make ~name:"inverse is an involution" ~count:200 gen_rel
+    (fun r -> R.equal r (R.inverse (R.inverse r)))
+
+let prop_inverse_seq =
+  QCheck2.Test.make ~name:"(a;b)^-1 = b^-1;a^-1" ~count:200
+    QCheck2.Gen.(tup2 gen_rel gen_rel)
+    (fun (a, b) ->
+      R.equal (R.inverse (R.seq a b)) (R.seq (R.inverse b) (R.inverse a)))
+
+let prop_acyclic_iff_topo =
+  QCheck2.Test.make ~name:"acyclic iff topological sort exists" ~count:200
+    gen_rel (fun r ->
+      R.is_acyclic r = (R.topological_sort ~universe r <> None))
+
+let prop_topo_respects_order =
+  QCheck2.Test.make ~name:"topological sort respects every edge" ~count:300
+    gen_rel (fun r ->
+      match R.topological_sort ~universe r with
+      | None -> not (R.is_acyclic (R.restrict universe r))
+      | Some order ->
+          let pos x =
+            let rec go i = function
+              | [] -> -1
+              | y :: rest -> if y = x then i else go (i + 1) rest
+            in
+            go 0 order
+          in
+          R.for_all
+            (fun a b ->
+              (not (Iset.mem a universe && Iset.mem b universe))
+              || pos a < pos b)
+            r)
+
+let prop_find_cycle_sound =
+  QCheck2.Test.make ~name:"find_cycle returns a real cycle" ~count:200 gen_rel
+    (fun r ->
+      match R.find_cycle r with
+      | None -> R.is_acyclic r
+      | Some path ->
+          let rec edges = function
+            | x :: (y :: _ as rest) -> R.mem x y r && edges rest
+            | _ -> true
+          in
+          List.length path >= 2
+          && List.hd path = List.nth path (List.length path - 1)
+          && edges path)
+
+let prop_complement =
+  QCheck2.Test.make ~name:"complement partitions the full product" ~count:200
+    gen_rel (fun r ->
+      let r = R.restrict universe r in
+      let c = R.complement ~universe r in
+      R.is_empty (R.inter r c)
+      && R.equal (R.union r c) (R.cartesian universe universe))
+
+let prop_star_fixed_point =
+  QCheck2.Test.make ~name:"r* = id | r;r*" ~count:200 gen_rel (fun r ->
+      let r = R.restrict universe r in
+      let star = R.reflexive_transitive_closure ~universe r in
+      R.equal star (R.union (R.id_of_set universe) (R.seq r star)))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_tc_idempotent;
+      prop_tc_contains;
+      prop_tc_transitive;
+      prop_seq_assoc;
+      prop_seq_distributes_union;
+      prop_inverse_involution;
+      prop_inverse_seq;
+      prop_acyclic_iff_topo;
+      prop_topo_respects_order;
+      prop_find_cycle_sound;
+      prop_complement;
+      prop_star_fixed_point;
+    ]
+
+let () =
+  Alcotest.run "rel"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "seq" `Quick test_seq;
+          Alcotest.test_case "seq_empty" `Quick test_seq_empty;
+          Alcotest.test_case "inverse" `Quick test_inverse;
+          Alcotest.test_case "transitive_closure" `Quick
+            test_transitive_closure;
+          Alcotest.test_case "acyclic" `Quick test_acyclic;
+          Alcotest.test_case "find_cycle" `Quick test_find_cycle;
+          Alcotest.test_case "brackets" `Quick test_brackets;
+          Alcotest.test_case "cartesian" `Quick test_cartesian;
+          Alcotest.test_case "topological_sort" `Quick test_topological_sort;
+          Alcotest.test_case "linear_extensions" `Quick
+            test_linear_extensions;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,13 @@
+let () =
+  List.iter
+    (fun (e : Harness.Battery.entry) ->
+      let test = Harness.Battery.test_of e in
+      let r = Lkmm.check test in
+      let ok = r.Exec.Check.verdict = e.lk in
+      Printf.printf "%-22s expected %-6s got %-6s %s (cands=%d cons=%d)\n"
+        e.name
+        (Exec.Check.verdict_to_string e.lk)
+        (Exec.Check.verdict_to_string r.Exec.Check.verdict)
+        (if ok then "OK" else "** MISMATCH **")
+        r.n_candidates r.n_consistent)
+    Harness.Battery.all

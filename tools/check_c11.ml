@@ -1,0 +1,35 @@
+let () =
+  List.iter
+    (fun (e : Harness.Battery.entry) ->
+      match e.c11 with
+      | None -> ()
+      | Some expected ->
+          let test = Harness.Battery.test_of e in
+          let r = Exec.Check.run (module Models.C11) test in
+          let ok = r.Exec.Check.verdict = expected in
+          Printf.printf "%-22s C11 expected %-6s got %-6s %s\n" e.name
+            (Exec.Check.verdict_to_string expected)
+            (Exec.Check.verdict_to_string r.Exec.Check.verdict)
+            (if ok then "OK" else "** MISMATCH **"))
+    Harness.Battery.all;
+  (* sanity for SC and TSO on key tests *)
+  let check m name expected =
+    let test = Harness.Battery.test_of (Harness.Battery.find name) in
+    let r = Exec.Check.run m test in
+    Printf.printf "%-10s %-22s expected %-6s got %-6s %s\n"
+      (let module M = (val m : Exec.Check.MODEL) in M.name)
+      name
+      (Exec.Check.verdict_to_string expected)
+      (Exec.Check.verdict_to_string r.Exec.Check.verdict)
+      (if r.Exec.Check.verdict = expected then "OK" else "** MISMATCH **")
+  in
+  check (module Models.Sc) "SB" Exec.Check.Forbid;
+  check (module Models.Sc) "MP" Exec.Check.Forbid;
+  check (module Models.Sc) "LB" Exec.Check.Forbid;
+  check (module Models.Tso) "SB" Exec.Check.Allow;
+  check (module Models.Tso) "SB+mbs" Exec.Check.Forbid;
+  check (module Models.Tso) "MP" Exec.Check.Forbid;
+  check (module Models.Tso) "LB" Exec.Check.Forbid;
+  check (module Models.Tso) "PeterZ-No-Synchro" Exec.Check.Allow;
+  check (module Models.C11.Strengthened) "RWC+mbs" Exec.Check.Forbid;
+  check (module Models.C11.Strengthened) "SB+mbs" Exec.Check.Forbid

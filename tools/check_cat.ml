@@ -1,0 +1,33 @@
+(* Cross-check: the cat-interpreted models agree with the native OCaml
+   models on every battery test. *)
+let () =
+  let models =
+    [
+      ("LK", Cat.Stdmodels.lk, (module Lkmm : Exec.Check.MODEL));
+      ("SC", Cat.Stdmodels.sc, (module Models.Sc));
+      ("x86-TSO", Cat.Stdmodels.tso, (module Models.Tso));
+      ("C11", Cat.Stdmodels.c11, (module Models.C11));
+      ("C11-psc", Cat.Stdmodels.c11_psc, (module Models.C11.Strengthened));
+    ]
+  in
+  let mismatches = ref 0 in
+  List.iter
+    (fun (name, src, native) ->
+      let cat_model = Cat.parse src in
+      List.iter
+        (fun (e : Harness.Battery.entry) ->
+          let test = Harness.Battery.test_of e in
+          let module N = (val native : Exec.Check.MODEL) in
+          List.iter
+            (fun x ->
+              let a = N.consistent x and b = Cat.consistent cat_model x in
+              if a <> b then begin
+                incr mismatches;
+                Printf.printf "%s / %s: native=%b cat=%b\n" name e.name a b
+              end)
+            (Exec.of_test test))
+        Harness.Battery.all;
+      Printf.printf "%-8s checked\n%!" name)
+    models;
+  Printf.printf "mismatches: %d\n" !mismatches;
+  exit (if !mismatches = 0 then 0 else 1)

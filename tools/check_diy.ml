@@ -1,0 +1,32 @@
+(* Generator smoke test: generate cycles of sizes 3 and 4; classify under
+   the LK model; spot-check that classics appear and sim is sound. *)
+let () =
+  let n3 = Diygen.generate ~vocabulary:Diygen.Edge.core_vocabulary 3 in
+  Printf.printf "size-3 tests: %d\n%!" (List.length n3);
+  let allow = ref 0 and forbid = ref 0 in
+  List.iter
+    (fun t ->
+      match (Lkmm.check t).Exec.Check.verdict with
+      | Exec.Check.Allow -> incr allow
+      | Exec.Check.Forbid -> incr forbid)
+    n3;
+  Printf.printf "  LK verdicts: %d allow / %d forbid\n%!" !allow !forbid;
+  (* soundness: sim outcomes within model outcomes on a sample *)
+  let rng = Random.State.make [| 3 |] in
+  let sample = Diygen.sample ~rng ~count:30 4 in
+  Printf.printf "size-4 sample: %d\n%!" (List.length sample);
+  let bad = ref 0 in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun arch ->
+          let s = Hwsim.run_test arch ~runs:300 ~seed:5 t in
+          match Hwsim.unsound_outcomes (module Lkmm) t s with
+          | [] -> ()
+          | l ->
+              incr bad;
+              Printf.printf "UNSOUND %s on %s (%d outcomes)\n" t.Litmus.Ast.name
+                arch.Hwsim.Arch.name (List.length l))
+        [ Hwsim.Arch.power8; Hwsim.Arch.x86 ])
+    sample;
+  Printf.printf "unsound: %d\n" !bad

@@ -1,0 +1,7 @@
+let () =
+  let runs = try int_of_string Sys.argv.(1) with _ -> 300 in
+  let results = Harness.Rcu_study.run_all ~runs () in
+  List.iter (fun r -> Fmt.pr "%a@." Harness.Rcu_study.pp r) results;
+  match Harness.Rcu_study.issues results with
+  | [] -> print_endline "theorem-2 empirical check: OK"
+  | l -> List.iter print_endline l

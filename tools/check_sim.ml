@@ -1,0 +1,29 @@
+(* Simulator vs Table 5: weak-outcome observation pattern + soundness. *)
+let () =
+  let runs = try int_of_string Sys.argv.(1) with _ -> 2000 in
+  Printf.printf "%-22s %8s %8s %8s %8s  LK\n" "test" "Power8" "ARMv8" "ARMv7" "X86";
+  let unsound = ref 0 in
+  List.iter
+    (fun (e : Harness.Battery.entry) ->
+      if e.in_table5 then begin
+        let test = Harness.Battery.test_of e in
+        let cells =
+          List.map
+            (fun arch ->
+              let s = Hwsim.run_test arch ~runs ~seed:7 test in
+              (match Hwsim.unsound_outcomes (module Lkmm) test s with
+               | [] -> ()
+               | bad ->
+                   incr unsound;
+                   List.iter (fun (o, n) ->
+                     Printf.printf "  UNSOUND %s on %s: %s (%d)\n" e.name arch.Hwsim.Arch.name
+                       (Fmt.str "%a" Exec.pp_outcome o) n) bad);
+              Printf.sprintf "%d/%d" s.Hwsim.matched s.Hwsim.total)
+            Hwsim.Arch.table5
+        in
+        Printf.printf "%-22s %8s %8s %8s %8s  %s\n%!" e.name
+          (List.nth cells 0) (List.nth cells 1) (List.nth cells 2) (List.nth cells 3)
+          (Exec.Check.verdict_to_string e.lk)
+      end)
+    Harness.Battery.all;
+  Printf.printf "unsound cells: %d\n" !unsound

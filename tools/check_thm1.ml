@@ -1,0 +1,16 @@
+let () =
+  let total = ref 0 and bad = ref 0 in
+  List.iter
+    (fun (e : Harness.Battery.entry) ->
+      let test = Harness.Battery.test_of e in
+      List.iter
+        (fun x ->
+          incr total;
+          if not (Lkmm.Rcu.theorem1_holds x) then begin
+            incr bad;
+            Printf.printf "Theorem 1 fails on an execution of %s\n" e.name
+          end)
+        (Exec.of_test test))
+    Harness.Battery.all;
+  Printf.printf "theorem1: %d executions checked, %d violations\n" !total !bad;
+  exit (if !bad = 0 then 0 else 1)

@@ -1,0 +1,32 @@
+(* Writes the litmus corpus and its golden verdict manifest. *)
+let () =
+  let dir = "corpus" in
+  let rng = Random.State.make [| 2018 |] in
+  let tests =
+    Diygen.generate ~vocabulary:Diygen.Edge.core_vocabulary 4
+    @ Diygen.sample ~vocabulary:Diygen.Edge.vocabulary ~rng ~count:80 5
+    @ Diygen.sample ~vocabulary:Diygen.Edge.core_vocabulary ~rng ~count:30 6
+  in
+  let oc = open_out (Filename.concat dir "MANIFEST") in
+  Printf.fprintf oc
+    "# test-file  LK-verdict  C11-verdict(or -)  (golden, regenerate with tools/gen_corpus)\n";
+  List.iter
+    (fun (t : Litmus.Ast.t) ->
+      let file = String.map (function '+' -> '-' | c -> c) t.name ^ ".litmus" in
+      let path = Filename.concat dir file in
+      let o = open_out path in
+      output_string o (Litmus.to_string t);
+      close_out o;
+      let lk = (Exec.Check.run (module Lkmm) t).Exec.Check.verdict in
+      let c11 =
+        if Models.C11.applicable t then
+          Exec.Check.verdict_to_string
+            (Exec.Check.run (module Models.C11) t).Exec.Check.verdict
+        else "-"
+      in
+      Printf.fprintf oc "%s %s %s\n" file
+        (Exec.Check.verdict_to_string lk)
+        c11)
+    tests;
+  close_out oc;
+  Printf.printf "wrote %d corpus tests\n" (List.length tests)
