@@ -1,13 +1,45 @@
 (* Writes the shipped cat models to the models/ directory (the OCaml
    strings in Cat.Stdmodels are the source of truth; a test keeps the two
-   in sync). *)
+   in sync).
+
+   Robustness: every model is re-parsed before writing (a corrupt
+   stdmodel is reported as a classified error, not silently shipped),
+   write failures are reported per file, and the exit code distinguishes
+   success (0) from any error (2). *)
+
 let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "models" in
+  let errors = ref 0 in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "catgen: %s is not a directory\n" dir;
+    exit 2
+  end;
   List.iter
-    (fun (_, file, src) ->
-      let path = Filename.concat dir file in
-      let oc = open_out path in
-      output_string oc src;
-      close_out oc;
-      Printf.printf "wrote %s\n" path)
-    Cat.Stdmodels.all
+    (fun (name, file, src) ->
+      (* the string must round-trip through the cat parser before it is
+         written out as a shipped model *)
+      match Cat.parse src with
+      | _ -> (
+          let path = Filename.concat dir file in
+          match
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> output_string oc src)
+          with
+          | () -> Printf.printf "wrote %s\n" path
+          | exception Sys_error msg ->
+              incr errors;
+              Printf.eprintf "catgen: cannot write %s: %s\n" path msg)
+      | exception exn ->
+          incr errors;
+          let e = Harness.Runner.classify_exn exn in
+          Printf.eprintf "catgen: model %s does not parse: %s error: %s%s\n"
+            name
+            (Harness.Runner.class_to_string e.Harness.Runner.cls)
+            e.Harness.Runner.msg
+            (match e.Harness.Runner.line with
+            | Some l -> Printf.sprintf " (line %d)" l
+            | None -> ""))
+    Cat.Stdmodels.all;
+  exit (if !errors > 0 then 2 else 0)

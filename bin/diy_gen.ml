@@ -4,11 +4,13 @@
      diy_gen -size 4                    # enumerate all size-4 cycles
      diy_gen -size 5 -sample 50         # sample larger sizes
      diy_gen -size 4 -verdicts          # also print LK verdicts
+     diy_gen -size 7 -verdicts -timeout 5   # budgeted: big cycles degrade
+                                            # to Unknown instead of hanging
      diy_gen -size 4 -o tests/          # write .litmus files *)
 
 open Cmdliner
 
-let main size sample verdicts outdir =
+let main size sample verdicts outdir timeout max_candidates max_events =
   let tests =
     match sample with
     | None -> Diygen.generate ~vocabulary:Diygen.Edge.core_vocabulary size
@@ -16,20 +18,30 @@ let main size sample verdicts outdir =
         let rng = Random.State.make [| 2018 |] in
         Diygen.sample ~vocabulary:Diygen.Edge.core_vocabulary ~rng ~count size
   in
+  let limits = Exec.Budget.limits ?timeout ?max_events ?max_candidates () in
+  let budgeted m t =
+    if Exec.Budget.is_unlimited limits then Exec.Check.run m t
+    else Exec.Check.run ~budget:(Exec.Budget.start limits) m t
+  in
+  let unknowns = ref 0 in
   Fmt.pr "generated %d tests of size %d@." (List.length tests) size;
   List.iter
     (fun (t : Litmus.Ast.t) ->
-      (if verdicts then
-         let lk = (Exec.Check.run (module Lkmm) t).Exec.Check.verdict in
+      (if verdicts then begin
+         (* fresh budget per test: one explosive cycle degrades to Unknown
+            and the sweep keeps going *)
+         let lk = (budgeted (module Lkmm) t).Exec.Check.verdict in
+         (match lk with Exec.Check.Unknown _ -> incr unknowns | _ -> ());
          let c11 =
            if Models.C11.applicable t then
              Exec.Check.verdict_to_string
-               (Exec.Check.run (module Models.C11) t).Exec.Check.verdict
+               (budgeted (module Models.C11) t).Exec.Check.verdict
            else "-"
          in
          Fmt.pr "%-45s LK:%-6s C11:%s@." t.name
            (Exec.Check.verdict_to_string lk)
            c11
+       end
        else Fmt.pr "%s@." t.name);
       match outdir with
       | None -> ()
@@ -41,7 +53,12 @@ let main size sample verdicts outdir =
           let oc = open_out path in
           output_string oc (Litmus.to_string t);
           close_out oc)
-    tests
+    tests;
+  if !unknowns > 0 then begin
+    Fmt.pr "%d tests exceeded their budget (Unknown)@." !unknowns;
+    3
+  end
+  else 0
 
 let size_arg =
   Arg.(value & opt int 4 & info [ "size"; "s" ] ~doc:"Cycle length.")
@@ -62,34 +79,54 @@ let outdir_arg =
     & opt (some dir) None
     & info [ "o" ] ~docv:"DIR" ~doc:"Write the tests as .litmus files.")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock budget per verdict check.")
+
+let max_candidates_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-candidates" ] ~docv:"N"
+        ~doc:"Candidate-execution cap per verdict check.")
+
+let max_events_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-events" ] ~docv:"N"
+        ~doc:"Event cap per candidate execution.")
+
+let exit_info =
+  [
+    Cmd.Exit.info 0 ~doc:"all requested work completed";
+    Cmd.Exit.info 2 ~doc:"an error occurred (classified on stderr)";
+    Cmd.Exit.info 3 ~doc:"some verdict check exceeded its budget (Unknown)";
+    Cmd.Exit.info 124
+      ~doc:"command-line usage error: unknown option or bad value \
+            (Cmdliner convention)";
+    Cmd.Exit.info 125 ~doc:"uncaught internal exception (Cmdliner convention)";
+  ]
+
 let cmd =
   Cmd.v
-    (Cmd.info "diy_gen" ~doc:"Generate litmus tests from relaxation cycles")
-    Term.(const main $ size_arg $ sample_arg $ verdicts_arg $ outdir_arg)
+    (Cmd.info "diy_gen" ~doc:"Generate litmus tests from relaxation cycles"
+       ~exits:exit_info)
+    Term.(
+      const main $ size_arg $ sample_arg $ verdicts_arg $ outdir_arg
+      $ timeout_arg $ max_candidates_arg $ max_events_arg)
 
-(* user errors become one-line messages, not uncaught exceptions *)
+(* user errors become one-line classified messages, not uncaught exceptions *)
 let () =
   match Cmd.eval_value ~catch:false cmd with
-  | Ok _ -> exit 0
-  | Error _ -> exit 124
-  | exception Litmus.Parser.Error (msg, line) ->
-      Fmt.epr "diy_gen: parse error, line %d: %s@." line msg;
-      exit 2
-  | exception Litmus.Lexer.Error (msg, line) ->
-      Fmt.epr "diy_gen: lexical error, line %d: %s@." line msg;
-      exit 2
-  | exception Cat.Parser.Error (msg, line) ->
-      Fmt.epr "diy_gen: cat parse error, line %d: %s@." line msg;
-      exit 2
-  | exception Cat.Lexer.Error (msg, line) ->
-      Fmt.epr "diy_gen: cat lexical error, line %d: %s@." line msg;
-      exit 2
-  | exception Cat.Interp.Type_error msg ->
-      Fmt.epr "diy_gen: cat evaluation error: %s@." msg;
-      exit 2
-  | exception Failure msg ->
-      Fmt.epr "diy_gen: %s@." msg;
-      exit 2
-  | exception Not_found ->
-      Fmt.epr "diy_gen: unknown built-in test (see lib/harness/battery.ml for names)@.";
+  | Ok (`Ok code) -> exit code
+  | Ok (`Help | `Version) -> exit 0
+  | Error (`Parse | `Term) -> exit 124 (* CLI usage error *)
+  | Error `Exn -> exit 125 (* internal error *)
+  | exception exn ->
+      Fmt.epr "diy_gen: %a@." Harness.Runner.pp_error
+        (Harness.Runner.classify_exn exn);
       exit 2

@@ -5,78 +5,152 @@
      herd_lk -model c11 test.litmus      # a shipped model
      herd_lk -model my.cat test.litmus   # any cat file
      herd_lk -v test.litmus              # verdict + witness explanation
-     herd_lk -outcomes test.litmus       # all observable outcomes *)
+     herd_lk -outcomes test.litmus       # all observable outcomes
+     herd_lk --timeout 5 huge.litmus     # budgeted: Unknown, not a hang
+     herd_lk --json *.litmus             # machine-readable batch report
+
+   Every test runs through the fault-isolated Harness.Runner: parse
+   errors, lint errors, budget exhaustion and internal failures become
+   classified report entries, and the batch always completes. *)
 
 open Cmdliner
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let model_of_name name : (module Exec.Check.MODEL) =
+let model_of_name name : Harness.Runner.model_factory =
   match String.lowercase_ascii name with
-  | "lk" | "lkmm" | "linux" -> (module Lkmm)
+  | "lk" | "lkmm" | "linux" -> Harness.Runner.static_model (module Lkmm)
   | "lk-cat" ->
-      Cat.to_check_model ~name:"LK(cat)" (Cat.parse Cat.Stdmodels.lk)
-  | "sc" -> (module Models.Sc)
-  | "tso" | "x86" -> (module Models.Tso)
-  | "c11" -> (module Models.C11)
-  | "c11-psc" | "rc11" -> (module Models.C11.Strengthened)
+      let m = Cat.parse Cat.Stdmodels.lk in
+      fun budget -> Cat.to_check_model ~name:"LK(cat)" ?budget m
+  | "sc" -> Harness.Runner.static_model (module Models.Sc)
+  | "tso" | "x86" -> Harness.Runner.static_model (module Models.Tso)
+  | "c11" -> Harness.Runner.static_model (module Models.C11)
+  | "c11-psc" | "rc11" -> Harness.Runner.static_model (module Models.C11.Strengthened)
   | _ when Filename.check_suffix name ".cat" ->
-      Cat.to_check_model ~name (Cat.load_file name)
+      let m = Cat.load_file name in
+      fun budget -> Cat.to_check_model ~name ?budget m
   | other -> failwith ("unknown model: " ^ other)
 
-let run_one model verbose outcomes dot path =
-  let test = Litmus.parse (read_file path) in
-  List.iter
-    (fun i -> Fmt.pr "lint: %a@." Litmus.Lint.pp_issue i)
-    (Litmus.Lint.check_all test);
-  let module M = (val model : Exec.Check.MODEL) in
-  let r = Exec.Check.run model test in
-  Fmt.pr "Test %s: %a under %s (%d candidate executions, %d consistent)@."
-    test.Litmus.Ast.name Exec.Check.pp_verdict r.Exec.Check.verdict M.name
-    r.Exec.Check.n_candidates r.Exec.Check.n_consistent;
+let model_display_name name =
+  match String.lowercase_ascii name with
+  | "lk" | "lkmm" | "linux" -> "LK"
+  | "lk-cat" -> "LK(cat)"
+  | "sc" -> "SC"
+  | "tso" | "x86" -> "TSO"
+  | "c11" -> "C11"
+  | "c11-psc" | "rc11" -> "C11+psc"
+  | other -> other
+
+(* Per-entry console output, preserving the classic verdict line for
+   completed checks. *)
+let print_entry model_name outcomes (e : Harness.Runner.entry) =
+  (match (e.Harness.Runner.status, e.Harness.Runner.result) with
+  | Harness.Runner.Pass v, Some r ->
+      Fmt.pr "Test %s: %a under %s (%d candidate executions, %d consistent)@."
+        e.Harness.Runner.item_id Exec.Check.pp_verdict v model_name
+        r.Exec.Check.n_candidates r.Exec.Check.n_consistent
+  | Harness.Runner.Fail { expected; got }, _ ->
+      Fmt.pr "Test %s: FAIL under %s — expected %s, got %s@."
+        e.Harness.Runner.item_id model_name
+        (Exec.Check.verdict_to_string expected)
+        (Exec.Check.verdict_to_string got)
+  | Harness.Runner.Gave_up reason, _ ->
+      Fmt.pr "Test %s: Unknown under %s (%s; %d candidates enumerated)@."
+        e.Harness.Runner.item_id model_name
+        (Exec.Budget.reason_to_string reason)
+        e.Harness.Runner.n_candidates
+  | Harness.Runner.Err err, _ ->
+      Fmt.pr "Test %s: %a@." e.Harness.Runner.item_id Harness.Runner.pp_error
+        err
+  | Harness.Runner.Pass v, None ->
+      Fmt.pr "Test %s: %a under %s@." e.Harness.Runner.item_id
+        Exec.Check.pp_verdict v model_name);
   if outcomes then
-    List.iter
-      (fun (o, matches) ->
-        Fmt.pr "  %a %s@." Exec.pp_outcome o
-          (if matches then "<- condition" else ""))
-      r.Exec.Check.outcomes;
-  if verbose && M.name = "LK" then
-    Fmt.pr "%a@." Lkmm.Explain.pp_test_verdict test;
-  match dot with
-  | Some path ->
-      (* render the witness (or the first candidate) as a Graphviz file *)
-      let x =
-        match r.Exec.Check.witness with
-        | Some x -> Some x
-        | None -> (match Exec.of_test test with x :: _ -> Some x | [] -> None)
-      in
-      (match x with
-      | Some x ->
-          Exec.Dot.to_file path x;
-          Fmt.pr "wrote %s@." path
-      | None -> ())
+    match e.Harness.Runner.result with
+    | Some r ->
+        List.iter
+          (fun (o, matches) ->
+            Fmt.pr "  %a %s@." Exec.pp_outcome o
+              (if matches then "<- condition" else ""))
+          r.Exec.Check.outcomes
+    | None -> ()
+
+let write_dot path (e : Harness.Runner.entry) source =
+  let x =
+    match e.Harness.Runner.result with
+    | Some { Exec.Check.witness = Some x; _ } -> Some x
+    | _ -> (
+        (* no witness: render the first candidate instead, if it parses *)
+        try match Exec.of_test (Litmus.parse source) with
+          | x :: _ -> Some x
+          | [] -> None
+        with _ -> None)
+  in
+  match x with
+  | Some x ->
+      Exec.Dot.to_file path x;
+      Fmt.pr "wrote %s@." path
   | None -> ()
 
-let main model verbose outcomes dot builtin files =
-  let model = model_of_name model in
-  (match builtin with
-  | Some name ->
-      let e = Harness.Battery.find name in
-      let tmp = Filename.temp_file "battery" ".litmus" in
-      let oc = open_out tmp in
-      output_string oc e.Harness.Battery.source;
-      close_out oc;
-      run_one model verbose outcomes dot tmp
-  | None -> ());
-  List.iter (run_one model verbose outcomes dot) files;
-  if files = [] && builtin = None then
+let main model verbose outcomes dot builtin timeout max_candidates max_events
+    json files =
+  let factory = model_of_name model in
+  let mname = model_display_name model in
+  let limits =
+    Exec.Budget.limits ?timeout ?max_events ?max_candidates ()
+  in
+  let items =
+    (match builtin with
+    | Some name ->
+        let e = Harness.Battery.find name in
+        (* check the battery entry's source directly; its recorded LK
+           verdict becomes the expectation when running the LK model *)
+        [
+          {
+            Harness.Runner.id = e.Harness.Battery.name;
+            source = `Text e.Harness.Battery.source;
+            expected =
+              (if mname = "LK" then Some e.Harness.Battery.lk else None);
+          };
+        ]
+    | None -> [])
+    @ List.map
+        (fun path ->
+          { Harness.Runner.id = path; source = `File path; expected = None })
+        files
+  in
+  if items = [] then begin
     Fmt.pr
-      "no tests given; try: herd_lk -b MP+wmb+rmb  (built-in battery test)@."
+      "no tests given; try: herd_lk -b MP+wmb+rmb  (built-in battery test)@.";
+    0
+  end
+  else begin
+    let report = Harness.Runner.run ~limits ~model:factory items in
+    if json then print_string (Harness.Runner.to_json report ^ "\n")
+    else begin
+      let sources =
+        List.map
+          (fun (i : Harness.Runner.item) ->
+            match i.source with
+            | `Text s -> s
+            | `File p -> (try Harness.Runner.read_file p with _ -> "")
+            | `Ast t -> Litmus.to_string t)
+          items
+      in
+      List.iter2
+        (fun (e : Harness.Runner.entry) source ->
+          print_entry mname outcomes e;
+          (if verbose && mname = "LK" then
+             match e.Harness.Runner.result with
+             | Some _ -> (
+                 try Fmt.pr "%a@." Lkmm.Explain.pp_test_verdict (Litmus.parse source)
+                 with _ -> ())
+             | None -> ());
+          match dot with Some p -> write_dot p e source | None -> ())
+        report.Harness.Runner.entries sources;
+      if List.length items > 1 then Fmt.pr "%a@." Harness.Runner.pp report
+    end;
+    Harness.Runner.exit_code report
+  end
 
 let model_arg =
   Arg.(
@@ -107,39 +181,88 @@ let dot_arg =
     & info [ "dot" ] ~docv:"FILE"
         ~doc:"Write a Graphviz rendering of the witness execution.")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget per test; exceeding it yields the Unknown \
+           verdict instead of a hang.")
+
+let max_candidates_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-candidates" ] ~docv:"N"
+        ~doc:
+          "Cap on candidate executions per test (the rf/co product is \
+           pre-checked, so explosions fail fast).")
+
+let max_events_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-events" ] ~docv:"N"
+        ~doc:"Cap on events per candidate execution.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the batch report as JSON on stdout.")
+
 let files_arg =
   Arg.(value & pos_all file [] & info [] ~docv:"TEST.litmus")
 
+let exit_info =
+  [
+    Cmd.Exit.info 0 ~doc:"every test passed (completed, matching any \
+                          recorded expectation)";
+    Cmd.Exit.info 1 ~doc:"some test's verdict mismatched its expectation \
+                          (FAIL)";
+    Cmd.Exit.info 2 ~doc:"some test errored: parse, lex, type, lint or \
+                          internal error";
+    Cmd.Exit.info 3 ~doc:"some test exceeded its resource budget (Unknown) \
+                          and none failed or errored";
+    Cmd.Exit.info 124
+      ~doc:"command-line usage error: unknown option or bad value \
+            (Cmdliner convention)";
+    Cmd.Exit.info 125 ~doc:"uncaught internal exception (Cmdliner convention)";
+  ]
+
 let cmd =
   Cmd.v
-    (Cmd.info "herd_lk" ~doc:"Run litmus tests against memory models")
+    (Cmd.info "herd_lk" ~doc:"Run litmus tests against memory models"
+       ~exits:exit_info
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs each test through a fault-isolated batch runner: parse \
+              errors, lint errors, budget exhaustion and internal failures \
+              are reported as classified entries and the batch always \
+              completes.  The highest-severity entry decides the exit code \
+              (error > fail > budget).";
+         ])
     Term.(
       const main $ model_arg $ verbose_arg $ outcomes_arg $ dot_arg
-      $ builtin_arg $ files_arg)
+      $ builtin_arg $ timeout_arg $ max_candidates_arg $ max_events_arg
+      $ json_arg $ files_arg)
 
-(* user errors become one-line messages, not uncaught exceptions *)
+(* user errors become one-line classified messages, not uncaught
+   exceptions; Cmdliner's own error classes keep their reserved codes *)
 let () =
   match Cmd.eval_value ~catch:false cmd with
-  | Ok _ -> exit 0
-  | Error _ -> exit 124
-  | exception Litmus.Parser.Error (msg, line) ->
-      Fmt.epr "herd_lk: parse error, line %d: %s@." line msg;
-      exit 2
-  | exception Litmus.Lexer.Error (msg, line) ->
-      Fmt.epr "herd_lk: lexical error, line %d: %s@." line msg;
-      exit 2
-  | exception Cat.Parser.Error (msg, line) ->
-      Fmt.epr "herd_lk: cat parse error, line %d: %s@." line msg;
-      exit 2
-  | exception Cat.Lexer.Error (msg, line) ->
-      Fmt.epr "herd_lk: cat lexical error, line %d: %s@." line msg;
-      exit 2
-  | exception Cat.Interp.Type_error msg ->
-      Fmt.epr "herd_lk: cat evaluation error: %s@." msg;
-      exit 2
-  | exception Failure msg ->
-      Fmt.epr "herd_lk: %s@." msg;
-      exit 2
+  | Ok (`Ok code) -> exit code
+  | Ok (`Help | `Version) -> exit 0
+  | Error (`Parse | `Term) -> exit 124 (* CLI usage error *)
+  | Error `Exn -> exit 125 (* internal error *)
   | exception Not_found ->
-      Fmt.epr "herd_lk: unknown built-in test (see lib/harness/battery.ml for names)@.";
+      Fmt.epr
+        "herd_lk: unknown built-in test (see lib/harness/battery.ml for \
+         names)@.";
+      exit 2
+  | exception exn ->
+      Fmt.epr "herd_lk: %a@." Harness.Runner.pp_error
+        (Harness.Runner.classify_exn exn);
       exit 2

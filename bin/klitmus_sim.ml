@@ -3,36 +3,54 @@
 
      klitmus_sim -b SB -runs 20000             # a built-in battery test
      klitmus_sim -arch Power8,X86 test.litmus  # specific architectures
-     klitmus_sim -check -b MP                  # also verify soundness *)
+     klitmus_sim -check -b MP                  # also verify soundness
+     klitmus_sim -stable -b SB                 # retry until the histogram
+                                               # converges (fresh seeds)
+
+   Soundness checks enumerate model outcomes, which can explode; with
+   --timeout/--max-candidates the check degrades to "soundness unknown"
+   instead of hanging.  Errors are classified (parse/lex/...), and the
+   exit code follows the runner policy: 0 ok, 2 error, 3 budget. *)
 
 open Cmdliner
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let run_one archs runs seed check test =
+let run_one archs runs seed check stable limits test =
+  let errors = ref 0 and budget_outs = ref 0 in
   Fmt.pr "Test %s:@." test.Litmus.Ast.name;
   List.iter
     (fun arch ->
-      let s = Hwsim.run_test arch ~runs ~seed test in
-      Fmt.pr "  %-7s condition matched %d/%d@." s.Hwsim.arch s.Hwsim.matched
-        s.Hwsim.total;
+      let s, convergence =
+        if stable then begin
+          let st = Hwsim.run_test_stable arch ~seed test in
+          ( st.Hwsim.stats,
+            Some
+              (Printf.sprintf "%s after %d batches"
+                 (if st.Hwsim.converged then "converged" else "NOT converged")
+                 st.Hwsim.batches) )
+        end
+        else (Hwsim.run_test arch ~runs ~seed test, None)
+      in
+      Fmt.pr "  %-7s condition matched %d/%d%s@." s.Hwsim.arch s.Hwsim.matched
+        s.Hwsim.total
+        (match convergence with Some c -> " (" ^ c ^ ")" | None -> "");
       if check then
-        match Hwsim.unsound_outcomes (module Lkmm) test s with
-        | [] -> Fmt.pr "  %-7s sound w.r.t. the LK model@." s.Hwsim.arch
-        | bad ->
+        match Hwsim.soundness ?limits (module Lkmm) test s with
+        | Hwsim.Sound -> Fmt.pr "  %-7s sound w.r.t. the LK model@." s.Hwsim.arch
+        | Hwsim.Unsound bad ->
+            incr errors;
             List.iter
               (fun (o, n) ->
                 Fmt.pr "  %-7s UNSOUND outcome %a (%d times)@." s.Hwsim.arch
                   Exec.pp_outcome o n)
-              bad)
-    archs
+              bad
+        | Hwsim.Soundness_unknown r ->
+            incr budget_outs;
+            Fmt.pr "  %-7s soundness unknown: %s@." s.Hwsim.arch
+              (Exec.Budget.reason_to_string r))
+    archs;
+  (!errors, !budget_outs)
 
-let main archs runs seed check builtin files =
+let main archs runs seed check stable timeout max_candidates files builtin =
   let archs =
     match archs with
     | [] -> Hwsim.Arch.table5
@@ -43,16 +61,36 @@ let main archs runs seed check builtin files =
             with Not_found -> failwith ("unknown architecture: " ^ n))
           names
   in
+  let limits =
+    let l = Exec.Budget.limits ?timeout ?max_candidates () in
+    if Exec.Budget.is_unlimited l then None else Some l
+  in
+  let errors = ref 0 and budget_outs = ref 0 and failures = ref 0 in
+  let run_test test =
+    let e, b = run_one archs runs seed check stable limits test in
+    errors := !errors + e;
+    budget_outs := !budget_outs + b
+  in
   (match builtin with
   | Some name ->
-      run_one archs runs seed check
-        (Litmus.parse (Harness.Battery.find name).Harness.Battery.source)
+      run_test (Litmus.parse (Harness.Battery.find name).Harness.Battery.source)
   | None -> ());
   List.iter
-    (fun path -> run_one archs runs seed check (Litmus.parse (read_file path)))
+    (fun path ->
+      (* per-file fault isolation: a malformed file is reported and the
+         batch continues *)
+      match Litmus.parse (Harness.Runner.read_file path) with
+      | test -> run_test test
+      | exception exn ->
+          incr failures;
+          Fmt.epr "klitmus_sim: %s: %a@." path Harness.Runner.pp_error
+            (Harness.Runner.classify_exn exn))
     files;
   if files = [] && builtin = None then
-    Fmt.pr "no tests given; try: klitmus_sim -b SB@."
+    Fmt.pr "no tests given; try: klitmus_sim -b SB@.";
+  if !errors > 0 || !failures > 0 then 2
+  else if !budget_outs > 0 then 3
+  else 0
 
 let archs_arg =
   Arg.(
@@ -74,6 +112,29 @@ let check_arg =
     & info [ "check" ]
         ~doc:"Check every observed outcome is allowed by the LK model.")
 
+let stable_arg =
+  Arg.(
+    value & flag
+    & info [ "stable" ]
+        ~doc:
+          "Retry-until-stable sampling: re-run in batches with fresh seeds \
+           until the outcome histogram converges (distinguishes 'weak \
+           outcome genuinely unobserved' from 'not enough samples').")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock budget for the model side of -check.")
+
+let max_candidates_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-candidates" ] ~docv:"N"
+        ~doc:"Candidate-execution cap for the model side of -check.")
+
 let builtin_arg =
   Arg.(
     value
@@ -82,37 +143,41 @@ let builtin_arg =
 
 let files_arg = Arg.(value & pos_all file [] & info [] ~docv:"TEST.litmus")
 
+let exit_info =
+  [
+    Cmd.Exit.info 0 ~doc:"all runs completed (and -check found no unsound \
+                          outcome)";
+    Cmd.Exit.info 2 ~doc:"a test errored or -check found an unsound outcome";
+    Cmd.Exit.info 3 ~doc:"-check exceeded its budget (soundness unknown) \
+                          and nothing errored";
+    Cmd.Exit.info 124
+      ~doc:"command-line usage error: unknown option or bad value \
+            (Cmdliner convention)";
+    Cmd.Exit.info 125 ~doc:"uncaught internal exception (Cmdliner convention)";
+  ]
+
 let cmd =
   Cmd.v
     (Cmd.info "klitmus_sim"
-       ~doc:"Run litmus tests on simulated weak-memory hardware")
+       ~doc:"Run litmus tests on simulated weak-memory hardware"
+       ~exits:exit_info)
     Term.(
-      const main $ archs_arg $ runs_arg $ seed_arg $ check_arg $ builtin_arg
-      $ files_arg)
+      const main $ archs_arg $ runs_arg $ seed_arg $ check_arg $ stable_arg
+      $ timeout_arg $ max_candidates_arg $ files_arg $ builtin_arg)
 
-(* user errors become one-line messages, not uncaught exceptions *)
+(* user errors become one-line classified messages, not uncaught exceptions *)
 let () =
   match Cmd.eval_value ~catch:false cmd with
-  | Ok _ -> exit 0
-  | Error _ -> exit 124
-  | exception Litmus.Parser.Error (msg, line) ->
-      Fmt.epr "klitmus_sim: parse error, line %d: %s@." line msg;
-      exit 2
-  | exception Litmus.Lexer.Error (msg, line) ->
-      Fmt.epr "klitmus_sim: lexical error, line %d: %s@." line msg;
-      exit 2
-  | exception Cat.Parser.Error (msg, line) ->
-      Fmt.epr "klitmus_sim: cat parse error, line %d: %s@." line msg;
-      exit 2
-  | exception Cat.Lexer.Error (msg, line) ->
-      Fmt.epr "klitmus_sim: cat lexical error, line %d: %s@." line msg;
-      exit 2
-  | exception Cat.Interp.Type_error msg ->
-      Fmt.epr "klitmus_sim: cat evaluation error: %s@." msg;
-      exit 2
-  | exception Failure msg ->
-      Fmt.epr "klitmus_sim: %s@." msg;
-      exit 2
+  | Ok (`Ok code) -> exit code
+  | Ok (`Help | `Version) -> exit 0
+  | Error (`Parse | `Term) -> exit 124 (* CLI usage error *)
+  | Error `Exn -> exit 125 (* internal error *)
   | exception Not_found ->
-      Fmt.epr "klitmus_sim: unknown built-in test (see lib/harness/battery.ml for names)@.";
+      Fmt.epr
+        "klitmus_sim: unknown built-in test (see lib/harness/battery.ml for \
+         names)@.";
+      exit 2
+  | exception exn ->
+      Fmt.epr "klitmus_sim: %a@." Harness.Runner.pp_error
+        (Harness.Runner.classify_exn exn);
       exit 2

@@ -27,22 +27,24 @@ let load_file path =
   close_in ic;
   parse src
 
-(** [outcomes model x] evaluates every constraint of [model] on the
-    candidate execution [x]. *)
-let outcomes (model : model) (x : Exec.t) =
-  Interp.run model (Interp.env_of_execution x)
+(** [outcomes ?budget model x] evaluates every constraint of [model] on
+    the candidate execution [x]; [?budget] bounds the interpretation
+    wall-clock (see {!Interp.run}). *)
+let outcomes ?budget (model : model) (x : Exec.t) =
+  Interp.run ?budget model (Interp.env_of_execution x)
 
-(** [consistent model x] holds iff [x] satisfies all of [model]'s
+(** [consistent ?budget model x] holds iff [x] satisfies all of [model]'s
     constraints. *)
-let consistent (model : model) (x : Exec.t) =
-  List.for_all (fun (o : Interp.outcome) -> o.holds) (outcomes model x)
+let consistent ?budget (model : model) (x : Exec.t) =
+  List.for_all (fun (o : Interp.outcome) -> o.holds) (outcomes ?budget model x)
 
-(** [to_check_model ~name model] packages a cat model for
-    {!Exec.Check.run}. *)
-let to_check_model ~name (model : model) : (module Exec.Check.MODEL) =
+(** [to_check_model ~name ?budget model] packages a cat model for
+    {!Exec.Check.run}.  Pass the same running budget to {!Exec.Check.run}
+    so the fixpoint interpreter shares the test's deadline. *)
+let to_check_model ~name ?budget (model : model) : (module Exec.Check.MODEL) =
   (module struct
     let name = name
-    let consistent = consistent model
+    let consistent = consistent ?budget model
   end)
 
 (** The shipped LK model (lk.cat), parsed. *)

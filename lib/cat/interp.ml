@@ -76,8 +76,10 @@ let rec eval env (e : Ast.expr) =
 
 (* Evaluate one let group; recursive groups are solved by Kleene iteration
    from empty relations (cat's rec is a least fixed point of monotone
-   equations). *)
-let eval_let env bindings is_rec =
+   equations).  [?budget] bounds the iteration wall-clock: each Kleene
+   step probes the deadline, so a pathological model gives up instead of
+   spinning its full 1000-round allowance on big relations. *)
+let eval_let ?budget env bindings is_rec =
   if not is_rec then
     List.fold_left
       (fun env' (name, params, body) ->
@@ -101,6 +103,7 @@ let eval_let env bindings is_rec =
     let values e = List.map (fun n -> as_rel (lookup e n)) names in
     let rec go e n =
       if n > 1000 then raise (Type_error "rec definition did not converge");
+      Option.iter Exec.Budget.check_time budget;
       let e' = step e in
       if List.for_all2 Rel.equal (values e) (values e') then e' else go e' n
     in
@@ -121,12 +124,17 @@ let run_check env kind e name =
   in
   { check_name = Option.value ~default:"(unnamed)" name; kind; holds }
 
-(* Run all statements; returns the outcome of every constraint. *)
-let run (model : Ast.t) env =
+(* Run all statements; returns the outcome of every constraint.  With a
+   budget, the deadline is probed between statements and inside recursive
+   fixpoints (raising {!Exec.Budget.Exceeded}). *)
+let run ?budget (model : Ast.t) env =
   let rec go env acc = function
     | [] -> List.rev acc
-    | Ast.Let (bs, is_rec) :: rest -> go (eval_let env bs is_rec) acc rest
+    | Ast.Let (bs, is_rec) :: rest ->
+        Option.iter Exec.Budget.tick budget;
+        go (eval_let ?budget env bs is_rec) acc rest
     | Ast.Check (kind, e, name) :: rest ->
+        Option.iter Exec.Budget.tick budget;
         go env (run_check env kind e name :: acc) rest
   in
   go env [] model.stmts

@@ -32,9 +32,11 @@ type outcome = {
   holds : bool;
 }
 
-(** [run model env] executes all statements; returns every constraint's
-    outcome in source order. *)
-val run : Ast.t -> env -> outcome list
+(** [run ?budget model env] executes all statements; returns every
+    constraint's outcome in source order.  With a budget, the deadline is
+    probed between statements and on every Kleene iteration of recursive
+    definitions, raising {!Exec.Budget.Exceeded} when it passes. *)
+val run : ?budget:Exec.Budget.t -> Ast.t -> env -> outcome list
 
 (** The predefined cat environment of an execution: the event sets ([_],
     [W], [R], [M], [F], [IW], and one per annotation), the base relations

@@ -1,0 +1,62 @@
+(** Per-test resource budgets: wall-clock timeout, max events per
+    candidate execution, max candidate executions.  Enumeration and
+    interpretation raise {!Exceeded} when a limit trips; callers turn
+    that into a structured [Unknown] verdict instead of hanging. *)
+
+type limits = {
+  timeout : float option;  (** wall-clock seconds per test *)
+  max_events : int option;  (** events in one candidate execution *)
+  max_candidates : int option;  (** candidate executions enumerated *)
+}
+
+val unlimited : limits
+
+(** [limits ?timeout ?max_events ?max_candidates ()] — omitted fields are
+    unbounded. *)
+val limits :
+  ?timeout:float -> ?max_events:int -> ?max_candidates:int -> unit -> limits
+
+(** The batch runner's defaults: 10 s, 256 events, 200k candidates. *)
+val default : limits
+
+val is_unlimited : limits -> bool
+
+type reason =
+  | Timed_out of float  (** the wall-clock limit, seconds *)
+  | Too_many_events of int * int  (** seen, limit *)
+  | Too_many_candidates of int  (** limit *)
+
+val reason_to_string : reason -> string
+val pp_reason : reason Fmt.t
+
+exception Exceeded of reason
+
+(** A running budget: deadline armed, candidate counter live. *)
+type t
+
+(** [start limits] arms the deadline and zeroes the counters. *)
+val start : limits -> t
+
+(** Candidate executions materialised so far (partial-progress report). *)
+val candidates_seen : t -> int
+
+(** Raise {!Exceeded} if the deadline has passed (samples the clock). *)
+val check_time : t -> unit
+
+(** Cheap probe for hot loops: checks the clock every 256th call. *)
+val tick : t -> unit
+
+(** [check_events b n] — fail if one candidate has more than the cap. *)
+val check_events : t -> int -> unit
+
+(** Count one materialised candidate execution against the cap. *)
+val count_candidate : t -> unit
+
+(** [claim b n] — fail early if [n] further candidates would blow the
+    cap (arithmetic pre-check, nothing materialised yet). *)
+val claim : t -> int -> unit
+
+(** Saturating multiply/factorial for pre-enumeration size estimates. *)
+val sat_mul : int -> int -> int
+
+val sat_fact : int -> int

@@ -2,7 +2,12 @@
 
    A model decides which candidate executions are consistent; a test is
    *allowed* iff some consistent execution satisfies its (existential)
-   condition — herd's Ok/No verdicts. *)
+   condition — herd's Ok/No verdicts.
+
+   A third verdict, [Unknown], carries the robustness layer: when a
+   per-test budget trips mid-enumeration, or the model itself fails on a
+   candidate, the partial result is reported instead of a hang or an
+   escaped exception. *)
 
 module type MODEL = sig
   val name : string
@@ -12,9 +17,21 @@ module type MODEL = sig
   val consistent : Execution.t -> bool
 end
 
-type verdict = Allow | Forbid
+type unknown_reason =
+  | Budget_exceeded of Budget.reason
+  | Model_error of exn (* the model raised on some candidate *)
 
-let verdict_to_string = function Allow -> "Allow" | Forbid -> "Forbid"
+type verdict = Allow | Forbid | Unknown of unknown_reason
+
+let unknown_reason_to_string = function
+  | Budget_exceeded r -> Budget.reason_to_string r
+  | Model_error exn -> "model error: " ^ Printexc.to_string exn
+
+let verdict_to_string = function
+  | Allow -> "Allow"
+  | Forbid -> "Forbid"
+  | Unknown r -> Printf.sprintf "Unknown (%s)" (unknown_reason_to_string r)
+
 let pp_verdict ppf v = Fmt.string ppf (verdict_to_string v)
 
 type result = {
@@ -36,9 +53,15 @@ type result = {
    - forall c  : Allow iff some consistent execution *violates* c.
    In all cases the verdict answers: "is the distinguishing outcome
    observable?". *)
-let run (module M : MODEL) (test : Litmus.Ast.t) =
-  let candidates = Execution.of_test test in
-  let consistent = List.filter M.consistent candidates in
+let run_exn ?budget (module M : MODEL) (test : Litmus.Ast.t) =
+  let candidates = Execution.of_test ?budget test in
+  let consistent =
+    List.filter
+      (fun x ->
+        Option.iter Budget.tick budget;
+        M.consistent x)
+      candidates
+  in
   let satisfies x =
     match test.quant with
     | Litmus.Ast.Q_exists | Litmus.Ast.Q_not_exists -> Execution.satisfies_cond x
@@ -58,10 +81,37 @@ let run (module M : MODEL) (test : Litmus.Ast.t) =
     outcomes;
   }
 
+let unknown ?budget reason =
+  {
+    verdict = Unknown reason;
+    n_candidates =
+      (match budget with Some b -> Budget.candidates_seen b | None -> 0);
+    n_consistent = 0;
+    n_matching = 0;
+    witness = None;
+    outcomes = [];
+  }
+
+(* Budgeted checking: budget violations and model failures become
+   [Unknown] results carrying the partial candidate count — a check under
+   a budget never raises.  Without a budget, behaviour (and exceptions)
+   are exactly the pre-budget ones. *)
+let run ?budget (module M : MODEL) (test : Litmus.Ast.t) =
+  match budget with
+  | None -> run_exn (module M) test
+  | Some b -> (
+      try run_exn ~budget:b (module M) test with
+      | Budget.Exceeded r -> unknown ~budget:b (Budget_exceeded r)
+      | Stack_overflow -> unknown ~budget:b (Model_error Stack_overflow)
+      | exn -> unknown ~budget:b (Model_error exn))
+
 (* The set of observable outcomes under the model, ignoring the condition:
-   used to compare models with operational simulators. *)
-let allowed_outcomes (module M : MODEL) (test : Litmus.Ast.t) =
-  Execution.of_test test
-  |> List.filter M.consistent
+   used to compare models with operational simulators.  May raise
+   {!Budget.Exceeded} when budgeted. *)
+let allowed_outcomes ?budget (module M : MODEL) (test : Litmus.Ast.t) =
+  Execution.of_test ?budget test
+  |> List.filter (fun x ->
+         Option.iter Budget.tick budget;
+         M.consistent x)
   |> List.map Execution.outcome
   |> List.sort_uniq compare

@@ -2,7 +2,9 @@
 
     A model is anything deciding per-execution consistency; a test is
     Allowed iff some consistent execution exhibits the distinguishing
-    outcome of its condition (herd's Ok/No verdicts). *)
+    outcome of its condition (herd's Ok/No verdicts).  A third verdict,
+    [Unknown], reports a partial result when a per-test {!Budget} trips
+    or the model fails on a candidate. *)
 
 module type MODEL = sig
   val name : string
@@ -12,8 +14,13 @@ module type MODEL = sig
   val consistent : Execution.t -> bool
 end
 
-type verdict = Allow | Forbid
+type unknown_reason =
+  | Budget_exceeded of Budget.reason
+  | Model_error of exn  (** the model raised on some candidate *)
 
+type verdict = Allow | Forbid | Unknown of unknown_reason
+
+val unknown_reason_to_string : unknown_reason -> string
 val verdict_to_string : verdict -> string
 val pp_verdict : verdict Fmt.t
 
@@ -33,9 +40,17 @@ type result = {
     filters them through [M.consistent] and interprets the quantifier:
     for [exists]/[~exists] the verdict asks whether some consistent
     execution satisfies the condition body, for [forall] whether some
-    consistent execution violates it. *)
-val run : (module MODEL) -> Litmus.Ast.t -> result
+    consistent execution violates it.
+
+    With [?budget], the check never raises: budget violations and model
+    failures yield an [Unknown] verdict whose [n_candidates] counts the
+    partial progress.  Without a budget, exceptions propagate as
+    before. *)
+val run : ?budget:Budget.t -> (module MODEL) -> Litmus.Ast.t -> result
 
 (** The observable outcomes allowed by the model, ignoring the condition;
-    used to compare models with the operational simulators. *)
-val allowed_outcomes : (module MODEL) -> Litmus.Ast.t -> Execution.outcome list
+    used to compare models with the operational simulators.  Raises
+    {!Budget.Exceeded} when a budget is given and trips (callers decide
+    how to report partial soundness information). *)
+val allowed_outcomes :
+  ?budget:Budget.t -> (module MODEL) -> Litmus.Ast.t -> Execution.outcome list

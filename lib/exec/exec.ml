@@ -4,11 +4,13 @@
    - {!Sem}: per-thread symbolic semantics;
    - {!Execution} (included here): candidate executions with all base and
      derived relations, and their enumeration via {!of_test};
+   - {!Budget}: per-test resource budgets bounding enumeration;
    - {!Check}: running a test against a consistency model;
    - {!Dot}: Graphviz export of executions. *)
 
 module Event = Event
 module Sem = Sem
+module Budget = Budget
 module Check = Check
 module Dot = Dot
 include Execution

@@ -284,17 +284,35 @@ let thread_candidate_lists test =
   in
   go (compute ()) 4
 
-let cartesian_product lists =
+let cartesian_product ?(tick = fun () -> ()) lists =
   List.fold_right
-    (fun l acc -> List.concat_map (fun x -> List.map (fun r -> x :: r) acc) l)
+    (fun l acc ->
+      List.concat_map
+        (fun x ->
+          List.map
+            (fun r ->
+              tick ();
+              x :: r)
+            acc)
+        l)
     lists [ [] ]
 
-let of_test (test : Litmus.Ast.t) =
+let of_test ?budget (test : Litmus.Ast.t) =
+  let tick () = Option.iter Budget.tick budget in
   let per_thread = thread_candidate_lists test in
+  Option.iter Budget.check_time budget;
   let globals = Litmus.Ast.globals test in
   let n_init = List.length globals in
   List.concat_map
     (fun (chosen : Sem.candidate list) ->
+      Option.iter
+        (fun b ->
+          Budget.check_events b
+            (n_init
+            + List.fold_left
+                (fun acc (c : Sem.candidate) -> acc + List.length c.events)
+                0 chosen))
+        budget;
       (* Assemble events: init writes first, then threads in order. *)
       let events = ref [] in
       let po = ref Rel.empty in
@@ -365,11 +383,10 @@ let of_test (test : Litmus.Ast.t) =
         |> List.filter (fun (w : Event.t) ->
                Event.is_write w && w.loc = r.loc && w.v = r.v)
       in
-      let rf_choices =
-        cartesian_product
-          (List.map
-             (fun r -> List.map (fun w -> (w.Event.id, r.Event.id)) (writes_for r))
-             all_reads)
+      let per_read_writes =
+        List.map
+          (fun r -> List.map (fun w -> (w.Event.id, r.Event.id)) (writes_for r))
+          all_reads
       in
       (* Enumerate co: per location, all total orders of the non-init
          writes, after the initialising write. *)
@@ -387,12 +404,32 @@ let of_test (test : Litmus.Ast.t) =
         let rec find i = if (events.(i)).Event.loc = x then i else find (i + 1) in
         find 0
       in
+      (* Arithmetic pre-check: the rf choices multiply with the co orders
+         (factorial per location); fail before materialising a product
+         that cannot fit in the candidate cap. *)
+      Option.iter
+        (fun b ->
+          let n_rf =
+            List.fold_left
+              (fun acc ws -> Budget.sat_mul acc (List.length ws))
+              1 per_read_writes
+          in
+          let n_co =
+            List.fold_left
+              (fun acc (_, ws) ->
+                Budget.sat_mul acc (Budget.sat_fact (List.length ws)))
+              1 ws_by_loc
+          in
+          Budget.claim b (Budget.sat_mul n_rf n_co))
+        budget;
+      let rf_choices = cartesian_product ~tick per_read_writes in
       let co_choices =
-        cartesian_product
+        cartesian_product ~tick
           (List.map
              (fun (x, ws) ->
                List.map
                  (fun order ->
+                   tick ();
                    List.fold_left
                      (fun acc w -> Rel.add (init_id x) w acc)
                      order ws)
@@ -404,6 +441,7 @@ let of_test (test : Litmus.Ast.t) =
           let rf = Rel.of_list rf_pairs in
           List.map
             (fun co_parts ->
+              Option.iter Budget.count_candidate budget;
               let co = List.fold_left Rel.union Rel.empty co_parts in
               build test events !po !addr !data !ctrl !rmw rf co final_regs)
             co_choices)

@@ -59,8 +59,12 @@ val initial_domain : Litmus.Ast.t -> int list
 
 val thread_candidate_lists : Litmus.Ast.t -> Sem.candidate list list
 
-(** [of_test test] enumerates every candidate execution. *)
-val of_test : Litmus.Ast.t -> t list
+(** [of_test ?budget test] enumerates every candidate execution.  With a
+    running budget, raises {!Budget.Exceeded} as soon as the event,
+    candidate, or wall-clock limit trips (an arithmetic pre-check on the
+    rf/co product size fails explosions before anything is
+    materialised). *)
+val of_test : ?budget:Budget.t -> Litmus.Ast.t -> t list
 
 (** [final_mem t x] is the value of [x] after the execution: its
     co-maximal write (or the initial value). *)

@@ -1,0 +1,280 @@
+(* Fault-isolated batch runner (robustness layer).
+
+   Batteries, corpora and diy sweeps run thousands of tests; one
+   malformed or explosive test must not take the batch down.  Each item
+   runs under a fresh per-test budget with every exception caught and
+   classified into a unified taxonomy (parse / lex / type / lint /
+   budget / internal, with source positions when available), producing a
+   structured pass/fail/error/gave-up report with JSON output and a
+   deterministic exit-code policy:
+
+     0  every item passed
+     1  some verdict mismatched its expectation (FAIL)
+     2  some item errored (parse/lex/type/lint/internal)
+     3  some item exceeded its budget, none failed or errored
+
+   (2 beats 1 beats 3 when a batch mixes them.) *)
+
+(* ------------------------------------------------------------------ *)
+(* Error taxonomy                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type error_class = Parse | Lex | Type | Lint | Budget | Internal
+
+let class_to_string = function
+  | Parse -> "parse"
+  | Lex -> "lex"
+  | Type -> "type"
+  | Lint -> "lint"
+  | Budget -> "budget"
+  | Internal -> "internal"
+
+type error_info = {
+  cls : error_class;
+  msg : string;
+  line : int option; (* source position, when the error carries one *)
+}
+
+let classify_exn : exn -> error_info = function
+  | Litmus.Parser.Error (msg, line) -> { cls = Parse; msg; line = Some line }
+  | Litmus.Lexer.Error (msg, line) -> { cls = Lex; msg; line = Some line }
+  | Cat.Parser.Error (msg, line) -> { cls = Parse; msg; line = Some line }
+  | Cat.Lexer.Error (msg, line) -> { cls = Lex; msg; line = Some line }
+  | Cat.Interp.Type_error msg -> { cls = Type; msg; line = None }
+  | Exec.Budget.Exceeded r ->
+      { cls = Budget; msg = Exec.Budget.reason_to_string r; line = None }
+  | Failure msg -> { cls = Internal; msg; line = None }
+  | Stack_overflow -> { cls = Internal; msg = "stack overflow"; line = None }
+  | Not_found -> { cls = Internal; msg = "not found"; line = None }
+  | exn -> { cls = Internal; msg = Printexc.to_string exn; line = None }
+
+let pp_error ppf e =
+  match e.line with
+  | Some l -> Fmt.pf ppf "%s error, line %d: %s" (class_to_string e.cls) l e.msg
+  | None -> Fmt.pf ppf "%s error: %s" (class_to_string e.cls) e.msg
+
+(* ------------------------------------------------------------------ *)
+(* Items and statuses                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type source =
+  [ `Text of string (* litmus concrete syntax *)
+  | `File of string (* path to a .litmus file *)
+  | `Ast of Litmus.Ast.t (* already parsed *) ]
+
+type item = {
+  id : string;
+  source : source;
+  expected : Exec.Check.verdict option; (* golden verdict, if any *)
+}
+
+type status =
+  | Pass of Exec.Check.verdict (* completed; matched expectation if any *)
+  | Fail of { expected : Exec.Check.verdict; got : Exec.Check.verdict }
+  | Gave_up of Exec.Budget.reason (* budget exceeded: partial result *)
+  | Err of error_info
+
+type entry = {
+  item_id : string;
+  status : status;
+  time : float; (* wall-clock seconds for this item *)
+  n_candidates : int; (* candidates enumerated (partial on Gave_up) *)
+  result : Exec.Check.result option;
+      (* the full check result when one was produced (Pass/Fail) *)
+}
+
+type report = {
+  entries : entry list;
+  n_pass : int;
+  n_fail : int;
+  n_error : int;
+  n_gave_up : int;
+  wall : float; (* wall-clock seconds for the whole batch *)
+}
+
+(* A model may need the per-item running budget (cat interpretation shares
+   the test's deadline), so batches take a budget-indexed factory. *)
+type model_factory = Exec.Budget.t option -> (module Exec.Check.MODEL)
+
+let static_model m : model_factory = fun _ -> m
+
+let of_battery (entries : Battery.entry list) =
+  List.map
+    (fun (e : Battery.entry) ->
+      { id = e.Battery.name; source = `Text e.Battery.source; expected = Some e.Battery.lk })
+    entries
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* Running one item                                                    *)
+(* ------------------------------------------------------------------ *)
+
+exception Lint_failed of string
+
+let run_item ?(limits = Exec.Budget.default) ?(lint = true)
+    ~(model : model_factory) (item : item) =
+  let t0 = Unix.gettimeofday () in
+  let budget =
+    if Exec.Budget.is_unlimited limits then None
+    else Some (Exec.Budget.start limits)
+  in
+  let finish ?result status =
+    {
+      item_id = item.id;
+      status;
+      time = Unix.gettimeofday () -. t0;
+      n_candidates =
+        (match (result, budget) with
+        | Some (r : Exec.Check.result), _ -> r.Exec.Check.n_candidates
+        | None, Some b -> Exec.Budget.candidates_seen b
+        | None, None -> 0);
+      result;
+    }
+  in
+  match
+    (* everything — file IO, parsing, linting, checking — inside the
+       fault barrier; no exception escapes an item *)
+    let test =
+      match item.source with
+      | `Ast t -> t
+      | `Text s -> Litmus.parse s
+      | `File p -> Litmus.parse (read_file p)
+    in
+    (if lint then
+       match Litmus.Lint.errors (Litmus.Lint.check_all test) with
+       | [] -> ()
+       | issues ->
+           raise
+             (Lint_failed
+                (String.concat "; "
+                   (List.map
+                      (fun (i : Litmus.Lint.issue) -> i.Litmus.Lint.message)
+                      issues))));
+    let r = Exec.Check.run ?budget (model budget) test in
+    match r.Exec.Check.verdict with
+    | Exec.Check.Unknown (Exec.Check.Budget_exceeded reason) ->
+        finish (Gave_up reason)
+    | Exec.Check.Unknown (Exec.Check.Model_error exn) ->
+        (* the check caught the model's exception; recover its class *)
+        finish (Err (classify_exn exn))
+    | got -> (
+        match item.expected with
+        | Some expected when expected <> got ->
+            finish ~result:r (Fail { expected; got })
+        | _ -> finish ~result:r (Pass got))
+  with
+  | entry -> entry
+  | exception Lint_failed msg -> finish (Err { cls = Lint; msg; line = None })
+  | exception Exec.Budget.Exceeded reason -> finish (Gave_up reason)
+  | exception exn -> finish (Err (classify_exn exn))
+
+(* ------------------------------------------------------------------ *)
+(* Batches                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let summarise ~wall entries =
+  let count p = List.length (List.filter p entries) in
+  {
+    entries;
+    n_pass = count (fun e -> match e.status with Pass _ -> true | _ -> false);
+    n_fail = count (fun e -> match e.status with Fail _ -> true | _ -> false);
+    n_error = count (fun e -> match e.status with Err _ -> true | _ -> false);
+    n_gave_up =
+      count (fun e -> match e.status with Gave_up _ -> true | _ -> false);
+    wall;
+  }
+
+let run ?limits ?lint ?(model = static_model (module Lkmm : Exec.Check.MODEL))
+    (items : item list) =
+  let t0 = Unix.gettimeofday () in
+  let entries = List.map (run_item ?limits ?lint ~model) items in
+  summarise ~wall:(Unix.gettimeofday () -. t0) entries
+
+(* The deterministic exit-code policy (see the header comment). *)
+let exit_code r =
+  if r.n_error > 0 then 2
+  else if r.n_fail > 0 then 1
+  else if r.n_gave_up > 0 then 3
+  else 0
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_status ppf = function
+  | Pass v -> Fmt.pf ppf "PASS (%s)" (Exec.Check.verdict_to_string v)
+  | Fail { expected; got } ->
+      Fmt.pf ppf "FAIL (expected %s, got %s)"
+        (Exec.Check.verdict_to_string expected)
+        (Exec.Check.verdict_to_string got)
+  | Gave_up r -> Fmt.pf ppf "GAVE UP (%s)" (Exec.Budget.reason_to_string r)
+  | Err e -> Fmt.pf ppf "ERROR (%a)" pp_error e
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%-45s %a  [%.3fs]" e.item_id pp_status e.status e.time
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>%a@,%d items: %d pass, %d fail, %d error, %d gave up \
+              (%.3fs)@]"
+    Fmt.(list ~sep:cut pp_entry)
+    r.entries
+    (List.length r.entries)
+    r.n_pass r.n_fail r.n_error r.n_gave_up r.wall
+
+(* Minimal JSON emission (no JSON library in the tree). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let entry_to_json e =
+  let base =
+    Printf.sprintf "\"id\": \"%s\", \"time_s\": %.6f, \"candidates\": %d"
+      (json_escape e.item_id) e.time e.n_candidates
+  in
+  let rest =
+    match e.status with
+    | Pass v ->
+        Printf.sprintf "\"status\": \"pass\", \"verdict\": \"%s\""
+          (json_escape (Exec.Check.verdict_to_string v))
+    | Fail { expected; got } ->
+        Printf.sprintf
+          "\"status\": \"fail\", \"expected\": \"%s\", \"got\": \"%s\""
+          (json_escape (Exec.Check.verdict_to_string expected))
+          (json_escape (Exec.Check.verdict_to_string got))
+    | Gave_up r ->
+        Printf.sprintf "\"status\": \"gave_up\", \"reason\": \"%s\""
+          (json_escape (Exec.Budget.reason_to_string r))
+    | Err err ->
+        Printf.sprintf
+          "\"status\": \"error\", \"class\": \"%s\", \"msg\": \"%s\"%s"
+          (class_to_string err.cls) (json_escape err.msg)
+          (match err.line with
+          | Some l -> Printf.sprintf ", \"line\": %d" l
+          | None -> "")
+  in
+  Printf.sprintf "{%s, %s}" base rest
+
+let to_json r =
+  Printf.sprintf
+    "{\"total\": %d, \"pass\": %d, \"fail\": %d, \"error\": %d, \"gave_up\": \
+     %d, \"wall_s\": %.6f, \"exit_code\": %d,\n\"entries\": [\n%s\n]}"
+    (List.length r.entries)
+    r.n_pass r.n_fail r.n_error r.n_gave_up r.wall (exit_code r)
+    (String.concat ",\n" (List.map entry_to_json r.entries))

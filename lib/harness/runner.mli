@@ -1,0 +1,104 @@
+(** Fault-isolated batch runner: each item runs under a fresh per-test
+    {!Exec.Budget} with every exception caught and classified, so one
+    malformed or explosive test cannot take a batch down.
+
+    Exit-code policy (deterministic): 0 = all pass, 1 = some FAIL
+    (verdict mismatch), 2 = some ERROR (parse/lex/type/lint/internal),
+    3 = some item gave its budget up and nothing failed or errored;
+    2 beats 1 beats 3 in mixed batches. *)
+
+(** {1 Error taxonomy} *)
+
+type error_class = Parse | Lex | Type | Lint | Budget | Internal
+
+val class_to_string : error_class -> string
+
+type error_info = {
+  cls : error_class;
+  msg : string;
+  line : int option;  (** source position, when the error carries one *)
+}
+
+(** Classify any exception of the toolchain (litmus/cat parser and lexer
+    errors keep their line numbers; anything unrecognised is
+    [Internal]). *)
+val classify_exn : exn -> error_info
+
+val pp_error : error_info Fmt.t
+
+(** {1 Items} *)
+
+type source =
+  [ `Text of string  (** litmus concrete syntax *)
+  | `File of string  (** path to a .litmus file *)
+  | `Ast of Litmus.Ast.t ]
+
+type item = {
+  id : string;
+  source : source;
+  expected : Exec.Check.verdict option;  (** golden verdict, if any *)
+}
+
+type status =
+  | Pass of Exec.Check.verdict
+  | Fail of { expected : Exec.Check.verdict; got : Exec.Check.verdict }
+  | Gave_up of Exec.Budget.reason  (** budget exceeded: partial result *)
+  | Err of error_info
+
+type entry = {
+  item_id : string;
+  status : status;
+  time : float;  (** wall-clock seconds for this item *)
+  n_candidates : int;  (** candidates enumerated (partial on [Gave_up]) *)
+  result : Exec.Check.result option;
+      (** the full check result when one was produced (Pass/Fail) *)
+}
+
+type report = {
+  entries : entry list;
+  n_pass : int;
+  n_fail : int;
+  n_error : int;
+  n_gave_up : int;
+  wall : float;
+}
+
+(** A model may need the per-item running budget (cat interpretation
+    shares the test's deadline), so batches take a budget-indexed
+    factory. *)
+type model_factory = Exec.Budget.t option -> (module Exec.Check.MODEL)
+
+val static_model : (module Exec.Check.MODEL) -> model_factory
+
+(** Battery entries as runner items, expecting the battery's LK verdict. *)
+val of_battery : Battery.entry list -> item list
+
+(** Read a whole file (shared by the CLIs). *)
+val read_file : string -> string
+
+(** [run_item ?limits ?lint ~model item] — parse, lint and check one item
+    inside the fault barrier.  Never raises.  [limits] defaults to
+    {!Exec.Budget.default}; pass {!Exec.Budget.unlimited} to disable
+    budgeting (exceptions are still caught).  [lint] defaults to [true]:
+    lint errors become [Err {cls = Lint; _}] entries. *)
+val run_item :
+  ?limits:Exec.Budget.limits -> ?lint:bool -> model:model_factory -> item -> entry
+
+(** [run ?limits ?lint ?model items] — the whole batch; the model
+    defaults to the native LK model. *)
+val run :
+  ?limits:Exec.Budget.limits ->
+  ?lint:bool ->
+  ?model:model_factory ->
+  item list ->
+  report
+
+(** The deterministic exit-code policy (see the module header). *)
+val exit_code : report -> int
+
+val pp_status : status Fmt.t
+val pp_entry : entry Fmt.t
+val pp : report Fmt.t
+
+(** The report as a JSON document (stable field names; see README). *)
+val to_json : report -> string

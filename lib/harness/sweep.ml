@@ -1,66 +1,105 @@
 (* Systematic sweeps in the spirit of Section 5: generate many tests with
    the diy-style generator, check them under several models, and verify
-   the simulated hardware is sound with respect to the LK model. *)
+   the simulated hardware is sound with respect to the LK model.
+
+   Every per-test check runs under a fresh budget (when one is given), so
+   a single explosive test degrades to an [Unknown] entry instead of
+   stalling the whole sweep. *)
 
 type stats = {
   n_tests : int;
   lk_allow : int;
   lk_forbid : int;
+  lk_unknown : int; (* budget tripped or model failed: partial result *)
   sc_forbid : int; (* forbidden under SC: sanity, SC is strongest *)
   c11_disagree : int; (* tests where C11 and LK verdicts differ *)
   unsound : (string * string) list; (* test, arch: sim outcome not in model *)
+  unknown : (string * string) list; (* test, reason: checks that gave up *)
 }
 
-let classify ?(archs = [ Hwsim.Arch.power8; Hwsim.Arch.x86 ]) ?(runs = 300)
-    ?(seed = 5) tests =
+(* A budgeted run: fresh budget per test so one explosion cannot eat the
+   whole sweep's allowance. *)
+let budgeted_run ?limits m t =
+  match limits with
+  | None -> Exec.Check.run m t
+  | Some l -> Exec.Check.run ~budget:(Exec.Budget.start l) m t
+
+let classify ?limits ?(archs = [ Hwsim.Arch.power8; Hwsim.Arch.x86 ])
+    ?(runs = 300) ?(seed = 5) tests =
   let lk_allow = ref 0
   and lk_forbid = ref 0
+  and lk_unknown = ref 0
   and sc_forbid = ref 0
   and c11_disagree = ref 0
-  and unsound = ref [] in
+  and unsound = ref []
+  and unknown = ref [] in
   List.iter
     (fun (t : Litmus.Ast.t) ->
-      let lk = (Exec.Check.run (module Lkmm) t).Exec.Check.verdict in
+      let lk = (budgeted_run ?limits (module Lkmm) t).Exec.Check.verdict in
       (match lk with
       | Exec.Check.Allow -> incr lk_allow
-      | Exec.Check.Forbid -> incr lk_forbid);
-      (match (Exec.Check.run (module Models.Sc) t).Exec.Check.verdict with
+      | Exec.Check.Forbid -> incr lk_forbid
+      | Exec.Check.Unknown r ->
+          incr lk_unknown;
+          unknown :=
+            (t.name, Exec.Check.unknown_reason_to_string r) :: !unknown);
+      (match (budgeted_run ?limits (module Models.Sc) t).Exec.Check.verdict with
       | Exec.Check.Forbid -> incr sc_forbid
-      | Exec.Check.Allow -> ());
+      | Exec.Check.Allow | Exec.Check.Unknown _ -> ());
       (if Models.C11.applicable t then
-         let c11 = (Exec.Check.run (module Models.C11) t).Exec.Check.verdict in
-         if c11 <> lk then incr c11_disagree);
-      List.iter
-        (fun arch ->
-          let s = Hwsim.run_test arch ~runs ~seed t in
-          match Hwsim.unsound_outcomes (module Lkmm) t s with
-          | [] -> ()
-          | _ -> unsound := (t.name, arch.Hwsim.Arch.name) :: !unsound)
-        archs)
+         let c11 =
+           (budgeted_run ?limits (module Models.C11) t).Exec.Check.verdict
+         in
+         match (c11, lk) with
+         | Exec.Check.Unknown _, _ | _, Exec.Check.Unknown _ -> ()
+         | _ -> if c11 <> lk then incr c11_disagree);
+      match lk with
+      | Exec.Check.Unknown _ ->
+          (* the model gave up: soundness of the simulators against it is
+             not decidable for this test, skip rather than block *)
+          ()
+      | _ ->
+          List.iter
+            (fun arch ->
+              let s = Hwsim.run_test arch ~runs ~seed t in
+              match Hwsim.soundness ?limits (module Lkmm) t s with
+              | Hwsim.Sound -> ()
+              | Hwsim.Unsound _ ->
+                  unsound := (t.name, arch.Hwsim.Arch.name) :: !unsound
+              | Hwsim.Soundness_unknown r ->
+                  unknown :=
+                    ( t.name,
+                      Printf.sprintf "%s soundness: %s" arch.Hwsim.Arch.name
+                        (Exec.Budget.reason_to_string r) )
+                    :: !unknown)
+            archs)
     tests;
   {
     n_tests = List.length tests;
     lk_allow = !lk_allow;
     lk_forbid = !lk_forbid;
+    lk_unknown = !lk_unknown;
     sc_forbid = !sc_forbid;
     c11_disagree = !c11_disagree;
     unsound = !unsound;
+    unknown = !unknown;
   }
 
 let pp ppf s =
   Fmt.pf ppf
-    "tests: %d, LK allow/forbid: %d/%d, SC-forbidden: %d, C11 disagreements: \
-     %d, unsound sim cells: %d"
-    s.n_tests s.lk_allow s.lk_forbid s.sc_forbid s.c11_disagree
-    (List.length s.unsound)
+    "tests: %d, LK allow/forbid/unknown: %d/%d/%d, SC-forbidden: %d, C11 \
+     disagreements: %d, unsound sim cells: %d, gave up: %d"
+    s.n_tests s.lk_allow s.lk_forbid s.lk_unknown s.sc_forbid s.c11_disagree
+    (List.length s.unsound) (List.length s.unknown)
 
 (* Weak-inclusion sanity across models: everything SC allows, TSO allows;
    everything TSO allows, LK allows (on non-RCU tests under the LK->x86
-   mapping this is the expected strength ordering). *)
-let strength_issues tests =
+   mapping this is the expected strength ordering).  Unknown verdicts are
+   skipped — a partial result is not a strength violation. *)
+let strength_issues ?limits tests =
   List.concat_map
     (fun (t : Litmus.Ast.t) ->
-      let v m = (Exec.Check.run m t).Exec.Check.verdict in
+      let v m = (budgeted_run ?limits m t).Exec.Check.verdict in
       let sc = v (module Models.Sc)
       and tso = v (module Models.Tso)
       and lk = v (module Lkmm) in

@@ -1,21 +1,29 @@
 (** Systematic sweeps in the spirit of the paper's Section 5: classify
     many (usually generated) litmus tests under several models and check
-    the simulated hardware stays within the LK model. *)
+    the simulated hardware stays within the LK model.
+
+    With [?limits], every per-test check runs under a fresh
+    {!Exec.Budget}: explosive or broken tests degrade to [Unknown]
+    entries instead of stalling the sweep. *)
 
 type stats = {
   n_tests : int;
   lk_allow : int;
   lk_forbid : int;
+  lk_unknown : int;  (** budget tripped or model failed: partial result *)
   sc_forbid : int;  (** sanity: SC is the strongest model *)
   c11_disagree : int;  (** tests where C11 and LK verdicts differ *)
   unsound : (string * string) list;
       (** (test, architecture) cells where the simulator produced an
           outcome the LK model forbids — must be empty *)
+  unknown : (string * string) list;
+      (** (test, reason) for every check that gave up under its budget *)
 }
 
-(** [classify ?archs ?runs ?seed tests] runs every test under LK, SC and
-    C11 and against the given simulated architectures. *)
+(** [classify ?limits ?archs ?runs ?seed tests] runs every test under LK,
+    SC and C11 and against the given simulated architectures. *)
 val classify :
+  ?limits:Exec.Budget.limits ->
   ?archs:Hwsim.Arch.t list ->
   ?runs:int ->
   ?seed:int ->
@@ -26,5 +34,6 @@ val pp : stats Fmt.t
 
 (** Model-strength violations: a test SC allows but TSO forbids, or (on
     non-RCU tests) TSO allows but LK forbids.  Empty on a correct
-    implementation. *)
-val strength_issues : Litmus.Ast.t list -> string list
+    implementation; [Unknown] verdicts are skipped. *)
+val strength_issues :
+  ?limits:Exec.Budget.limits -> Litmus.Ast.t list -> string list

@@ -92,12 +92,93 @@ let run_program (arch : Arch.t) ?(runs = 1_000) ?(seed = 42)
   done;
   (List.rev !results, !aborted)
 
+(* ------------------------------------------------------------------ *)
+(* Retry-until-stable sampling                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Randomised runs face a sampling question the model checker does not:
+   is a weak outcome genuinely unobservable on this architecture, or did
+   we just not run enough iterations?  [run_test_stable] re-runs a test
+   in batches with fresh seeds until the outcome histogram converges —
+   no new outcome appears and every per-outcome frequency moves by less
+   than [tol] — for [stable_batches] consecutive batches, or the
+   [max_batches] retry cap hits. *)
+type stable_stats = {
+  stats : stats; (* cumulative over all batches *)
+  batches : int; (* batches actually run *)
+  converged : bool; (* false = retry cap hit before convergence *)
+}
+
+let merge_stats a b =
+  let hist = Hashtbl.create 16 in
+  List.iter
+    (fun (o, n) ->
+      Hashtbl.replace hist o (n + Option.value ~default:0 (Hashtbl.find_opt hist o)))
+    (a.outcomes @ b.outcomes);
+  {
+    arch = a.arch;
+    total = a.total + b.total;
+    matched = a.matched + b.matched;
+    outcomes =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist []);
+  }
+
+let frequencies (s : stats) =
+  let total = max 1 s.total in
+  List.map (fun (o, n) -> (o, float_of_int n /. float_of_int total)) s.outcomes
+
+(* One batch is "stable" w.r.t. the previous cumulative histogram when it
+   introduces no new outcome and shifts no frequency by more than [tol]. *)
+let batch_stable ~tol before after =
+  let f_before = frequencies before and f_after = frequencies after in
+  List.for_all
+    (fun (o, f) ->
+      match List.assoc_opt o f_before with
+      | None -> false (* a new outcome appeared: not converged *)
+      | Some f' -> Float.abs (f -. f') <= tol)
+    f_after
+
+let run_test_stable (arch : Arch.t) ?(batch = 2_000) ?(max_batches = 25)
+    ?(stable_batches = 3) ?(tol = 0.01) ?(seed = 42) (test : Litmus.Ast.t) =
+  let rec go acc streak i =
+    if streak >= stable_batches then
+      { stats = acc; batches = i; converged = true }
+    else if i >= max_batches then
+      { stats = acc; batches = i; converged = false }
+    else
+      let b = run_test arch ~runs:batch ~seed:(seed + i) test in
+      let acc' = merge_stats acc b in
+      let streak' = if batch_stable ~tol acc acc' then streak + 1 else 0 in
+      go acc' streak' (i + 1)
+  in
+  let first = run_test arch ~runs:batch ~seed test in
+  go first 0 1
+
+(* ------------------------------------------------------------------ *)
+(* Soundness against a model                                           *)
+(* ------------------------------------------------------------------ *)
+
 (* Soundness against a model: every outcome the simulator produced must be
    allowed by the model (the paper's Table 5 claim).  Returns offending
    outcomes, empty = sound. *)
-let unsound_outcomes (model : (module Exec.Check.MODEL)) (test : Litmus.Ast.t)
-    (s : stats) =
-  let allowed = Exec.Check.allowed_outcomes model test in
+let unsound_outcomes ?budget (model : (module Exec.Check.MODEL))
+    (test : Litmus.Ast.t) (s : stats) =
+  let allowed = Exec.Check.allowed_outcomes ?budget model test in
   List.filter_map
     (fun (o, n) -> if List.mem o allowed then None else Some (o, n))
     s.outcomes
+
+(* Budget-aware soundness verdict: [Soundness_unknown] when the model's
+   outcome enumeration blew its budget — distinct from both "sound" and
+   "unsound", so sweeps can report partial coverage honestly. *)
+type soundness =
+  | Sound
+  | Unsound of (Exec.outcome * int) list
+  | Soundness_unknown of Exec.Budget.reason
+
+let soundness ?limits model test s =
+  let budget = Option.map Exec.Budget.start limits in
+  match unsound_outcomes ?budget model test s with
+  | [] -> Sound
+  | bad -> Unsound bad
+  | exception Exec.Budget.Exceeded r -> Soundness_unknown r

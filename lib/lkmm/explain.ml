@@ -48,6 +48,8 @@ let pp_test_verdict ppf (test : Litmus.Ast.t) =
     result.n_consistent;
   (match result.verdict with
   | Exec.Check.Allow -> ()
+  | Exec.Check.Unknown r ->
+      Fmt.pf ppf "gave up: %s@," (Exec.Check.unknown_reason_to_string r)
   | Exec.Check.Forbid ->
       let matching =
         List.filter Exec.satisfies_cond (Exec.of_test test)

@@ -16,8 +16,9 @@ module Explain = Explain
 let name = Model.name
 let consistent = Model.consistent
 
-(** [check test] runs a litmus test against the LK model. *)
-let check test = Exec.Check.run (module Model) test
+(** [check ?budget test] runs a litmus test against the LK model; with a
+    budget the result may be [Unknown] instead of raising/hanging. *)
+let check ?budget test = Exec.Check.run ?budget (module Model) test
 
-(** [verdict test] is the LK verdict for [test]. *)
-let verdict test = (check test).Exec.Check.verdict
+(** [verdict ?budget test] is the LK verdict for [test]. *)
+let verdict ?budget test = (check ?budget test).Exec.Check.verdict

@@ -64,6 +64,24 @@ let test_parser_errors () =
   Alcotest.(check bool) "bad hat" true (bad "\"t\"\nlet a = po^2\nempty 0");
   Alcotest.(check bool) "stray token" true (bad "\"t\"\n] let a = po")
 
+(* Typed errors must carry the line the failure occurred on: the batch
+   runner's classified reports depend on these positions. *)
+let test_error_positions () =
+  (match parse_model "\"t\"\nlet a = po\nlet b = ]\n" with
+  | exception Cat.Parser.Error (msg, line) ->
+      Alcotest.(check int) "parser error line" 3 line;
+      Alcotest.(check bool) "parser error message" true
+        (String.length msg > 0)
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "stray bracket accepted");
+  match parse_model "\"t\"\nlet a = po\nlet b = a @ a\n" with
+  | exception Cat.Lexer.Error (msg, line) ->
+      Alcotest.(check int) "lexer error line" 3 line;
+      Alcotest.(check bool) "lexer error message" true
+        (String.length msg > 0)
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "bad character accepted"
+
 (* ------------------------------------------------------------------ *)
 (* Interpreter semantics                                               *)
 (* ------------------------------------------------------------------ *)
@@ -233,6 +251,7 @@ let () =
           Alcotest.test_case "postfix" `Quick test_parser_postfix;
           Alcotest.test_case "rec-and" `Quick test_parser_rec_and;
           Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "error positions" `Quick test_error_positions;
         ] );
       ( "semantics",
         [

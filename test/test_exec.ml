@@ -300,6 +300,74 @@ let test_outcomes_cover_condition () =
     (List.for_all (fun (_, m) -> not m) r.Exec.Check.outcomes)
 
 (* ------------------------------------------------------------------ *)
+(* Budgets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module B = Exec.Budget
+
+let sb_src = Harness.Battery.(find "SB").source
+
+let budget_reason (r : Exec.Check.result) =
+  match r.Exec.Check.verdict with
+  | Exec.Check.Unknown (Exec.Check.Budget_exceeded reason) -> Some reason
+  | _ -> None
+
+let test_budget_saturating () =
+  Alcotest.(check int) "mul" 6 (B.sat_mul 2 3);
+  (* saturates at the cap instead of wrapping negative *)
+  Alcotest.(check bool) "mul saturates" true
+    (B.sat_mul max_int 2 > 0 && B.sat_mul max_int 2 >= max_int / 2);
+  Alcotest.(check bool) "mul idempotent at cap" true
+    (B.sat_mul (B.sat_mul max_int 2) 2 = B.sat_mul max_int 2);
+  Alcotest.(check int) "fact" 24 (B.sat_fact 4);
+  Alcotest.(check bool) "fact saturates" true
+    (B.sat_fact 64 = B.sat_mul max_int 2)
+
+let test_budget_timeout () =
+  let b = B.start (B.limits ~timeout:0.0 ()) in
+  let r = Exec.Check.run ~budget:b (module Models.Sc) (parse sb_src) in
+  match budget_reason r with
+  | Some (B.Timed_out _) -> ()
+  | _ -> Alcotest.failf "expected Timed_out, got %s"
+           (Exec.Check.verdict_to_string r.Exec.Check.verdict)
+
+let test_budget_candidates () =
+  let b = B.start (B.limits ~max_candidates:1 ()) in
+  let r = Exec.Check.run ~budget:b (module Models.Sc) (parse sb_src) in
+  match budget_reason r with
+  | Some (B.Too_many_candidates 1) -> ()
+  | _ -> Alcotest.failf "expected Too_many_candidates, got %s"
+           (Exec.Check.verdict_to_string r.Exec.Check.verdict)
+
+let test_budget_events () =
+  let b = B.start (B.limits ~max_events:2 ()) in
+  let r = Exec.Check.run ~budget:b (module Models.Sc) (parse sb_src) in
+  match budget_reason r with
+  | Some (B.Too_many_events (_, 2)) -> ()
+  | _ -> Alcotest.failf "expected Too_many_events, got %s"
+           (Exec.Check.verdict_to_string r.Exec.Check.verdict)
+
+let test_budget_enumeration_raises () =
+  (* the raw enumeration raises the typed exception (Check.run converts) *)
+  match Exec.of_test ~budget:(B.start (B.limits ~max_candidates:1 ())) (parse sb_src) with
+  | _ -> Alcotest.fail "expected Exceeded"
+  | exception B.Exceeded (B.Too_many_candidates _) -> ()
+
+let test_budget_happy_path () =
+  (* the default budget never changes a small test's verdict *)
+  List.iter
+    (fun name ->
+      let t = parse Harness.Battery.(find name).source in
+      let plain = (Exec.Check.run (module Models.Sc) t).Exec.Check.verdict in
+      let budgeted =
+        (Exec.Check.run ~budget:(B.start B.default) (module Models.Sc) t)
+          .Exec.Check.verdict
+      in
+      Alcotest.(check bool) (name ^ " verdict unchanged") true
+        (plain = budgeted))
+    [ "SB"; "MP"; "LB" ]
+
+(* ------------------------------------------------------------------ *)
 (* Dot export                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -417,6 +485,18 @@ let () =
             test_computed_write_values;
           Alcotest.test_case "quantifiers" `Quick test_check_quantifiers;
           Alcotest.test_case "outcomes" `Quick test_outcomes_cover_condition;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "saturating arithmetic" `Quick
+            test_budget_saturating;
+          Alcotest.test_case "timeout" `Quick test_budget_timeout;
+          Alcotest.test_case "candidate cap" `Quick test_budget_candidates;
+          Alcotest.test_case "event cap" `Quick test_budget_events;
+          Alcotest.test_case "enumeration raises" `Quick
+            test_budget_enumeration_raises;
+          Alcotest.test_case "happy path unchanged" `Quick
+            test_budget_happy_path;
         ] );
       ("dot", [ Alcotest.test_case "export" `Quick test_dot_export ]);
       ( "properties",

@@ -109,6 +109,147 @@ let test_rcu_study_issue_detection () =
   Alcotest.(check bool) "broken variants not flagged" true
     (Harness.Rcu_study.issues [ broken_ok ] = [])
 
+(* ------------------------------------------------------------------ *)
+(* Batch runner                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module R = Harness.Runner
+module B = Exec.Budget
+
+let item id source expected = { R.id; source = `Text source; expected }
+let src name = (Harness.Battery.find name).Harness.Battery.source
+
+let test_runner_statuses () =
+  let report =
+    R.run
+      [
+        item "pass" (src "SB") (Some Exec.Check.Allow);
+        item "fail" (src "SB") (Some Exec.Check.Forbid);
+        item "parse-err" "C broken\n{ x=0;\nP0(int *x" None;
+      ]
+  in
+  Alcotest.(check int) "n_pass" 1 report.R.n_pass;
+  Alcotest.(check int) "n_fail" 1 report.R.n_fail;
+  Alcotest.(check int) "n_error" 1 report.R.n_error;
+  Alcotest.(check int) "n_gave_up" 0 report.R.n_gave_up;
+  List.iter2
+    (fun id (e : R.entry) ->
+      Alcotest.(check string) "order preserved" id e.R.item_id)
+    [ "pass"; "fail"; "parse-err" ]
+    report.R.entries;
+  (match (List.nth report.R.entries 2).R.status with
+  | R.Err { cls = R.Parse; line = Some _; _ } -> ()
+  | s -> Alcotest.failf "expected parse error: %s" (Fmt.str "%a" R.pp_status s));
+  (* error beats fail in the exit code *)
+  Alcotest.(check int) "exit code" 2 (R.exit_code report)
+
+let test_runner_gave_up () =
+  let limits = B.limits ~max_candidates:1 () in
+  let report = R.run ~limits [ item "boom" (src "SB") None ] in
+  Alcotest.(check int) "n_gave_up" 1 report.R.n_gave_up;
+  (match (List.hd report.R.entries).R.status with
+  | R.Gave_up (B.Too_many_candidates _) -> ()
+  | s -> Alcotest.failf "expected gave-up: %s" (Fmt.str "%a" R.pp_status s));
+  Alcotest.(check int) "exit code 3" 3 (R.exit_code report)
+
+let test_runner_exit_precedence () =
+  let limits = B.limits ~max_candidates:1 () in
+  (* fail beats gave-up *)
+  let r1 =
+    R.run ~limits:B.unlimited
+      [ item "fail" (src "SB") (Some Exec.Check.Forbid) ]
+  in
+  let r2 = R.run ~limits [ item "boom" (src "SB") None ] in
+  Alcotest.(check int) "fail alone" 1 (R.exit_code r1);
+  Alcotest.(check int) "gave-up alone" 3 (R.exit_code r2);
+  (* precedence over a mixed report: fail beats gave-up *)
+  let mixed =
+    {
+      R.entries = r1.R.entries @ r2.R.entries;
+      n_pass = 0;
+      n_fail = 1;
+      n_error = 0;
+      n_gave_up = 1;
+      wall = r1.R.wall +. r2.R.wall;
+    }
+  in
+  Alcotest.(check int) "fail beats gave-up" 1 (R.exit_code mixed)
+
+let test_runner_lint () =
+  (* unbalanced RCU lock is a lint error: classified, not checked *)
+  let bad =
+    "C lint\n{ x=0; }\nP0(int *x) {\n  rcu_read_lock();\n  WRITE_ONCE(x, 1);\n}\nexists (x=1)"
+  in
+  let report = R.run [ item "lint" bad None ] in
+  (match (List.hd report.R.entries).R.status with
+  | R.Err { cls = R.Lint; _ } -> ()
+  | s -> Alcotest.failf "expected lint error: %s" (Fmt.str "%a" R.pp_status s));
+  (* with linting off the test checks normally *)
+  let report = R.run ~lint:false [ item "lint" bad None ] in
+  Alcotest.(check int) "lint off passes" 1 report.R.n_pass
+
+let test_runner_json () =
+  let report =
+    R.run
+      [ item "ok" (src "SB") None; item "bad" "not a litmus test" None ]
+  in
+  let json = R.to_json report in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length json && (String.sub json i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun field ->
+      Alcotest.(check bool) ("json has " ^ field) true (contains field))
+    [
+      "\"total\""; "\"entries\""; "\"status\""; "\"pass\"";
+      "\"error\""; "\"class\""; "\"exit_code\""; "\"wall_s\"";
+    ]
+
+(* The acceptance scenario: an explosive generated test and a corrupted
+   corpus file both complete under the runner — Unknown/Error entries,
+   no run exceeding its wall-clock budget by more than 2x. *)
+let test_runner_acceptance () =
+  let rng = Random.State.make [| 7; 2018 |] in
+  let big =
+    Diygen.sample ~vocabulary:Diygen.Edge.core_vocabulary ~rng ~count:3 7
+  in
+  let corrupted =
+    (* a battery source with its tail torn off mid-instruction *)
+    let s = src "IRIW+mbs" in
+    String.sub s 0 (String.length s * 2 / 3)
+  in
+  let timeout = 1.0 in
+  let limits = B.limits ~timeout ~max_candidates:5_000 () in
+  let items =
+    List.mapi (fun i t -> { R.id = Printf.sprintf "gen%d" i;
+                            source = `Ast t; expected = None }) big
+    @ [ item "corrupted" corrupted None ]
+  in
+  let report = R.run ~limits items in
+  Alcotest.(check int) "all items reported" (List.length items)
+    (List.length report.R.entries);
+  Alcotest.(check int) "nothing crashed the batch" 0
+    (List.length
+       (List.filter
+          (fun (e : R.entry) ->
+            match e.R.status with
+            | R.Err { cls = R.Internal; _ } -> true
+            | _ -> false)
+          report.R.entries));
+  List.iter
+    (fun (e : R.entry) ->
+      Alcotest.(check bool) (e.R.item_id ^ " within 2x budget") true
+        (e.R.time <= 2.0 *. timeout))
+    report.R.entries;
+  (* the corrupted file is an Error entry, not a crash *)
+  match (List.nth report.R.entries 3).R.status with
+  | R.Err { cls = R.Parse | R.Lex; _ } -> ()
+  | s -> Alcotest.failf "corrupted file: %s" (Fmt.str "%a" R.pp_status s)
+
 let () =
   Alcotest.run "harness"
     [
@@ -132,6 +273,16 @@ let () =
           Alcotest.test_case "classify" `Quick test_sweep_classify;
           Alcotest.test_case "strength on battery" `Quick
             test_strength_issues_on_battery;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "statuses" `Quick test_runner_statuses;
+          Alcotest.test_case "gave up" `Quick test_runner_gave_up;
+          Alcotest.test_case "exit precedence" `Quick
+            test_runner_exit_precedence;
+          Alcotest.test_case "lint" `Quick test_runner_lint;
+          Alcotest.test_case "json" `Quick test_runner_json;
+          Alcotest.test_case "acceptance" `Slow test_runner_acceptance;
         ] );
       ( "rcu-study",
         [

@@ -85,6 +85,39 @@ let test_rcu_forbidden_never_observed () =
 (* Soundness                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Retry-until-stable sampling: batches with fresh seeds until the
+   outcome histogram converges, or the retry cap hits. *)
+let test_stable_sampling () =
+  let st = Hwsim.run_test_stable Hwsim.Arch.x86 ~batch:500 ~seed:7 (battery "SB") in
+  Alcotest.(check bool) "converged" true st.Hwsim.converged;
+  Alcotest.(check bool) "ran several batches" true (st.Hwsim.batches >= 4);
+  Alcotest.(check int) "cumulative totals"
+    (st.Hwsim.batches * 500)
+    st.Hwsim.stats.Hwsim.total;
+  Alcotest.(check bool) "weak outcome surfaced" true
+    (st.Hwsim.stats.Hwsim.matched > 0)
+
+let test_stable_retry_cap () =
+  let st =
+    Hwsim.run_test_stable Hwsim.Arch.x86 ~batch:50 ~max_batches:2
+      ~stable_batches:10 ~seed:7 (battery "SB")
+  in
+  Alcotest.(check bool) "cap hit" true (not st.Hwsim.converged);
+  Alcotest.(check int) "stopped at the cap" 2 st.Hwsim.batches
+
+let test_soundness_budgeted () =
+  let s = Hwsim.run_test Hwsim.Arch.x86 ~runs:200 ~seed:3 (battery "SB") in
+  (match Hwsim.soundness (module Lkmm) (battery "SB") s with
+  | Hwsim.Sound -> ()
+  | _ -> Alcotest.fail "expected sound");
+  match
+    Hwsim.soundness
+      ~limits:(Exec.Budget.limits ~max_candidates:1 ())
+      (module Lkmm) (battery "SB") s
+  with
+  | Hwsim.Soundness_unknown (Exec.Budget.Too_many_candidates _) -> ()
+  | _ -> Alcotest.fail "expected soundness unknown"
+
 let test_soundness_battery () =
   List.iter
     (fun (e : Harness.Battery.entry) ->
@@ -304,6 +337,13 @@ let () =
             test_alpha_breaks_addr_deps;
           Alcotest.test_case "RCU forbidden" `Slow
             test_rcu_forbidden_never_observed;
+        ] );
+      ( "stable",
+        [
+          Alcotest.test_case "convergence" `Quick test_stable_sampling;
+          Alcotest.test_case "retry cap" `Quick test_stable_retry_cap;
+          Alcotest.test_case "budgeted soundness" `Quick
+            test_soundness_budgeted;
         ] );
       ( "soundness",
         [

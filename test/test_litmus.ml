@@ -210,6 +210,33 @@ let test_parse_errors () =
   Alcotest.(check bool) "reused location without star" true
     (bad "C t\n{ }\nP0(int *x) { int r = READ_ONCE(x); int s = READ_ONCE(r); }\nexists (x=0)")
 
+(* Typed errors must carry the line the failure occurred on: the batch
+   runner's classified reports depend on these positions. *)
+let test_error_positions () =
+  (match
+     parse "C t\n{ x=0; }\nP0(int *x) {\n  @\n}\nexists (x=0)"
+   with
+  | exception Litmus.Lexer.Error (msg, line) ->
+      Alcotest.(check int) "lexer error line" 4 line;
+      Alcotest.(check bool) "lexer error message" true
+        (String.length msg > 0)
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "bad character accepted");
+  (match
+     parse "C t\n{ x=0; }\nP0(int *x) {\n  WRITE_ONCE(x, 1;\n}\nexists (x=0)"
+   with
+  | exception Litmus.Parser.Error (msg, line) ->
+      Alcotest.(check int) "parser error line" 4 line;
+      Alcotest.(check bool) "parser error message" true
+        (String.length msg > 0)
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "unbalanced call accepted");
+  match parse "C t\n{ x=0; }\nP0(int *x) {\n  int r1 = 99999999999999999999;\n}\nexists (x=0)" with
+  | exception Litmus.Lexer.Error (_, line) ->
+      Alcotest.(check int) "bad literal line" 4 line
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "overflowing literal accepted"
+
 let test_comments () =
   let t =
     parse
@@ -382,6 +409,7 @@ let () =
             test_parse_cond_operators;
           Alcotest.test_case "address values" `Quick test_parse_addr_values;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error positions" `Quick test_error_positions;
           Alcotest.test_case "comments" `Quick test_comments;
         ] );
       ( "printer",

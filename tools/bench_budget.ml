@@ -1,0 +1,72 @@
+(* Measures the cost of budget bookkeeping (deadline probes, candidate
+   counters, arithmetic pre-claims) on happy-path workloads where no
+   limit ever trips: the full battery through the batch runner, and a
+   size-4 diy sweep through Sweep.classify.  Writes BENCH_budget.json.
+
+     dune exec tools/bench_budget.exe [-- OUT.json]
+
+   The budgets-on numbers use the runner defaults (10 s / 256 events /
+   200k candidates); budgets-off runs the identical code with every
+   limit absent.  Overhead is expected to stay below 5%. *)
+
+let time2 f g =
+  (* interleaved best-of-7 so machine drift hits both sides equally *)
+  let bf = ref infinity and bg = ref infinity in
+  for _ = 1 to 7 do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    let t1 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (g ()));
+    let t2 = Unix.gettimeofday () in
+    if t1 -. t0 < !bf then bf := t1 -. t0;
+    if t2 -. t1 < !bg then bg := t2 -. t1
+  done;
+  (!bf, !bg)
+
+let pct off on_ = 100.0 *. (on_ -. off) /. off
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_budget.json" in
+
+  let items = Harness.Runner.of_battery Harness.Battery.all in
+  let battery_off, battery_on =
+    time2
+      (fun () -> Harness.Runner.run ~limits:Exec.Budget.unlimited items)
+      (fun () -> Harness.Runner.run ~limits:Exec.Budget.default items)
+  in
+
+  let tests = Diygen.generate ~vocabulary:Diygen.Edge.core_vocabulary 4 in
+  let sweep_off, sweep_on =
+    time2
+      (fun () -> Harness.Sweep.classify ~runs:500 tests)
+      (fun () ->
+        Harness.Sweep.classify ~limits:Exec.Budget.default ~runs:500 tests)
+  in
+
+  let json =
+    Printf.sprintf
+      {|{
+  "description": "wall-clock cost of budget bookkeeping on happy-path workloads (no limit trips); interleaved best of 7 runs",
+  "battery_runner": {
+    "n_items": %d,
+    "budgets_off_s": %.4f,
+    "budgets_on_s": %.4f,
+    "overhead_pct": %.2f
+  },
+  "diy_sweep_size4": {
+    "n_tests": %d,
+    "budgets_off_s": %.4f,
+    "budgets_on_s": %.4f,
+    "overhead_pct": %.2f
+  }
+}
+|}
+      (List.length items) battery_off battery_on (pct battery_off battery_on)
+      (List.length tests) sweep_off sweep_on (pct sweep_off sweep_on)
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  if pct battery_off battery_on > 5.0 || pct sweep_off sweep_on > 5.0 then
+    prerr_endline "bench_budget: WARNING: overhead above 5%"

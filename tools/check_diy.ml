@@ -3,14 +3,16 @@
 let () =
   let n3 = Diygen.generate ~vocabulary:Diygen.Edge.core_vocabulary 3 in
   Printf.printf "size-3 tests: %d\n%!" (List.length n3);
-  let allow = ref 0 and forbid = ref 0 in
+  let allow = ref 0 and forbid = ref 0 and unknown = ref 0 in
   List.iter
     (fun t ->
       match (Lkmm.check t).Exec.Check.verdict with
       | Exec.Check.Allow -> incr allow
-      | Exec.Check.Forbid -> incr forbid)
+      | Exec.Check.Forbid -> incr forbid
+      | Exec.Check.Unknown _ -> incr unknown)
     n3;
-  Printf.printf "  LK verdicts: %d allow / %d forbid\n%!" !allow !forbid;
+  Printf.printf "  LK verdicts: %d allow / %d forbid / %d unknown\n%!" !allow
+    !forbid !unknown;
   (* soundness: sim outcomes within model outcomes on a sample *)
   let rng = Random.State.make [| 3 |] in
   let sample = Diygen.sample ~rng ~count:30 4 in
