@@ -22,10 +22,14 @@ let () =
       | _ -> (
           let path = Filename.concat dir file in
           match
-            let oc = open_out path in
+            (* atomic: write to a temp file and rename, so an interrupted
+               catgen cannot leave a torn model in models/ *)
+            let tmp = path ^ ".tmp" in
+            let oc = open_out tmp in
             Fun.protect
               ~finally:(fun () -> close_out_noerr oc)
-              (fun () -> output_string oc src)
+              (fun () -> output_string oc src);
+            Sys.rename tmp path
           with
           | () -> Printf.printf "wrote %s\n" path
           | exception Sys_error msg ->

@@ -10,7 +10,8 @@
 
 open Cmdliner
 
-let main size sample verdicts outdir timeout max_candidates max_events =
+let main size sample verdicts outdir timeout max_candidates max_events jobs
+    journal resume =
   let tests =
     match sample with
     | None -> Diygen.generate ~vocabulary:Diygen.Edge.core_vocabulary size
@@ -25,40 +26,84 @@ let main size sample verdicts outdir timeout max_candidates max_events =
   in
   let unknowns = ref 0 in
   Fmt.pr "generated %d tests of size %d@." (List.length tests) size;
-  List.iter
-    (fun (t : Litmus.Ast.t) ->
-      (if verdicts then begin
-         (* fresh budget per test: one explosive cycle degrades to Unknown
-            and the sweep keeps going *)
-         let lk = (budgeted (module Lkmm) t).Exec.Check.verdict in
-         (match lk with Exec.Check.Unknown _ -> incr unknowns | _ -> ());
-         let c11 =
-           if Models.C11.applicable t then
-             Exec.Check.verdict_to_string
-               (budgeted (module Models.C11) t).Exec.Check.verdict
-           else "-"
-         in
-         Fmt.pr "%-45s LK:%-6s C11:%s@." t.name
-           (Exec.Check.verdict_to_string lk)
-           c11
-       end
-       else Fmt.pr "%s@." t.name);
-      match outdir with
-      | None -> ()
-      | Some dir ->
-          let path =
-            Filename.concat dir
-              (String.map (function '+' -> '-' | c -> c) t.name ^ ".litmus")
-          in
-          let oc = open_out path in
-          output_string oc (Litmus.to_string t);
-          close_out oc)
-    tests;
-  if !unknowns > 0 then begin
-    Fmt.pr "%d tests exceeded their budget (Unknown)@." !unknowns;
-    3
+  let emit_test (t : Litmus.Ast.t) =
+    match outdir with
+    | None -> ()
+    | Some dir ->
+        let path =
+          Filename.concat dir
+            (String.map (function '+' -> '-' | c -> c) t.name ^ ".litmus")
+        in
+        (* atomic: a killed sweep cannot leave a torn .litmus file *)
+        let tmp = path ^ ".tmp" in
+        let oc = open_out tmp in
+        output_string oc (Litmus.to_string t);
+        close_out oc;
+        Sys.rename tmp path
+  in
+  let c11_column (t : Litmus.Ast.t) =
+    if Models.C11.applicable t then
+      Exec.Check.verdict_to_string
+        (budgeted (module Models.C11) t).Exec.Check.verdict
+    else "-"
+  in
+  (* the LK sweep is the expensive half; any pool feature moves it into
+     isolated workers, with the journal keyed by test name *)
+  let use_pool = verdicts && (jobs > 1 || journal <> None || resume <> None) in
+  if use_pool then begin
+    let items =
+      List.map
+        (fun (t : Litmus.Ast.t) ->
+          { Harness.Runner.id = t.name; source = `Ast t; expected = None })
+        tests
+    in
+    let config =
+      { Harness.Pool.default with Harness.Pool.jobs = max 1 jobs; limits }
+    in
+    let report =
+      Harness.Pool.run ~config ?journal ?resume
+        ~model:(Harness.Runner.static_model (module Lkmm))
+        items
+    in
+    List.iter2
+      (fun (t : Litmus.Ast.t) (e : Harness.Runner.entry) ->
+        let lk =
+          match e.Harness.Runner.status with
+          | Harness.Runner.Pass v -> Exec.Check.verdict_to_string v
+          | Harness.Runner.Gave_up _ -> "Unknown"
+          | Harness.Runner.Err { cls; _ } ->
+              "error:" ^ Harness.Runner.class_to_string cls
+          | Harness.Runner.Fail _ -> "FAIL"
+        in
+        Fmt.pr "%-45s LK:%-6s C11:%s@." t.name lk (c11_column t);
+        emit_test t)
+      tests report.Harness.Runner.entries;
+    if report.Harness.Runner.n_gave_up > 0 then
+      Fmt.pr "%d tests exceeded their budget (Unknown)@."
+        report.Harness.Runner.n_gave_up;
+    Harness.Runner.exit_code report
   end
-  else 0
+  else begin
+    List.iter
+      (fun (t : Litmus.Ast.t) ->
+        (if verdicts then begin
+           (* fresh budget per test: one explosive cycle degrades to Unknown
+              and the sweep keeps going *)
+           let lk = (budgeted (module Lkmm) t).Exec.Check.verdict in
+           (match lk with Exec.Check.Unknown _ -> incr unknowns | _ -> ());
+           Fmt.pr "%-45s LK:%-6s C11:%s@." t.name
+             (Exec.Check.verdict_to_string lk)
+             (c11_column t)
+         end
+         else Fmt.pr "%s@." t.name);
+        emit_test t)
+      tests;
+    if !unknowns > 0 then begin
+      Fmt.pr "%d tests exceeded their budget (Unknown)@." !unknowns;
+      3
+    end
+    else 0
+  end
 
 let size_arg =
   Arg.(value & opt int 4 & info [ "size"; "s" ] ~doc:"Cycle length.")
@@ -100,11 +145,39 @@ let max_events_arg =
     & info [ "max-events" ] ~docv:"N"
         ~doc:"Event cap per candidate execution.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run the -verdicts sweep in $(docv) isolated worker processes \
+           (crashes and hangs are contained and classified).")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Append each verdict to $(docv) as JSONL keyed by test name \
+           (implies process isolation for the sweep).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Recycle verdicts already recorded in journal $(docv); only \
+           missing tests re-run.")
+
 let exit_info =
   [
     Cmd.Exit.info 0 ~doc:"all requested work completed";
     Cmd.Exit.info 2 ~doc:"an error occurred (classified on stderr)";
     Cmd.Exit.info 3 ~doc:"some verdict check exceeded its budget (Unknown)";
+    Cmd.Exit.info 4
+      ~doc:"a worker process crashed on a signal (-j sweeps only)";
     Cmd.Exit.info 124
       ~doc:"command-line usage error: unknown option or bad value \
             (Cmdliner convention)";
@@ -117,7 +190,8 @@ let cmd =
        ~exits:exit_info)
     Term.(
       const main $ size_arg $ sample_arg $ verdicts_arg $ outdir_arg
-      $ timeout_arg $ max_candidates_arg $ max_events_arg)
+      $ timeout_arg $ max_candidates_arg $ max_events_arg $ jobs_arg
+      $ journal_arg $ resume_arg)
 
 (* user errors become one-line classified messages, not uncaught exceptions *)
 let () =

@@ -91,8 +91,64 @@ let write_dot path (e : Harness.Runner.entry) source =
       Fmt.pr "wrote %s@." path
   | None -> ()
 
+(* --shrink: minimise every failing or crashing entry to a reproducer
+   next to its input ([<id>.min.litmus]).  Crashes are re-checked in an
+   isolated worker; mismatches shrink in-process. *)
+let shrink_failures ~limits ~factory ~pool_config
+    (report : Harness.Runner.report) (items : Harness.Runner.item list) =
+  let module R = Harness.Runner in
+  let module S = Harness.Shrink in
+  let repro_path id =
+    (if Filename.check_suffix id ".litmus" then
+       Filename.chop_suffix id ".litmus"
+     else id)
+    ^ ".min.litmus"
+  in
+  let ast_of (i : R.item) =
+    try
+      Some
+        (match i.R.source with
+        | `Ast t -> t
+        | `Text s -> Litmus.parse s
+        | `File p -> Litmus.parse (R.read_file p))
+    with _ -> None
+  in
+  List.iter2
+    (fun (e : R.entry) (i : R.item) ->
+      let shrinkable =
+        match e.R.status with
+        | R.Fail _ | R.Err { cls = R.Crash _; _ } -> true
+        | _ -> false
+      in
+      match (shrinkable, ast_of i) with
+      | false, _ | _, None -> ()
+      | true, Some t ->
+          let check =
+            match e.R.status with
+            | R.Err { cls = R.Crash _; _ } ->
+                fun t' ->
+                  S.isolated_check ~config:pool_config ~model:factory
+                    ?expected:i.R.expected t'
+            | _ ->
+                fun t' ->
+                  R.run_item ~limits ~model:factory
+                    {
+                      R.id = t'.Litmus.Ast.name;
+                      source = `Ast t';
+                      expected = i.R.expected;
+                    }
+          in
+          let o = S.shrink_entry ~check e t in
+          let path = repro_path e.R.item_id in
+          S.write_reproducer path o.S.reduced;
+          Fmt.pr "Shrunk %s: size %d -> %d in %d steps (%d oracle runs); \
+                  wrote %s@."
+            e.R.item_id o.S.initial_size o.S.final_size o.S.steps
+            o.S.oracle_runs path)
+    report.R.entries items
+
 let main model verbose outcomes dot builtin timeout max_candidates max_events
-    json files =
+    json jobs mem_limit journal resume shrink files =
   let factory = model_of_name model in
   let mname = model_display_name model in
   let limits =
@@ -124,7 +180,25 @@ let main model verbose outcomes dot builtin timeout max_candidates max_events
     0
   end
   else begin
-    let report = Harness.Runner.run ~limits ~model:factory items in
+    let pool_config =
+      {
+        Harness.Pool.default with
+        Harness.Pool.jobs = max 1 jobs;
+        limits;
+        mem_limit_mb = mem_limit;
+      }
+    in
+    (* isolation is opt-in: any pool-only feature selects the pool *)
+    let use_pool =
+      jobs > 1 || mem_limit <> None || journal <> None || resume <> None
+    in
+    let report =
+      if use_pool then
+        Harness.Pool.run ~config:pool_config ?journal ?resume ~model:factory
+          items
+      else Harness.Runner.run ~limits ~model:factory items
+    in
+    if shrink then shrink_failures ~limits ~factory ~pool_config report items;
     if json then print_string (Harness.Runner.to_json report ^ "\n")
     else begin
       let sources =
@@ -211,6 +285,52 @@ let json_arg =
     value & flag
     & info [ "json" ] ~doc:"Emit the batch report as JSON on stdout.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run tests in $(docv) parallel worker processes.  Each test is \
+           checked in its own forked process with a hard watchdog, so a \
+           segfault or hang is contained and classified rather than fatal.")
+
+let mem_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mem-limit" ] ~docv:"MB"
+        ~doc:
+          "Hard per-worker heap cap in megabytes (implies process \
+           isolation); exceeding it yields a classified Unknown entry.")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Append each completed entry to $(docv) as JSONL, flushed per \
+           entry; a killed run loses at most the in-flight items.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Recycle entries already recorded in journal $(docv); only \
+           missing items re-run.  Usually combined with --journal FILE to \
+           continue the same journal.")
+
+let shrink_arg =
+  Arg.(
+    value & flag
+    & info [ "shrink" ]
+        ~doc:
+          "Minimise every failing or crashing test to a reproducer written \
+           next to the input as <name>.min.litmus (delta debugging against \
+           the same classified outcome).")
+
 let files_arg =
   Arg.(value & pos_all file [] & info [] ~docv:"TEST.litmus")
 
@@ -224,6 +344,9 @@ let exit_info =
                           internal error";
     Cmd.Exit.info 3 ~doc:"some test exceeded its resource budget (Unknown) \
                           and none failed or errored";
+    Cmd.Exit.info 4 ~doc:"some worker process crashed on a signal \
+                          (process-isolated runs only); crash outranks \
+                          error, fail and budget";
     Cmd.Exit.info 124
       ~doc:"command-line usage error: unknown option or bad value \
             (Cmdliner convention)";
@@ -247,7 +370,8 @@ let cmd =
     Term.(
       const main $ model_arg $ verbose_arg $ outcomes_arg $ dot_arg
       $ builtin_arg $ timeout_arg $ max_candidates_arg $ max_events_arg
-      $ json_arg $ files_arg)
+      $ json_arg $ jobs_arg $ mem_limit_arg $ journal_arg $ resume_arg
+      $ shrink_arg $ files_arg)
 
 (* user errors become one-line classified messages, not uncaught
    exceptions; Cmdliner's own error classes keep their reserved codes *)

@@ -16,12 +16,21 @@ open Cmdliner
 
 let run_one archs runs seed check stable limits test =
   let errors = ref 0 and budget_outs = ref 0 in
+  let budget_reason = ref None in
   Fmt.pr "Test %s:@." test.Litmus.Ast.name;
   List.iter
     (fun arch ->
       let s, convergence =
         if stable then begin
           let st = Hwsim.run_test_stable arch ~seed test in
+          (* a non-converged histogram is a reproducibility problem:
+             print the exact per-batch seed set so the run can be
+             replayed and extended *)
+          if not st.Hwsim.converged then
+            Fmt.pr "  %-7s NOT converged after %d batches; seeds used: %s@."
+              st.Hwsim.stats.Hwsim.arch st.Hwsim.batches
+              (String.concat ","
+                 (List.map string_of_int st.Hwsim.seeds));
           ( st.Hwsim.stats,
             Some
               (Printf.sprintf "%s after %d batches"
@@ -45,12 +54,16 @@ let run_one archs runs seed check stable limits test =
               bad
         | Hwsim.Soundness_unknown r ->
             incr budget_outs;
+            budget_reason := Some r;
             Fmt.pr "  %-7s soundness unknown: %s@." s.Hwsim.arch
               (Exec.Budget.reason_to_string r))
     archs;
-  (!errors, !budget_outs)
+  (!errors, !budget_outs, !budget_reason)
 
-let main archs runs seed check stable timeout max_candidates files builtin =
+let main archs runs seed check stable timeout max_candidates journal resume
+    files builtin =
+  let module R = Harness.Runner in
+  let module J = Harness.Journal in
   let archs =
     match archs with
     | [] -> Hwsim.Arch.table5
@@ -65,27 +78,79 @@ let main archs runs seed check stable timeout max_candidates files builtin =
     let l = Exec.Budget.limits ?timeout ?max_candidates () in
     if Exec.Budget.is_unlimited l then None else Some l
   in
+  (* resume: tests already journalled are completion-marked and skipped;
+     their recorded classification still feeds the exit code *)
+  let recycled = Hashtbl.create 16 in
+  (match resume with
+  | Some p ->
+      List.iter
+        (fun (e : R.entry) -> Hashtbl.replace recycled e.R.item_id e)
+        (J.load p)
+  | None -> ());
+  let writer = Option.map J.open_writer journal in
   let errors = ref 0 and budget_outs = ref 0 and failures = ref 0 in
-  let run_test test =
-    let e, b = run_one archs runs seed check stable limits test in
-    errors := !errors + e;
-    budget_outs := !budget_outs + b
+  let record id status time =
+    match writer with
+    | None -> ()
+    | Some w ->
+        J.write w
+          {
+            R.item_id = id;
+            status;
+            time;
+            n_candidates = 0;
+            retried = false;
+            result = None;
+          }
+  in
+  let count_recycled (st : R.status) =
+    match st with
+    | R.Pass _ -> ()
+    | R.Fail _ -> incr errors (* an unsound hw/model disagreement *)
+    | R.Gave_up _ -> incr budget_outs
+    | R.Err _ -> incr failures
+  in
+  let run_test id test =
+    match Hashtbl.find_opt recycled id with
+    | Some e ->
+        Fmt.pr "Test %s: recycled from journal (%a)@." id R.pp_status
+          e.R.status;
+        count_recycled e.R.status
+    | None ->
+        let t0 = Unix.gettimeofday () in
+        let e, b, reason = run_one archs runs seed check stable limits test in
+        errors := !errors + e;
+        budget_outs := !budget_outs + b;
+        (* the journalled classification mirrors the exit-code policy:
+           unsound = disagreement (fail), budget = gave up, else done *)
+        let status =
+          if e > 0 then
+            R.Fail { expected = Exec.Check.Forbid; got = Exec.Check.Allow }
+          else
+            match reason with
+            | Some r when b > 0 -> R.Gave_up r
+            | _ -> R.Pass Exec.Check.Allow
+        in
+        record id status (Unix.gettimeofday () -. t0)
   in
   (match builtin with
   | Some name ->
-      run_test (Litmus.parse (Harness.Battery.find name).Harness.Battery.source)
+      run_test name
+        (Litmus.parse (Harness.Battery.find name).Harness.Battery.source)
   | None -> ());
   List.iter
     (fun path ->
       (* per-file fault isolation: a malformed file is reported and the
          batch continues *)
       match Litmus.parse (Harness.Runner.read_file path) with
-      | test -> run_test test
+      | test -> run_test path test
       | exception exn ->
           incr failures;
-          Fmt.epr "klitmus_sim: %s: %a@." path Harness.Runner.pp_error
-            (Harness.Runner.classify_exn exn))
+          let err = Harness.Runner.classify_exn exn in
+          record path (R.Err err) 0.;
+          Fmt.epr "klitmus_sim: %s: %a@." path Harness.Runner.pp_error err)
     files;
+  Option.iter J.close writer;
   if files = [] && builtin = None then
     Fmt.pr "no tests given; try: klitmus_sim -b SB@.";
   if !errors > 0 || !failures > 0 then 2
@@ -135,6 +200,25 @@ let max_candidates_arg =
     & info [ "max-candidates" ] ~docv:"N"
         ~doc:"Candidate-execution cap for the model side of -check.")
 
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Append a completion marker per test to $(docv) as JSONL, \
+           flushed per test; a killed sweep loses at most the in-flight \
+           test.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Skip tests already marked complete in journal $(docv); their \
+           recorded classification still feeds the exit code.")
+
 let builtin_arg =
   Arg.(
     value
@@ -163,7 +247,8 @@ let cmd =
        ~exits:exit_info)
     Term.(
       const main $ archs_arg $ runs_arg $ seed_arg $ check_arg $ stable_arg
-      $ timeout_arg $ max_candidates_arg $ files_arg $ builtin_arg)
+      $ timeout_arg $ max_candidates_arg $ journal_arg $ resume_arg
+      $ files_arg $ builtin_arg)
 
 (* user errors become one-line classified messages, not uncaught exceptions *)
 let () =

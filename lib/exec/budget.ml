@@ -18,30 +18,37 @@ type limits = {
   timeout : float option; (* wall-clock seconds per test *)
   max_events : int option; (* events in one candidate execution *)
   max_candidates : int option; (* candidate executions enumerated *)
+  max_heap_mb : int option; (* major-heap ceiling, megabytes *)
 }
 
-let unlimited = { timeout = None; max_events = None; max_candidates = None }
+let unlimited =
+  { timeout = None; max_events = None; max_candidates = None;
+    max_heap_mb = None }
 
-let limits ?timeout ?max_events ?max_candidates () =
-  { timeout; max_events; max_candidates }
+let limits ?timeout ?max_events ?max_candidates ?max_heap_mb () =
+  { timeout; max_events; max_candidates; max_heap_mb }
 
 (* Defaults used by the batch runner: loose enough for every legitimate
    test in the battery/corpus, tight enough to cut off explosions. *)
 let default =
-  { timeout = Some 10.0; max_events = Some 256; max_candidates = Some 200_000 }
+  { timeout = Some 10.0; max_events = Some 256;
+    max_candidates = Some 200_000; max_heap_mb = None }
 
 let is_unlimited l =
   l.timeout = None && l.max_events = None && l.max_candidates = None
+  && l.max_heap_mb = None
 
 type reason =
   | Timed_out of float (* the wall-clock limit, seconds *)
   | Too_many_events of int * int (* seen, limit *)
   | Too_many_candidates of int (* limit *)
+  | Heap_exceeded of int (* the heap limit, megabytes *)
 
 let reason_to_string = function
   | Timed_out s -> Printf.sprintf "timeout after %gs" s
   | Too_many_events (n, m) -> Printf.sprintf "%d events exceed cap %d" n m
   | Too_many_candidates m -> Printf.sprintf "more than %d candidate executions" m
+  | Heap_exceeded mb -> Printf.sprintf "heap exceeded %dMB" mb
 
 let pp_reason ppf r = Fmt.string ppf (reason_to_string r)
 
@@ -70,10 +77,24 @@ let check_time b =
       raise (Exceeded (Timed_out s))
   | _ -> ()
 
-(* Cheap progress probe for hot loops: samples the clock every 256 calls. *)
+(* Major-heap words, converted to MB (a word is 8 bytes on every target
+   we build for).  [quick_stat] does not walk the heap, so this is cheap
+   enough for the sampled probe. *)
+let heap_mb () = (Gc.quick_stat ()).Gc.heap_words * 8 / (1024 * 1024)
+
+let check_heap b =
+  match b.lim.max_heap_mb with
+  | Some mb when heap_mb () > mb -> raise (Exceeded (Heap_exceeded mb))
+  | _ -> ()
+
+(* Cheap progress probe for hot loops: samples the clock (and the heap,
+   when capped) every 256 calls. *)
 let tick b =
   b.ticks <- b.ticks + 1;
-  if b.ticks land 255 = 0 then check_time b
+  if b.ticks land 255 = 0 then begin
+    check_time b;
+    check_heap b
+  end
 
 let check_events b n =
   match b.lim.max_events with

@@ -7,16 +7,23 @@ type limits = {
   timeout : float option;  (** wall-clock seconds per test *)
   max_events : int option;  (** events in one candidate execution *)
   max_candidates : int option;  (** candidate executions enumerated *)
+  max_heap_mb : int option;  (** major-heap ceiling, megabytes *)
 }
 
 val unlimited : limits
 
-(** [limits ?timeout ?max_events ?max_candidates ()] — omitted fields are
-    unbounded. *)
+(** [limits ?timeout ?max_events ?max_candidates ?max_heap_mb ()] —
+    omitted fields are unbounded. *)
 val limits :
-  ?timeout:float -> ?max_events:int -> ?max_candidates:int -> unit -> limits
+  ?timeout:float ->
+  ?max_events:int ->
+  ?max_candidates:int ->
+  ?max_heap_mb:int ->
+  unit ->
+  limits
 
-(** The batch runner's defaults: 10 s, 256 events, 200k candidates. *)
+(** The batch runner's defaults: 10 s, 256 events, 200k candidates,
+    unbounded heap. *)
 val default : limits
 
 val is_unlimited : limits -> bool
@@ -25,6 +32,7 @@ type reason =
   | Timed_out of float  (** the wall-clock limit, seconds *)
   | Too_many_events of int * int  (** seen, limit *)
   | Too_many_candidates of int  (** limit *)
+  | Heap_exceeded of int  (** the heap limit, megabytes *)
 
 val reason_to_string : reason -> string
 val pp_reason : reason Fmt.t
@@ -43,7 +51,14 @@ val candidates_seen : t -> int
 (** Raise {!Exceeded} if the deadline has passed (samples the clock). *)
 val check_time : t -> unit
 
-(** Cheap probe for hot loops: checks the clock every 256th call. *)
+(** Current major-heap size in megabytes (via [Gc.quick_stat]). *)
+val heap_mb : unit -> int
+
+(** Raise {!Exceeded} if the major heap is over the cap. *)
+val check_heap : t -> unit
+
+(** Cheap probe for hot loops: checks the clock (and heap cap) every
+    256th call. *)
 val tick : t -> unit
 
 (** [check_events b n] — fail if one candidate has more than the cap. *)

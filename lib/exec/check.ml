@@ -20,12 +20,28 @@ end
 type unknown_reason =
   | Budget_exceeded of Budget.reason
   | Model_error of exn (* the model raised on some candidate *)
+  | Crashed of int
+      (* the isolated worker checking this test died on this signal
+         (segfault, OOM kill, ...) — only process isolation (Harness.Pool)
+         can produce it; in-process checking reports Model_error instead *)
 
 type verdict = Allow | Forbid | Unknown of unknown_reason
+
+let signal_name s =
+  if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigbus then "SIGBUS"
+  else if s = Sys.sigill then "SIGILL"
+  else if s = Sys.sigfpe then "SIGFPE"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else Printf.sprintf "signal %d" s
 
 let unknown_reason_to_string = function
   | Budget_exceeded r -> Budget.reason_to_string r
   | Model_error exn -> "model error: " ^ Printexc.to_string exn
+  | Crashed s -> "worker crashed: " ^ signal_name s
 
 let verdict_to_string = function
   | Allow -> "Allow"

@@ -17,8 +17,14 @@ end
 type unknown_reason =
   | Budget_exceeded of Budget.reason
   | Model_error of exn  (** the model raised on some candidate *)
+  | Crashed of int
+      (** the isolated worker checking the test died on this signal;
+          produced only by process isolation ({!Harness.Pool}) *)
 
 type verdict = Allow | Forbid | Unknown of unknown_reason
+
+(** Human name for a signal number (SIGSEGV, SIGKILL, ...). *)
+val signal_name : int -> string
 
 val unknown_reason_to_string : unknown_reason -> string
 val verdict_to_string : verdict -> string

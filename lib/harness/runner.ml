@@ -12,14 +12,23 @@
      1  some verdict mismatched its expectation (FAIL)
      2  some item errored (parse/lex/type/lint/internal)
      3  some item exceeded its budget, none failed or errored
+     4  some item crashed its isolated worker (signal death under
+        Harness.Pool: segfault, OOM kill, ...)
 
-   (2 beats 1 beats 3 when a batch mixes them.) *)
+   (4 beats 2 beats 1 beats 3 when a batch mixes them.) *)
 
 (* ------------------------------------------------------------------ *)
 (* Error taxonomy                                                      *)
 (* ------------------------------------------------------------------ *)
 
-type error_class = Parse | Lex | Type | Lint | Budget | Internal
+type error_class =
+  | Parse
+  | Lex
+  | Type
+  | Lint
+  | Budget
+  | Internal
+  | Crash of int (* worker died on this signal (process isolation only) *)
 
 let class_to_string = function
   | Parse -> "parse"
@@ -28,6 +37,7 @@ let class_to_string = function
   | Lint -> "lint"
   | Budget -> "budget"
   | Internal -> "internal"
+  | Crash _ -> "crash"
 
 type error_info = {
   cls : error_class;
@@ -79,6 +89,7 @@ type entry = {
   status : status;
   time : float; (* wall-clock seconds for this item *)
   n_candidates : int; (* candidates enumerated (partial on Gave_up) *)
+  retried : bool; (* true = this is the second attempt after a crash *)
   result : Exec.Check.result option;
       (* the full check result when one was produced (Pass/Fail) *)
 }
@@ -88,9 +99,13 @@ type report = {
   n_pass : int;
   n_fail : int;
   n_error : int;
+  n_crash : int; (* Err entries whose class is Crash (counted apart) *)
   n_gave_up : int;
   wall : float; (* wall-clock seconds for the whole batch *)
 }
+
+let is_crash (e : entry) =
+  match e.status with Err { cls = Crash _; _ } -> true | _ -> false
 
 (* A model may need the per-item running budget (cat interpretation shares
    the test's deadline), so batches take a budget-indexed factory. *)
@@ -127,6 +142,7 @@ let run_item ?(limits = Exec.Budget.default) ?(lint = true)
     {
       item_id = item.id;
       status;
+      retried = false;
       time = Unix.gettimeofday () -. t0;
       n_candidates =
         (match (result, budget) with
@@ -183,7 +199,10 @@ let summarise ~wall entries =
     entries;
     n_pass = count (fun e -> match e.status with Pass _ -> true | _ -> false);
     n_fail = count (fun e -> match e.status with Fail _ -> true | _ -> false);
-    n_error = count (fun e -> match e.status with Err _ -> true | _ -> false);
+    n_error =
+      count (fun e ->
+          match e.status with Err _ -> not (is_crash e) | _ -> false);
+    n_crash = count is_crash;
     n_gave_up =
       count (fun e -> match e.status with Gave_up _ -> true | _ -> false);
     wall;
@@ -195,9 +214,11 @@ let run ?limits ?lint ?(model = static_model (module Lkmm : Exec.Check.MODEL))
   let entries = List.map (run_item ?limits ?lint ~model) items in
   summarise ~wall:(Unix.gettimeofday () -. t0) entries
 
-(* The deterministic exit-code policy (see the header comment). *)
+(* The deterministic exit-code policy (see the header comment):
+   crash > error > fail > gave-up. *)
 let exit_code r =
-  if r.n_error > 0 then 2
+  if r.n_crash > 0 then 4
+  else if r.n_error > 0 then 2
   else if r.n_fail > 0 then 1
   else if r.n_gave_up > 0 then 3
   else 0
@@ -219,12 +240,12 @@ let pp_entry ppf e =
   Fmt.pf ppf "%-45s %a  [%.3fs]" e.item_id pp_status e.status e.time
 
 let pp ppf r =
-  Fmt.pf ppf "@[<v>%a@,%d items: %d pass, %d fail, %d error, %d gave up \
-              (%.3fs)@]"
+  Fmt.pf ppf "@[<v>%a@,%d items: %d pass, %d fail, %d error, %d crash, %d \
+              gave up (%.3fs)@]"
     Fmt.(list ~sep:cut pp_entry)
     r.entries
     (List.length r.entries)
-    r.n_pass r.n_fail r.n_error r.n_gave_up r.wall
+    r.n_pass r.n_fail r.n_error r.n_crash r.n_gave_up r.wall
 
 (* Minimal JSON emission (no JSON library in the tree). *)
 let json_escape s =
@@ -243,10 +264,15 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Reports and journal lines carry this version so downstream consumers
+   can detect format changes; bump on any incompatible field change. *)
+let schema_version = 1
+
 let entry_to_json e =
   let base =
-    Printf.sprintf "\"id\": \"%s\", \"time_s\": %.6f, \"candidates\": %d"
+    Printf.sprintf "\"id\": \"%s\", \"time_s\": %.6f, \"candidates\": %d%s"
       (json_escape e.item_id) e.time e.n_candidates
+      (if e.retried then ", \"retried\": true" else "")
   in
   let rest =
     match e.status with
@@ -263,18 +289,52 @@ let entry_to_json e =
           (json_escape (Exec.Budget.reason_to_string r))
     | Err err ->
         Printf.sprintf
-          "\"status\": \"error\", \"class\": \"%s\", \"msg\": \"%s\"%s"
+          "\"status\": \"error\", \"class\": \"%s\", \"msg\": \"%s\"%s%s"
           (class_to_string err.cls) (json_escape err.msg)
+          (match err.cls with
+          | Crash s -> Printf.sprintf ", \"signal\": %d" s
+          | _ -> "")
           (match err.line with
           | Some l -> Printf.sprintf ", \"line\": %d" l
           | None -> "")
   in
   Printf.sprintf "{%s, %s}" base rest
 
+(* Per-batch perf aggregates: the slowest item and the candidate-count
+   peak, so perf regressions are attributable to a single test. *)
+let slowest r =
+  List.fold_left
+    (fun acc (e : entry) ->
+      match acc with
+      | Some (m : entry) when m.time >= e.time -> acc
+      | _ -> Some e)
+    None r.entries
+
+let peak_candidates r =
+  List.fold_left
+    (fun acc (e : entry) ->
+      match acc with
+      | Some (m : entry) when m.n_candidates >= e.n_candidates -> acc
+      | _ -> Some e)
+    None r.entries
+
 let to_json r =
+  let stat name (e : entry option) value =
+    match e with
+    | None -> ""
+    | Some e ->
+        Printf.sprintf " \"%s\": %s, \"%s_id\": \"%s\"," name (value e) name
+          (json_escape e.item_id)
+  in
   Printf.sprintf
-    "{\"total\": %d, \"pass\": %d, \"fail\": %d, \"error\": %d, \"gave_up\": \
-     %d, \"wall_s\": %.6f, \"exit_code\": %d,\n\"entries\": [\n%s\n]}"
+    "{\"schema_version\": %d, \"total\": %d, \"pass\": %d, \"fail\": %d, \
+     \"error\": %d, \"crash\": %d, \"gave_up\": %d, \"wall_s\": %.6f,%s%s \
+     \"exit_code\": %d,\n\"entries\": [\n%s\n]}"
+    schema_version
     (List.length r.entries)
-    r.n_pass r.n_fail r.n_error r.n_gave_up r.wall (exit_code r)
+    r.n_pass r.n_fail r.n_error r.n_crash r.n_gave_up r.wall
+    (stat "max_time_s" (slowest r) (fun e -> Printf.sprintf "%.6f" e.time))
+    (stat "peak_candidates" (peak_candidates r) (fun e ->
+         string_of_int e.n_candidates))
+    (exit_code r)
     (String.concat ",\n" (List.map entry_to_json r.entries))

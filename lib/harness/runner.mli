@@ -4,12 +4,22 @@
 
     Exit-code policy (deterministic): 0 = all pass, 1 = some FAIL
     (verdict mismatch), 2 = some ERROR (parse/lex/type/lint/internal),
-    3 = some item gave its budget up and nothing failed or errored;
-    2 beats 1 beats 3 in mixed batches. *)
+    3 = some item gave its budget up and nothing failed or errored,
+    4 = some item crashed its isolated worker ({!Harness.Pool});
+    4 beats 2 beats 1 beats 3 in mixed batches. *)
 
 (** {1 Error taxonomy} *)
 
-type error_class = Parse | Lex | Type | Lint | Budget | Internal
+type error_class =
+  | Parse
+  | Lex
+  | Type
+  | Lint
+  | Budget
+  | Internal
+  | Crash of int
+      (** worker died on this signal; produced only under process
+          isolation ({!Harness.Pool}) *)
 
 val class_to_string : error_class -> string
 
@@ -50,6 +60,7 @@ type entry = {
   status : status;
   time : float;  (** wall-clock seconds for this item *)
   n_candidates : int;  (** candidates enumerated (partial on [Gave_up]) *)
+  retried : bool;  (** true = second attempt after a worker crash *)
   result : Exec.Check.result option;
       (** the full check result when one was produced (Pass/Fail) *)
 }
@@ -58,10 +69,14 @@ type report = {
   entries : entry list;
   n_pass : int;
   n_fail : int;
-  n_error : int;
+  n_error : int;  (** [Err] entries other than crashes *)
+  n_crash : int;  (** [Err] entries whose class is [Crash] *)
   n_gave_up : int;
   wall : float;
 }
+
+(** Whether an entry records a worker crash. *)
+val is_crash : entry -> bool
 
 (** A model may need the per-item running budget (cat interpretation
     shares the test's deadline), so batches take a budget-indexed
@@ -93,12 +108,24 @@ val run :
   item list ->
   report
 
+(** Re-count the batch summary from a list of entries (used when entries
+    are assembled out of band, e.g. journal resume). *)
+val summarise : wall:float -> entry list -> report
+
 (** The deterministic exit-code policy (see the module header). *)
 val exit_code : report -> int
 
 val pp_status : status Fmt.t
 val pp_entry : entry Fmt.t
 val pp : report Fmt.t
+
+(** Version stamped into JSON reports and journal lines. *)
+val schema_version : int
+
+(** JSON string escaping shared by the report and journal writers. *)
+val json_escape : string -> string
+
+val entry_to_json : entry -> string
 
 (** The report as a JSON document (stable field names; see README). *)
 val to_json : report -> string

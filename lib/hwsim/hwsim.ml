@@ -107,6 +107,9 @@ type stable_stats = {
   stats : stats; (* cumulative over all batches *)
   batches : int; (* batches actually run *)
   converged : bool; (* false = retry cap hit before convergence *)
+  seeds : int list;
+      (* the per-batch seeds actually used, in batch order — the exact
+         seed set to replay a non-converging run *)
 }
 
 let merge_stats a b =
@@ -140,11 +143,12 @@ let batch_stable ~tol before after =
 
 let run_test_stable (arch : Arch.t) ?(batch = 2_000) ?(max_batches = 25)
     ?(stable_batches = 3) ?(tol = 0.01) ?(seed = 42) (test : Litmus.Ast.t) =
+  let seeds_used i = List.init i (fun k -> seed + k) in
   let rec go acc streak i =
     if streak >= stable_batches then
-      { stats = acc; batches = i; converged = true }
+      { stats = acc; batches = i; converged = true; seeds = seeds_used i }
     else if i >= max_batches then
-      { stats = acc; batches = i; converged = false }
+      { stats = acc; batches = i; converged = false; seeds = seeds_used i }
     else
       let b = run_test arch ~runs:batch ~seed:(seed + i) test in
       let acc' = merge_stats acc b in

@@ -169,6 +169,7 @@ let test_runner_exit_precedence () =
       n_pass = 0;
       n_fail = 1;
       n_error = 0;
+      n_crash = 0;
       n_gave_up = 1;
       wall = r1.R.wall +. r2.R.wall;
     }

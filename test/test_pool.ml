@@ -1,0 +1,198 @@
+(* Tests for Harness.Pool: process isolation, watchdog kills, memory
+   caps, crash classification, retry/backoff and the crash exit code.
+
+   Crashes are injected through the pool's [worker] override: a worker
+   that kills its own process for designated item ids, and otherwise
+   defers to the ordinary Runner.run_item.  This exercises the real
+   fork/SIGKILL/reap machinery with deterministic failures. *)
+
+module R = Harness.Runner
+module P = Harness.Pool
+module B = Exec.Budget
+
+let limits = B.limits ~timeout:5.0 ~max_candidates:50_000 ()
+let model = R.static_model (module Lkmm : Exec.Check.MODEL)
+let normal_worker = R.run_item ~limits ~model
+
+let src name = (Harness.Battery.find name).Harness.Battery.source
+let item id source expected = { R.id; source = `Text source; expected }
+
+(* A worker that misbehaves on cue.  Runs in the forked child, so
+   killing the process or spinning forever is contained by the pool. *)
+let misbehaving (it : R.item) =
+  match it.R.id with
+  | "segv" ->
+      Unix.kill (Unix.getpid ()) Sys.sigsegv;
+      assert false
+  | "loop" ->
+      (* an allocation-free infinite loop: no budget tick, no Gc alarm;
+         only the watchdog can stop it *)
+      let rec spin () : R.entry = spin () in
+      spin ()
+  | "oom" ->
+      let rec eat acc : R.entry = eat (Bytes.create (1 lsl 20) :: acc) in
+      eat []
+  | _ -> normal_worker it
+
+let config jobs =
+  { P.default with P.jobs; limits; backoff = 0.01 }
+
+let find_entry report id =
+  List.find (fun (e : R.entry) -> e.R.item_id = id) report.R.entries
+
+let test_crash_contained () =
+  let report =
+    P.run
+      ~config:(config 2)
+      ~worker:misbehaving ~model
+      [
+        item "ok1" (src "SB") (Some Exec.Check.Allow);
+        item "segv" (src "SB") None;
+        item "ok2" (src "MP+wmb+rmb") (Some Exec.Check.Forbid);
+      ]
+  in
+  Alcotest.(check int) "both healthy items passed" 2 report.R.n_pass;
+  Alcotest.(check int) "one crash" 1 report.R.n_crash;
+  Alcotest.(check int) "no plain errors" 0 report.R.n_error;
+  (match (find_entry report "segv").R.status with
+  | R.Err { cls = R.Crash s; _ } ->
+      Alcotest.(check int) "signal recorded" Sys.sigsegv s
+  | s -> Alcotest.failf "expected crash entry: %a" R.pp_status s);
+  Alcotest.(check bool) "deterministic crash was retried" true
+    (find_entry report "segv").R.retried;
+  Alcotest.(check int) "crash exit code" 4 (R.exit_code report)
+
+let test_order_preserved () =
+  let ids = [ "d"; "c"; "b"; "a" ] in
+  let report =
+    P.run ~config:(config 4) ~model
+      (List.map (fun id -> item id (src "SB") None) ids)
+  in
+  Alcotest.(check (list string)) "entries in item order" ids
+    (List.map (fun (e : R.entry) -> e.R.item_id) report.R.entries)
+
+let test_watchdog_kills_loop () =
+  let cfg =
+    { P.default with P.jobs = 2; limits = B.limits ~timeout:0.2 ();
+      backoff = 0.01 }
+  in
+  let t0 = Unix.gettimeofday () in
+  let report =
+    P.run ~config:cfg ~worker:misbehaving ~model
+      [ item "loop" (src "SB") None; item "ok" (src "SB") None ]
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (match (find_entry report "loop").R.status with
+  | R.Gave_up (B.Timed_out _) -> ()
+  | s -> Alcotest.failf "expected watchdog timeout: %a" R.pp_status s);
+  Alcotest.(check int) "healthy item passed" 1 report.R.n_pass;
+  Alcotest.(check int) "budget exit code" 3 (R.exit_code report);
+  (* watchdog = 2 * 0.2 + 1 = 1.4s; well under the 5s this would hang
+     without the watchdog (the loop never returns) *)
+  Alcotest.(check bool) "killed promptly" true (wall < 4.0)
+
+let test_mem_cap_contains_oom () =
+  let cfg =
+    { P.default with P.jobs = 1; limits = B.limits ~timeout:10.0 ();
+      mem_limit_mb = Some 32 }
+  in
+  let report =
+    P.run ~config:cfg ~worker:misbehaving ~model
+      [ item "oom" (src "SB") None; item "ok" (src "SB") None ]
+  in
+  (match (find_entry report "oom").R.status with
+  | R.Gave_up (B.Heap_exceeded 32) -> ()
+  | s -> Alcotest.failf "expected heap cap: %a" R.pp_status s);
+  Alcotest.(check int) "healthy item passed" 1 report.R.n_pass
+
+(* A flaky crash: the first attempt dies, the retry succeeds.  The
+   cross-attempt state lives in the filesystem because each attempt is
+   a fresh process. *)
+let test_flaky_crash_retried () =
+  let marker = Filename.temp_file "pool_flaky" ".marker" in
+  Sys.remove marker;
+  let flaky (it : R.item) =
+    match it.R.id with
+    | "flaky" ->
+        if not (Sys.file_exists marker) then begin
+          let oc = open_out marker in
+          close_out oc;
+          Unix.kill (Unix.getpid ()) Sys.sigsegv
+        end;
+        normal_worker it
+    | _ -> normal_worker it
+  in
+  let report =
+    P.run ~config:(config 1) ~worker:flaky ~model
+      [ item "flaky" (src "SB") (Some Exec.Check.Allow) ]
+  in
+  if Sys.file_exists marker then Sys.remove marker;
+  let e = find_entry report "flaky" in
+  (match e.R.status with
+  | R.Pass _ -> ()
+  | s -> Alcotest.failf "expected pass after retry: %a" R.pp_status s);
+  Alcotest.(check bool) "marked as retried" true e.R.retried;
+  Alcotest.(check int) "no crash in the final report" 0 report.R.n_crash;
+  Alcotest.(check int) "clean exit code" 0 (R.exit_code report)
+
+let test_crash_beats_error_exit_code () =
+  let report =
+    P.run ~config:(config 2) ~worker:misbehaving ~model
+      [
+        item "segv" (src "SB") None;
+        item "parse-err" "C broken\n{ x=0;\nP0(int *x" None;
+        item "fail" (src "SB") (Some Exec.Check.Forbid);
+      ]
+  in
+  Alcotest.(check int) "crash counted" 1 report.R.n_crash;
+  Alcotest.(check int) "error counted" 1 report.R.n_error;
+  Alcotest.(check int) "fail counted" 1 report.R.n_fail;
+  Alcotest.(check int) "crash > error > fail" 4 (R.exit_code report)
+
+(* The default worker: no injection, real checking in real workers,
+   agreeing with the in-process runner on the same items. *)
+let test_agrees_with_runner () =
+  let items =
+    [
+      item "SB" (src "SB") (Some Exec.Check.Allow);
+      item "MP+wmb+rmb" (src "MP+wmb+rmb") (Some Exec.Check.Forbid);
+      item "bad" "garbage input" None;
+    ]
+  in
+  let pooled = P.run ~config:(config 2) ~model items in
+  let inproc = R.run ~limits items in
+  List.iter2
+    (fun (a : R.entry) (b : R.entry) ->
+      Alcotest.(check string)
+        (a.R.item_id ^ " same classified outcome")
+        (Harness.Shrink.fingerprint b)
+        (Harness.Shrink.fingerprint a))
+    pooled.R.entries inproc.R.entries;
+  Alcotest.(check int) "same exit code" (R.exit_code inproc)
+    (R.exit_code pooled)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "isolation",
+        [
+          Alcotest.test_case "crash contained" `Quick test_crash_contained;
+          Alcotest.test_case "order preserved" `Quick test_order_preserved;
+          Alcotest.test_case "watchdog kills loop" `Slow
+            test_watchdog_kills_loop;
+          Alcotest.test_case "mem cap contains OOM" `Slow
+            test_mem_cap_contains_oom;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "flaky crash retried" `Quick
+            test_flaky_crash_retried;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "crash beats error" `Quick
+            test_crash_beats_error_exit_code;
+          Alcotest.test_case "agrees with runner" `Quick
+            test_agrees_with_runner;
+        ] );
+    ]

@@ -1,0 +1,84 @@
+(* Measures the cost (or gain) of process isolation on the shipped
+   corpus: the same sweep through the in-process batch runner, a 1-job
+   pool (pure fork/marshal overhead) and a 4-job pool.  Writes
+   BENCH_pool.json.
+
+     dune exec tools/bench_pool.exe [-- OUT.json]
+
+   On a multi-core machine -j 4 amortises the fork overhead into a
+   speedup; the report records the visible core count so single-core
+   results (where -j 4 can only add overhead) read honestly. *)
+
+let cores () =
+  (* no nproc binding in the stdlib: count processor lines in
+     /proc/cpuinfo, defaulting to 1 *)
+  try
+    let ic = open_in "/proc/cpuinfo" in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.length line >= 9 && String.sub line 0 9 = "processor" then
+           incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    max 1 !n
+  with Sys_error _ -> 1
+
+let best_of k f =
+  let best = ref infinity in
+  for _ = 1 to k do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let () =
+  let out =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_pool.json"
+  in
+  let dir = "corpus" in
+  let items =
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.filter (fun f -> Filename.check_suffix f ".litmus")
+    |> List.map (fun f ->
+           {
+             Harness.Runner.id = f;
+             source = `File (Filename.concat dir f);
+             expected = None;
+           })
+  in
+  let limits = Exec.Budget.default in
+  let pool jobs () =
+    Harness.Pool.run
+      ~config:{ Harness.Pool.default with Harness.Pool.jobs; limits }
+      items
+  in
+  let in_process = best_of 3 (fun () -> Harness.Runner.run ~limits items) in
+  let pool_j1 = best_of 3 (pool 1) in
+  let pool_j4 = best_of 3 (pool 4) in
+  let json =
+    Printf.sprintf
+      {|{
+  "description": "corpus sweep wall-clock: in-process runner vs process-isolated pool; best of 3 runs",
+  "n_items": %d,
+  "visible_cores": %d,
+  "in_process_s": %.4f,
+  "pool_j1_s": %.4f,
+  "pool_j4_s": %.4f,
+  "j4_vs_j1_speedup": %.2f,
+  "isolation_overhead_vs_in_process_pct": %.2f,
+  "note": "with one visible core -j 4 cannot beat -j 1; the speedup column is meaningful on multi-core machines only"
+}
+|}
+      (List.length items) (cores ()) in_process pool_j1 pool_j4
+      (pool_j1 /. pool_j4)
+      (100.0 *. (pool_j1 -. in_process) /. in_process)
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  print_string json
