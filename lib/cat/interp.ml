@@ -140,6 +140,147 @@ let run ?budget (model : Ast.t) env =
   go env [] model.stmts
 
 (* ------------------------------------------------------------------ *)
+(* Static-prefix evaluation                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Candidate executions of one litmus test share their event structure
+   (events, po, addr, data, ctrl, rmw and every predefined set) across
+   all rf/co witnesses; only rf, co and their derivatives change.  A
+   binding whose free identifiers never reach a witness-dependent name
+   therefore has the same value for every candidate, and can be computed
+   once per event structure instead of once per candidate.
+
+   [compile] finds those bindings, once per model: a statement is static
+   iff every free identifier of its bodies is static at that program
+   point, starting from the predefined environment minus the witness
+   relations, and tracking shadowing (rebinding a name with a dynamic
+   definition makes later uses dynamic).  [prefix] evaluates the static
+   statements against one candidate's environment; [run_with_prefix]
+   then replays the statement list in source order, pulling static
+   bindings and static check outcomes from the prefix and evaluating
+   only the dynamic remainder, so results are identical to {!run}. *)
+
+module Sset = Set.Make (String)
+
+(* The predefined names that depend on the execution witness (rf, co). *)
+let witness_names =
+  [ "rf"; "co"; "fr"; "rfi"; "rfe"; "coi"; "coe"; "fri"; "fre"; "com" ]
+
+(* Every other predefined name is a function of the event structure. *)
+let structural_names =
+  [
+    "_"; "W"; "R"; "M"; "F"; "IW"; "Once"; "Acquire"; "Release"; "Rmb";
+    "Wmb"; "Mb"; "Rb-dep"; "Sync"; "Rcu-lock"; "Rcu-unlock"; "po"; "addr";
+    "data"; "ctrl"; "rmw"; "po-loc"; "loc"; "int"; "ext"; "id"; "crit";
+  ]
+
+let rec free_ids acc = function
+  | Ast.Id x -> Sset.add x acc
+  | Ast.Empty_rel -> acc
+  | Ast.Union (a, b) | Ast.Inter (a, b) | Ast.Diff (a, b) | Ast.Seq (a, b)
+  | Ast.Cartesian (a, b) ->
+      free_ids (free_ids acc a) b
+  | Ast.Inverse a | Ast.Plus a | Ast.Star a | Ast.Opt a | Ast.Complement a
+  | Ast.Bracket a ->
+      free_ids acc a
+  | Ast.App (f, arg) -> free_ids (Sset.add f acc) arg
+
+type compiled = {
+  model : Ast.t;
+  static_stmt : bool array; (* per statement, in source order *)
+}
+
+let compile (model : Ast.t) =
+  let static_stmt = Array.make (List.length model.stmts) false in
+  let static = ref (Sset.of_list structural_names) in
+  List.iteri
+    (fun i stmt ->
+      match stmt with
+      | Ast.Let (bs, is_rec) ->
+          let names = List.map (fun (n, _, _) -> n) bs in
+          let stmt_static =
+            List.for_all
+              (fun (_, params, body) ->
+                let frees = free_ids Sset.empty body in
+                let frees =
+                  List.fold_right Sset.remove params
+                    (if is_rec then List.fold_right Sset.remove names frees
+                     else frees)
+                in
+                Sset.subset frees !static)
+              bs
+          in
+          static_stmt.(i) <- stmt_static;
+          static :=
+            List.fold_left
+              (fun s n ->
+                if stmt_static then Sset.add n s else Sset.remove n s)
+              !static names
+      | Ast.Check (_, e, _) ->
+          static_stmt.(i) <- Sset.subset (free_ids Sset.empty e) !static)
+    model.stmts;
+  { model; static_stmt }
+
+type prefix = {
+  compiled : compiled;
+  lets : (string * value) list array;
+      (* for a static Let at index i: its bindings, innermost first *)
+  checks : outcome option array; (* for a static Check at index i *)
+}
+
+let rec first_n n l =
+  if n = 0 then []
+  else
+    match l with
+    | x :: rest -> x :: first_n (n - 1) rest
+    | [] -> invalid_arg "first_n"
+
+let prefix ?budget compiled env =
+  let n = List.length compiled.model.stmts in
+  let lets = Array.make n [] and checks = Array.make n None in
+  let env = ref env in
+  List.iteri
+    (fun i stmt ->
+      if compiled.static_stmt.(i) then begin
+        Option.iter Exec.Budget.tick budget;
+        match stmt with
+        | Ast.Let (bs, is_rec) ->
+            let before = List.length !env.bindings in
+            env := eval_let ?budget !env bs is_rec;
+            lets.(i) <- first_n (List.length !env.bindings - before) !env.bindings
+        | Ast.Check (kind, e, name) ->
+            checks.(i) <- Some (run_check !env kind e name)
+      end)
+    compiled.model.stmts;
+  { compiled; lets; checks }
+
+let run_with_prefix ?budget { compiled; lets; checks } env =
+  let rec go i env acc = function
+    | [] -> List.rev acc
+    | stmt :: rest ->
+        if compiled.static_stmt.(i) then
+          match stmt with
+          | Ast.Let _ ->
+              let env =
+                List.fold_right (fun (n, v) e -> bind e n v) lets.(i) env
+              in
+              go (i + 1) env acc rest
+          | Ast.Check _ -> (
+              match checks.(i) with
+              | Some o -> go (i + 1) env (o :: acc) rest
+              | None -> assert false)
+        else
+          match stmt with
+          | Ast.Let (bs, is_rec) ->
+              Option.iter Exec.Budget.tick budget;
+              go (i + 1) (eval_let ?budget env bs is_rec) acc rest
+          | Ast.Check (kind, e, name) ->
+              Option.iter Exec.Budget.tick budget;
+              go (i + 1) env (run_check env kind e name :: acc) rest
+  in
+  go 0 env [] compiled.model.stmts
+
+(* ------------------------------------------------------------------ *)
 (* The predefined environment of a candidate execution                 *)
 (* ------------------------------------------------------------------ *)
 

@@ -38,6 +38,46 @@ type outcome = {
     definitions, raising {!Exec.Budget.Exceeded} when it passes. *)
 val run : ?budget:Exec.Budget.t -> Ast.t -> env -> outcome list
 
+(** {1 Static-prefix evaluation}
+
+    Candidate executions of one litmus test share their event structure
+    across all rf/co witnesses; a binding whose free identifiers never
+    reach a witness-dependent name has the same value for every
+    candidate and can be evaluated once per test instead of once per
+    candidate.  [compile] performs that dependency analysis once per
+    model, [prefix] evaluates the static statements against one
+    candidate, and [run_with_prefix] replays the statement list reusing
+    the prefix — producing exactly {!run}'s outcomes. *)
+
+(** The predefined names that depend on the execution witness. *)
+val witness_names : string list
+
+(** The predefined names determined by the event structure alone. *)
+val structural_names : string list
+
+(** A model with each statement classified static (computable from the
+    event structure alone) or dynamic. *)
+type compiled
+
+val compile : Ast.t -> compiled
+
+(** The values of a [compiled] model's static statements, for one event
+    structure. *)
+type prefix
+
+(** [prefix ?budget compiled env] evaluates the static statements in
+    source order (skipping dynamic ones, which by construction no static
+    statement depends on). *)
+val prefix : ?budget:Exec.Budget.t -> compiled -> env -> prefix
+
+(** [run_with_prefix ?budget p env] replays all statements in source
+    order against [env], binding static definitions and reusing static
+    check outcomes from [p] instead of re-evaluating them.  [env] must
+    come from a candidate sharing the event structure [p] was built
+    from; the result then equals [run compiled.model env]. *)
+val run_with_prefix :
+  ?budget:Exec.Budget.t -> prefix -> env -> outcome list
+
 (** The predefined cat environment of an execution: the event sets ([_],
     [W], [R], [M], [F], [IW], and one per annotation), the base relations
     ([po], [addr], [data], [ctrl], [rmw], [rf], [co]), the usual derived

@@ -53,6 +53,8 @@ let pp_verdict ppf v = Fmt.string ppf (verdict_to_string v)
 type result = {
   verdict : verdict;
   n_candidates : int; (* candidate executions enumerated *)
+  n_prefiltered : int; (* rejected by the coherence prefilter, before the
+                          model ran (counted within n_candidates) *)
   n_consistent : int; (* consistent under the model *)
   n_matching : int; (* consistent and satisfying the condition *)
   witness : Execution.t option; (* a consistent execution matching the condition *)
@@ -68,33 +70,49 @@ type result = {
                  different question — herd reports Ok/No either way);
    - forall c  : Allow iff some consistent execution *violates* c.
    In all cases the verdict answers: "is the distinguishing outcome
-   observable?". *)
-let run_exn ?budget (module M : MODEL) (test : Litmus.Ast.t) =
-  let candidates = Execution.of_test ?budget test in
-  let consistent =
-    List.filter
-      (fun x ->
-        Option.iter Budget.tick budget;
-        M.consistent x)
-      candidates
-  in
+   observable?".
+
+   Candidates are consumed as the enumeration streams them, one at a
+   time: nothing is retained but the counters, the outcome set and the
+   first witness, and candidates failing the sc-per-location prefilter
+   (see {!Execution.coherent}) never reach the model at all. *)
+let run_exn ?budget ?(prefilter = true) (module M : MODEL)
+    (test : Litmus.Ast.t) =
   let satisfies x =
     match test.quant with
     | Litmus.Ast.Q_exists | Litmus.Ast.Q_not_exists -> Execution.satisfies_cond x
     | Litmus.Ast.Q_forall -> not (Execution.satisfies_cond x)
   in
-  let matching = List.filter satisfies consistent in
-  let outcomes =
-    List.sort_uniq compare
-      (List.map (fun x -> (Execution.outcome x, satisfies x)) consistent)
-  in
+  let n_candidates = ref 0
+  and n_prefiltered = ref 0
+  and n_consistent = ref 0
+  and n_matching = ref 0 in
+  let witness = ref None and outcomes = ref [] in
+  Seq.iter
+    (fun x ->
+      (* counted as consumed, so the tally is correct however the stream
+         ends (completion, budget trip, model failure) *)
+      incr n_candidates;
+      Option.iter Budget.tick budget;
+      if prefilter && not (Execution.coherent x) then incr n_prefiltered
+      else if M.consistent x then begin
+        incr n_consistent;
+        let sat = satisfies x in
+        outcomes := (Execution.outcome x, sat) :: !outcomes;
+        if sat then begin
+          incr n_matching;
+          if !witness = None then witness := Some x
+        end
+      end)
+    (Execution.of_test_seq ?budget test);
   {
-    verdict = (if matching <> [] then Allow else Forbid);
-    n_candidates = List.length candidates;
-    n_consistent = List.length consistent;
-    n_matching = List.length matching;
-    witness = (match matching with [] -> None | x :: _ -> Some x);
-    outcomes;
+    verdict = (if !n_matching > 0 then Allow else Forbid);
+    n_candidates = !n_candidates;
+    n_prefiltered = !n_prefiltered;
+    n_consistent = !n_consistent;
+    n_matching = !n_matching;
+    witness = !witness;
+    outcomes = List.sort_uniq compare !outcomes;
   }
 
 let unknown ?budget reason =
@@ -102,6 +120,7 @@ let unknown ?budget reason =
     verdict = Unknown reason;
     n_candidates =
       (match budget with Some b -> Budget.candidates_seen b | None -> 0);
+    n_prefiltered = 0;
     n_consistent = 0;
     n_matching = 0;
     witness = None;
@@ -112,11 +131,11 @@ let unknown ?budget reason =
    [Unknown] results carrying the partial candidate count — a check under
    a budget never raises.  Without a budget, behaviour (and exceptions)
    are exactly the pre-budget ones. *)
-let run ?budget (module M : MODEL) (test : Litmus.Ast.t) =
+let run ?budget ?prefilter (module M : MODEL) (test : Litmus.Ast.t) =
   match budget with
-  | None -> run_exn (module M) test
+  | None -> run_exn ?prefilter (module M) test
   | Some b -> (
-      try run_exn ~budget:b (module M) test with
+      try run_exn ~budget:b ?prefilter (module M) test with
       | Budget.Exceeded r -> unknown ~budget:b (Budget_exceeded r)
       | Stack_overflow -> unknown ~budget:b (Model_error Stack_overflow)
       | exn -> unknown ~budget:b (Model_error exn))
@@ -124,10 +143,14 @@ let run ?budget (module M : MODEL) (test : Litmus.Ast.t) =
 (* The set of observable outcomes under the model, ignoring the condition:
    used to compare models with operational simulators.  May raise
    {!Budget.Exceeded} when budgeted. *)
-let allowed_outcomes ?budget (module M : MODEL) (test : Litmus.Ast.t) =
-  Execution.of_test ?budget test
-  |> List.filter (fun x ->
-         Option.iter Budget.tick budget;
-         M.consistent x)
-  |> List.map Execution.outcome
+let allowed_outcomes ?budget ?(prefilter = true) (module M : MODEL)
+    (test : Litmus.Ast.t) =
+  Seq.fold_left
+    (fun acc x ->
+      Option.iter Budget.tick budget;
+      if prefilter && not (Execution.coherent x) then acc
+      else if M.consistent x then Execution.outcome x :: acc
+      else acc)
+    []
+    (Execution.of_test_seq ?budget test)
   |> List.sort_uniq compare

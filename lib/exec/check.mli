@@ -33,6 +33,9 @@ val pp_verdict : verdict Fmt.t
 type result = {
   verdict : verdict;
   n_candidates : int;  (** candidate executions enumerated *)
+  n_prefiltered : int;
+      (** rejected by the sc-per-location prefilter before the model ran
+          (a subset of [n_candidates]) *)
   n_consistent : int;  (** consistent under the model *)
   n_matching : int;  (** consistent and satisfying the condition *)
   witness : Execution.t option;
@@ -42,21 +45,34 @@ type result = {
           outcomes satisfying the condition *)
 }
 
-(** [run (module M) test] enumerates the candidate executions of [test],
+(** [run (module M) test] streams the candidate executions of [test],
     filters them through [M.consistent] and interprets the quantifier:
     for [exists]/[~exists] the verdict asks whether some consistent
     execution satisfies the condition body, for [forall] whether some
-    consistent execution violates it.
+    consistent execution violates it.  Candidates are consumed one at a
+    time as the enumeration produces them (nothing retains the full
+    list), and [n_candidates] counts them as consumed.
+
+    With [?prefilter] (default [true]), candidates failing the
+    sc-per-location check ({!Execution.coherent}) are rejected — and
+    tallied in [n_prefiltered] — without running the model.  This is
+    sound for any model that enforces coherence, which every shipped
+    model does; pass [~prefilter:false] for an exotic model that allows
+    incoherent executions.
 
     With [?budget], the check never raises: budget violations and model
     failures yield an [Unknown] verdict whose [n_candidates] counts the
     partial progress.  Without a budget, exceptions propagate as
     before. *)
-val run : ?budget:Budget.t -> (module MODEL) -> Litmus.Ast.t -> result
+val run :
+  ?budget:Budget.t -> ?prefilter:bool -> (module MODEL) -> Litmus.Ast.t ->
+  result
 
 (** The observable outcomes allowed by the model, ignoring the condition;
-    used to compare models with the operational simulators.  Raises
-    {!Budget.Exceeded} when a budget is given and trips (callers decide
-    how to report partial soundness information). *)
+    used to compare models with the operational simulators.  Streams and
+    prefilters like {!run}.  Raises {!Budget.Exceeded} when a budget is
+    given and trips (callers decide how to report partial soundness
+    information). *)
 val allowed_outcomes :
-  ?budget:Budget.t -> (module MODEL) -> Litmus.Ast.t -> Execution.outcome list
+  ?budget:Budget.t -> ?prefilter:bool -> (module MODEL) -> Litmus.Ast.t ->
+  Execution.outcome list

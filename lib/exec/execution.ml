@@ -86,7 +86,30 @@ let compute_crit (events : Event.t array) =
       acc')
     by_tid Rel.empty
 
-let build test events po addr data ctrl rmw rf co final_regs =
+(* The witness-independent part of a candidate: everything determined by
+   the event structure (events + po), shared by all rf/co witnesses of
+   one structure and so computed once per structure, not per candidate. *)
+type structure = {
+  st_universe : Iset.t;
+  st_loc_r : Rel.t;
+  st_int_r : Rel.t;
+  st_ext_r : Rel.t;
+  st_id_r : Rel.t;
+  st_po_loc : Rel.t;
+  st_crit : Rel.t;
+  st_reads : Iset.t;
+  st_writes : Iset.t;
+  st_fences : Iset.t;
+  st_mem : Iset.t;
+  st_init_ws : Iset.t;
+}
+
+let set_of events p =
+  Array.fold_left
+    (fun acc (e : Event.t) -> if p e then Iset.add e.id acc else acc)
+    Iset.empty events
+
+let structure_of (events : Event.t array) po =
   let n = Array.length events in
   let universe = Iset.of_range 0 (n - 1) in
   let same_loc (e1 : Event.t) (e2 : Event.t) =
@@ -118,8 +141,27 @@ let build test events po addr data ctrl rmw rf co final_regs =
              (List.init n Fun.id))
          (List.init n Fun.id))
   in
-  let ext_r = Rel.diff (Rel.complement ~universe int_r) (Rel.id_of_set universe) in
-  let fr = Rel.diff (Rel.seq (Rel.inverse rf) co) (Rel.id_of_set universe) in
+  let ext_r =
+    Rel.diff (Rel.complement ~universe int_r) (Rel.id_of_set universe)
+  in
+  {
+    st_universe = universe;
+    st_loc_r = loc_r;
+    st_int_r = int_r;
+    st_ext_r = ext_r;
+    st_id_r = Rel.id_of_set universe;
+    st_po_loc = Rel.inter po loc_r;
+    st_crit = compute_crit events;
+    st_reads = set_of events Event.is_read;
+    st_writes = set_of events Event.is_write;
+    st_fences = set_of events Event.is_fence;
+    st_mem = set_of events Event.is_mem;
+    st_init_ws = set_of events Event.is_init;
+  }
+
+let build test events st po addr data ctrl rmw rf co final_regs =
+  let int_r = st.st_int_r and ext_r = st.st_ext_r in
+  let fr = Rel.diff (Rel.seq (Rel.inverse rf) co) st.st_id_r in
   let rfi = Rel.inter rf int_r in
   let rfe = Rel.inter rf ext_r in
   let coi = Rel.inter co int_r in
@@ -127,48 +169,37 @@ let build test events po addr data ctrl rmw rf co final_regs =
   let fri = Rel.inter fr int_r in
   let fre = Rel.inter fr ext_r in
   let com = Rel.union rf (Rel.union co fr) in
-  let po_loc = Rel.inter po loc_r in
-  let t0 =
-    {
-      test;
-      events;
-      po;
-      addr;
-      data;
-      ctrl;
-      rmw;
-      rf;
-      co;
-      final_regs;
-      universe;
-      fr;
-      rfi;
-      rfe;
-      coi;
-      coe;
-      fri;
-      fre;
-      com;
-      po_loc;
-      int_r;
-      ext_r;
-      loc_r;
-      id_r = Rel.id_of_set universe;
-      reads = Iset.empty;
-      writes = Iset.empty;
-      fences = Iset.empty;
-      mem = Iset.empty;
-      init_ws = Iset.empty;
-      crit = compute_crit events;
-    }
-  in
   {
-    t0 with
-    reads = events_where t0 Event.is_read;
-    writes = events_where t0 Event.is_write;
-    fences = events_where t0 Event.is_fence;
-    mem = events_where t0 Event.is_mem;
-    init_ws = events_where t0 Event.is_init;
+    test;
+    events;
+    po;
+    addr;
+    data;
+    ctrl;
+    rmw;
+    rf;
+    co;
+    final_regs;
+    universe = st.st_universe;
+    fr;
+    rfi;
+    rfe;
+    coi;
+    coe;
+    fri;
+    fre;
+    com;
+    po_loc = st.st_po_loc;
+    int_r;
+    ext_r;
+    loc_r = st.st_loc_r;
+    id_r = st.st_id_r;
+    reads = st.st_reads;
+    writes = st.st_writes;
+    fences = st.st_fences;
+    mem = st.st_mem;
+    init_ws = st.st_init_ws;
+    crit = st.st_crit;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -297,13 +328,30 @@ let cartesian_product ?(tick = fun () -> ()) lists =
         l)
     lists [ [] ]
 
-let of_test ?budget (test : Litmus.Ast.t) =
+(* The same product, produced lazily: element [l1_i :: l2_j :: ...] is
+   built only when the consumer reaches it, so enumeration can stop (a
+   budget trip, an early-terminating consumer) without materialising the
+   remainder.  Same element order as {!cartesian_product}. *)
+let seq_product ?(tick = fun () -> ()) lists =
+  List.fold_right
+    (fun l acc ->
+      Seq.concat_map
+        (fun x ->
+          Seq.map
+            (fun r ->
+              tick ();
+              x :: r)
+            acc)
+        (List.to_seq l))
+    lists (Seq.return [])
+
+let of_test_seq ?budget (test : Litmus.Ast.t) =
   let tick () = Option.iter Budget.tick budget in
   let per_thread = thread_candidate_lists test in
   Option.iter Budget.check_time budget;
   let globals = Litmus.Ast.globals test in
   let n_init = List.length globals in
-  List.concat_map
+  Seq.concat_map
     (fun (chosen : Sem.candidate list) ->
       Option.iter
         (fun b ->
@@ -422,7 +470,10 @@ let of_test ?budget (test : Litmus.Ast.t) =
           in
           Budget.claim b (Budget.sat_mul n_rf n_co))
         budget;
-      let rf_choices = cartesian_product ~tick per_read_writes in
+      (* Per-location coherence orders are few (factorial in the writes
+         per location, which the claim above already bounded), so their
+         product is materialised once and re-walked per rf choice; the
+         rf choices themselves stream. *)
       let co_choices =
         cartesian_product ~tick
           (List.map
@@ -436,17 +487,31 @@ let of_test ?budget (test : Litmus.Ast.t) =
                  (Rel.linear_extensions ws))
              ws_by_loc)
       in
-      List.concat_map
+      let st = structure_of events !po in
+      Seq.concat_map
         (fun rf_pairs ->
           let rf = Rel.of_list rf_pairs in
-          List.map
+          Seq.map
             (fun co_parts ->
               Option.iter Budget.count_candidate budget;
               let co = List.fold_left Rel.union Rel.empty co_parts in
-              build test events !po !addr !data !ctrl !rmw rf co final_regs)
-            co_choices)
-        rf_choices)
-    (cartesian_product per_thread)
+              build test events st !po !addr !data !ctrl !rmw rf co final_regs)
+            (List.to_seq co_choices))
+        (seq_product ~tick per_read_writes))
+    (seq_product per_thread)
+
+let of_test ?budget test = List.of_seq (of_test_seq ?budget test)
+
+(* ------------------------------------------------------------------ *)
+(* Coherence prefilter                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Sc-per-location: po-loc ∪ rf ∪ co ∪ fr is acyclic.  Every shipped
+   model (LK's sc-per-variable axiom, SC and TSO's uniproc check, C11's
+   coherence-after-hb) constrains a superset of this relation, so an
+   incoherent candidate is inconsistent under all of them and can be
+   rejected before the model runs — herd's classic pruning. *)
+let coherent t = Rel.is_acyclic (Rel.union t.po_loc t.com)
 
 (* ------------------------------------------------------------------ *)
 (* Final states                                                        *)

@@ -59,12 +59,24 @@ val initial_domain : Litmus.Ast.t -> int list
 
 val thread_candidate_lists : Litmus.Ast.t -> Sem.candidate list list
 
-(** [of_test ?budget test] enumerates every candidate execution.  With a
-    running budget, raises {!Budget.Exceeded} as soon as the event,
-    candidate, or wall-clock limit trips (an arithmetic pre-check on the
-    rf/co product size fails explosions before anything is
-    materialised). *)
+(** [of_test_seq ?budget test] enumerates the candidate executions as a
+    lazily-produced sequence: each candidate is materialised only when
+    the consumer reaches it, so checking can interleave with enumeration
+    and stop early without building the full list.  With a running
+    budget, forcing the sequence raises {!Budget.Exceeded} as soon as
+    the event, candidate, or wall-clock limit trips (an arithmetic
+    pre-check on the rf/co product size fails explosions before anything
+    is materialised). *)
+val of_test_seq : ?budget:Budget.t -> Litmus.Ast.t -> t Seq.t
+
+(** [of_test ?budget test] is [of_test_seq], fully materialised. *)
 val of_test : ?budget:Budget.t -> Litmus.Ast.t -> t list
+
+(** [coherent t] holds iff [po-loc ∪ rf ∪ co ∪ fr] is acyclic —
+    sc-per-location.  Every shipped model constrains a superset of this
+    relation, so incoherent candidates are inconsistent under all of
+    them; {!Check.run} uses this as a cheap prefilter. *)
+val coherent : t -> bool
 
 (** [final_mem t x] is the value of [x] after the execution: its
     co-maximal write (or the initial value). *)

@@ -270,8 +270,12 @@ let schema_version = 1
 
 let entry_to_json e =
   let base =
-    Printf.sprintf "\"id\": \"%s\", \"time_s\": %.6f, \"candidates\": %d%s"
+    Printf.sprintf "\"id\": \"%s\", \"time_s\": %.6f, \"candidates\": %d%s%s"
       (json_escape e.item_id) e.time e.n_candidates
+      (match e.result with
+      | Some r when r.Exec.Check.n_prefiltered > 0 ->
+          Printf.sprintf ", \"prefiltered\": %d" r.Exec.Check.n_prefiltered
+      | _ -> "")
       (if e.retried then ", \"retried\": true" else "")
   in
   let rest =

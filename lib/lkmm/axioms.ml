@@ -31,4 +31,4 @@ let holds (c : Relations.ctx) = function
 let violations c = List.filter (fun a -> not (holds c a)) all
 
 let consistent_ctx c = violations c = []
-let consistent x = consistent_ctx (Relations.make x)
+let consistent x = consistent_ctx (Relations.make_cached x)

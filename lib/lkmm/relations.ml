@@ -1,8 +1,35 @@
 (* The relations of the LK memory model, exactly as defined in Figure 8 and
    Figure 12 of the paper.  Everything is computed once per candidate
-   execution into a [ctx] record. *)
+   execution into a [ctx] record.
+
+   The definitions split into a *static* prefix — relations determined by
+   the event structure alone (po, dependencies, fences, RCU critical
+   sections), identical for every rf/co witness of one structure — and a
+   *dynamic* remainder built on rf, co and their derivatives.  [static_of]
+   computes the prefix; [make ?static] reuses a previously computed one,
+   and [make_cached] keys a one-slot cache on the physical identity of
+   [x.events], which the enumeration shares across all witnesses of one
+   event structure. *)
 
 module Iset = Rel.Iset
+
+type static_ctx = {
+  acq_id : Rel.t; (* identity over read-acquires *)
+  rel_id : Rel.t; (* identity over write-releases *)
+  s_acq_po : Rel.t;
+  s_po_rel : Rel.t;
+  s_rmb : Rel.t;
+  s_wmb : Rel.t;
+  s_mb : Rel.t;
+  s_rb_dep : Rel.t;
+  s_sync : Iset.t;
+  s_gp : Rel.t;
+  s_rscs : Rel.t;
+  s_dep : Rel.t;
+  s_rwdep : Rel.t;
+  s_strong_fence : Rel.t;
+  s_fence : Rel.t;
+}
 
 type ctx = {
   x : Exec.t;
@@ -41,10 +68,11 @@ type ctx = {
   rcu_path : Rel.t;
 }
 
-let make (x : Exec.t) =
+(* The witness-independent relations: po, the dependency and fence
+   relations, gp, rscs.  None of these mentions rf, co or a derivative. *)
+let static_of (x : Exec.t) =
   let ( |>> ) = Rel.seq in
   let universe = x.universe in
-  let star r = Rel.reflexive_transitive_closure ~universe r in
   let opt r = Rel.reflexive_closure ~universe r in
   let set p = Exec.events_where x p in
   let is a (e : Exec.Event.t) = e.annot = a in
@@ -57,38 +85,65 @@ let make (x : Exec.t) =
   let sync = set (is Exec.Event.Sync_rcu) in
   let r_id = Rel.id_of_set x.reads in
   let w_id = Rel.id_of_set x.writes in
-  let acq_po = Rel.id_of_set acq |>> x.po in
-  let po_rel = x.po |>> Rel.id_of_set rel in
-  let rfi_rel_acq = Rel.id_of_set rel |>> x.rfi |>> Rel.id_of_set acq in
+  let acq_id = Rel.id_of_set acq in
+  let rel_id = Rel.id_of_set rel in
+  let acq_po = acq_id |>> x.po in
+  let po_rel = x.po |>> rel_id in
   let rmb = r_id |>> x.po |>> Rel.id_of_set f_rmb |>> x.po |>> r_id in
   let wmb = w_id |>> x.po |>> Rel.id_of_set f_wmb |>> x.po |>> w_id in
   let mb = x.po |>> Rel.id_of_set f_mb |>> x.po in
   let rb_dep = r_id |>> x.po |>> Rel.id_of_set f_rb_dep |>> x.po |>> r_id in
   (* gp := (po & (_ * Sync)) ; po?   (Figure 12) *)
   let gp = Rel.inter x.po (Rel.cartesian universe sync) |>> opt x.po in
-  let crit = x.crit in
   (* rscs := po ; crit^-1 ; po? *)
-  let rscs = x.po |>> Rel.inverse crit |>> opt x.po in
-  (* Figure 8 *)
+  let rscs = x.po |>> Rel.inverse x.crit |>> opt x.po in
   let dep = Rel.union x.addr x.data in
   let rwdep =
     Rel.inter (Rel.union dep x.ctrl) (Rel.cartesian x.reads x.writes)
   in
-  let overwrite = Rel.union x.co x.fr in
-  let to_w = Rel.union rwdep (Rel.inter overwrite x.int_r) in
-  let rrdep = Rel.union x.addr (dep |>> x.rfi) in
-  let strong_rrdep = Rel.inter (Rel.transitive_closure rrdep) rb_dep in
-  let to_r = Rel.union strong_rrdep rfi_rel_acq in
   let strong_fence = Rel.union mb gp in
   let fence =
     List.fold_left Rel.union strong_fence [ po_rel; wmb; rmb; acq_po ]
   in
+  {
+    acq_id;
+    rel_id;
+    s_acq_po = acq_po;
+    s_po_rel = po_rel;
+    s_rmb = rmb;
+    s_wmb = wmb;
+    s_mb = mb;
+    s_rb_dep = rb_dep;
+    s_sync = sync;
+    s_gp = gp;
+    s_rscs = rscs;
+    s_dep = dep;
+    s_rwdep = rwdep;
+    s_strong_fence = strong_fence;
+    s_fence = fence;
+  }
+
+let make ?static (x : Exec.t) =
+  let s = match static with Some s -> s | None -> static_of x in
+  let ( |>> ) = Rel.seq in
+  let universe = x.universe in
+  let star r = Rel.reflexive_transitive_closure ~universe r in
+  let opt r = Rel.reflexive_closure ~universe r in
+  let rfi_rel_acq = s.rel_id |>> x.rfi |>> s.acq_id in
+  (* Figure 8, the witness-dependent remainder *)
+  let overwrite = Rel.union x.co x.fr in
+  let to_w = Rel.union s.s_rwdep (Rel.inter overwrite x.int_r) in
+  let rrdep = Rel.union x.addr (s.s_dep |>> x.rfi) in
+  let strong_rrdep = Rel.inter (Rel.transitive_closure rrdep) s.s_rb_dep in
+  let to_r = Rel.union strong_rrdep rfi_rel_acq in
   let ppo =
-    star rrdep |>> Rel.union to_r (Rel.union to_w fence)
+    star rrdep |>> Rel.union to_r (Rel.union to_w s.s_fence)
   in
   (* A-cumul(r) := rfe? ; r *)
   let a_cumul r = opt x.rfe |>> r in
-  let cumul_fence = Rel.union (a_cumul (Rel.union strong_fence po_rel)) wmb in
+  let cumul_fence =
+    Rel.union (a_cumul (Rel.union s.s_strong_fence s.s_po_rel)) s.s_wmb
+  in
   let prop =
     opt (Rel.inter overwrite x.ext_r) |>> star cumul_fence |>> opt x.rfe
   in
@@ -97,11 +152,11 @@ let make (x : Exec.t) =
       (Rel.inter (Rel.diff prop x.id_r) x.int_r)
       (Rel.union ppo x.rfe)
   in
-  let pb = prop |>> strong_fence |>> star hb in
+  let pb = prop |>> s.s_strong_fence |>> star hb in
   (* Figure 12 *)
   let link = star hb |>> star pb |>> prop in
-  let gp_link = gp |>> link in
-  let rscs_link = rscs |>> link in
+  let gp_link = s.s_gp |>> link in
+  let rscs_link = s.s_rscs |>> link in
   (* rec rcu-path, by Kleene iteration of its monotone defining equation *)
   let rcu_path =
     let step p =
@@ -122,26 +177,26 @@ let make (x : Exec.t) =
   in
   {
     x;
-    acq_po;
-    po_rel;
+    acq_po = s.s_acq_po;
+    po_rel = s.s_po_rel;
     rfi_rel_acq;
-    rmb;
-    wmb;
-    mb;
-    rb_dep;
-    sync;
-    crit;
-    gp;
-    rscs;
-    dep;
-    rwdep;
+    rmb = s.s_rmb;
+    wmb = s.s_wmb;
+    mb = s.s_mb;
+    rb_dep = s.s_rb_dep;
+    sync = s.s_sync;
+    crit = x.crit;
+    gp = s.s_gp;
+    rscs = s.s_rscs;
+    dep = s.s_dep;
+    rwdep = s.s_rwdep;
     overwrite;
     to_w;
     rrdep;
     strong_rrdep;
     to_r;
-    strong_fence;
-    fence;
+    strong_fence = s.s_strong_fence;
+    fence = s.s_fence;
     ppo;
     cumul_fence;
     prop;
@@ -152,3 +207,21 @@ let make (x : Exec.t) =
     rscs_link;
     rcu_path;
   }
+
+(* One-slot static-prefix cache.  The enumeration yields all rf/co
+   witnesses of one event structure consecutively, sharing the [events]
+   array physically; keying on that identity makes the cache hit for
+   every candidate but the structure's first, and a miss merely
+   recomputes — caching is never observable in the results. *)
+let static_cache : (Exec.Event.t array * static_ctx) option ref = ref None
+
+let make_cached (x : Exec.t) =
+  let s =
+    match !static_cache with
+    | Some (ev, s) when ev == x.events -> s
+    | _ ->
+        let s = static_of x in
+        static_cache := Some (x.events, s);
+        s
+  in
+  make ~static:s x

@@ -64,5 +64,23 @@ type ctx = {
   rcu_path : Rel.t;  (** least fixed point of the recursive definition *)
 }
 
-(** [make x] computes every relation of the model on execution [x]. *)
-val make : Exec.t -> ctx
+(** The witness-independent prefix of the model: relations determined by
+    the event structure alone (po, dependencies, fences, gp, rscs),
+    identical for every rf/co witness of one structure. *)
+type static_ctx
+
+(** [static_of x] computes the static prefix of [x]. *)
+val static_of : Exec.t -> static_ctx
+
+(** [make ?static x] computes every relation of the model on execution
+    [x].  With [?static], the witness-independent prefix is reused
+    instead of recomputed; it must come from an execution with the same
+    event structure (same events, po, dependencies and fences — only
+    rf/co may differ). *)
+val make : ?static:static_ctx -> Exec.t -> ctx
+
+(** [make_cached x] is [make x] through a one-slot static-prefix cache
+    keyed on the physical identity of [x.events], which the streaming
+    enumeration shares across all witnesses of one event structure.
+    Results are identical to [make x]. *)
+val make_cached : Exec.t -> ctx

@@ -1,62 +1,229 @@
 (* Binary relations over event identifiers, the algebraic substrate of
-   axiomatic memory models (herd's kernel).  A relation is a set of ordered
-   pairs of small integers; executions have a few dozen events at most, so
-   clarity wins over bit-level tricks. *)
+   axiomatic memory models (herd's kernel).
+
+   The representation is a dense bit matrix over the small integer event
+   universe: one bit vector (row) per source event, packed into a single
+   int array at 63 bits per word.  Union, intersection, difference and
+   relational composition are word-parallel; transitive closure is
+   Warshall's algorithm at O(n³/63); acyclicity is a DFS that never
+   materialises the closure.  Every operation is persistent — arrays are
+   copied, never shared mutably — so the functional interface of the
+   original pair-set implementation (retained as {!Reference}) is
+   unchanged.
+
+   Capacity is an implementation detail: a relation knows the smallest
+   universe [0, n) enclosing every pair ever added, rows grow on demand,
+   and all observable behaviour (equality included) is capacity-
+   independent. *)
 
 module Iset = Iset
+module Reference = Rel_ref
 
-module Pair = struct
-  type t = int * int
+let bpw = 63 (* usable bits in an OCaml int *)
 
-  let compare (a1, b1) (a2, b2) =
-    match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
-end
+type t = {
+  n : int; (* row capacity: both endpoints of every pair are < n *)
+  w : int; (* words per row: (n + bpw - 1) / bpw *)
+  bits : int array; (* n * w words; row i occupies [i*w, (i+1)*w) *)
+}
 
-module PS = Set.Make (Pair)
+let words n = (n + bpw - 1) / bpw
+let empty = { n = 0; w = 0; bits = [||] }
 
-type t = PS.t
+(* Number of trailing zeros of a one-bit word (b = x land (-x)). *)
+let ntz b =
+  let n = ref 0 and b = ref b in
+  if !b land 0x7FFFFFFF = 0 then begin n := !n + 31; b := !b lsr 31 end;
+  if !b land 0xFFFF = 0 then begin n := !n + 16; b := !b lsr 16 end;
+  if !b land 0xFF = 0 then begin n := !n + 8; b := !b lsr 8 end;
+  if !b land 0xF = 0 then begin n := !n + 4; b := !b lsr 4 end;
+  if !b land 0x3 = 0 then begin n := !n + 2; b := !b lsr 2 end;
+  if !b land 0x1 = 0 then incr n;
+  !n
 
-let empty = PS.empty
-let is_empty = PS.is_empty
-let mem x y t = PS.mem (x, y) t
-let add x y t = PS.add (x, y) t
-let singleton x y = PS.singleton (x, y)
-let of_list ps = PS.of_list ps
-let to_list t = PS.elements t
-let cardinal = PS.cardinal
-let equal = PS.equal
-let subset = PS.subset
-let union = PS.union
-let inter = PS.inter
-let diff = PS.diff
-let filter f t = PS.filter (fun (x, y) -> f x y) t
-let fold f t acc = PS.fold (fun (x, y) acc -> f x y acc) t acc
-let iter f t = PS.iter (fun (x, y) -> f x y) t
-let exists f t = PS.exists (fun (x, y) -> f x y) t
-let for_all f t = PS.for_all (fun (x, y) -> f x y) t
+let popcount x =
+  let c = ref 0 and x = ref x in
+  while !x <> 0 do
+    incr c;
+    x := !x land (!x - 1)
+  done;
+  !c
 
-let inverse t = fold (fun x y acc -> add y x acc) t empty
+let check_ids x y =
+  if x < 0 || y < 0 then invalid_arg "Rel: negative event id"
 
-let domain t = fold (fun x _ acc -> Iset.add x acc) t Iset.empty
-let range t = fold (fun _ y acc -> Iset.add y acc) t Iset.empty
+(* A copy grown to capacity [c] (identity if already big enough). *)
+let grow c t =
+  if c <= t.n then t
+  else begin
+    let w = words c in
+    let bits = Array.make (c * w) 0 in
+    for i = 0 to t.n - 1 do
+      Array.blit t.bits (i * t.w) bits (i * w) t.w
+    done;
+    { n = c; w; bits }
+  end
+
+let align t1 t2 =
+  let c = max t1.n t2.n in
+  (grow c t1, grow c t2)
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.bits
+
+let mem x y t =
+  x >= 0 && y >= 0 && x < t.n && y < t.n
+  && t.bits.((x * t.w) + (y / bpw)) land (1 lsl (y mod bpw)) <> 0
+
+(* Mutable bit set, used only on freshly-allocated arrays. *)
+let set_bit bits w x y =
+  let i = (x * w) + (y / bpw) in
+  bits.(i) <- bits.(i) lor (1 lsl (y mod bpw))
+
+let add x y t =
+  check_ids x y;
+  if mem x y t then t
+  else begin
+    let t =
+      if max x y < t.n then { t with bits = Array.copy t.bits }
+      else grow (max x y + 1) t
+    in
+    set_bit t.bits t.w x y;
+    t
+  end
+
+let of_list ps =
+  let c =
+    List.fold_left
+      (fun c (x, y) ->
+        check_ids x y;
+        max c (max x y + 1))
+      0 ps
+  in
+  let w = words c in
+  let bits = Array.make (c * w) 0 in
+  List.iter (fun (x, y) -> set_bit bits w x y) ps;
+  { n = c; w; bits }
+
+let singleton x y = add x y empty
+
+(* Iterate the successors of row [i] in increasing order. *)
+let iter_row f t i =
+  let base = i * t.w in
+  for wi = 0 to t.w - 1 do
+    let word = ref t.bits.(base + wi) in
+    let off = wi * bpw in
+    while !word <> 0 do
+      let b = !word land (- !word) in
+      f (off + ntz b);
+      word := !word lxor b
+    done
+  done
+
+(* Pairs in increasing lexicographic order, like the pair-set's fold. *)
+let iter f t =
+  for i = 0 to t.n - 1 do
+    iter_row (fun j -> f i j) t i
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun x y -> acc := f x y !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun x y acc -> (x, y) :: acc) t [])
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.bits
+
+let equal t1 t2 =
+  let t1, t2 = align t1 t2 in
+  let rec go i =
+    i < 0 || (t1.bits.(i) = t2.bits.(i) && go (i - 1))
+  in
+  go (Array.length t1.bits - 1)
+
+let subset t1 t2 =
+  let t1, t2 = align t1 t2 in
+  let rec go i =
+    i < 0 || (t1.bits.(i) land lnot t2.bits.(i) = 0 && go (i - 1))
+  in
+  go (Array.length t1.bits - 1)
+
+let map2_words op t1 t2 =
+  let t1, t2 = align t1 t2 in
+  { t1 with bits = Array.init (Array.length t1.bits) (fun i -> op t1.bits.(i) t2.bits.(i)) }
+
+let union = map2_words ( lor )
+let inter = map2_words ( land )
+let diff = map2_words (fun a b -> a land lnot b)
+
+let filter f t =
+  let bits = Array.make (Array.length t.bits) 0 in
+  iter (fun x y -> if f x y then set_bit bits t.w x y) t;
+  { t with bits }
+
+let exists f t =
+  let exception Found in
+  try
+    iter (fun x y -> if f x y then raise Found) t;
+    false
+  with Found -> true
+
+let for_all f t = not (exists (fun x y -> not (f x y)) t)
+
+let inverse t =
+  let bits = Array.make (Array.length t.bits) 0 in
+  iter (fun x y -> set_bit bits t.w y x) t;
+  { t with bits }
+
+let domain t =
+  let acc = ref Iset.empty in
+  for i = 0 to t.n - 1 do
+    let base = i * t.w in
+    let nonzero = ref false in
+    for wi = 0 to t.w - 1 do
+      if t.bits.(base + wi) <> 0 then nonzero := true
+    done;
+    if !nonzero then acc := Iset.add i !acc
+  done;
+  !acc
+
+let range t =
+  (* OR every row into one vector, then read its bits off. *)
+  let row = Array.make t.w 0 in
+  for i = 0 to t.n - 1 do
+    let base = i * t.w in
+    for wi = 0 to t.w - 1 do
+      row.(wi) <- row.(wi) lor t.bits.(base + wi)
+    done
+  done;
+  let acc = ref Iset.empty in
+  for wi = 0 to t.w - 1 do
+    let word = ref row.(wi) in
+    let off = wi * bpw in
+    while !word <> 0 do
+      let b = !word land (- !word) in
+      acc := Iset.add (off + ntz b) !acc;
+      word := !word lxor b
+    done
+  done;
+  !acc
+
 let field t = Iset.union (domain t) (range t)
 
-(* Successor index: event -> sorted list of successors.  Rebuilt on demand;
-   relations are tiny. *)
-let successors t =
-  let tbl = Hashtbl.create 16 in
-  iter
-    (fun x y ->
-      let old = try Hashtbl.find tbl x with Not_found -> [] in
-      Hashtbl.replace tbl x (y :: old))
-    t;
-  fun x -> try Hashtbl.find tbl x with Not_found -> []
-
 let seq t1 t2 =
-  let succ2 = successors t2 in
-  fold
-    (fun x y acc -> List.fold_left (fun acc z -> add x z acc) acc (succ2 y))
-    t1 empty
+  let t1, t2 = align t1 t2 in
+  let n = t1.n and w = t1.w in
+  let bits = Array.make (n * w) 0 in
+  for i = 0 to n - 1 do
+    let base = i * w in
+    iter_row
+      (fun j ->
+        let jbase = j * w in
+        for k = 0 to w - 1 do
+          bits.(base + k) <- bits.(base + k) lor t2.bits.(jbase + k)
+        done)
+      t1 i
+  done;
+  { n; w; bits }
 
 let rec seqs = function
   | [] -> invalid_arg "Rel.seqs: empty list"
@@ -66,20 +233,57 @@ let rec seqs = function
 let id_of_set s = Iset.fold (fun x acc -> add x x acc) s empty
 let id_of_list xs = List.fold_left (fun acc x -> add x x acc) empty xs
 
-let cartesian s1 s2 =
-  Iset.fold (fun x acc -> Iset.fold (fun y acc -> add x y acc) s2 acc) s1 empty
+(* The bit-vector mask of an integer set, at [w] words. *)
+let mask_of_set w s =
+  let m = Array.make (max w 1) 0 in
+  Iset.iter (fun x -> m.(x / bpw) <- m.(x / bpw) lor (1 lsl (x mod bpw))) s;
+  m
 
-let restrict_domain s t = filter (fun x _ -> Iset.mem x s) t
-let restrict_range s t = filter (fun _ y -> Iset.mem y s) t
-let restrict s t = filter (fun x y -> Iset.mem x s && Iset.mem y s) t
+let cartesian s1 s2 =
+  if Iset.is_empty s1 || Iset.is_empty s2 then empty
+  else begin
+    let c = max (Iset.max_elt s1) (Iset.max_elt s2) + 1 in
+    if Iset.min_elt s1 < 0 || Iset.min_elt s2 < 0 then
+      invalid_arg "Rel.cartesian: negative event id";
+    let w = words c in
+    let m = mask_of_set w s2 in
+    let bits = Array.make (c * w) 0 in
+    Iset.iter (fun i -> Array.blit m 0 bits (i * w) w) s1;
+    { n = c; w; bits }
+  end
+
+let restrict_domain s t =
+  let bits = Array.copy t.bits in
+  for i = 0 to t.n - 1 do
+    if not (Iset.mem i s) then Array.fill bits (i * t.w) t.w 0
+  done;
+  { t with bits }
+
+let restrict_range s t =
+  let m = mask_of_set t.w (Iset.filter (fun x -> x >= 0 && x < t.n) s) in
+  let bits =
+    Array.init (Array.length t.bits) (fun i -> t.bits.(i) land m.(i mod t.w))
+  in
+  { t with bits }
+
+let restrict s t = restrict_domain s (restrict_range s t)
 
 let transitive_closure t =
-  (* Kleene iteration; |E| is small. *)
-  let rec go acc =
-    let next = union acc (seq acc t) in
-    if equal next acc then acc else go next
-  in
-  go t
+  (* Warshall: after round k, paths through intermediates <= k are edges. *)
+  let n = t.n and w = t.w in
+  let bits = Array.copy t.bits in
+  for k = 0 to n - 1 do
+    let kw = k / bpw and kb = 1 lsl (k mod bpw) in
+    let kbase = k * w in
+    for i = 0 to n - 1 do
+      let ibase = i * w in
+      if bits.(ibase + kw) land kb <> 0 then
+        for m = 0 to w - 1 do
+          bits.(ibase + m) <- bits.(ibase + m) lor bits.(kbase + m)
+        done
+    done
+  done;
+  { t with bits }
 
 let reflexive_closure ~universe t = union t (id_of_set universe)
 
@@ -88,90 +292,148 @@ let reflexive_transitive_closure ~universe t =
 
 let complement ~universe t = diff (cartesian universe universe) t
 
-let is_irreflexive t = not (exists (fun x y -> x = y) t)
+let is_irreflexive t =
+  let rec go i = i >= t.n || ((not (mem i i t)) && go (i + 1)) in
+  go 0
 
-let is_acyclic t = is_irreflexive (transitive_closure t)
+let is_acyclic t =
+  (* Three-colour DFS over the successor rows; no closure is built, so a
+     verdict on an already-cyclic relation costs O(V + E). *)
+  let exception Cyclic in
+  let color = Array.make t.n 0 in
+  (* 0 white, 1 on stack, 2 done *)
+  let rec visit i =
+    color.(i) <- 1;
+    iter_row
+      (fun j ->
+        match color.(j) with
+        | 0 -> visit j
+        | 1 -> raise Cyclic
+        | _ -> ())
+      t i;
+    color.(i) <- 2
+  in
+  try
+    for i = 0 to t.n - 1 do
+      if color.(i) = 0 then visit i
+    done;
+    true
+  with Cyclic -> false
 
 let find_cycle t =
   (* A shortest witness cycle, as a list of events [e0; e1; ...; en] with
      (ei, ei+1) in [t] and e0 = en; [None] if acyclic.  Used to explain
-     verdicts, so we prefer short cycles: BFS from each event. *)
-  let succ = successors t in
-  let nodes = Iset.to_list (field t) in
-  let best = ref None in
-  let consider path =
-    match !best with
-    | Some b when List.length b <= List.length path -> ()
-    | _ -> best := Some path
-  in
-  let bfs start =
-    let parent = Hashtbl.create 16 in
-    let q = Queue.create () in
-    List.iter
-      (fun y ->
-        if y = start then consider [ start; start ]
-        else if not (Hashtbl.mem parent y) then begin
-          Hashtbl.replace parent y start;
-          Queue.add y q
-        end)
-      (succ start);
-    let rec drain () =
-      if not (Queue.is_empty q) then begin
-        let x = Queue.pop q in
-        List.iter
+     verdicts, so we prefer short cycles: BFS from each event, bailing
+     out as soon as nothing shorter can exist — a self-loop ([x; x],
+     length 2) immediately, a 2-cycle ([x; y; x], length 3) once the
+     diagonal is known clean — so --explain paths don't pay O(V·E) on
+     every already-failed check. *)
+  let exception Done of int list in
+  try
+    for i = 0 to t.n - 1 do
+      if mem i i t then raise (Done [ i; i ])
+    done;
+    let best = ref None in
+    let best_len = ref max_int in
+    for start = 0 to t.n - 1 do
+      if !best_len > 3 then begin
+        (* BFS from [start] for the shortest path back to it. *)
+        let parent = Array.make t.n (-1) in
+        let q = Queue.create () in
+        iter_row
           (fun y ->
-            if y = start then begin
-              (* reconstruct path start -> ... -> x -> start *)
-              let rec back acc v =
-                if v = start then start :: acc else back (v :: acc) (Hashtbl.find parent v)
-              in
-              consider (back [ start ] x)
-            end
-            else if not (Hashtbl.mem parent y) then begin
-              Hashtbl.replace parent y x;
+            if parent.(y) < 0 then begin
+              parent.(y) <- start;
               Queue.add y q
             end)
-          (succ x);
-        drain ()
+          t start;
+        let found = ref false in
+        while (not !found) && not (Queue.is_empty q) do
+          let x = Queue.pop q in
+          iter_row
+            (fun y ->
+              if (not !found) && y = start then begin
+                let rec back acc v =
+                  if v = start then start :: acc
+                  else back (v :: acc) parent.(v)
+                in
+                let path = back [ start ] x in
+                let len = List.length path in
+                if len < !best_len then begin
+                  best := Some path;
+                  best_len := len
+                end;
+                found := true
+              end
+              else if parent.(y) < 0 then begin
+                parent.(y) <- x;
+                Queue.add y q
+              end)
+            t x
+        done
       end
-    in
-    drain ()
-  in
-  List.iter bfs nodes;
-  !best
+    done;
+    !best
+  with Done path -> Some path
 
 let topological_sort ~universe t =
-  (* Kahn's algorithm; restricted to edges within the universe *)
+  (* Kahn's algorithm with in-degree counts, restricted to edges within
+     the universe; picks the smallest ready event each round, so the
+     order is the lexicographically least one (as the pair-set
+     implementation produced). *)
   let t = restrict universe t in
-  if not (is_acyclic t) then None
+  let members = Iset.to_list universe in
+  let total = List.length members in
+  if total = 0 then Some []
   else begin
-    let remaining = ref universe and edges = ref t and out = ref [] in
-    while not (Iset.is_empty !remaining) do
-      let ready =
-        Iset.filter
-          (fun x -> not (exists (fun _ y -> y = x) !edges))
-          !remaining
-      in
-      (* acyclicity guarantees progress *)
-      let x = Iset.min_elt ready in
-      out := x :: !out;
-      remaining := Iset.remove x !remaining;
-      edges := filter (fun a _ -> a <> x) !edges
+    let c = Iset.max_elt universe + 1 in
+    let t = grow c t in
+    let in_universe = Array.make c false in
+    List.iter (fun x -> in_universe.(x) <- true) members;
+    let indeg = Array.make c 0 in
+    iter (fun _ y -> indeg.(y) <- indeg.(y) + 1) t;
+    let remaining = Array.copy in_universe in
+    let out = ref [] and placed = ref 0 and stuck = ref false in
+    while (not !stuck) && !placed < total do
+      (* smallest remaining event with no incoming edge *)
+      let x = ref (-1) in
+      (try
+         for i = 0 to c - 1 do
+           if remaining.(i) && indeg.(i) = 0 then begin
+             x := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !x < 0 then stuck := true (* every remaining event is on a cycle *)
+      else begin
+        remaining.(!x) <- false;
+        incr placed;
+        out := !x :: !out;
+        iter_row (fun y -> indeg.(y) <- indeg.(y) - 1) t !x
+      end
     done;
-    Some (List.rev !out)
+    if !stuck then None else Some (List.rev !out)
   end
 
 let linear_extensions elems =
   (* All total orders of [elems], as relations; used to enumerate coherence
-     orders.  [elems] has at most a handful of entries per location. *)
+     orders.  [elems] has at most a handful of entries per location.
+     Removal is positional, not by value: filtering out every copy of a
+     repeated element would silently drop elements and miscount the
+     permutations of a multiset. *)
   let rec perms = function
     | [] -> [ [] ]
     | xs ->
-        List.concat_map
-          (fun x ->
-            let rest = List.filter (fun y -> y <> x) xs in
-            List.map (fun p -> x :: p) (perms rest))
-          xs
+        let rec pick pre = function
+          | [] -> []
+          | x :: rest ->
+              List.map
+                (fun p -> x :: p)
+                (perms (List.rev_append pre rest))
+              @ pick (x :: pre) rest
+        in
+        pick [] xs
   in
   let order_of_list l =
     let rec go acc = function

@@ -6,9 +6,20 @@
     the cat style is a set of constraints ([acyclic], [irreflexive], [empty])
     over relations built with the operators below.  This module is the entire
     algebra: sets of pairs plus union, intersection, difference, sequence,
-    inverse, closures, cartesian products, and (a)cyclicity tests. *)
+    inverse, closures, cartesian products, and (a)cyclicity tests.
+
+    The implementation is a dense bit matrix (a row of bits per source
+    event), so the bulk operations are word-parallel and transitive
+    closure runs in O(n³/63); the original pair-set implementation is
+    retained as {!Reference} and checked against this one by the
+    differential property suite.  Event ids must be non-negative. *)
 
 module Iset = Iset
+
+(** The retained pair-set implementation: the same algebra on the same
+    pair-list interface, kept as the executable specification of this
+    module (and exercised against it by test/test_rel_dense.ml). *)
+module Reference = Rel_ref
 
 type t
 (** A finite binary relation over event ids. *)

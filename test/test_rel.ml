@@ -93,6 +93,19 @@ let test_linear_extensions () =
         (R.cardinal r = 3 && R.is_acyclic r))
     exts
 
+let test_linear_extensions_duplicates () =
+  (* A repeated element used to be dropped wholesale (removal filtered by
+     value, not position): [0;1;1] yielded the 2 extensions of [0;1].
+     Positional removal keeps the multiset: 3! arrangements, each seeing
+     both copies of 1 and hence the (1,1) pair. *)
+  let exts = R.linear_extensions [ 0; 1; 1 ] in
+  Alcotest.(check int) "multiset permutation count" 6 (List.length exts);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "duplicate element is retained" true
+        (R.mem 1 1 r && Iset.equal (R.field r) (Iset.of_list [ 0; 1 ])))
+    exts
+
 let test_restrict () =
   let r = R.of_list [ (0, 1); (1, 2); (4, 5) ] in
   Alcotest.check rel "restrict"
@@ -225,6 +238,8 @@ let () =
           Alcotest.test_case "topological_sort" `Quick test_topological_sort;
           Alcotest.test_case "linear_extensions" `Quick
             test_linear_extensions;
+          Alcotest.test_case "linear_extensions_duplicates" `Quick
+            test_linear_extensions_duplicates;
           Alcotest.test_case "restrict" `Quick test_restrict;
         ] );
       ("properties", props);

@@ -1,0 +1,207 @@
+(* Differential tests: the dense bitset kernel ({!Rel}) against the
+   retained pair-set specification ({!Rel.Reference}), operator by
+   operator, on randomized relations — plus end-to-end agreement checks
+   on a corpus sample (verdicts with the coherence prefilter and the
+   static-prefix cache on and off), and the soundness argument for the
+   prefilter made executable: candidates it rejects never satisfy the
+   model.
+
+   Trial tally: the operator suite alone draws 2 relations per trial ×
+   4000 trials, and the closure/sort/cycle suites another 2000 + 2000 +
+   500 — comfortably over the 10k randomized relations the acceptance
+   criteria ask for. *)
+
+module D = Rel
+module S = Rel.Reference
+module Iset = Rel.Iset
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* (universe size, pairs1, pairs2): ids in [0, n).  Sizes cross word
+   boundaries of the 63-bit rows at n = 64+. *)
+let gen_input =
+  let open QCheck2.Gen in
+  let* n = oneofl [ 3; 6; 13; 24; 64; 70 ] in
+  let pair = tup2 (int_range 0 (n - 1)) (int_range 0 (n - 1)) in
+  let pairs = list_size (int_range 0 (2 * n)) pair in
+  tup3 (return n) pairs pairs
+
+let agree d s = D.to_list d = S.to_list s
+
+(* ------------------------------------------------------------------ *)
+(* Operator-by-operator agreement                                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_ops_agree =
+  QCheck2.Test.make ~name:"every operator agrees with the reference"
+    ~count:4000 gen_input (fun (n, ps1, ps2) ->
+      let d1 = D.of_list ps1 and d2 = D.of_list ps2 in
+      let s1 = S.of_list ps1 and s2 = S.of_list ps2 in
+      let u = Iset.of_range 0 (n - 1) in
+      let half = Iset.of_range 0 (n / 2) in
+      let p a b = (a + b) mod 2 = 0 in
+      agree d1 s1 && agree d2 s2
+      && D.cardinal d1 = S.cardinal s1
+      && D.is_empty d1 = S.is_empty s1
+      && D.equal d1 d2 = S.equal s1 s2
+      && D.subset d1 d2 = S.subset s1 s2
+      && D.mem 0 (n - 1) d1 = S.mem 0 (n - 1) s1
+      && agree (D.add (n - 1) 0 d1) (S.add (n - 1) 0 s1)
+      && agree (D.union d1 d2) (S.union s1 s2)
+      && agree (D.inter d1 d2) (S.inter s1 s2)
+      && agree (D.diff d1 d2) (S.diff s1 s2)
+      && agree (D.seq d1 d2) (S.seq s1 s2)
+      && agree (D.seqs [ d1; d2; d1 ]) (S.seqs [ s1; s2; s1 ])
+      && agree (D.inverse d1) (S.inverse s1)
+      && agree (D.filter p d1) (S.filter p s1)
+      && D.exists p d1 = S.exists p s1
+      && D.for_all p d1 = S.for_all p s1
+      && Iset.equal (D.domain d1) (S.domain s1)
+      && Iset.equal (D.range d1) (S.range s1)
+      && Iset.equal (D.field d1) (S.field s1)
+      && agree (D.id_of_set half) (S.id_of_set half)
+      && agree (D.cartesian half u) (S.cartesian half u)
+      && agree (D.restrict_domain half d1) (S.restrict_domain half s1)
+      && agree (D.restrict_range half d1) (S.restrict_range half s1)
+      && agree (D.restrict half d1) (S.restrict half s1)
+      && agree (D.complement ~universe:u d1) (S.complement ~universe:u s1)
+      && D.fold (fun a b acc -> (a, b) :: acc) d1 []
+         = S.fold (fun a b acc -> (a, b) :: acc) s1 [])
+
+let prop_closures_agree =
+  QCheck2.Test.make ~name:"closures agree with the reference" ~count:2000
+    gen_input (fun (n, ps1, _) ->
+      let d = D.of_list ps1 and s = S.of_list ps1 in
+      let u = Iset.of_range 0 (n - 1) in
+      agree (D.transitive_closure d) (S.transitive_closure s)
+      && agree (D.reflexive_closure ~universe:u d)
+           (S.reflexive_closure ~universe:u s)
+      && agree
+           (D.reflexive_transitive_closure ~universe:u d)
+           (S.reflexive_transitive_closure ~universe:u s))
+
+let prop_cyclicity_agrees =
+  QCheck2.Test.make ~name:"acyclicity, cycles and sorts agree" ~count:2000
+    gen_input (fun (n, ps1, _) ->
+      let d = D.of_list ps1 and s = S.of_list ps1 in
+      let u = Iset.of_range 0 (n - 1) in
+      D.is_acyclic d = S.is_acyclic s
+      && D.is_irreflexive d = S.is_irreflexive s
+      (* both return a *shortest* cycle; the witness may differ, its
+         length may not *)
+      && Option.map List.length (D.find_cycle d)
+         = Option.map List.length (S.find_cycle s)
+      && D.topological_sort ~universe:u d = S.topological_sort ~universe:u s)
+
+let prop_linear_extensions_agree =
+  QCheck2.Test.make ~name:"linear extensions agree (incl. duplicates)"
+    ~count:500
+    QCheck2.Gen.(list_size (int_range 0 4) (int_range 0 3))
+    (fun elems ->
+      let sort = List.sort compare in
+      sort (List.map D.to_list (D.linear_extensions elems))
+      = sort (List.map S.to_list (S.linear_extensions elems)))
+
+(* ------------------------------------------------------------------ *)
+(* Corpus sample: end-to-end agreement and prefilter soundness         *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_dir =
+  (* tests run from _build/default/test *)
+  List.find_opt Sys.file_exists [ "../../../corpus"; "corpus" ]
+
+(* Every [stride]-th manifest entry — a fixed, spread-out sample. *)
+let sample_tests stride =
+  match corpus_dir with
+  | None -> Alcotest.fail "corpus directory not found"
+  | Some dir ->
+      Harness.Runner.read_file (Filename.concat dir "MANIFEST")
+      |> String.split_on_char '\n'
+      |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+      |> List.filteri (fun i _ -> i mod stride = 0)
+      |> List.map (fun line ->
+             let file = List.hd (String.split_on_char ' ' line) in
+             ( file,
+               Litmus.parse (Harness.Runner.read_file (Filename.concat dir file))
+             ))
+
+let result_key (r : Exec.Check.result) =
+  (r.verdict, r.n_candidates, r.n_consistent, r.n_matching, r.outcomes)
+
+(* The prefilter and both caches must be invisible in the results (only
+   n_prefiltered differs by construction, so compare everything else). *)
+let test_corpus_agreement () =
+  let lk_cat = Lazy.force Cat.lk in
+  List.iter
+    (fun (file, test) ->
+      let native_on = Exec.Check.run (module Lkmm) test in
+      let native_off = Exec.Check.run ~prefilter:false (module Lkmm) test in
+      Alcotest.(check bool)
+        (file ^ ": native verdicts agree with prefilter off")
+        true
+        (result_key native_on = result_key native_off
+        && native_off.n_prefiltered = 0);
+      let cat_cached =
+        Exec.Check.run (Cat.to_check_model ~name:"LK(cat)" lk_cat) test
+      in
+      let cat_plain =
+        Exec.Check.run
+          (Cat.to_check_model ~name:"LK(cat)" ~cache:false lk_cat)
+          test
+      in
+      Alcotest.(check bool)
+        (file ^ ": cat verdicts agree with static-prefix cache off")
+        true
+        (result_key cat_cached = result_key cat_plain);
+      Alcotest.(check bool)
+        (file ^ ": native and cat verdicts agree")
+        true
+        (native_on.verdict = cat_cached.verdict))
+    (sample_tests 11)
+
+(* Run the model anyway on every candidate the prefilter rejects: none
+   may be consistent, under the native axioms or the cat interpreter —
+   the executable form of the soundness argument (an sc-per-location
+   cycle violates a constraint of every shipped model). *)
+let test_prefilter_soundness () =
+  let lk_cat = Lazy.force Cat.lk in
+  let rejected = ref 0 in
+  List.iter
+    (fun (file, test) ->
+      Seq.iter
+        (fun x ->
+          if not (Exec.coherent x) then begin
+            incr rejected;
+            Alcotest.(check bool)
+              (file ^ ": prefilter-rejected candidate fails the LK axioms")
+              false (Lkmm.consistent x);
+            Alcotest.(check bool)
+              (file ^ ": prefilter-rejected candidate fails the cat model")
+              false
+              (Cat.consistent lk_cat x)
+          end)
+        (Exec.of_test_seq test))
+    (sample_tests 9);
+  Alcotest.(check bool) "sample exercises the prefilter" true (!rejected > 20)
+
+let () =
+  Alcotest.run "rel_dense"
+    [
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_ops_agree;
+            prop_closures_agree;
+            prop_cyclicity_agrees;
+            prop_linear_extensions_agree;
+          ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "corpus sample agreement" `Quick
+            test_corpus_agreement;
+          Alcotest.test_case "prefilter soundness" `Quick
+            test_prefilter_soundness;
+        ] );
+    ]
