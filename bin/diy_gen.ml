@@ -11,7 +11,11 @@
 open Cmdliner
 
 let main size sample verdicts outdir timeout max_candidates max_events jobs
-    journal resume =
+    journal resume json trace metrics =
+  Harness.Cli.with_obs ~trace ~metrics @@ fun () ->
+  (* with --json, stdout carries the report; the listing moves to stderr *)
+  let ppf = if json then Fmt.stderr else Fmt.stdout in
+  let t_start = Unix.gettimeofday () in
   let tests =
     match sample with
     | None -> Diygen.generate ~vocabulary:Diygen.Edge.core_vocabulary size
@@ -25,7 +29,7 @@ let main size sample verdicts outdir timeout max_candidates max_events jobs
     else Exec.Check.run ~budget:(Exec.Budget.start limits) m t
   in
   let unknowns = ref 0 in
-  Fmt.pr "generated %d tests of size %d@." (List.length tests) size;
+  Fmt.pf ppf "generated %d tests of size %d@." (List.length tests) size;
   let emit_test (t : Litmus.Ast.t) =
     match outdir with
     | None -> ()
@@ -75,34 +79,67 @@ let main size sample verdicts outdir timeout max_candidates max_events jobs
               "error:" ^ Harness.Runner.class_to_string cls
           | Harness.Runner.Fail _ -> "FAIL"
         in
-        Fmt.pr "%-45s LK:%-6s C11:%s@." t.name lk (c11_column t);
+        Fmt.pf ppf "%-45s LK:%-6s C11:%s@." t.name lk (c11_column t);
         emit_test t)
       tests report.Harness.Runner.entries;
     if report.Harness.Runner.n_gave_up > 0 then
-      Fmt.pr "%d tests exceeded their budget (Unknown)@."
+      Fmt.pf ppf "%d tests exceeded their budget (Unknown)@."
         report.Harness.Runner.n_gave_up;
+    if json then print_string (Harness.Runner.to_json report ^ "\n");
     Harness.Runner.exit_code report
   end
   else begin
+    let entries = ref [] in
     List.iter
       (fun (t : Litmus.Ast.t) ->
         (if verdicts then begin
            (* fresh budget per test: one explosive cycle degrades to Unknown
               and the sweep keeps going *)
-           let lk = (budgeted (module Lkmm) t).Exec.Check.verdict in
+           let t0 = Unix.gettimeofday () in
+           let r = budgeted (module Lkmm) t in
+           let lk = r.Exec.Check.verdict in
            (match lk with Exec.Check.Unknown _ -> incr unknowns | _ -> ());
-           Fmt.pr "%-45s LK:%-6s C11:%s@." t.name
+           let status =
+             match lk with
+             | Exec.Check.Unknown (Exec.Check.Budget_exceeded reason) ->
+                 Harness.Runner.Gave_up reason
+             | Exec.Check.Unknown (Exec.Check.Model_error exn) ->
+                 Harness.Runner.Err (Harness.Runner.classify_exn exn)
+             | Exec.Check.Unknown (Exec.Check.Crashed s) ->
+                 Harness.Runner.Err
+                   {
+                     Harness.Runner.cls = Harness.Runner.Crash s;
+                     msg = "worker crashed";
+                     line = None;
+                   }
+             | v -> Harness.Runner.Pass v
+           in
+           entries :=
+             {
+               Harness.Runner.item_id = t.name;
+               status;
+               time = Unix.gettimeofday () -. t0;
+               n_candidates = r.Exec.Check.n_candidates;
+               retried = false;
+               result = Some r;
+             }
+             :: !entries;
+           Fmt.pf ppf "%-45s LK:%-6s C11:%s@." t.name
              (Exec.Check.verdict_to_string lk)
              (c11_column t)
          end
-         else Fmt.pr "%s@." t.name);
+         else Fmt.pf ppf "%s@." t.name);
         emit_test t)
       tests;
-    if !unknowns > 0 then begin
-      Fmt.pr "%d tests exceeded their budget (Unknown)@." !unknowns;
-      3
-    end
-    else 0
+    if !unknowns > 0 then
+      Fmt.pf ppf "%d tests exceeded their budget (Unknown)@." !unknowns;
+    let report =
+      Harness.Report.summarise
+        ~wall:(Unix.gettimeofday () -. t_start)
+        (List.rev !entries)
+    in
+    if json then print_string (Harness.Report.to_json report ^ "\n");
+    if !unknowns > 0 then 3 else 0
   end
 
 let size_arg =
@@ -124,83 +161,15 @@ let outdir_arg =
     & opt (some dir) None
     & info [ "o" ] ~docv:"DIR" ~doc:"Write the tests as .litmus files.")
 
-let timeout_arg =
-  Arg.(
-    value
-    & opt (some float) None
-    & info [ "timeout" ] ~docv:"SECONDS"
-        ~doc:"Wall-clock budget per verdict check.")
-
-let max_candidates_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "max-candidates" ] ~docv:"N"
-        ~doc:"Candidate-execution cap per verdict check.")
-
-let max_events_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "max-events" ] ~docv:"N"
-        ~doc:"Event cap per candidate execution.")
-
-let jobs_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:
-          "Run the -verdicts sweep in $(docv) isolated worker processes \
-           (crashes and hangs are contained and classified).")
-
-let journal_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "journal" ] ~docv:"FILE"
-        ~doc:
-          "Append each verdict to $(docv) as JSONL keyed by test name \
-           (implies process isolation for the sweep).")
-
-let resume_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "resume" ] ~docv:"FILE"
-        ~doc:
-          "Recycle verdicts already recorded in journal $(docv); only \
-           missing tests re-run.")
-
-let exit_info =
-  [
-    Cmd.Exit.info 0 ~doc:"all requested work completed";
-    Cmd.Exit.info 2 ~doc:"an error occurred (classified on stderr)";
-    Cmd.Exit.info 3 ~doc:"some verdict check exceeded its budget (Unknown)";
-    Cmd.Exit.info 4
-      ~doc:"a worker process crashed on a signal (-j sweeps only)";
-    Cmd.Exit.info 124
-      ~doc:"command-line usage error: unknown option or bad value \
-            (Cmdliner convention)";
-    Cmd.Exit.info 125 ~doc:"uncaught internal exception (Cmdliner convention)";
-  ]
-
 let cmd =
+  let module C = Harness.Cli in
   Cmd.v
     (Cmd.info "diy_gen" ~doc:"Generate litmus tests from relaxation cycles"
-       ~exits:exit_info)
+       ~exits:C.exit_infos)
     Term.(
       const main $ size_arg $ sample_arg $ verdicts_arg $ outdir_arg
-      $ timeout_arg $ max_candidates_arg $ max_events_arg $ jobs_arg
-      $ journal_arg $ resume_arg)
+      $ C.timeout_arg $ C.max_candidates_arg $ C.max_events_arg $ C.jobs_arg
+      $ C.journal_arg $ C.resume_arg $ C.json_arg $ C.trace_arg
+      $ C.metrics_arg)
 
-(* user errors become one-line classified messages, not uncaught exceptions *)
-let () =
-  match Cmd.eval_value ~catch:false cmd with
-  | Ok (`Ok code) -> exit code
-  | Ok (`Help | `Version) -> exit 0
-  | Error (`Parse | `Term) -> exit 124 (* CLI usage error *)
-  | Error `Exn -> exit 125 (* internal error *)
-  | exception exn ->
-      Fmt.epr "diy_gen: %a@." Harness.Runner.pp_error
-        (Harness.Runner.classify_exn exn);
-      exit 2
+let () = Harness.Cli.eval ~name:"diy_gen" cmd

@@ -148,7 +148,8 @@ let shrink_failures ~limits ~factory ~pool_config
     report.R.entries items
 
 let main model verbose outcomes dot builtin timeout max_candidates max_events
-    json jobs mem_limit journal resume shrink files =
+    json jobs mem_limit journal resume shrink trace metrics files =
+  Harness.Cli.with_obs ~trace ~metrics @@ fun () ->
   let factory = model_of_name model in
   let mname = model_display_name model in
   let limits =
@@ -255,73 +256,6 @@ let dot_arg =
     & info [ "dot" ] ~docv:"FILE"
         ~doc:"Write a Graphviz rendering of the witness execution.")
 
-let timeout_arg =
-  Arg.(
-    value
-    & opt (some float) None
-    & info [ "timeout" ] ~docv:"SECONDS"
-        ~doc:
-          "Wall-clock budget per test; exceeding it yields the Unknown \
-           verdict instead of a hang.")
-
-let max_candidates_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "max-candidates" ] ~docv:"N"
-        ~doc:
-          "Cap on candidate executions per test (the rf/co product is \
-           pre-checked, so explosions fail fast).")
-
-let max_events_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "max-events" ] ~docv:"N"
-        ~doc:"Cap on events per candidate execution.")
-
-let json_arg =
-  Arg.(
-    value & flag
-    & info [ "json" ] ~doc:"Emit the batch report as JSON on stdout.")
-
-let jobs_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:
-          "Run tests in $(docv) parallel worker processes.  Each test is \
-           checked in its own forked process with a hard watchdog, so a \
-           segfault or hang is contained and classified rather than fatal.")
-
-let mem_limit_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "mem-limit" ] ~docv:"MB"
-        ~doc:
-          "Hard per-worker heap cap in megabytes (implies process \
-           isolation); exceeding it yields a classified Unknown entry.")
-
-let journal_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "journal" ] ~docv:"FILE"
-        ~doc:
-          "Append each completed entry to $(docv) as JSONL, flushed per \
-           entry; a killed run loses at most the in-flight items.")
-
-let resume_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "resume" ] ~docv:"FILE"
-        ~doc:
-          "Recycle entries already recorded in journal $(docv); only \
-           missing items re-run.  Usually combined with --journal FILE to \
-           continue the same journal.")
-
 let shrink_arg =
   Arg.(
     value & flag
@@ -334,29 +268,11 @@ let shrink_arg =
 let files_arg =
   Arg.(value & pos_all file [] & info [] ~docv:"TEST.litmus")
 
-let exit_info =
-  [
-    Cmd.Exit.info 0 ~doc:"every test passed (completed, matching any \
-                          recorded expectation)";
-    Cmd.Exit.info 1 ~doc:"some test's verdict mismatched its expectation \
-                          (FAIL)";
-    Cmd.Exit.info 2 ~doc:"some test errored: parse, lex, type, lint or \
-                          internal error";
-    Cmd.Exit.info 3 ~doc:"some test exceeded its resource budget (Unknown) \
-                          and none failed or errored";
-    Cmd.Exit.info 4 ~doc:"some worker process crashed on a signal \
-                          (process-isolated runs only); crash outranks \
-                          error, fail and budget";
-    Cmd.Exit.info 124
-      ~doc:"command-line usage error: unknown option or bad value \
-            (Cmdliner convention)";
-    Cmd.Exit.info 125 ~doc:"uncaught internal exception (Cmdliner convention)";
-  ]
-
 let cmd =
+  let module C = Harness.Cli in
   Cmd.v
     (Cmd.info "herd_lk" ~doc:"Run litmus tests against memory models"
-       ~exits:exit_info
+       ~exits:C.exit_infos
        ~man:
          [
            `S Manpage.s_description;
@@ -369,24 +285,8 @@ let cmd =
          ])
     Term.(
       const main $ model_arg $ verbose_arg $ outcomes_arg $ dot_arg
-      $ builtin_arg $ timeout_arg $ max_candidates_arg $ max_events_arg
-      $ json_arg $ jobs_arg $ mem_limit_arg $ journal_arg $ resume_arg
-      $ shrink_arg $ files_arg)
+      $ builtin_arg $ C.timeout_arg $ C.max_candidates_arg $ C.max_events_arg
+      $ C.json_arg $ C.jobs_arg $ C.mem_limit_arg $ C.journal_arg
+      $ C.resume_arg $ shrink_arg $ C.trace_arg $ C.metrics_arg $ files_arg)
 
-(* user errors become one-line classified messages, not uncaught
-   exceptions; Cmdliner's own error classes keep their reserved codes *)
-let () =
-  match Cmd.eval_value ~catch:false cmd with
-  | Ok (`Ok code) -> exit code
-  | Ok (`Help | `Version) -> exit 0
-  | Error (`Parse | `Term) -> exit 124 (* CLI usage error *)
-  | Error `Exn -> exit 125 (* internal error *)
-  | exception Not_found ->
-      Fmt.epr
-        "herd_lk: unknown built-in test (see lib/harness/battery.ml for \
-         names)@.";
-      exit 2
-  | exception exn ->
-      Fmt.epr "herd_lk: %a@." Harness.Runner.pp_error
-        (Harness.Runner.classify_exn exn);
-      exit 2
+let () = Harness.Cli.eval ~name:"herd_lk" cmd

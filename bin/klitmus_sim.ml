@@ -10,14 +10,17 @@
    Soundness checks enumerate model outcomes, which can explode; with
    --timeout/--max-candidates the check degrades to "soundness unknown"
    instead of hanging.  Errors are classified (parse/lex/...), and the
-   exit code follows the runner policy: 0 ok, 2 error, 3 budget. *)
+   exit code follows the unified report policy: 0 ok, 1 unsound
+   (hw/model disagreement), 2 error, 3 budget.  With --json the
+   progress output moves to stderr and stdout carries the unified
+   report. *)
 
 open Cmdliner
 
-let run_one archs runs seed check stable limits test =
+let run_one ppf archs runs seed check stable limits test =
   let errors = ref 0 and budget_outs = ref 0 in
   let budget_reason = ref None in
-  Fmt.pr "Test %s:@." test.Litmus.Ast.name;
+  Fmt.pf ppf "Test %s:@." test.Litmus.Ast.name;
   List.iter
     (fun arch ->
       let s, convergence =
@@ -27,7 +30,7 @@ let run_one archs runs seed check stable limits test =
              print the exact per-batch seed set so the run can be
              replayed and extended *)
           if not st.Hwsim.converged then
-            Fmt.pr "  %-7s NOT converged after %d batches; seeds used: %s@."
+            Fmt.pf ppf "  %-7s NOT converged after %d batches; seeds used: %s@."
               st.Hwsim.stats.Hwsim.arch st.Hwsim.batches
               (String.concat ","
                  (List.map string_of_int st.Hwsim.seeds));
@@ -39,31 +42,35 @@ let run_one archs runs seed check stable limits test =
         end
         else (Hwsim.run_test arch ~runs ~seed test, None)
       in
-      Fmt.pr "  %-7s condition matched %d/%d%s@." s.Hwsim.arch s.Hwsim.matched
-        s.Hwsim.total
+      Fmt.pf ppf "  %-7s condition matched %d/%d%s@." s.Hwsim.arch
+        s.Hwsim.matched s.Hwsim.total
         (match convergence with Some c -> " (" ^ c ^ ")" | None -> "");
       if check then
         match Hwsim.soundness ?limits (module Lkmm) test s with
-        | Hwsim.Sound -> Fmt.pr "  %-7s sound w.r.t. the LK model@." s.Hwsim.arch
+        | Hwsim.Sound ->
+            Fmt.pf ppf "  %-7s sound w.r.t. the LK model@." s.Hwsim.arch
         | Hwsim.Unsound bad ->
             incr errors;
             List.iter
               (fun (o, n) ->
-                Fmt.pr "  %-7s UNSOUND outcome %a (%d times)@." s.Hwsim.arch
+                Fmt.pf ppf "  %-7s UNSOUND outcome %a (%d times)@." s.Hwsim.arch
                   Exec.pp_outcome o n)
               bad
         | Hwsim.Soundness_unknown r ->
             incr budget_outs;
             budget_reason := Some r;
-            Fmt.pr "  %-7s soundness unknown: %s@." s.Hwsim.arch
+            Fmt.pf ppf "  %-7s soundness unknown: %s@." s.Hwsim.arch
               (Exec.Budget.reason_to_string r))
     archs;
   (!errors, !budget_outs, !budget_reason)
 
 let main archs runs seed check stable timeout max_candidates journal resume
-    files builtin =
+    json trace metrics files builtin =
+  Harness.Cli.with_obs ~trace ~metrics @@ fun () ->
   let module R = Harness.Runner in
   let module J = Harness.Journal in
+  (* with --json, stdout carries the report; progress moves to stderr *)
+  let ppf = if json then Fmt.stderr else Fmt.stdout in
   let archs =
     match archs with
     | [] -> Hwsim.Arch.table5
@@ -88,39 +95,24 @@ let main archs runs seed check stable timeout max_candidates journal resume
         (J.load p)
   | None -> ());
   let writer = Option.map J.open_writer journal in
-  let errors = ref 0 and budget_outs = ref 0 and failures = ref 0 in
-  let record id status time =
-    match writer with
-    | None -> ()
-    | Some w ->
-        J.write w
-          {
-            R.item_id = id;
-            status;
-            time;
-            n_candidates = 0;
-            retried = false;
-            result = None;
-          }
-  in
-  let count_recycled (st : R.status) =
-    match st with
-    | R.Pass _ -> ()
-    | R.Fail _ -> incr errors (* an unsound hw/model disagreement *)
-    | R.Gave_up _ -> incr budget_outs
-    | R.Err _ -> incr failures
+  let t_start = Unix.gettimeofday () in
+  let entries = ref [] in
+  let add (e : R.entry) =
+    entries := e :: !entries;
+    Option.iter (fun w -> J.write w e) writer
   in
   let run_test id test =
     match Hashtbl.find_opt recycled id with
     | Some e ->
-        Fmt.pr "Test %s: recycled from journal (%a)@." id R.pp_status
+        Fmt.pf ppf "Test %s: recycled from journal (%a)@." id R.pp_status
           e.R.status;
-        count_recycled e.R.status
+        entries := e :: !entries
     | None ->
         let t0 = Unix.gettimeofday () in
-        let e, b, reason = run_one archs runs seed check stable limits test in
-        errors := !errors + e;
-        budget_outs := !budget_outs + b;
+        let e, b, reason =
+          Obs.with_span ~item:id "item" (fun () ->
+              run_one ppf archs runs seed check stable limits test)
+        in
         (* the journalled classification mirrors the exit-code policy:
            unsound = disagreement (fail), budget = gave up, else done *)
         let status =
@@ -131,7 +123,15 @@ let main archs runs seed check stable timeout max_candidates journal resume
             | Some r when b > 0 -> R.Gave_up r
             | _ -> R.Pass Exec.Check.Allow
         in
-        record id status (Unix.gettimeofday () -. t0)
+        add
+          {
+            R.item_id = id;
+            status;
+            time = Unix.gettimeofday () -. t0;
+            n_candidates = 0;
+            retried = false;
+            result = None;
+          }
   in
   (match builtin with
   | Some name ->
@@ -145,17 +145,28 @@ let main archs runs seed check stable timeout max_candidates journal resume
       match Litmus.parse (Harness.Runner.read_file path) with
       | test -> run_test path test
       | exception exn ->
-          incr failures;
           let err = Harness.Runner.classify_exn exn in
-          record path (R.Err err) 0.;
+          add
+            {
+              R.item_id = path;
+              status = R.Err err;
+              time = 0.;
+              n_candidates = 0;
+              retried = false;
+              result = None;
+            };
           Fmt.epr "klitmus_sim: %s: %a@." path Harness.Runner.pp_error err)
     files;
   Option.iter J.close writer;
   if files = [] && builtin = None then
-    Fmt.pr "no tests given; try: klitmus_sim -b SB@.";
-  if !errors > 0 || !failures > 0 then 2
-  else if !budget_outs > 0 then 3
-  else 0
+    Fmt.pf ppf "no tests given; try: klitmus_sim -b SB@.";
+  let report =
+    Harness.Report.summarise
+      ~wall:(Unix.gettimeofday () -. t_start)
+      (List.rev !entries)
+  in
+  if json then print_string (Harness.Report.to_json report ^ "\n");
+  Harness.Report.exit_code report
 
 let archs_arg =
   Arg.(
@@ -186,39 +197,6 @@ let stable_arg =
            until the outcome histogram converges (distinguishes 'weak \
            outcome genuinely unobserved' from 'not enough samples').")
 
-let timeout_arg =
-  Arg.(
-    value
-    & opt (some float) None
-    & info [ "timeout" ] ~docv:"SECONDS"
-        ~doc:"Wall-clock budget for the model side of -check.")
-
-let max_candidates_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "max-candidates" ] ~docv:"N"
-        ~doc:"Candidate-execution cap for the model side of -check.")
-
-let journal_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "journal" ] ~docv:"FILE"
-        ~doc:
-          "Append a completion marker per test to $(docv) as JSONL, \
-           flushed per test; a killed sweep loses at most the in-flight \
-           test.")
-
-let resume_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "resume" ] ~docv:"FILE"
-        ~doc:
-          "Skip tests already marked complete in journal $(docv); their \
-           recorded classification still feeds the exit code.")
-
 let builtin_arg =
   Arg.(
     value
@@ -227,42 +205,15 @@ let builtin_arg =
 
 let files_arg = Arg.(value & pos_all file [] & info [] ~docv:"TEST.litmus")
 
-let exit_info =
-  [
-    Cmd.Exit.info 0 ~doc:"all runs completed (and -check found no unsound \
-                          outcome)";
-    Cmd.Exit.info 2 ~doc:"a test errored or -check found an unsound outcome";
-    Cmd.Exit.info 3 ~doc:"-check exceeded its budget (soundness unknown) \
-                          and nothing errored";
-    Cmd.Exit.info 124
-      ~doc:"command-line usage error: unknown option or bad value \
-            (Cmdliner convention)";
-    Cmd.Exit.info 125 ~doc:"uncaught internal exception (Cmdliner convention)";
-  ]
-
 let cmd =
+  let module C = Harness.Cli in
   Cmd.v
     (Cmd.info "klitmus_sim"
        ~doc:"Run litmus tests on simulated weak-memory hardware"
-       ~exits:exit_info)
+       ~exits:C.exit_infos)
     Term.(
       const main $ archs_arg $ runs_arg $ seed_arg $ check_arg $ stable_arg
-      $ timeout_arg $ max_candidates_arg $ journal_arg $ resume_arg
-      $ files_arg $ builtin_arg)
+      $ C.timeout_arg $ C.max_candidates_arg $ C.journal_arg $ C.resume_arg
+      $ C.json_arg $ C.trace_arg $ C.metrics_arg $ files_arg $ builtin_arg)
 
-(* user errors become one-line classified messages, not uncaught exceptions *)
-let () =
-  match Cmd.eval_value ~catch:false cmd with
-  | Ok (`Ok code) -> exit code
-  | Ok (`Help | `Version) -> exit 0
-  | Error (`Parse | `Term) -> exit 124 (* CLI usage error *)
-  | Error `Exn -> exit 125 (* internal error *)
-  | exception Not_found ->
-      Fmt.epr
-        "klitmus_sim: unknown built-in test (see lib/harness/battery.ml for \
-         names)@.";
-      exit 2
-  | exception exn ->
-      Fmt.epr "klitmus_sim: %a@." Harness.Runner.pp_error
-        (Harness.Runner.classify_exn exn);
-      exit 2
+let () = Harness.Cli.eval ~name:"klitmus_sim" cmd

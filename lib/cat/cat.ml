@@ -52,6 +52,10 @@ let consistent ?budget (model : model) (x : Exec.t) =
     candidate of each structure.  Caching is observationally transparent
     (prefix replay reproduces {!Interp.run} exactly); [~cache:false]
     recovers the direct interpreter, e.g. for benchmarking. *)
+let c_cache_hits = Obs.Counter.make "cat.cache.hits"
+let c_cache_misses = Obs.Counter.make "cat.cache.misses"
+let h_replay = Obs.Histogram.make "cat.replay_us"
+
 let to_check_model ~name ?budget ?(cache = true) (model : model) :
     (module Exec.Check.MODEL) =
   if not cache then
@@ -69,15 +73,20 @@ let to_check_model ~name ?budget ?(cache = true) (model : model) :
         let env = Interp.env_of_execution x in
         let prefix =
           match !slot with
-          | Some (ev, p) when ev == x.Exec.events -> p
+          | Some (ev, p) when ev == x.Exec.events ->
+              Obs.Counter.incr c_cache_hits;
+              p
           | _ ->
+              Obs.Counter.incr c_cache_misses;
               let p = Interp.prefix ?budget compiled env in
               slot := Some (x.Exec.events, p);
               p
         in
-        List.for_all
-          (fun (o : Interp.outcome) -> o.holds)
-          (Interp.run_with_prefix ?budget prefix env)
+        let t0 = if Obs.enabled () then Obs.now_us () else 0. in
+        let outcomes = Interp.run_with_prefix ?budget prefix env in
+        if Obs.enabled () then
+          Obs.Histogram.observe h_replay (Obs.now_us () -. t0);
+        List.for_all (fun (o : Interp.outcome) -> o.holds) outcomes
     end)
   end
 

@@ -79,6 +79,9 @@ let rec eval env (e : Ast.expr) =
    equations).  [?budget] bounds the iteration wall-clock: each Kleene
    step probes the deadline, so a pathological model gives up instead of
    spinning its full 1000-round allowance on big relations. *)
+
+let c_fixpoint = Obs.Counter.make "cat.fixpoint_iters"
+
 let eval_let ?budget env bindings is_rec =
   if not is_rec then
     List.fold_left
@@ -104,8 +107,13 @@ let eval_let ?budget env bindings is_rec =
     let rec go e n =
       if n > 1000 then raise (Type_error "rec definition did not converge");
       Option.iter Exec.Budget.check_time budget;
+      Obs.Counter.incr c_fixpoint;
       let e' = step e in
-      if List.for_all2 Rel.equal (values e) (values e') then e' else go e' n
+      (* [n + 1], not [n]: the round counter must actually advance for the
+         1000-round allowance to mean anything (an unbudgeted divergent
+         model previously looped forever here) *)
+      if List.for_all2 Rel.equal (values e) (values e') then e'
+      else go e' (n + 1)
     in
     go start 0
   end
@@ -236,23 +244,25 @@ let rec first_n n l =
     | [] -> invalid_arg "first_n"
 
 let prefix ?budget compiled env =
-  let n = List.length compiled.model.stmts in
-  let lets = Array.make n [] and checks = Array.make n None in
-  let env = ref env in
-  List.iteri
-    (fun i stmt ->
-      if compiled.static_stmt.(i) then begin
-        Option.iter Exec.Budget.tick budget;
-        match stmt with
-        | Ast.Let (bs, is_rec) ->
-            let before = List.length !env.bindings in
-            env := eval_let ?budget !env bs is_rec;
-            lets.(i) <- first_n (List.length !env.bindings - before) !env.bindings
-        | Ast.Check (kind, e, name) ->
-            checks.(i) <- Some (run_check !env kind e name)
-      end)
-    compiled.model.stmts;
-  { compiled; lets; checks }
+  Obs.with_span "prefix-eval" (fun () ->
+      let n = List.length compiled.model.stmts in
+      let lets = Array.make n [] and checks = Array.make n None in
+      let env = ref env in
+      List.iteri
+        (fun i stmt ->
+          if compiled.static_stmt.(i) then begin
+            Option.iter Exec.Budget.tick budget;
+            match stmt with
+            | Ast.Let (bs, is_rec) ->
+                let before = List.length !env.bindings in
+                env := eval_let ?budget !env bs is_rec;
+                lets.(i) <-
+                  first_n (List.length !env.bindings - before) !env.bindings
+            | Ast.Check (kind, e, name) ->
+                checks.(i) <- Some (run_check !env kind e name)
+          end)
+        compiled.model.stmts;
+      { compiled; lets; checks })
 
 let run_with_prefix ?budget { compiled; lets; checks } env =
   let rec go i env acc = function

@@ -76,6 +76,14 @@ type result = {
    time: nothing is retained but the counters, the outcome set and the
    first witness, and candidates failing the sc-per-location prefilter
    (see {!Execution.coherent}) never reach the model at all. *)
+
+let c_candidates = Obs.Counter.make "check.candidates"
+let c_prefiltered = Obs.Counter.make "check.prefilter.hits"
+let c_consistent = Obs.Counter.make "check.consistent"
+let c_matching = Obs.Counter.make "check.matching"
+let h_prefilter = Obs.Histogram.make "check.prefilter_us"
+let h_model = Obs.Histogram.make "check.model_us"
+
 let run_exn ?budget ?(prefilter = true) (module M : MODEL)
     (test : Litmus.Ast.t) =
   let satisfies x =
@@ -88,23 +96,48 @@ let run_exn ?budget ?(prefilter = true) (module M : MODEL)
   and n_consistent = ref 0
   and n_matching = ref 0 in
   let witness = ref None and outcomes = ref [] in
-  Seq.iter
-    (fun x ->
-      (* counted as consumed, so the tally is correct however the stream
-         ends (completion, budget trip, model failure) *)
-      incr n_candidates;
-      Option.iter Budget.tick budget;
-      if prefilter && not (Execution.coherent x) then incr n_prefiltered
-      else if M.consistent x then begin
-        incr n_consistent;
-        let sat = satisfies x in
-        outcomes := (Execution.outcome x, sat) :: !outcomes;
-        if sat then begin
-          incr n_matching;
-          if !witness = None then witness := Some x
-        end
-      end)
-    (Execution.of_test_seq ?budget test);
+  (* When tracing, the prefilter test and the model run are each timed
+     per candidate (two clock reads each); the branch structure below is
+     semantically identical to the untraced
+       if prefilter && not coherent then ... else if consistent then ...
+     including the short-circuit that skips [coherent] entirely when the
+     prefilter is off. *)
+  let tracing = Obs.enabled () in
+  Obs.with_span ~item:test.name "check" (fun () ->
+      Obs.with_span ~item:test.name "enumerate" (fun () ->
+          Seq.iter
+            (fun x ->
+              (* counted as consumed, so the tally is correct however the
+                 stream ends (completion, budget trip, model failure) *)
+              incr n_candidates;
+              Obs.Counter.incr c_candidates;
+              Option.iter Budget.tick budget;
+              let t0 = if tracing then Obs.now_us () else 0. in
+              let keep = (not prefilter) || Execution.coherent x in
+              if tracing && prefilter then
+                Obs.Histogram.observe h_prefilter (Obs.now_us () -. t0);
+              if not keep then begin
+                incr n_prefiltered;
+                Obs.Counter.incr c_prefiltered
+              end
+              else begin
+                let t1 = if tracing then Obs.now_us () else 0. in
+                let ok = M.consistent x in
+                if tracing then
+                  Obs.Histogram.observe h_model (Obs.now_us () -. t1);
+                if ok then begin
+                  incr n_consistent;
+                  Obs.Counter.incr c_consistent;
+                  let sat = satisfies x in
+                  outcomes := (Execution.outcome x, sat) :: !outcomes;
+                  if sat then begin
+                    incr n_matching;
+                    Obs.Counter.incr c_matching;
+                    if !witness = None then witness := Some x
+                  end
+                end
+              end)
+            (Execution.of_test_seq ?budget test)));
   {
     verdict = (if !n_matching > 0 then Allow else Forbid);
     n_candidates = !n_candidates;

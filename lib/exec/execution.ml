@@ -345,14 +345,27 @@ let seq_product ?(tick = fun () -> ()) lists =
         (List.to_seq l))
     lists (Seq.return [])
 
+let c_structures = Obs.Counter.make "exec.structures"
+let c_events = Obs.Counter.make "exec.events"
+
 let of_test_seq ?budget (test : Litmus.Ast.t) =
   let tick () = Option.iter Budget.tick budget in
-  let per_thread = thread_candidate_lists test in
+  let per_thread =
+    Obs.with_span ~item:test.name "sem" (fun () ->
+        thread_candidate_lists test)
+  in
   Option.iter Budget.check_time budget;
   let globals = Litmus.Ast.globals test in
   let n_init = List.length globals in
   Seq.concat_map
     (fun (chosen : Sem.candidate list) ->
+      Obs.Counter.incr c_structures;
+      if Obs.enabled () then
+        Obs.Counter.add c_events
+          (n_init
+          + List.fold_left
+              (fun acc (c : Sem.candidate) -> acc + List.length c.events)
+              0 chosen);
       Option.iter
         (fun b ->
           Budget.check_events b

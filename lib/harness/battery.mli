@@ -1,0 +1,31 @@
+(** The built-in litmus-test battery: every test named in Table 5 and
+    every figure of the paper, plus classic coherence/atomicity tests
+    used by the test suite.  Tests are kept in concrete syntax so the
+    battery also exercises the parser. *)
+
+type entry = {
+  name : string;
+  source : string;  (** litmus concrete syntax *)
+  lk : Exec.Check.verdict;  (** paper's "Model" column / figure caption *)
+  c11 : Exec.Check.verdict option;  (** paper's C11 column; [None] = "—" *)
+  in_table5 : bool;
+  figure : string option;
+  hw_observable : string list;
+      (** architectures of Table 5 where the weak outcome was observed
+          on hardware: subset of [["Power8"; "ARMv8"; "ARMv7"; "X86"]] *)
+}
+
+(** The Table 5 tests, in the paper's order. *)
+val table5 : entry list
+
+(** Figure and auxiliary tests not in Table 5. *)
+val extras : entry list
+
+(** [table5 @ extras]. *)
+val all : entry list
+
+(** Parse an entry's source. *)
+val test_of : entry -> Litmus.Ast.t
+
+(** Find an entry by name in {!all}; raises [Not_found]. *)
+val find : string -> entry

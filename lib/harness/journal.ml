@@ -11,7 +11,7 @@
    field and, for [gave_up] entries, a structured reason that
    round-trips exactly:
 
-     {"schema_version": 1, "id": "corpus/SB.litmus", "time_s": 0.003,
+     {"schema_version": 2, "id": "corpus/SB.litmus", "time_s": 0.003,
       "candidates": 12, "status": "pass", "verdict": "Allow"}
 
    Duplicate ids can appear legitimately (a crashed item retried and
@@ -24,7 +24,7 @@
 (* A minimal JSON reader                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* The tree ships no JSON library; emission lives in {!Runner.to_json}
+(* The tree ships no JSON library; emission lives in {!Report.to_json}
    and this is its reading half.  Full JSON value syntax, no streaming:
    a journal line is a few hundred bytes. *)
 
@@ -222,15 +222,15 @@ let reason_fields (r : Exec.Budget.reason) =
       Printf.sprintf ", \"reason_kind\": \"heap_exceeded\", \"reason_arg\": %d"
         mb
 
-let line_of_entry (e : Runner.entry) =
+let line_of_entry (e : Report.entry) =
   let extra =
-    match e.Runner.status with
-    | Runner.Gave_up r -> reason_fields r
+    match e.Report.status with
+    | Report.Gave_up r -> reason_fields r
     | _ -> ""
   in
-  let body = Runner.entry_to_json e in
+  let body = Report.entry_to_json e in
   (* splice schema_version and the structured extras into the object *)
-  Printf.sprintf "{\"schema_version\": %d, %s%s}" Runner.schema_version
+  Printf.sprintf "{\"schema_version\": %d, %s%s}" Report.schema_version
     (String.sub body 1 (String.length body - 2))
     extra
 
@@ -256,15 +256,15 @@ let reason_of_json j =
 
 let class_of_json j =
   match Option.bind (Json.mem "class" j) Json.str with
-  | Some "parse" -> Some Runner.Parse
-  | Some "lex" -> Some Runner.Lex
-  | Some "type" -> Some Runner.Type
-  | Some "lint" -> Some Runner.Lint
-  | Some "budget" -> Some Runner.Budget
-  | Some "internal" -> Some Runner.Internal
+  | Some "parse" -> Some Report.Parse
+  | Some "lex" -> Some Report.Lex
+  | Some "type" -> Some Report.Type
+  | Some "lint" -> Some Report.Lint
+  | Some "budget" -> Some Report.Budget
+  | Some "internal" -> Some Report.Internal
   | Some "crash" ->
       Some
-        (Runner.Crash
+        (Report.Crash
            (match Option.bind (Json.mem "signal" j) Json.num with
            | Some s -> int_of_float s
            | None -> 0))
@@ -276,7 +276,7 @@ let verdict_of_json j key =
   | Some "Forbid" -> Some Exec.Check.Forbid
   | _ -> None (* Unknown verdicts never appear in Pass/Fail statuses *)
 
-let entry_of_line line : Runner.entry option =
+let entry_of_line line : Report.entry option =
   match Json.of_string line with
   | exception Json.Malformed _ -> None
   | j -> (
@@ -299,13 +299,13 @@ let entry_of_line line : Runner.entry option =
       let* status =
         match Option.bind (Json.mem "status" j) Json.str with
         | Some "pass" ->
-            Option.map (fun v -> Runner.Pass v) (verdict_of_json j "verdict")
+            Option.map (fun v -> Report.Pass v) (verdict_of_json j "verdict")
         | Some "fail" ->
             let* expected = verdict_of_json j "expected" in
             let* got = verdict_of_json j "got" in
-            Some (Runner.Fail { expected; got })
+            Some (Report.Fail { expected; got })
         | Some "gave_up" ->
-            Option.map (fun r -> Runner.Gave_up r) (reason_of_json j)
+            Option.map (fun r -> Report.Gave_up r) (reason_of_json j)
         | Some "error" ->
             let* cls = class_of_json j in
             let msg =
@@ -316,12 +316,12 @@ let entry_of_line line : Runner.entry option =
               Option.map int_of_float
                 (Option.bind (Json.mem "line" j) Json.num)
             in
-            Some (Runner.Err { Runner.cls; msg; line })
+            Some (Report.Err { Report.cls; msg; line })
         | _ -> None
       in
       Some
         {
-          Runner.item_id = id;
+          Report.item_id = id;
           status;
           time;
           n_candidates;
@@ -347,7 +347,7 @@ let writer_path w = w.path
 
 (* One line per entry, flushed immediately: after a hard kill the
    journal is complete up to the last finished item. *)
-let write w (e : Runner.entry) =
+let write w (e : Report.entry) =
   output_string w.oc (line_of_entry e);
   output_char w.oc '\n';
   flush w.oc
@@ -374,14 +374,14 @@ let load path =
     (* duplicates: the LAST line for an id wins (it supersedes earlier
        attempts), but the first occurrence keeps its position *)
     let best = Hashtbl.create 64 in
-    List.iter (fun (e : Runner.entry) -> Hashtbl.replace best e.Runner.item_id e) entries;
+    List.iter (fun (e : Report.entry) -> Hashtbl.replace best e.Report.item_id e) entries;
     let seen = Hashtbl.create 64 in
     List.filter_map
-      (fun (e : Runner.entry) ->
-        if Hashtbl.mem seen e.Runner.item_id then None
+      (fun (e : Report.entry) ->
+        if Hashtbl.mem seen e.Report.item_id then None
         else begin
-          Hashtbl.add seen e.Runner.item_id ();
-          Hashtbl.find_opt best e.Runner.item_id
+          Hashtbl.add seen e.Report.item_id ();
+          Hashtbl.find_opt best e.Report.item_id
         end)
       entries
   end
@@ -393,7 +393,7 @@ let partition path (items : Runner.item list) =
   let done_ = load path in
   let by_id = Hashtbl.create 64 in
   List.iter
-    (fun (e : Runner.entry) -> Hashtbl.replace by_id e.Runner.item_id e)
+    (fun (e : Report.entry) -> Hashtbl.replace by_id e.Report.item_id e)
     done_;
   let recycled, todo =
     List.partition_map

@@ -1,0 +1,75 @@
+(** Crash-safe run journal: an append-only JSONL file with one
+    self-contained {!Report.entry} line per completed item, written and
+    flushed as a run progresses.  A [kill -9] mid-run loses at most the
+    line being written; {!load} tolerates a truncated final line (and
+    any other unparseable line) by dropping it.  Duplicate ids can
+    appear legitimately (crash retries, overlapping resumed runs): the
+    last line for an id wins. *)
+
+(** {1 JSON reading}
+
+    The tree ships no JSON library; emission lives in {!Report} and
+    this is its reading half (full JSON value syntax, no streaming).
+    Exposed because other textual-JSON consumers in the tree
+    ([tools/obs_report], tests) reuse it. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Malformed of string
+
+  (** Parse one complete JSON value; raises {!Malformed}. *)
+  val of_string : string -> t
+
+  (** Object member lookup ([None] on non-objects and missing keys). *)
+  val mem : string -> t -> t option
+
+  val str : t -> string option
+  val num : t -> float option
+  val bool_ : t -> bool option
+end
+
+(** {1 Entry <-> line} *)
+
+(** One journal line (no trailing newline): the entry's {!Report} JSON
+    plus [schema_version] and, for [Gave_up] entries, a structured
+    reason that round-trips exactly. *)
+val line_of_entry : Report.entry -> string
+
+(** Parse a journal line back; [None] on any malformed or torn line.
+    Full check results are not journalled, so [result] is [None]. *)
+val entry_of_line : string -> Report.entry option
+
+(** {1 Writing} *)
+
+type writer
+
+(** Open for append (create if missing): resuming writes into the same
+    journal, keeping the file a complete record of the battery. *)
+val open_writer : string -> writer
+
+val writer_path : writer -> string
+
+(** Append one entry and flush: after a hard kill the journal is
+    complete up to the last finished item. *)
+val write : writer -> Report.entry -> unit
+
+val close : writer -> unit
+
+(** {1 Loading and resuming} *)
+
+(** All entries of a journal, last-wins per id, first occurrence keeping
+    its position; [[]] if the file does not exist. *)
+val load : string -> Report.entry list
+
+(** [partition journal items] — split [items] into (already-journalled
+    entries, still-to-run items), keyed by item id; journal lines for
+    unknown ids are ignored. *)
+val partition :
+  string -> Runner.item list -> Report.entry list * Runner.item list

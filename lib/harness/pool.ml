@@ -66,7 +66,15 @@ let derived_watchdog cfg =
 (* ------------------------------------------------------------------ *)
 
 (* Runs in the child after [fork]: compute the entry, marshal it out,
-   [_exit] without touching the parent's buffers or [at_exit] hooks. *)
+   [_exit] without touching the parent's buffers or [at_exit] hooks.
+
+   Observability crosses the fork boundary here: the child resets the
+   collector it inherited (the parent's spans must not be re-reported),
+   records its own item, and ships an {!Obs.dump} alongside the entry;
+   the parent merges it tagged with the worker's pid.  A worker the
+   watchdog kills never reaches the marshalling step, so its partial
+   trace is lost with it — the entry the parent synthesises still
+   appears in the report, just without spans. *)
 let worker_main cfg ~worker fd (item : Runner.item) =
   (match cfg.mem_limit_mb with
   | None -> ()
@@ -76,10 +84,12 @@ let worker_main cfg ~worker fd (item : Runner.item) =
       ignore
         (Gc.create_alarm (fun () ->
              if Exec.Budget.heap_mb () > mb then Unix._exit exit_mem_cap)));
+  if Obs.enabled () then Obs.reset ();
   let entry : Runner.entry = worker item in
+  let dump = if Obs.enabled () then Some (Obs.dump ()) else None in
   match
     let oc = Unix.out_channel_of_descr fd in
-    Marshal.to_channel oc entry [];
+    Marshal.to_channel oc (entry, dump) [];
     flush oc
   with
   | () -> Unix._exit 0
@@ -170,8 +180,12 @@ let classify_exit cfg (r : running) status =
   in
   match status with
   | Unix.WEXITED 0 -> (
-      match Marshal.from_string (Buffer.contents r.buf) 0 with
-      | (entry : Runner.entry) ->
+      match
+        (Marshal.from_string (Buffer.contents r.buf) 0
+          : Runner.entry * Obs.dump option)
+      with
+      | entry, dump ->
+          if Obs.enabled () then Option.iter (Obs.merge ~tid:r.pid) dump;
           (`Done, { entry with Runner.retried = r.attempt > 0 })
       | exception _ ->
           ( `Done,
@@ -386,7 +400,9 @@ let run ?(config = default) ?worker ?journal ?resume
     |> List.map (fun (i, x) ->
            { q_idx = i; q_item = x; q_attempt = 0; not_before = 0. })
   in
-  let fresh = run_queue config ~worker ~on_entry queue in
+  let fresh =
+    Obs.with_span "pool" (fun () -> run_queue config ~worker ~on_entry queue)
+  in
   Option.iter Journal.close jw;
   (* reassemble in item order: recycled entries keep their item's slot *)
   let by_id = Hashtbl.create 64 in

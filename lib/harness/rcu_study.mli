@@ -1,0 +1,40 @@
+(** The Figure 15 / Figure 16 study (Section 6, Theorem 2),
+    empirically: run RCU litmus tests with the primitives replaced by
+    the Figure 15 implementation on the simulated architectures, and
+    check that the forbidden outcomes never appear.  Two deliberately
+    broken variants ([No_wait], [No_reader_mb]) show the harness is
+    discriminating. *)
+
+type result = {
+  program : string;
+  arch : string;
+  matched : int;  (** runs exhibiting the RCU-forbidden outcome *)
+  total : int;
+  aborted : int;
+}
+
+(** Run one battery entry under one RCU-implementation variant on one
+    simulated architecture. *)
+val run_variant :
+  ?runs:int ->
+  ?seed:int ->
+  variant:Kir.Rcu_impl.variant ->
+  Battery.entry ->
+  Hwsim.Arch.t ->
+  result
+
+(** The RCU battery entries the study uses. *)
+val tests : unit -> Battery.entry list
+
+val archs : Hwsim.Arch.t list
+
+(** Every (test, arch, variant) combination. *)
+val run_all : ?runs:int -> ?seed:int -> unit -> result list
+
+val pp : result Fmt.t
+
+(** Theorem-2 style issues: one message per faithful-implementation run
+    that showed the forbidden outcome; [[]] when the theorem holds.
+    (Broken variants are expected to show it; that expectation is
+    asserted by the test suite, which controls the run counts.) *)
+val issues : result list -> string list

@@ -5,23 +5,19 @@
    runs under a fresh per-test budget with every exception caught and
    classified into a unified taxonomy (parse / lex / type / lint /
    budget / internal, with source positions when available), producing a
-   structured pass/fail/error/gave-up report with JSON output and a
-   deterministic exit-code policy:
+   structured pass/fail/error/gave-up report.
 
-     0  every item passed
-     1  some verdict mismatched its expectation (FAIL)
-     2  some item errored (parse/lex/type/lint/internal)
-     3  some item exceeded its budget, none failed or errored
-     4  some item crashed its isolated worker (signal death under
-        Harness.Pool: segfault, OOM kill, ...)
-
-   (4 beats 2 beats 1 beats 3 when a batch mixes them.) *)
+   The result types — error taxonomy, per-item entries, batch reports,
+   their JSON rendering and the exit-code policy — live in {!Report}
+   (the unified schema shared with {!Pool} and {!Journal}); they are
+   re-exported here by equation, so [Runner.entry] and [Report.entry]
+   are interchangeable and pre-existing callers compile unchanged. *)
 
 (* ------------------------------------------------------------------ *)
-(* Error taxonomy                                                      *)
+(* Error taxonomy (defined in Report, re-exported)                     *)
 (* ------------------------------------------------------------------ *)
 
-type error_class =
+type error_class = Report.error_class =
   | Parse
   | Lex
   | Type
@@ -30,19 +26,12 @@ type error_class =
   | Internal
   | Crash of int (* worker died on this signal (process isolation only) *)
 
-let class_to_string = function
-  | Parse -> "parse"
-  | Lex -> "lex"
-  | Type -> "type"
-  | Lint -> "lint"
-  | Budget -> "budget"
-  | Internal -> "internal"
-  | Crash _ -> "crash"
+let class_to_string = Report.class_to_string
 
-type error_info = {
+type error_info = Report.error_info = {
   cls : error_class;
   msg : string;
-  line : int option; (* source position, when the error carries one *)
+  line : int option;
 }
 
 let classify_exn : exn -> error_info = function
@@ -58,10 +47,7 @@ let classify_exn : exn -> error_info = function
   | Not_found -> { cls = Internal; msg = "not found"; line = None }
   | exn -> { cls = Internal; msg = Printexc.to_string exn; line = None }
 
-let pp_error ppf e =
-  match e.line with
-  | Some l -> Fmt.pf ppf "%s error, line %d: %s" (class_to_string e.cls) l e.msg
-  | None -> Fmt.pf ppf "%s error: %s" (class_to_string e.cls) e.msg
+let pp_error = Report.pp_error
 
 (* ------------------------------------------------------------------ *)
 (* Items and statuses                                                  *)
@@ -78,34 +64,32 @@ type item = {
   expected : Exec.Check.verdict option; (* golden verdict, if any *)
 }
 
-type status =
-  | Pass of Exec.Check.verdict (* completed; matched expectation if any *)
+type status = Report.status =
+  | Pass of Exec.Check.verdict
   | Fail of { expected : Exec.Check.verdict; got : Exec.Check.verdict }
-  | Gave_up of Exec.Budget.reason (* budget exceeded: partial result *)
+  | Gave_up of Exec.Budget.reason
   | Err of error_info
 
-type entry = {
+type entry = Report.entry = {
   item_id : string;
   status : status;
-  time : float; (* wall-clock seconds for this item *)
-  n_candidates : int; (* candidates enumerated (partial on Gave_up) *)
-  retried : bool; (* true = this is the second attempt after a crash *)
+  time : float;
+  n_candidates : int;
+  retried : bool;
   result : Exec.Check.result option;
-      (* the full check result when one was produced (Pass/Fail) *)
 }
 
-type report = {
+type report = Report.t = {
   entries : entry list;
   n_pass : int;
   n_fail : int;
   n_error : int;
-  n_crash : int; (* Err entries whose class is Crash (counted apart) *)
+  n_crash : int;
   n_gave_up : int;
-  wall : float; (* wall-clock seconds for the whole batch *)
+  wall : float;
 }
 
-let is_crash (e : entry) =
-  match e.status with Err { cls = Crash _; _ } -> true | _ -> false
+let is_crash = Report.is_crash
 
 (* A model may need the per-item running budget (cat interpretation shares
    the test's deadline), so batches take a budget-indexed factory. *)
@@ -152,61 +136,55 @@ let run_item ?(limits = Exec.Budget.default) ?(lint = true)
       result;
     }
   in
-  match
-    (* everything — file IO, parsing, linting, checking — inside the
-       fault barrier; no exception escapes an item *)
-    let test =
-      match item.source with
-      | `Ast t -> t
-      | `Text s -> Litmus.parse s
-      | `File p -> Litmus.parse (read_file p)
-    in
-    (if lint then
-       match Litmus.Lint.errors (Litmus.Lint.check_all test) with
-       | [] -> ()
-       | issues ->
-           raise
-             (Lint_failed
-                (String.concat "; "
-                   (List.map
-                      (fun (i : Litmus.Lint.issue) -> i.Litmus.Lint.message)
-                      issues))));
-    let r = Exec.Check.run ?budget (model budget) test in
-    match r.Exec.Check.verdict with
-    | Exec.Check.Unknown (Exec.Check.Budget_exceeded reason) ->
-        finish (Gave_up reason)
-    | Exec.Check.Unknown (Exec.Check.Model_error exn) ->
-        (* the check caught the model's exception; recover its class *)
-        finish (Err (classify_exn exn))
-    | got -> (
-        match item.expected with
-        | Some expected when expected <> got ->
-            finish ~result:r (Fail { expected; got })
-        | _ -> finish ~result:r (Pass got))
-  with
-  | entry -> entry
-  | exception Lint_failed msg -> finish (Err { cls = Lint; msg; line = None })
-  | exception Exec.Budget.Exceeded reason -> finish (Gave_up reason)
-  | exception exn -> finish (Err (classify_exn exn))
+  (* the "item" span brackets the whole fault barrier, so parse, lint
+     and check (which opens its own spans) all nest under it *)
+  Obs.with_span ~item:item.id "item" (fun () ->
+      match
+        (* everything — file IO, parsing, linting, checking — inside the
+           fault barrier; no exception escapes an item *)
+        let test =
+          Obs.with_span ~item:item.id "parse" (fun () ->
+              match item.source with
+              | `Ast t -> t
+              | `Text s -> Litmus.parse s
+              | `File p -> Litmus.parse (read_file p))
+        in
+        Obs.with_span ~item:item.id "lint" (fun () ->
+            if lint then
+              match Litmus.Lint.errors (Litmus.Lint.check_all test) with
+              | [] -> ()
+              | issues ->
+                  raise
+                    (Lint_failed
+                       (String.concat "; "
+                          (List.map
+                             (fun (i : Litmus.Lint.issue) ->
+                               i.Litmus.Lint.message)
+                             issues))));
+        let r = Exec.Check.run ?budget (model budget) test in
+        match r.Exec.Check.verdict with
+        | Exec.Check.Unknown (Exec.Check.Budget_exceeded reason) ->
+            finish (Gave_up reason)
+        | Exec.Check.Unknown (Exec.Check.Model_error exn) ->
+            (* the check caught the model's exception; recover its class *)
+            finish (Err (classify_exn exn))
+        | got -> (
+            match item.expected with
+            | Some expected when expected <> got ->
+                finish ~result:r (Fail { expected; got })
+            | _ -> finish ~result:r (Pass got))
+      with
+      | entry -> entry
+      | exception Lint_failed msg ->
+          finish (Err { cls = Lint; msg; line = None })
+      | exception Exec.Budget.Exceeded reason -> finish (Gave_up reason)
+      | exception exn -> finish (Err (classify_exn exn)))
 
 (* ------------------------------------------------------------------ *)
 (* Batches                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let summarise ~wall entries =
-  let count p = List.length (List.filter p entries) in
-  {
-    entries;
-    n_pass = count (fun e -> match e.status with Pass _ -> true | _ -> false);
-    n_fail = count (fun e -> match e.status with Fail _ -> true | _ -> false);
-    n_error =
-      count (fun e ->
-          match e.status with Err _ -> not (is_crash e) | _ -> false);
-    n_crash = count is_crash;
-    n_gave_up =
-      count (fun e -> match e.status with Gave_up _ -> true | _ -> false);
-    wall;
-  }
+let summarise = Report.summarise
 
 let run ?limits ?lint ?(model = static_model (module Lkmm : Exec.Check.MODEL))
     (items : item list) =
@@ -214,131 +192,16 @@ let run ?limits ?lint ?(model = static_model (module Lkmm : Exec.Check.MODEL))
   let entries = List.map (run_item ?limits ?lint ~model) items in
   summarise ~wall:(Unix.gettimeofday () -. t0) entries
 
-(* The deterministic exit-code policy (see the header comment):
-   crash > error > fail > gave-up. *)
-let exit_code r =
-  if r.n_crash > 0 then 4
-  else if r.n_error > 0 then 2
-  else if r.n_fail > 0 then 1
-  else if r.n_gave_up > 0 then 3
-  else 0
+let exit_code = Report.exit_code
 
 (* ------------------------------------------------------------------ *)
-(* Rendering                                                           *)
+(* Rendering (all in Report; kept under the old names)                 *)
 (* ------------------------------------------------------------------ *)
 
-let pp_status ppf = function
-  | Pass v -> Fmt.pf ppf "PASS (%s)" (Exec.Check.verdict_to_string v)
-  | Fail { expected; got } ->
-      Fmt.pf ppf "FAIL (expected %s, got %s)"
-        (Exec.Check.verdict_to_string expected)
-        (Exec.Check.verdict_to_string got)
-  | Gave_up r -> Fmt.pf ppf "GAVE UP (%s)" (Exec.Budget.reason_to_string r)
-  | Err e -> Fmt.pf ppf "ERROR (%a)" pp_error e
-
-let pp_entry ppf e =
-  Fmt.pf ppf "%-45s %a  [%.3fs]" e.item_id pp_status e.status e.time
-
-let pp ppf r =
-  Fmt.pf ppf "@[<v>%a@,%d items: %d pass, %d fail, %d error, %d crash, %d \
-              gave up (%.3fs)@]"
-    Fmt.(list ~sep:cut pp_entry)
-    r.entries
-    (List.length r.entries)
-    r.n_pass r.n_fail r.n_error r.n_crash r.n_gave_up r.wall
-
-(* Minimal JSON emission (no JSON library in the tree). *)
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-(* Reports and journal lines carry this version so downstream consumers
-   can detect format changes; bump on any incompatible field change. *)
-let schema_version = 1
-
-let entry_to_json e =
-  let base =
-    Printf.sprintf "\"id\": \"%s\", \"time_s\": %.6f, \"candidates\": %d%s%s"
-      (json_escape e.item_id) e.time e.n_candidates
-      (match e.result with
-      | Some r when r.Exec.Check.n_prefiltered > 0 ->
-          Printf.sprintf ", \"prefiltered\": %d" r.Exec.Check.n_prefiltered
-      | _ -> "")
-      (if e.retried then ", \"retried\": true" else "")
-  in
-  let rest =
-    match e.status with
-    | Pass v ->
-        Printf.sprintf "\"status\": \"pass\", \"verdict\": \"%s\""
-          (json_escape (Exec.Check.verdict_to_string v))
-    | Fail { expected; got } ->
-        Printf.sprintf
-          "\"status\": \"fail\", \"expected\": \"%s\", \"got\": \"%s\""
-          (json_escape (Exec.Check.verdict_to_string expected))
-          (json_escape (Exec.Check.verdict_to_string got))
-    | Gave_up r ->
-        Printf.sprintf "\"status\": \"gave_up\", \"reason\": \"%s\""
-          (json_escape (Exec.Budget.reason_to_string r))
-    | Err err ->
-        Printf.sprintf
-          "\"status\": \"error\", \"class\": \"%s\", \"msg\": \"%s\"%s%s"
-          (class_to_string err.cls) (json_escape err.msg)
-          (match err.cls with
-          | Crash s -> Printf.sprintf ", \"signal\": %d" s
-          | _ -> "")
-          (match err.line with
-          | Some l -> Printf.sprintf ", \"line\": %d" l
-          | None -> "")
-  in
-  Printf.sprintf "{%s, %s}" base rest
-
-(* Per-batch perf aggregates: the slowest item and the candidate-count
-   peak, so perf regressions are attributable to a single test. *)
-let slowest r =
-  List.fold_left
-    (fun acc (e : entry) ->
-      match acc with
-      | Some (m : entry) when m.time >= e.time -> acc
-      | _ -> Some e)
-    None r.entries
-
-let peak_candidates r =
-  List.fold_left
-    (fun acc (e : entry) ->
-      match acc with
-      | Some (m : entry) when m.n_candidates >= e.n_candidates -> acc
-      | _ -> Some e)
-    None r.entries
-
-let to_json r =
-  let stat name (e : entry option) value =
-    match e with
-    | None -> ""
-    | Some e ->
-        Printf.sprintf " \"%s\": %s, \"%s_id\": \"%s\"," name (value e) name
-          (json_escape e.item_id)
-  in
-  Printf.sprintf
-    "{\"schema_version\": %d, \"total\": %d, \"pass\": %d, \"fail\": %d, \
-     \"error\": %d, \"crash\": %d, \"gave_up\": %d, \"wall_s\": %.6f,%s%s \
-     \"exit_code\": %d,\n\"entries\": [\n%s\n]}"
-    schema_version
-    (List.length r.entries)
-    r.n_pass r.n_fail r.n_error r.n_crash r.n_gave_up r.wall
-    (stat "max_time_s" (slowest r) (fun e -> Printf.sprintf "%.6f" e.time))
-    (stat "peak_candidates" (peak_candidates r) (fun e ->
-         string_of_int e.n_candidates))
-    (exit_code r)
-    (String.concat ",\n" (List.map entry_to_json r.entries))
+let pp_status = Report.pp_status
+let pp_entry = Report.pp_entry
+let pp = Report.pp
+let json_escape = Report.json_escape
+let schema_version = Report.schema_version
+let entry_to_json = Report.entry_to_json
+let to_json = Report.to_json

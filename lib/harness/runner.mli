@@ -2,15 +2,20 @@
     {!Exec.Budget} with every exception caught and classified, so one
     malformed or explosive test cannot take a batch down.
 
+    The result types and their JSON rendering live in {!Report}, the
+    unified versioned schema shared with {!Pool} and {!Journal}; they
+    are re-exported here by equation ([Runner.entry] {e is}
+    [Report.entry]), so existing callers compile unchanged.
+
     Exit-code policy (deterministic): 0 = all pass, 1 = some FAIL
     (verdict mismatch), 2 = some ERROR (parse/lex/type/lint/internal),
     3 = some item gave its budget up and nothing failed or errored,
-    4 = some item crashed its isolated worker ({!Harness.Pool});
+    4 = some item crashed its isolated worker ({!Pool});
     4 beats 2 beats 1 beats 3 in mixed batches. *)
 
-(** {1 Error taxonomy} *)
+(** {1 Error taxonomy (re-exported from {!Report})} *)
 
-type error_class =
+type error_class = Report.error_class =
   | Parse
   | Lex
   | Type
@@ -19,11 +24,11 @@ type error_class =
   | Internal
   | Crash of int
       (** worker died on this signal; produced only under process
-          isolation ({!Harness.Pool}) *)
+          isolation ({!Pool}) *)
 
 val class_to_string : error_class -> string
 
-type error_info = {
+type error_info = Report.error_info = {
   cls : error_class;
   msg : string;
   line : int option;  (** source position, when the error carries one *)
@@ -49,13 +54,13 @@ type item = {
   expected : Exec.Check.verdict option;  (** golden verdict, if any *)
 }
 
-type status =
+type status = Report.status =
   | Pass of Exec.Check.verdict
   | Fail of { expected : Exec.Check.verdict; got : Exec.Check.verdict }
   | Gave_up of Exec.Budget.reason  (** budget exceeded: partial result *)
   | Err of error_info
 
-type entry = {
+type entry = Report.entry = {
   item_id : string;
   status : status;
   time : float;  (** wall-clock seconds for this item *)
@@ -65,11 +70,11 @@ type entry = {
       (** the full check result when one was produced (Pass/Fail) *)
 }
 
-type report = {
+type report = Report.t = {
   entries : entry list;
   n_pass : int;
-  n_fail : int;
-  n_error : int;  (** [Err] entries other than crashes *)
+  n_fail : int;  (** [Err] entries other than crashes follow *)
+  n_error : int;
   n_crash : int;  (** [Err] entries whose class is [Crash] *)
   n_gave_up : int;
   wall : float;
@@ -95,7 +100,9 @@ val read_file : string -> string
     inside the fault barrier.  Never raises.  [limits] defaults to
     {!Exec.Budget.default}; pass {!Exec.Budget.unlimited} to disable
     budgeting (exceptions are still caught).  [lint] defaults to [true]:
-    lint errors become [Err {cls = Lint; _}] entries. *)
+    lint errors become [Err {cls = Lint; _}] entries.  When the
+    observability collector is on, the item runs inside an "item" span
+    with "parse" and "lint" children (checking opens its own spans). *)
 val run_item :
   ?limits:Exec.Budget.limits -> ?lint:bool -> model:model_factory -> item -> entry
 
@@ -108,24 +115,15 @@ val run :
   item list ->
   report
 
-(** Re-count the batch summary from a list of entries (used when entries
-    are assembled out of band, e.g. journal resume). *)
+(** Aliases for the {!Report} functions, kept under their historical
+    names. *)
+
 val summarise : wall:float -> entry list -> report
-
-(** The deterministic exit-code policy (see the module header). *)
 val exit_code : report -> int
-
 val pp_status : status Fmt.t
 val pp_entry : entry Fmt.t
 val pp : report Fmt.t
-
-(** Version stamped into JSON reports and journal lines. *)
 val schema_version : int
-
-(** JSON string escaping shared by the report and journal writers. *)
 val json_escape : string -> string
-
 val entry_to_json : entry -> string
-
-(** The report as a JSON document (stable field names; see README). *)
 val to_json : report -> string

@@ -1,0 +1,74 @@
+(** Automatic failure shrinking: a deterministic ddmin-style greedy
+    minimiser over a litmus test's threads, instructions, final
+    condition and init assignments.  Given a failing {!Report.entry}
+    and an oracle that re-checks a candidate reduction, it produces the
+    smallest test still tripping the same classified failure
+    ({!fingerprint}); crash oracles re-check in an isolated {!Pool}
+    worker so a segfaulting reproduction cannot take the shrinker
+    down. *)
+
+(** {1 Structural size and reductions} *)
+
+(** Structural size of a test (threads + instructions + condition
+    atoms + inits): what the greedy loop minimises. *)
+val size : Litmus.Ast.t -> int
+
+(** [drop_thread t i] — remove thread [i]; condition atoms observing it
+    become trivially true so the oracle still parses. *)
+val drop_thread : Litmus.Ast.t -> int -> Litmus.Ast.t
+
+(** Every candidate one-step reduction of a test, largest strides
+    first. *)
+val candidates : Litmus.Ast.t -> Litmus.Ast.t list
+
+(** {1 The greedy loop} *)
+
+type outcome = {
+  reduced : Litmus.Ast.t;
+  steps : int;  (** accepted reductions *)
+  oracle_runs : int;  (** total oracle invocations *)
+  initial_size : int;
+  final_size : int;
+}
+
+(** [minimise ~oracle t] — greedily apply the first reduction the
+    oracle still accepts, to a fixed point.  [t] itself is assumed to
+    trip.  [max_steps] bounds accepted reductions as a runaway
+    backstop (default 10000). *)
+val minimise :
+  ?max_steps:int -> oracle:(Litmus.Ast.t -> bool) -> Litmus.Ast.t -> outcome
+
+(** {1 Oracles} *)
+
+(** A coarse fingerprint of an entry's classified outcome (status,
+    verdicts, budget-reason kind, crash signal): what a reduction must
+    preserve. *)
+val fingerprint : Report.entry -> string
+
+(** One isolated check: a single-item {!Pool} run (own process,
+    watchdog, heap cap), returning that item's entry.  The [check] to
+    build oracles from when the failure can kill its process. *)
+val isolated_check :
+  ?config:Pool.config ->
+  ?worker:(Runner.item -> Report.entry) ->
+  ?model:Runner.model_factory ->
+  ?expected:Exec.Check.verdict ->
+  Litmus.Ast.t ->
+  Report.entry
+
+(** [entry_oracle ~check base] — the canonical oracle: [t'] trips iff
+    its entry carries the same fingerprint as the original failure. *)
+val entry_oracle :
+  check:(Litmus.Ast.t -> Report.entry) -> Report.entry -> Litmus.Ast.t -> bool
+
+(** End-to-end: the minimal reproducer still tripping the same
+    fingerprint as the given failing entry. *)
+val shrink_entry :
+  ?max_steps:int ->
+  check:(Litmus.Ast.t -> Report.entry) ->
+  Report.entry ->
+  Litmus.Ast.t ->
+  outcome
+
+(** Atomic (temp + rename) write of a reproducer [.litmus] file. *)
+val write_reproducer : string -> Litmus.Ast.t -> unit

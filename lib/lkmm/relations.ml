@@ -13,6 +13,10 @@
 
 module Iset = Rel.Iset
 
+let c_fixpoint = Obs.Counter.make "lkmm.fixpoint_iters"
+let c_cache_hits = Obs.Counter.make "lkmm.cache.hits"
+let c_cache_misses = Obs.Counter.make "lkmm.cache.misses"
+
 type static_ctx = {
   acq_id : Rel.t; (* identity over read-acquires *)
   rel_id : Rel.t; (* identity over write-releases *)
@@ -170,6 +174,7 @@ let make ?static (x : Exec.t) =
         ]
     in
     let rec go p =
+      Obs.Counter.incr c_fixpoint;
       let next = step p in
       if Rel.equal next p then p else go next
     in
@@ -218,8 +223,11 @@ let static_cache : (Exec.Event.t array * static_ctx) option ref = ref None
 let make_cached (x : Exec.t) =
   let s =
     match !static_cache with
-    | Some (ev, s) when ev == x.events -> s
+    | Some (ev, s) when ev == x.events ->
+        Obs.Counter.incr c_cache_hits;
+        s
     | _ ->
+        Obs.Counter.incr c_cache_misses;
         let s = static_of x in
         static_cache := Some (x.events, s);
         s

@@ -1,0 +1,479 @@
+(* Pipeline observability: tracing spans, counters and histograms behind
+   a single process-global collector (observability layer).
+
+   The design constraints, in order:
+
+   1. *Zero cost when disabled.*  Every instrumentation point in the hot
+      paths (enumeration, prefilter, model evaluation, the bitset
+      kernel) guards on one global boolean; a disabled probe is a load
+      and a branch, nothing is allocated and the clock is never read.
+
+   2. *Bounded memory when enabled.*  Spans land in a fixed-capacity
+      ring buffer: a pathological test that opens millions of spans
+      overwrites its own oldest spans instead of exhausting the heap,
+      and the number dropped is reported.  Counters and histograms are
+      O(#distinct names).
+
+   3. *Fork-transparent.*  {!Harness.Pool} checks each test in a forked
+      worker; a worker resets the (inherited) collector, records into
+      its own copy, and ships a {!dump} back over the existing result
+      pipe, which the parent {!merge}s — remapping span ids and tagging
+      the worker's spans with its pid — so a [-j N] run produces one
+      coherent trace.
+
+   Timestamps come from one clamped clock ({!now_us}): microseconds
+   since collector creation, never decreasing even if the wall clock
+   steps backwards, so spans are well-nested by construction.  Exports:
+   JSONL (one self-describing line per span / counter / histogram, the
+   format {!tools/obs_report} consumes) and the Chrome trace-event
+   format, loadable directly in chrome://tracing or Perfetto. *)
+
+(* ------------------------------------------------------------------ *)
+(* The enable switch                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let on = ref false
+let enabled () = !on
+let set_enabled b = on := b
+
+(* ------------------------------------------------------------------ *)
+(* The clock                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Microseconds since the collector epoch (process start), clamped to be
+   non-decreasing: a wall-clock step backwards cannot produce a span
+   that ends before it starts.  Forked children inherit the epoch, so
+   merged parent/worker timelines share one time base. *)
+let epoch = Unix.gettimeofday ()
+let last = ref 0.
+
+let now_us () =
+  let t = (Unix.gettimeofday () -. epoch) *. 1e6 in
+  if t > !last then last := t;
+  !last
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type span = {
+  id : int;
+  parent : int; (* id of the enclosing span; -1 = top level *)
+  mutable tid : int; (* 0 = this process; a worker pid after merge *)
+  name : string; (* phase name: "parse", "enumerate", "model", ... *)
+  item : string; (* test/item id when known, "" otherwise *)
+  start_us : float;
+  mutable dur_us : float; (* -1 while the span is open *)
+}
+
+let default_capacity = 65_536
+
+type collector = {
+  mutable ring : span array; (* slot i holds span number (total - live + i') *)
+  mutable total : int; (* spans ever recorded *)
+  mutable next_id : int;
+  mutable stack : span list; (* open spans, innermost first *)
+}
+
+let dummy =
+  { id = -1; parent = -1; tid = 0; name = ""; item = ""; start_us = 0.;
+    dur_us = 0. }
+
+let c = { ring = [||]; total = 0; next_id = 0; stack = [] }
+
+let capacity () =
+  if Array.length c.ring = 0 then c.ring <- Array.make default_capacity dummy;
+  Array.length c.ring
+
+let push_span s =
+  let cap = capacity () in
+  c.ring.(c.total mod cap) <- s;
+  c.total <- c.total + 1
+
+let dropped () = max 0 (c.total - Array.length c.ring)
+
+(* Recorded spans, oldest first (closed or not). *)
+let spans () =
+  let cap = Array.length c.ring in
+  let live = min c.total cap in
+  List.init live (fun i -> c.ring.((c.total - live + i) mod cap))
+
+let fresh_id () =
+  let id = c.next_id in
+  c.next_id <- id + 1;
+  id
+
+let enter ?(item = "") name =
+  let parent = match c.stack with s :: _ -> s.id | [] -> -1 in
+  let s =
+    { id = fresh_id (); parent; tid = 0; name; item;
+      start_us = now_us (); dur_us = -1. }
+  in
+  push_span s;
+  c.stack <- s :: c.stack;
+  s
+
+let exit_span s =
+  s.dur_us <- now_us () -. s.start_us;
+  (* tolerate a mismatched exit (an exception path that skipped a pop):
+     pop down to and including [s] if it is on the stack at all *)
+  let rec pop = function
+    | x :: rest when x == s -> rest
+    | _ :: rest -> pop rest
+    | [] -> []
+  in
+  if List.exists (fun x -> x == s) c.stack then c.stack <- pop c.stack
+
+let with_span ?item name f =
+  if not !on then f ()
+  else begin
+    let s = enter ?item name in
+    Fun.protect ~finally:(fun () -> exit_span s) f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Counter = struct
+  type t = { name : string; mutable v : int }
+
+  (* The registry survives {!reset} (values are zeroed in place), so
+     module-level [make] bindings in instrumented code stay valid for
+     the whole process lifetime. *)
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { name; v = 0 } in
+        Hashtbl.add registry name c;
+        c
+
+  let add c n = if !on then c.v <- c.v + n
+  let incr c = add c 1
+  let value c = c.v
+  let name c = c.name
+end
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Histogram = struct
+  (* log2 buckets over microseconds: bucket i counts observations in
+     [2^i, 2^(i+1)) us, bucket 0 also takes everything below 1 us. *)
+  let n_buckets = 32
+
+  type t = {
+    name : string;
+    mutable count : int;
+    mutable sum : float;
+    mutable min_v : float;
+    mutable max_v : float;
+    buckets : int array;
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some h -> h
+    | None ->
+        let h =
+          { name; count = 0; sum = 0.; min_v = infinity; max_v = neg_infinity;
+            buckets = Array.make n_buckets 0 }
+        in
+        Hashtbl.add registry name h;
+        h
+
+  let bucket_of v =
+    if v < 1. then 0
+    else min (n_buckets - 1) (int_of_float (Float.log2 v))
+
+  let observe h v =
+    if !on then begin
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      if v < h.min_v then h.min_v <- v;
+      if v > h.max_v then h.max_v <- v;
+      let b = bucket_of v in
+      h.buckets.(b) <- h.buckets.(b) + 1
+    end
+
+  let count h = h.count
+  let sum h = h.sum
+  let name h = h.name
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reset, dump, merge (the fork boundary)                              *)
+(* ------------------------------------------------------------------ *)
+
+let counters () =
+  Hashtbl.fold
+    (fun name (ct : Counter.t) acc ->
+      if ct.Counter.v <> 0 then (name, ct.Counter.v) :: acc else acc)
+    Counter.registry []
+  |> List.sort compare
+
+type hist_summary = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : int array;
+}
+
+let histograms () =
+  Hashtbl.fold
+    (fun name (h : Histogram.t) acc ->
+      if h.Histogram.count > 0 then
+        ( name,
+          { h_count = h.Histogram.count; h_sum = h.Histogram.sum;
+            h_min = h.Histogram.min_v; h_max = h.Histogram.max_v;
+            h_buckets = Array.copy h.Histogram.buckets } )
+        :: acc
+      else acc)
+    Histogram.registry []
+  |> List.sort compare
+
+let reset () =
+  c.ring <- [||];
+  c.total <- 0;
+  c.next_id <- 0;
+  c.stack <- [];
+  Hashtbl.iter (fun _ (ct : Counter.t) -> ct.Counter.v <- 0) Counter.registry;
+  Hashtbl.iter
+    (fun _ (h : Histogram.t) ->
+      h.Histogram.count <- 0;
+      h.Histogram.sum <- 0.;
+      h.Histogram.min_v <- infinity;
+      h.Histogram.max_v <- neg_infinity;
+      Array.fill h.Histogram.buckets 0 Histogram.n_buckets 0)
+    Histogram.registry
+
+(* A dump is a self-contained marshalable snapshot: plain records,
+   strings, floats and int arrays only, so it crosses the pool's
+   [Marshal] pipe unchanged. *)
+type dump = {
+  d_spans : span list; (* oldest first; open spans closed at dump time *)
+  d_dropped : int;
+  d_counters : (string * int) list;
+  d_hists : (string * hist_summary) list;
+}
+
+let dump () =
+  let now = now_us () in
+  let close s =
+    if s.dur_us < 0. then { s with dur_us = now -. s.start_us } else s
+  in
+  {
+    d_spans = List.map close (spans ());
+    d_dropped = dropped ();
+    d_counters = counters ();
+    d_hists = histograms ();
+  }
+
+let empty_dump =
+  { d_spans = []; d_dropped = 0; d_counters = []; d_hists = [] }
+
+(* Fold a worker's dump into this collector.  Span ids are remapped to
+   fresh local ids (parent links follow; a parent lost to the worker's
+   own ring wrap becomes -1), and every span is tagged with [~tid] so
+   traces distinguish workers.  Counters and histograms add up. *)
+let merge ?(tid = 0) (d : dump) =
+  let remap = Hashtbl.create 64 in
+  List.iter
+    (fun (s : span) ->
+      let id = fresh_id () in
+      Hashtbl.replace remap s.id id;
+      let parent =
+        match Hashtbl.find_opt remap s.parent with Some p -> p | None -> -1
+      in
+      push_span { s with id; parent; tid })
+    d.d_spans;
+  c.total <- c.total + d.d_dropped (* dropped spans stay counted *);
+  List.iter
+    (fun (name, v) ->
+      let ct = Counter.make name in
+      ct.Counter.v <- ct.Counter.v + v)
+    d.d_counters;
+  List.iter
+    (fun (name, hs) ->
+      let h = Histogram.make name in
+      h.Histogram.count <- h.Histogram.count + hs.h_count;
+      h.Histogram.sum <- h.Histogram.sum +. hs.h_sum;
+      if hs.h_min < h.Histogram.min_v then h.Histogram.min_v <- hs.h_min;
+      if hs.h_max > h.Histogram.max_v then h.Histogram.max_v <- hs.h_max;
+      Array.iteri
+        (fun i n -> h.Histogram.buckets.(i) <- h.Histogram.buckets.(i) + n)
+        hs.h_buckets)
+    d.d_hists
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Obs is beneath every other library in the tree, so it carries its own
+   (tiny) JSON string escaper rather than borrowing the harness's. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | ch when Char.code ch < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.contents buf
+
+let span_fields (s : span) =
+  Printf.sprintf
+    "\"id\": %d, \"parent\": %d, \"tid\": %d, \"name\": \"%s\", \"item\": \
+     \"%s\", \"start_us\": %.1f, \"dur_us\": %.1f"
+    s.id s.parent s.tid (json_escape s.name) (json_escape s.item) s.start_us
+    (max 0. s.dur_us)
+
+let hist_json (name, h) =
+  let buckets =
+    Array.to_list h.h_buckets |> List.map string_of_int |> String.concat ", "
+  in
+  Printf.sprintf
+    "{\"type\": \"hist\", \"name\": \"%s\", \"count\": %d, \"sum_us\": %.1f, \
+     \"min_us\": %.2f, \"max_us\": %.2f, \"buckets\": [%s]}"
+    (json_escape name) h.h_count h.h_sum h.h_min h.h_max buckets
+
+(* The JSONL export: a meta line, then one line per span (oldest first),
+   counter and histogram.  Every line is a complete JSON object with a
+   "type" discriminator, so consumers can stream and skip. *)
+let to_jsonl () =
+  let d = dump () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"type\": \"meta\", \"schema\": \"obs-1\", \"pid\": %d, \"spans\": \
+        %d, \"dropped\": %d}\n"
+       (Unix.getpid ()) (List.length d.d_spans) d.d_dropped);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"type\": \"span\", %s}\n" (span_fields s)))
+    d.d_spans;
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"type\": \"counter\", \"name\": \"%s\", \"value\": %d}\n"
+           (json_escape name) v))
+    d.d_counters;
+  List.iter
+    (fun h ->
+      Buffer.add_string buf (hist_json h);
+      Buffer.add_char buf '\n')
+    d.d_hists;
+  Buffer.contents buf
+
+(* The Chrome trace-event export: complete ("ph":"X") events carrying
+   ts/dur in microseconds; counters become "ph":"C" counter samples at
+   the end of the timeline.  Loads directly in chrome://tracing and
+   Perfetto. *)
+let to_chrome () =
+  let d = dump () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\": [\n";
+  let first = ref true in
+  let emit line =
+    if not !first then Buffer.add_string buf ",\n";
+    first := false;
+    Buffer.add_string buf line
+  in
+  List.iter
+    (fun (s : span) ->
+      emit
+        (Printf.sprintf
+           "{\"name\": \"%s\", \"cat\": \"obs\", \"ph\": \"X\", \"ts\": \
+            %.1f, \"dur\": %.1f, \"pid\": %d, \"tid\": %d, \"args\": \
+            {\"item\": \"%s\", \"id\": %d, \"parent\": %d}}"
+           (json_escape s.name) s.start_us (max 0. s.dur_us) (Unix.getpid ())
+           s.tid (json_escape s.item) s.id s.parent))
+    d.d_spans;
+  let ts = now_us () in
+  List.iter
+    (fun (name, v) ->
+      emit
+        (Printf.sprintf
+           "{\"name\": \"%s\", \"cat\": \"obs\", \"ph\": \"C\", \"ts\": \
+            %.1f, \"pid\": %d, \"args\": {\"value\": %d}}"
+           (json_escape name) ts (Unix.getpid ()) v))
+    d.d_counters;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"schema\": \
+        \"obs-1\", \"dropped\": %d}}\n"
+       d.d_dropped);
+  Buffer.contents buf
+
+(* Atomic writes (temp + rename): a killed run cannot leave a torn
+   trace file, matching the tree's journal and generator conventions. *)
+let write_file path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content);
+  Sys.rename tmp path
+
+let write_jsonl path = write_file path (to_jsonl ())
+let write_chrome path = write_file path (to_chrome ())
+
+(* Aggregate per-span-name totals, for embedding in runner reports. *)
+let span_totals () =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (s : span) ->
+      if s.dur_us >= 0. then begin
+        let n, t =
+          match Hashtbl.find_opt tbl s.name with
+          | Some (n, t) -> (n, t)
+          | None -> (0, 0.)
+        in
+        Hashtbl.replace tbl s.name (n + 1, t +. s.dur_us)
+      end)
+    (spans ());
+  Hashtbl.fold (fun name nt acc -> (name, nt) :: acc) tbl []
+  |> List.sort compare
+
+(* The report-embedded metrics object: counters, per-phase span totals
+   and histogram summaries as one JSON value (no trailing newline). *)
+let summary_json () =
+  let counters =
+    counters ()
+    |> List.map (fun (n, v) -> Printf.sprintf "\"%s\": %d" (json_escape n) v)
+    |> String.concat ", "
+  in
+  let spans_j =
+    span_totals ()
+    |> List.map (fun (n, (count, total)) ->
+           Printf.sprintf "\"%s\": {\"count\": %d, \"total_us\": %.1f}"
+             (json_escape n) count total)
+    |> String.concat ", "
+  in
+  let hists =
+    histograms ()
+    |> List.map (fun (n, h) ->
+           Printf.sprintf
+             "\"%s\": {\"count\": %d, \"sum_us\": %.1f, \"max_us\": %.2f}"
+             (json_escape n) h.h_count h.h_sum h.h_max)
+    |> String.concat ", "
+  in
+  Printf.sprintf
+    "{\"counters\": {%s}, \"spans\": {%s}, \"histograms\": {%s}, \
+     \"dropped_spans\": %d}"
+    counters spans_j hists (dropped ())

@@ -1,0 +1,133 @@
+(** Pipeline observability: spans, counters, histograms.
+
+    One process-global collector, off by default.  Instrumentation
+    points throughout the tree guard on {!enabled}; when the collector
+    is off a probe is a load and a branch — no allocation, no clock
+    read.  When on, spans land in a fixed-capacity ring buffer (old
+    spans are overwritten, the drop count is reported) and counters and
+    histograms accumulate in name-keyed registries that survive
+    {!reset}, so [make] at module level is safe.
+
+    The fork boundary: {!Harness.Pool} workers call {!reset} after
+    [fork], record into their own copy of the collector, and return a
+    {!dump} over the result pipe; the parent {!merge}s each dump,
+    remapping span ids and tagging spans with the worker pid. *)
+
+(** {1 Enable switch} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** {1 Clock} *)
+
+val now_us : unit -> float
+(** Microseconds since collector creation; clamped non-decreasing. *)
+
+(** {1 Spans} *)
+
+type span = private {
+  id : int;
+  parent : int;  (** id of the enclosing span, [-1] at top level *)
+  mutable tid : int;  (** [0] = this process; worker pid after {!merge} *)
+  name : string;
+  item : string;  (** test/item id when known, [""] otherwise *)
+  start_us : float;
+  mutable dur_us : float;  (** [-1.] while the span is open *)
+}
+
+val with_span : ?item:string -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span named [name], nested
+    under the innermost open span.  Exception-safe; calls [f] directly
+    when the collector is disabled. *)
+
+val spans : unit -> span list
+(** Recorded spans, oldest first (open spans have [dur_us = -1.]). *)
+
+val dropped : unit -> int
+(** Spans lost to ring-buffer overwrite since the last {!reset}. *)
+
+(** {1 Counters} *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Find-or-create; idempotent per name, survives {!reset}. *)
+
+  val add : t -> int -> unit
+  val incr : t -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+(** {1 Histograms} *)
+
+module Histogram : sig
+  type t
+
+  val make : string -> t
+  (** Find-or-create; idempotent per name, survives {!reset}. *)
+
+  val observe : t -> float -> unit
+  (** Record one observation (microseconds by convention: log2-µs
+      buckets plus count/sum/min/max). *)
+
+  val count : t -> int
+  val sum : t -> float
+  val name : t -> string
+end
+
+(** {1 Snapshot, reset, fork-boundary merge} *)
+
+val counters : unit -> (string * int) list
+(** Non-zero counters, sorted by name. *)
+
+type hist_summary = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : int array;
+}
+
+val histograms : unit -> (string * hist_summary) list
+(** Non-empty histograms, sorted by name. *)
+
+val reset : unit -> unit
+(** Clear spans and zero all counters/histograms in place (registered
+    handles stay valid).  Pool workers call this right after [fork]. *)
+
+type dump
+(** Marshal-safe snapshot of the collector (spans, drop count,
+    counters, histograms); open spans are closed at dump time. *)
+
+val dump : unit -> dump
+val empty_dump : dump
+
+val merge : ?tid:int -> dump -> unit
+(** Fold a dump into this collector: span ids are remapped to fresh
+    local ids (parents follow), spans are tagged with [tid], counters
+    and histogram cells add up. *)
+
+(** {1 Export} *)
+
+val to_jsonl : unit -> string
+(** One JSON object per line: a [meta] line, then [span], [counter] and
+    [hist] lines (a ["type"] field discriminates). *)
+
+val to_chrome : unit -> string
+(** Chrome trace-event JSON ([ph:"X"] complete events, counters as
+    [ph:"C"]); loads in chrome://tracing and Perfetto. *)
+
+val write_jsonl : string -> unit
+(** Atomic (temp + rename) write of {!to_jsonl}. *)
+
+val write_chrome : string -> unit
+(** Atomic (temp + rename) write of {!to_chrome}. *)
+
+val span_totals : unit -> (string * (int * float)) list
+(** Per-span-name [(count, total_us)] aggregates, sorted by name. *)
+
+val summary_json : unit -> string
+(** One JSON object — counters, per-phase span totals, histogram
+    summaries, drop count — for embedding in runner reports. *)

@@ -21,6 +21,11 @@ module Reference = Rel_ref
 
 let bpw = 63 (* usable bits in an OCaml int *)
 
+(* Words touched by the word-parallel ops, at op granularity: map2 ops
+   charge the result array, composition/closure/acyclicity charge one
+   row per row OR-ed or visited.  Self-guarded: free when Obs is off. *)
+let words_touched = Obs.Counter.make "rel.words"
+
 type t = {
   n : int; (* row capacity: both endpoints of every pair are < n *)
   w : int; (* words per row: (n + bpw - 1) / bpw *)
@@ -149,6 +154,7 @@ let subset t1 t2 =
 
 let map2_words op t1 t2 =
   let t1, t2 = align t1 t2 in
+  Obs.Counter.add words_touched (Array.length t1.bits);
   { t1 with bits = Array.init (Array.length t1.bits) (fun i -> op t1.bits.(i) t2.bits.(i)) }
 
 let union = map2_words ( lor )
@@ -217,6 +223,7 @@ let seq t1 t2 =
     let base = i * w in
     iter_row
       (fun j ->
+        Obs.Counter.add words_touched w;
         let jbase = j * w in
         for k = 0 to w - 1 do
           bits.(base + k) <- bits.(base + k) lor t2.bits.(jbase + k)
@@ -277,10 +284,12 @@ let transitive_closure t =
     let kbase = k * w in
     for i = 0 to n - 1 do
       let ibase = i * w in
-      if bits.(ibase + kw) land kb <> 0 then
+      if bits.(ibase + kw) land kb <> 0 then begin
+        Obs.Counter.add words_touched w;
         for m = 0 to w - 1 do
           bits.(ibase + m) <- bits.(ibase + m) lor bits.(kbase + m)
         done
+      end
     done
   done;
   { t with bits }
@@ -304,6 +313,7 @@ let is_acyclic t =
   (* 0 white, 1 on stack, 2 done *)
   let rec visit i =
     color.(i) <- 1;
+    Obs.Counter.add words_touched t.w;
     iter_row
       (fun j ->
         match color.(j) with

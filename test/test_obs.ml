@@ -1,0 +1,319 @@
+(* Tests for the observability layer: collector semantics (nesting,
+   exception safety, ring overflow, fork-style merge), the structural
+   golden shape of the JSONL and Chrome exports on a fixed battery
+   test (spans well-nested, counters agreeing with the check result),
+   and a -j 2 pool run merging every worker's spans into the parent
+   collector. *)
+
+let with_collector f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Collector semantics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_nesting () =
+  with_collector @@ fun () ->
+  let r =
+    Obs.with_span "outer" (fun () ->
+        Obs.with_span ~item:"t" "inner" (fun () -> 7))
+  in
+  Alcotest.(check int) "result threaded through" 7 r;
+  match Obs.spans () with
+  | [ outer; inner ] ->
+      Alcotest.(check string) "outer name" "outer" outer.Obs.name;
+      Alcotest.(check string) "inner name" "inner" inner.Obs.name;
+      Alcotest.(check int) "inner parent is outer" outer.Obs.id
+        inner.Obs.parent;
+      Alcotest.(check int) "outer is a root" (-1) outer.Obs.parent;
+      Alcotest.(check bool) "inner starts after outer" true
+        (inner.Obs.start_us >= outer.Obs.start_us);
+      Alcotest.(check bool) "inner ends before outer" true
+        (inner.Obs.start_us +. inner.Obs.dur_us
+        <= outer.Obs.start_us +. outer.Obs.dur_us +. 1e-6)
+  | spans ->
+      Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_exception_safety () =
+  with_collector @@ fun () ->
+  (try Obs.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  match Obs.spans () with
+  | [ s ] ->
+      Alcotest.(check string) "span closed" "boom" s.Obs.name;
+      Alcotest.(check bool) "duration recorded" true (s.Obs.dur_us >= 0.);
+      (* the open-span stack must be back to empty: a sibling recorded
+         after the exception is a root, not a child of "boom" *)
+      Obs.with_span "after" (fun () -> ());
+      let after = List.nth (Obs.spans ()) 1 in
+      Alcotest.(check int) "stack unwound" (-1) after.Obs.parent
+  | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans)
+
+let test_disabled_noop () =
+  Obs.reset ();
+  Obs.set_enabled false;
+  let c = Obs.Counter.make "test.disabled" in
+  Obs.Counter.add c 5;
+  let r = Obs.with_span "off" (fun () -> 3) in
+  Alcotest.(check int) "function still runs" 3 r;
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Obs.spans ()));
+  Alcotest.(check int) "counter untouched" 0 (Obs.Counter.value c)
+
+let test_ring_overflow () =
+  with_collector @@ fun () ->
+  let n = 65536 + 100 in
+  for _ = 1 to n do
+    Obs.with_span "tick" (fun () -> ())
+  done;
+  Alcotest.(check int) "ring keeps capacity" 65536
+    (List.length (Obs.spans ()));
+  Alcotest.(check int) "overflow counted" 100 (Obs.dropped ())
+
+let test_merge () =
+  with_collector @@ fun () ->
+  (* a "worker": records one span and a counter, then dumps *)
+  Obs.with_span "work" (fun () -> Obs.Counter.incr (Obs.Counter.make "m.c"));
+  let d = Obs.dump () in
+  Obs.reset ();
+  Obs.with_span "parent" (fun () -> ());
+  Obs.merge ~tid:41 d;
+  Obs.merge ~tid:42 d;
+  let spans = Obs.spans () in
+  Alcotest.(check int) "parent + two merged copies" 3 (List.length spans);
+  let tids =
+    List.filter_map
+      (fun s -> if s.Obs.name = "work" then Some s.Obs.tid else None)
+      spans
+  in
+  Alcotest.(check (list int)) "merged spans keep worker tids" [ 41; 42 ]
+    (List.sort compare tids);
+  Alcotest.(check int) "counters summed" 2
+    (Obs.Counter.value (Obs.Counter.make "m.c"))
+
+(* ------------------------------------------------------------------ *)
+(* Structural golden test on a fixed battery test                      *)
+(* ------------------------------------------------------------------ *)
+
+module J = Harness.Journal.Json
+
+let sfield j k = Option.bind (J.mem k j) J.str
+let nfield j k = Option.bind (J.mem k j) J.num
+
+let run_fixed () =
+  let e = Harness.Battery.find "MP+wmb+rmb" in
+  let report =
+    Harness.Runner.run
+      ~model:(Harness.Runner.static_model (module Lkmm))
+      [
+        {
+          Harness.Runner.id = e.Harness.Battery.name;
+          source = `Text e.Harness.Battery.source;
+          expected = None;
+        };
+      ]
+  in
+  List.hd report.Harness.Runner.entries
+
+let test_counters_match_result () =
+  with_collector @@ fun () ->
+  let entry = run_fixed () in
+  let r = Option.get entry.Harness.Runner.result in
+  let counter name =
+    match List.assoc_opt name (Obs.counters ()) with Some v -> v | None -> 0
+  in
+  Alcotest.(check int) "check.candidates = n_candidates"
+    r.Exec.Check.n_candidates
+    (counter "check.candidates");
+  Alcotest.(check int) "check.prefiltered = n_prefiltered"
+    r.Exec.Check.n_prefiltered
+    (counter "check.prefiltered");
+  Alcotest.(check int) "check.consistent = n_consistent"
+    r.Exec.Check.n_consistent
+    (counter "check.consistent");
+  Alcotest.(check bool) "relation kernel touched words" true
+    (counter "rel.words" > 0)
+
+let test_spans_well_nested () =
+  with_collector @@ fun () ->
+  ignore (run_fixed ());
+  let spans = Obs.spans () in
+  let by_id = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace by_id s.Obs.id s) spans;
+  let names = List.map (fun s -> s.Obs.name) spans in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "span %s present" expected)
+        true (List.mem expected names))
+    [ "item"; "parse"; "lint"; "check"; "enumerate"; "sem" ];
+  List.iter
+    (fun s ->
+      if s.Obs.parent >= 0 then
+        match Hashtbl.find_opt by_id s.Obs.parent with
+        | None -> Alcotest.failf "span %s has a dangling parent" s.Obs.name
+        | Some p ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s nested in %s" s.Obs.name p.Obs.name)
+              true
+              (s.Obs.start_us >= p.Obs.start_us -. 1e-6
+              && s.Obs.start_us +. s.Obs.dur_us
+                 <= p.Obs.start_us +. p.Obs.dur_us +. 1e-6))
+    spans
+
+let test_jsonl_shape () =
+  with_collector @@ fun () ->
+  ignore (run_fixed ());
+  let lines =
+    Obs.to_jsonl () |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  Alcotest.(check bool) "several lines" true (List.length lines > 5);
+  let parsed = List.map J.of_string lines in
+  (* every line is typed; the first is the meta line *)
+  List.iter
+    (fun j ->
+      match sfield j "type" with
+      | Some ("meta" | "span" | "counter" | "hist") -> ()
+      | t ->
+          Alcotest.failf "bad line type %s"
+            (Option.value ~default:"<none>" t))
+    parsed;
+  (match parsed with
+  | meta :: _ ->
+      Alcotest.(check (option string)) "schema tag" (Some "obs-1")
+        (sfield meta "schema")
+  | [] -> Alcotest.fail "no meta line");
+  (* the candidate counter round-trips through the JSONL *)
+  let candidates =
+    List.find_map
+      (fun j ->
+        if
+          sfield j "type" = Some "counter"
+          && sfield j "name" = Some "check.candidates"
+        then nfield j "value"
+        else None)
+      parsed
+  in
+  Alcotest.(check bool) "candidates counter exported" true
+    (match candidates with Some v -> v > 0. | None -> false)
+
+let test_chrome_shape () =
+  with_collector @@ fun () ->
+  ignore (run_fixed ());
+  let doc = J.of_string (Obs.to_chrome ()) in
+  let events =
+    match J.mem "traceEvents" doc with
+    | Some (J.Arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check bool) "events present" true (events <> []);
+  List.iter
+    (fun ev ->
+      (match sfield ev "ph" with
+      | Some ("X" | "C") -> ()
+      | ph ->
+          Alcotest.failf "bad phase %s" (Option.value ~default:"<none>" ph));
+      Alcotest.(check bool) "name present" true (sfield ev "name" <> None);
+      Alcotest.(check bool) "ts present" true (nfield ev "ts" <> None))
+    events
+
+(* ------------------------------------------------------------------ *)
+(* Fork-boundary aggregation through the pool                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_merges_workers () =
+  with_collector @@ fun () ->
+  let items =
+    List.map
+      (fun name ->
+        let e = Harness.Battery.find name in
+        {
+          Harness.Runner.id = name;
+          source = `Text e.Harness.Battery.source;
+          expected = None;
+        })
+      [ "MP+wmb+rmb"; "SB" ]
+  in
+  let config = { Harness.Pool.default with Harness.Pool.jobs = 2 } in
+  let report =
+    Harness.Pool.run ~config
+      ~model:(Harness.Runner.static_model (module Lkmm))
+      items
+  in
+  Alcotest.(check int) "both items pass" 2 report.Harness.Runner.n_pass;
+  let spans = Obs.spans () in
+  Alcotest.(check bool) "parent pool span present" true
+    (List.exists (fun s -> s.Obs.name = "pool") spans);
+  (* each item ran in its own forked worker; its spans merge back tagged
+     with that worker's pid *)
+  let item_tids =
+    List.filter_map
+      (fun s -> if s.Obs.name = "item" then Some s.Obs.tid else None)
+      spans
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "one worker tid per item" 2 (List.length item_tids);
+  List.iter
+    (fun tid ->
+      Alcotest.(check bool) "worker tid is a pid" true (tid > 0))
+    item_tids;
+  (* worker counters survive the pipe: the merged collector saw every
+     candidate both workers enumerated *)
+  let merged =
+    match List.assoc_opt "check.candidates" (Obs.counters ()) with
+    | Some v -> v
+    | None -> 0
+  in
+  let expected =
+    List.fold_left
+      (fun acc (e : Harness.Runner.entry) ->
+        acc + e.Harness.Runner.n_candidates)
+      0 report.Harness.Runner.entries
+  in
+  Alcotest.(check int) "worker candidate counters merged" expected merged
+
+let test_report_metrics_object () =
+  with_collector @@ fun () ->
+  let entry = run_fixed () in
+  let report =
+    Harness.Report.summarise ~wall:entry.Harness.Runner.time [ entry ]
+  in
+  let doc = J.of_string (Harness.Report.to_json report) in
+  Alcotest.(check (option (float 0.0))) "schema version 2" (Some 2.)
+    (Option.bind (J.mem "schema_version" doc) J.num);
+  match J.mem "metrics" doc with
+  | Some (J.Obj _) -> ()
+  | _ -> Alcotest.fail "metrics object missing from enabled-collector report"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "collector",
+        [
+          Alcotest.test_case "nesting" `Quick test_nesting;
+          Alcotest.test_case "exception safety" `Quick test_exception_safety;
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
+          Alcotest.test_case "merge" `Quick test_merge;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "counters match result" `Quick
+            test_counters_match_result;
+          Alcotest.test_case "spans well-nested" `Quick test_spans_well_nested;
+          Alcotest.test_case "jsonl shape" `Quick test_jsonl_shape;
+          Alcotest.test_case "chrome shape" `Quick test_chrome_shape;
+          Alcotest.test_case "report metrics object" `Quick
+            test_report_metrics_object;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "merges worker collectors" `Quick
+            test_pool_merges_workers;
+        ] );
+    ]

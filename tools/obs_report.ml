@@ -1,0 +1,269 @@
+(* obs_report: offline consumer for the observability outputs.
+
+     obs_report run.jsonl                  # profile tables from --metrics
+     obs_report --validate SCHEMA TRACE    # validate a --trace file
+
+   The profile mode aggregates the JSONL metrics stream (spans,
+   counters, histograms) into a per-phase table (time per span name), a
+   per-test table (time per item) and the counter/histogram totals —
+   the quick answer to "where did the run go" without opening Perfetto.
+
+   The validate mode checks a Chrome trace-event file against a JSON
+   Schema (the subset used by ci/trace.schema.json: type, properties,
+   required, items, enum, minimum, minItems).  CI runs it on a corpus
+   slice so the trace format cannot drift silently.  Exit codes: 0 ok,
+   2 malformed input or schema violation. *)
+
+module J = Harness.Journal.Json
+
+let sfield j k = Option.bind (J.mem k j) J.str
+let nfield j k = Option.bind (J.mem k j) J.num
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* Profile mode                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type phase = { mutable count : int; mutable total : float; mutable max : float }
+
+let profile path =
+  let phases : (string, phase) Hashtbl.t = Hashtbl.create 16 in
+  let items : (string, phase) Hashtbl.t = Hashtbl.create 64 in
+  let counters = ref [] and hists = ref [] in
+  let dropped = ref 0 and n_spans = ref 0 in
+  let bump tbl key dur =
+    let p =
+      match Hashtbl.find_opt tbl key with
+      | Some p -> p
+      | None ->
+          let p = { count = 0; total = 0.; max = 0. } in
+          Hashtbl.replace tbl key p;
+          p
+    in
+    p.count <- p.count + 1;
+    p.total <- p.total +. dur;
+    if dur > p.max then p.max <- dur
+  in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          if String.trim line <> "" then
+            (* a torn final line (killed run) is dropped, like the journal *)
+            match J.of_string line with
+            | exception J.Malformed _ -> ()
+            | j -> (
+                match sfield j "type" with
+                | Some "span" ->
+                    incr n_spans;
+                    let dur =
+                      Option.value ~default:0. (nfield j "dur_us")
+                    in
+                    Option.iter
+                      (fun name -> bump phases name dur)
+                      (sfield j "name");
+                    (* per-test time = the top-level span of each item *)
+                    (match (nfield j "parent", sfield j "item") with
+                    | Some p, Some item when p < 0. && item <> "" ->
+                        bump items item dur
+                    | _ -> ())
+                | Some "counter" -> (
+                    match (sfield j "name", nfield j "value") with
+                    | Some n, Some v -> counters := (n, int_of_float v) :: !counters
+                    | _ -> ())
+                | Some "hist" -> (
+                    match
+                      ( sfield j "name",
+                        nfield j "count",
+                        nfield j "sum_us",
+                        nfield j "max_us" )
+                    with
+                    | Some n, Some c, Some s, Some m ->
+                        hists := (n, int_of_float c, s, m) :: !hists
+                    | _ -> ())
+                | Some "meta" ->
+                    dropped :=
+                      !dropped
+                      + int_of_float (Option.value ~default:0. (nfield j "dropped"))
+                | _ -> ())
+        done
+      with End_of_file -> ());
+  let grand =
+    Hashtbl.fold (fun _ p acc -> acc +. p.total) items 0. |> Float.max 1e-9
+  in
+  let rows tbl =
+    Hashtbl.fold (fun k p acc -> (k, p) :: acc) tbl []
+    |> List.sort (fun (_, a) (_, b) -> compare b.total a.total)
+  in
+  Printf.printf "Per-phase (all spans, %d total%s):\n" !n_spans
+    (if !dropped > 0 then Printf.sprintf ", %d dropped" !dropped else "");
+  Printf.printf "  %-14s %8s %12s %12s %12s\n" "phase" "count" "total_ms"
+    "mean_us" "max_us";
+  List.iter
+    (fun (name, p) ->
+      Printf.printf "  %-14s %8d %12.3f %12.1f %12.1f\n" name p.count
+        (p.total /. 1000.)
+        (p.total /. float_of_int (max 1 p.count))
+        p.max)
+    (rows phases);
+  if Hashtbl.length items > 0 then begin
+    Printf.printf "\nPer-test (top-level spans; top 20 of %d):\n"
+      (Hashtbl.length items);
+    Printf.printf "  %-45s %8s %12s %7s\n" "test" "spans" "total_ms" "share";
+    List.iteri
+      (fun i (name, p) ->
+        if i < 20 then
+          Printf.printf "  %-45s %8d %12.3f %6.1f%%\n" name p.count
+            (p.total /. 1000.)
+            (100. *. p.total /. grand))
+      (rows items)
+  end;
+  if !counters <> [] then begin
+    Printf.printf "\nCounters:\n";
+    List.iter
+      (fun (n, v) -> Printf.printf "  %-28s %12d\n" n v)
+      (List.sort compare !counters)
+  end;
+  if !hists <> [] then begin
+    Printf.printf "\nHistograms:\n";
+    Printf.printf "  %-28s %8s %12s %12s %12s\n" "name" "count" "sum_ms"
+      "mean_us" "max_us";
+    List.iter
+      (fun (n, c, s, m) ->
+        Printf.printf "  %-28s %8d %12.3f %12.1f %12.1f\n" n c (s /. 1000.)
+          (s /. float_of_int (max 1 c))
+          m)
+      (List.sort compare !hists)
+  end;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* Validate mode: the JSON Schema subset CI needs                      *)
+(* ------------------------------------------------------------------ *)
+
+let schema_errors schema doc =
+  let errors = ref [] in
+  let err path msg =
+    if List.length !errors < 20 then
+      errors := Printf.sprintf "%s: %s" path msg :: !errors
+  in
+  let type_name = function
+    | J.Null -> "null"
+    | J.Bool _ -> "boolean"
+    | J.Num _ -> "number"
+    | J.Str _ -> "string"
+    | J.Arr _ -> "array"
+    | J.Obj _ -> "object"
+  in
+  let type_ok v = function
+    | "null" -> v = J.Null
+    | "boolean" -> ( match v with J.Bool _ -> true | _ -> false)
+    | "number" -> ( match v with J.Num _ -> true | _ -> false)
+    | "integer" -> (
+        match v with J.Num f -> Float.is_integer f | _ -> false)
+    | "string" -> ( match v with J.Str _ -> true | _ -> false)
+    | "array" -> ( match v with J.Arr _ -> true | _ -> false)
+    | "object" -> ( match v with J.Obj _ -> true | _ -> false)
+    | _ -> true (* unknown type names pass: forward compatibility *)
+  in
+  let rec check path (schema : J.t) (v : J.t) =
+    match schema with
+    | J.Obj fields ->
+        List.iter
+          (fun (kw, sv) ->
+            match (kw, sv) with
+            | "type", J.Str t ->
+                if not (type_ok v t) then
+                  err path
+                    (Printf.sprintf "expected %s, got %s" t (type_name v))
+            | "type", J.Arr ts ->
+                if
+                  not
+                    (List.exists
+                       (function J.Str t -> type_ok v t | _ -> false)
+                       ts)
+                then err path ("unexpected type " ^ type_name v)
+            | "required", J.Arr names -> (
+                match v with
+                | J.Obj props ->
+                    List.iter
+                      (function
+                        | J.Str n ->
+                            if not (List.mem_assoc n props) then
+                              err path ("missing required property " ^ n)
+                        | _ -> ())
+                      names
+                | _ -> ())
+            | "properties", J.Obj subschemas -> (
+                match v with
+                | J.Obj props ->
+                    List.iter
+                      (fun (name, sub) ->
+                        match List.assoc_opt name props with
+                        | Some pv -> check (path ^ "." ^ name) sub pv
+                        | None -> ())
+                      subschemas
+                | _ -> ())
+            | "items", sub -> (
+                match v with
+                | J.Arr elts ->
+                    List.iteri
+                      (fun i e ->
+                        check (Printf.sprintf "%s[%d]" path i) sub e)
+                      elts
+                | _ -> ())
+            | "minItems", J.Num n -> (
+                match v with
+                | J.Arr elts ->
+                    if List.length elts < int_of_float n then
+                      err path
+                        (Printf.sprintf "fewer than %d items" (int_of_float n))
+                | _ -> ())
+            | "enum", J.Arr allowed ->
+                if not (List.mem v allowed) then err path "not in enum"
+            | "minimum", J.Num lo -> (
+                match v with
+                | J.Num f -> if f < lo then err path "below minimum"
+                | _ -> ())
+            | _ -> () (* unsupported keywords are ignored *))
+          fields
+    | _ -> ()
+  in
+  check "$" schema doc;
+  List.rev !errors
+
+let validate schema_path doc_path =
+  let parse what path =
+    match J.of_string (read_file path) with
+    | j -> j
+    | exception J.Malformed msg ->
+        Printf.eprintf "obs_report: %s %s: malformed JSON: %s\n" what path msg;
+        exit 2
+  in
+  let schema = parse "schema" schema_path in
+  let doc = parse "document" doc_path in
+  match schema_errors schema doc with
+  | [] ->
+      Printf.printf "%s: valid against %s\n" doc_path schema_path;
+      0
+  | errs ->
+      List.iter (fun e -> Printf.eprintf "obs_report: %s: %s\n" doc_path e) errs;
+      2
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "--validate"; schema; doc ] -> exit (validate schema doc)
+  | [ _; path ] when path <> "--validate" -> exit (profile path)
+  | _ ->
+      Printf.eprintf
+        "usage: obs_report METRICS.jsonl\n       obs_report --validate \
+         SCHEMA.json TRACE.json\n";
+      exit 124
