@@ -40,6 +40,34 @@ let model_display_name name =
   | "c11-psc" | "rc11" -> "C11+psc"
   | other -> other
 
+(* Verdict forensics (--explain, --explain-diff).  The native LK model
+   has its own explainer (which delegates decomposition to lk.cat);
+   every other model is explained by the generic cat engine on its own
+   source — the shipped twins for the built-in names, or the given
+   file. *)
+let cat_model_of_name name =
+  match String.lowercase_ascii name with
+  | "lk" | "lkmm" | "linux" | "lk-cat" -> Some (Lazy.force Cat.lk)
+  | "sc" -> Some (Cat.parse Cat.Stdmodels.sc)
+  | "tso" | "x86" -> Some (Cat.parse Cat.Stdmodels.tso)
+  | "c11" -> Some (Cat.parse Cat.Stdmodels.c11)
+  | "c11-psc" | "rc11" -> Some (Cat.parse Cat.Stdmodels.c11_psc)
+  | _ when Filename.check_suffix name ".cat" -> Some (Cat.load_file name)
+  | _ -> None
+
+let explainer_of_name name =
+  match String.lowercase_ascii name with
+  | "lk" | "lkmm" | "linux" -> Some Lkmm.Explain.explainer
+  | _ -> Option.map Cat.explainer (cat_model_of_name name)
+
+let check_names_of_name name =
+  match String.lowercase_ascii name with
+  | "lk" | "lkmm" | "linux" -> Lkmm.Explain.check_names
+  | _ -> (
+      match cat_model_of_name name with
+      | Some m -> Cat.check_names m
+      | None -> [])
+
 (* Per-entry console output, preserving the classic verdict line for
    completed checks. *)
 let print_entry model_name outcomes (e : Harness.Runner.entry) =
@@ -64,32 +92,103 @@ let print_entry model_name outcomes (e : Harness.Runner.entry) =
   | Harness.Runner.Pass v, None ->
       Fmt.pr "Test %s: %a under %s@." e.Harness.Runner.item_id
         Exec.Check.pp_verdict v model_name);
-  if outcomes then
-    match e.Harness.Runner.result with
-    | Some r ->
-        List.iter
-          (fun (o, matches) ->
-            Fmt.pr "  %a %s@." Exec.pp_outcome o
-              (if matches then "<- condition" else ""))
-          r.Exec.Check.outcomes
-    | None -> ()
+  (if outcomes then
+     match e.Harness.Runner.result with
+     | Some r ->
+         List.iter
+           (fun (o, matches) ->
+             Fmt.pr "  %a %s@." Exec.pp_outcome o
+               (if matches then "<- condition" else ""))
+           r.Exec.Check.outcomes
+     | None -> ());
+  match e.Harness.Runner.result with
+  | Some r when r.Exec.Check.explanations <> [] ->
+      List.iter
+        (fun ex -> Fmt.pr "%s@." (Exec.Explain.to_string ex))
+        r.Exec.Check.explanations
+  | _ -> ()
 
 let write_dot path (e : Harness.Runner.entry) source =
-  let x =
+  (* prefer the explained counterexample (with its cycle overlay), then
+     the witness, then the first candidate if the test at least parses *)
+  let x, explain =
     match e.Harness.Runner.result with
-    | Some { Exec.Check.witness = Some x; _ } -> Some x
+    | Some { Exec.Check.counterexample = Some x; explanations; _ } ->
+        (Some x, explanations)
+    | Some { Exec.Check.witness = Some x; _ } -> (Some x, [])
     | _ -> (
-        (* no witness: render the first candidate instead, if it parses *)
-        try match Exec.of_test (Litmus.parse source) with
-          | x :: _ -> Some x
-          | [] -> None
-        with _ -> None)
+        ( (try
+             match Exec.of_test (Litmus.parse source) with
+             | x :: _ -> Some x
+             | [] -> None
+           with _ -> None),
+          [] ))
   in
   match x with
   | Some x ->
-      Exec.Dot.to_file path x;
+      Exec.Dot.to_file ~explain path x;
       Fmt.pr "wrote %s@." path
   | None -> ()
+
+(* --explain-diff A,B: run each test under both models with forensics
+   on and name the checks failing under one but not the other. *)
+let explain_diff ~limits spec (items : Harness.Runner.item list) =
+  let module R = Harness.Runner in
+  let a, b =
+    match String.split_on_char ',' spec with
+    | [ a; b ] -> (String.trim a, String.trim b)
+    | _ ->
+        failwith
+          (Printf.sprintf "--explain-diff expects MODEL,MODEL (got %S)" spec)
+  in
+  let run m i =
+    R.run_item ~limits ?explainer:(explainer_of_name m)
+      ~model:(model_of_name m)
+      { i with R.expected = None }
+  in
+  let entries =
+    List.concat_map
+      (fun (i : R.item) ->
+        let ea = run a i and eb = run b i in
+        let verdict (e : R.entry) =
+          match e.R.status with
+          | R.Pass v | R.Fail { got = v; _ } -> Exec.Check.verdict_to_string v
+          | R.Gave_up reason ->
+              "Unknown (" ^ Exec.Budget.reason_to_string reason ^ ")"
+          | R.Err err -> Fmt.str "error (%a)" R.pp_error err
+        in
+        let failing (e : R.entry) =
+          match e.R.result with
+          | Some r ->
+              List.sort_uniq compare
+                (List.map
+                   (fun (x : Exec.Explain.t) -> x.Exec.Explain.check)
+                   r.Exec.Check.explanations)
+          | None -> []
+        in
+        let na = model_display_name a and nb = model_display_name b in
+        Fmt.pr "Test %s: %s=%s, %s=%s@." i.R.id na (verdict ea) nb
+          (verdict eb);
+        let fa = failing ea and fb = failing eb in
+        let side n f other_name other_f other_vocab =
+          List.iter
+            (fun c ->
+              if List.mem c other_f then
+                Fmt.pr "  both models fail %s@." c
+              else if List.mem c other_vocab then
+                Fmt.pr "  %s fails %s; %s satisfies it@." n c other_name
+              else Fmt.pr "  %s fails %s — not a check of %s@." n c other_name)
+            f
+        in
+        side na fa nb fb (check_names_of_name b);
+        side nb (List.filter (fun c -> not (List.mem c fa)) fb) na fa
+          (check_names_of_name a);
+        if fa = [] && fb = [] then
+          Fmt.pr "  no failing checks under either model@.";
+        [ ea; eb ])
+      items
+  in
+  R.summarise ~wall:0. entries
 
 (* --shrink: minimise every failing or crashing entry to a reproducer
    next to its input ([<id>.min.litmus]).  Crashes are re-checked in an
@@ -147,8 +246,9 @@ let shrink_failures ~limits ~factory ~pool_config
             o.S.oracle_runs path)
     report.R.entries items
 
-let main model verbose outcomes dot builtin timeout max_candidates max_events
-    json jobs mem_limit journal resume shrink trace metrics files =
+let main model verbose outcomes dot explain explain_diff_spec builtin timeout
+    max_candidates max_events json jobs mem_limit journal resume shrink trace
+    metrics files =
   Harness.Cli.with_obs ~trace ~metrics @@ fun () ->
   let factory = model_of_name model in
   let mname = model_display_name model in
@@ -180,7 +280,12 @@ let main model verbose outcomes dot builtin timeout max_candidates max_events
       "no tests given; try: herd_lk -b MP+wmb+rmb  (built-in battery test)@.";
     0
   end
-  else begin
+  else
+    match explain_diff_spec with
+    | Some spec ->
+        Harness.Runner.exit_code (explain_diff ~limits spec items)
+    | None ->
+  begin
     let pool_config =
       {
         Harness.Pool.default with
@@ -193,11 +298,12 @@ let main model verbose outcomes dot builtin timeout max_candidates max_events
     let use_pool =
       jobs > 1 || mem_limit <> None || journal <> None || resume <> None
     in
+    let explainer = if explain then explainer_of_name model else None in
     let report =
       if use_pool then
-        Harness.Pool.run ~config:pool_config ?journal ?resume ~model:factory
-          items
-      else Harness.Runner.run ~limits ~model:factory items
+        Harness.Pool.run ~config:pool_config ?journal ?resume ?explainer
+          ~model:factory items
+      else Harness.Runner.run ~limits ?explainer ~model:factory items
     in
     if shrink then shrink_failures ~limits ~factory ~pool_config report items;
     if json then print_string (Harness.Runner.to_json report ^ "\n")
@@ -254,7 +360,30 @@ let dot_arg =
     value
     & opt (some string) None
     & info [ "dot" ] ~docv:"FILE"
-        ~doc:"Write a Graphviz rendering of the witness execution.")
+        ~doc:
+          "Write a Graphviz rendering of the witness execution (with \
+           --explain, of the counterexample, the violating cycle \
+           highlighted).")
+
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Verdict forensics: for every Forbid verdict, print each failed \
+           check with a minimal witnessing cycle, every edge decomposed to \
+           primitive rf/co/fr/po/dependency edges.  Explanations are \
+           re-validated against the model's own relations before printing; \
+           with --json they ride along in the report.")
+
+let explain_diff_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "explain-diff" ] ~docv:"MODEL,MODEL"
+        ~doc:
+          "Run each test under two models with forensics on and name the \
+           checks failing under one but not the other (e.g. lkmm,c11).")
 
 let shrink_arg =
   Arg.(
@@ -285,6 +414,7 @@ let cmd =
          ])
     Term.(
       const main $ model_arg $ verbose_arg $ outcomes_arg $ dot_arg
+      $ explain_arg $ explain_diff_arg
       $ builtin_arg $ C.timeout_arg $ C.max_candidates_arg $ C.max_events_arg
       $ C.json_arg $ C.jobs_arg $ C.mem_limit_arg $ C.journal_arg
       $ C.resume_arg $ shrink_arg $ C.trace_arg $ C.metrics_arg $ files_arg)

@@ -12,6 +12,7 @@ module Lexer = Lexer
 module Parser = Parser
 module Interp = Interp
 module Stdmodels = Stdmodels
+module Explain = Explain
 
 type model = Ast.t
 
@@ -89,6 +90,14 @@ let to_check_model ~name ?budget ?(cache = true) (model : model) :
         List.for_all (fun (o : Interp.outcome) -> o.holds) outcomes
     end)
   end
+
+(** [explainer ?budget model] is a verdict-forensics hook for
+    {!Exec.Check.run}: explanations of every failed check on a rejected
+    candidate (see {!Explain}). *)
+let explainer = Explain.explainer
+
+(** The [as] names of [model]'s checks, in source order. *)
+let check_names = Explain.check_names
 
 (** The shipped LK model (lk.cat), parsed. *)
 let lk = lazy (parse Stdmodels.lk)

@@ -1,0 +1,43 @@
+(** Provenance-tracking explanations for cat-model verdicts.
+
+    For a candidate execution a cat model rejects, produces one
+    {!Exec.Explain.t} per failed check: a minimal witnessing cycle
+    (shortest, BFS over the dense relation kernel) for
+    [acyclic]/[irreflexive], the offending pairs for [empty], each edge
+    labelled with the branch of the checked relation it belongs to and
+    decomposed — through unions, sequences, closures, inverses, named
+    definitions and unary function application — down to primitive
+    rf/co/fr/po/dependency edges.  Recursive definitions ([rcu-path])
+    are guarded by a visiting set: a revisited name stays an opaque
+    primitive, which still re-validates by membership.
+
+    Every explanation is checked with {!Exec.Explain.validate} against
+    the model's own evaluated relations before it is returned; a
+    mismatch raises {!Exec.Explain.Invalid} (a hard error — never a
+    silently wrong witness). *)
+
+(** Explanations for every failed check of [model] on [x]; [[]] iff [x]
+    is consistent.  [?budget] bounds the statement replay like
+    {!Interp.run}. *)
+val explain_execution :
+  ?budget:Exec.Budget.t -> Ast.t -> Exec.t -> Exec.Explain.t list
+
+(** [explainer ?budget model] packages {!explain_execution} for
+    {!Exec.Check.run}'s [?explainer] argument. *)
+val explainer :
+  ?budget:Exec.Budget.t -> Ast.t -> Exec.t -> Exec.Explain.t list
+
+(** The [as] names of the model's checks, in source order (the
+    vocabulary [--explain-diff] compares). *)
+val check_names : Ast.t -> string list
+
+(** [resolver model x] maps every relation name of [model]'s full
+    environment on [x] (primitive and defined alike) to its evaluated
+    relation — for re-validating shipped explanations with
+    {!Exec.Explain.validate}. *)
+val resolver :
+  ?budget:Exec.Budget.t -> Ast.t -> Exec.t -> string -> Rel.t option
+
+(** Render a cat expression back to concrete syntax (used for opaque
+    edge labels; exposed for tests). *)
+val render : Ast.expr -> string

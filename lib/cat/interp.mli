@@ -26,6 +26,14 @@ val as_rel : value -> Rel.t
 val as_set : value -> Iset.t
 val eval : env -> Ast.expr -> value
 
+(** [eval_let ?budget env bindings is_rec] evaluates one [let] group
+    (Kleene iteration when [is_rec]) and returns the extended
+    environment.  Exposed for {!Explain}, which replays a model's
+    statements to record where each name was defined. *)
+val eval_let :
+  ?budget:Exec.Budget.t ->
+  env -> (string * string list * Ast.expr) list -> bool -> env
+
 type outcome = {
   check_name : string;  (** the [as name] label, or ["(unnamed)"] *)
   kind : Ast.check_kind;

@@ -61,6 +61,13 @@ type result = {
   outcomes : (Execution.outcome * bool) list;
       (* observable outcomes of consistent executions; the flag tells
          whether the outcome satisfies the condition *)
+  counterexample : Execution.t option;
+      (* under [?explainer] and a Forbid verdict: the candidate the
+         explanations talk about — a condition-satisfying candidate the
+         model rejected *)
+  explanations : Explain.t list;
+      (* under [?explainer] and a Forbid verdict: one explanation per
+         failing check of [counterexample] *)
 }
 
 (* Interpret the test's quantifier over the consistent executions:
@@ -84,7 +91,7 @@ let c_matching = Obs.Counter.make "check.matching"
 let h_prefilter = Obs.Histogram.make "check.prefilter_us"
 let h_model = Obs.Histogram.make "check.model_us"
 
-let run_exn ?budget ?(prefilter = true) (module M : MODEL)
+let run_exn ?budget ?(prefilter = true) ?explainer (module M : MODEL)
     (test : Litmus.Ast.t) =
   let satisfies x =
     match test.quant with
@@ -96,6 +103,15 @@ let run_exn ?budget ?(prefilter = true) (module M : MODEL)
   and n_consistent = ref 0
   and n_matching = ref 0 in
   let witness = ref None and outcomes = ref [] in
+  (* Counterexample retention for forensics, only with an explainer (one
+     option test per rejected candidate otherwise — the explanation-off
+     discipline).  The preferred counterexample is a condition-satisfying
+     candidate the *model* rejected, whose failing checks name the
+     interesting axioms; when every condition-satisfying candidate dies
+     in the prefilter, the first of those stands in (its failure is
+     sc-per-location, and the model's coherence check explains it). *)
+  let track_cex = explainer <> None in
+  let cex = ref None and cex_prefiltered = ref None in
   (* When tracing, the prefilter test and the model run are each timed
      per candidate (two clock reads each); the branch structure below is
      semantically identical to the untraced
@@ -118,7 +134,9 @@ let run_exn ?budget ?(prefilter = true) (module M : MODEL)
                 Obs.Histogram.observe h_prefilter (Obs.now_us () -. t0);
               if not keep then begin
                 incr n_prefiltered;
-                Obs.Counter.incr c_prefiltered
+                Obs.Counter.incr c_prefiltered;
+                if track_cex && !cex_prefiltered = None && satisfies x then
+                  cex_prefiltered := Some x
               end
               else begin
                 let t1 = if tracing then Obs.now_us () else 0. in
@@ -136,8 +154,31 @@ let run_exn ?budget ?(prefilter = true) (module M : MODEL)
                     if !witness = None then witness := Some x
                   end
                 end
+                else if track_cex && !cex = None && satisfies x then
+                  cex := Some x
               end)
             (Execution.of_test_seq ?budget test)));
+  (* Forensics run after enumeration, on the retained counterexample
+     only.  The explainer re-derives the model's checks on it; any
+     [Explain.Invalid] it raises (an explanation that fails its own
+     re-validation) propagates as a hard error — under a budget that
+     means an Unknown (Model_error) verdict and the runner's internal-
+     error exit code, never a silently wrong explanation. *)
+  let counterexample, explanations =
+    match explainer with
+    | Some explain when !n_matching = 0 -> (
+        match (if !cex <> None then !cex else !cex_prefiltered) with
+        | Some x ->
+            let es = explain x in
+            List.iter
+              (fun (e : Explain.t) ->
+                Obs.Counter.incr
+                  (Obs.Counter.make ("explain.check_fail." ^ e.Explain.check)))
+              es;
+            (Some x, es)
+        | None -> (None, []))
+    | _ -> (None, [])
+  in
   {
     verdict = (if !n_matching > 0 then Allow else Forbid);
     n_candidates = !n_candidates;
@@ -146,6 +187,8 @@ let run_exn ?budget ?(prefilter = true) (module M : MODEL)
     n_matching = !n_matching;
     witness = !witness;
     outcomes = List.sort_uniq compare !outcomes;
+    counterexample;
+    explanations;
   }
 
 let unknown ?budget reason =
@@ -158,17 +201,19 @@ let unknown ?budget reason =
     n_matching = 0;
     witness = None;
     outcomes = [];
+    counterexample = None;
+    explanations = [];
   }
 
 (* Budgeted checking: budget violations and model failures become
    [Unknown] results carrying the partial candidate count — a check under
    a budget never raises.  Without a budget, behaviour (and exceptions)
    are exactly the pre-budget ones. *)
-let run ?budget ?prefilter (module M : MODEL) (test : Litmus.Ast.t) =
+let run ?budget ?prefilter ?explainer (module M : MODEL) (test : Litmus.Ast.t) =
   match budget with
-  | None -> run_exn ?prefilter (module M) test
+  | None -> run_exn ?prefilter ?explainer (module M) test
   | Some b -> (
-      try run_exn ~budget:b ?prefilter (module M) test with
+      try run_exn ~budget:b ?prefilter ?explainer (module M) test with
       | Budget.Exceeded r -> unknown ~budget:b (Budget_exceeded r)
       | Stack_overflow -> unknown ~budget:b (Model_error Stack_overflow)
       | exn -> unknown ~budget:b (Model_error exn))

@@ -43,6 +43,14 @@ type result = {
   outcomes : (Execution.outcome * bool) list;
       (** observable outcomes of consistent executions; the flag marks
           outcomes satisfying the condition *)
+  counterexample : Execution.t option;
+      (** with [?explainer] and a Forbid verdict: the candidate the
+          explanations describe — a condition-satisfying candidate the
+          model rejected (the one a herd diagram of the violation should
+          draw) *)
+  explanations : Explain.t list;
+      (** with [?explainer] and a Forbid verdict: one validated
+          explanation per failing check of [counterexample] *)
 }
 
 (** [run (module M) test] streams the candidate executions of [test],
@@ -63,10 +71,21 @@ type result = {
     With [?budget], the check never raises: budget violations and model
     failures yield an [Unknown] verdict whose [n_candidates] counts the
     partial progress.  Without a budget, exceptions propagate as
-    before. *)
+    before.
+
+    With [?explainer] (verdict forensics), the first condition-
+    satisfying candidate the model rejects is retained — preferring one
+    that reached the model over one the prefilter killed — and, when the
+    verdict comes out Forbid, handed to the explainer; its validated
+    explanations ride in [explanations].  The explainer raising
+    {!Explain.Invalid} is a hard error: under a budget it surfaces as
+    [Unknown (Model_error _)], otherwise it propagates.  Without
+    [?explainer] the streaming loop is unchanged up to one option test
+    per rejected candidate. *)
 val run :
-  ?budget:Budget.t -> ?prefilter:bool -> (module MODEL) -> Litmus.Ast.t ->
-  result
+  ?budget:Budget.t -> ?prefilter:bool ->
+  ?explainer:(Execution.t -> Explain.t list) -> (module MODEL) ->
+  Litmus.Ast.t -> result
 
 (** The observable outcomes allowed by the model, ignoring the condition;
     used to compare models with the operational simulators.  Streams and

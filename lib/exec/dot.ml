@@ -1,7 +1,9 @@
 (* Graphviz export of candidate executions, in the style of herd's
    diagrams (and of the paper's figures): one box per thread, events in
    program order, communication and dependency edges labelled and
-   coloured. *)
+   coloured.  An optional explanation overlay draws the violating
+   cycle of each failed check in bold red, every edge labelled with its
+   primitive decomposition. *)
 
 let edge_styles =
   [
@@ -14,7 +16,22 @@ let edge_styles =
     ("rmw", "purple");
   ]
 
-let quote s = "\"" ^ s ^ "\""
+(* DOT double-quoted strings: backslash and quote must be escaped, and
+   a raw newline becomes the \n escape (a line break in the label). *)
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> ()
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let quote s = "\"" ^ escape s ^ "\""
 
 let node_label (e : Event.t) =
   if Event.is_fence e then
@@ -27,13 +44,38 @@ let node_label (e : Event.t) =
       (Event.annot_to_string e.annot)
       e.loc e.v
 
-(* [to_string ?extra x] renders [x]; [extra] adds named relations (e.g.
-   hb or prop from the LK model) as dashed grey edges. *)
-let to_string ?(extra = []) (x : Execution.t) =
+(* The overlay label of a violating-cycle edge: the branch of the
+   checked relation it belongs to, plus its primitive decomposition
+   when that says more than the label itself. *)
+let step_label (s : Explain.step) =
+  match s.Explain.prims with
+  | [ p ]
+    when p.Explain.p_label = s.Explain.label
+         && p.Explain.p_src = s.Explain.src
+         && p.Explain.p_dst = s.Explain.dst ->
+      s.Explain.label
+  | prims ->
+      s.Explain.label ^ "\n= "
+      ^ String.concat " ; "
+          (List.map (fun (p : Explain.prim) -> p.Explain.p_label) prims)
+
+(* [to_string ?extra ?explain x] renders [x]; [extra] adds named
+   relations (e.g. hb or prop from the LK model) as dashed grey edges;
+   [explain] overlays the violating cycles in bold red. *)
+let to_string ?(extra = []) ?(explain = []) (x : Execution.t) =
   let buf = Buffer.create 1024 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pr "digraph %s {\n" (quote x.Execution.test.Litmus.Ast.name);
   pr "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  (match explain with
+  | [] -> ()
+  | es ->
+      let checks =
+        List.sort_uniq compare
+          (List.map (fun (e : Explain.t) -> e.Explain.check) es)
+      in
+      pr "  label=%s;\n  labelloc=t;\n  fontcolor=red;\n"
+        (quote ("forbidden: " ^ String.concat ", " checks)));
   (* threads as clusters; init writes outside *)
   let tids =
     Array.to_list x.Execution.events
@@ -104,10 +146,28 @@ let to_string ?(extra = []) (x : Execution.t) =
       emit_rel name color rel)
     edge_styles;
   List.iter (fun (name, rel) -> emit_rel name "grey" rel) extra;
+  (* explanation overlay: the violating cycle of each failed check,
+     bold red, each edge carrying its primitive decomposition *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Explain.t) ->
+      List.iter
+        (fun (s : Explain.step) ->
+          let key = (s.Explain.src, s.Explain.dst, step_label s) in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            pr
+              "  e%d -> e%d [color=red, penwidth=2, style=bold, label=%s, \
+               fontsize=9, fontcolor=red, constraint=false];\n"
+              s.Explain.src s.Explain.dst
+              (quote (step_label s))
+          end)
+        e.Explain.steps)
+    explain;
   pr "}\n";
   Buffer.contents buf
 
-let to_file ?extra path x =
+let to_file ?extra ?explain path x =
   let oc = open_out path in
-  output_string oc (to_string ?extra x);
+  output_string oc (to_string ?extra ?explain x);
   close_out oc

@@ -1,0 +1,29 @@
+(** Graphviz export of candidate executions, in the style of herd's
+    diagrams: one box per thread, events in program order,
+    communication and dependency edges labelled and coloured.
+
+    With [?explain], the violating cycle of each failed check (from
+    {!Explain}) is overlaid in bold red, every edge labelled with the
+    branch of the checked relation it belongs to and its primitive
+    decomposition, and the graph is titled with the violated checks. *)
+
+(** Escape a string for a DOT double-quoted literal: backslashes and
+    quotes are escaped, raw newlines become the [\n] label line break. *)
+val escape : string -> string
+
+(** [to_string ?extra ?explain x] renders [x] as a [digraph].  [extra]
+    adds named relations (e.g. [hb] or [prop] from the LK model) as
+    grey edges; [explain] overlays the violating cycles. *)
+val to_string :
+  ?extra:(string * Rel.t) list ->
+  ?explain:Explain.t list ->
+  Execution.t ->
+  string
+
+(** {!to_string} written to a file. *)
+val to_file :
+  ?extra:(string * Rel.t) list ->
+  ?explain:Explain.t list ->
+  string ->
+  Execution.t ->
+  unit

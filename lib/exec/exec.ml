@@ -6,11 +6,14 @@
      derived relations, and their enumeration via {!of_test};
    - {!Budget}: per-test resource budgets bounding enumeration;
    - {!Check}: running a test against a consistency model;
-   - {!Dot}: Graphviz export of executions. *)
+   - {!Explain}: structured verdict forensics (failing check, minimal
+     cycle witness, primitive-edge provenance);
+   - {!Dot}: Graphviz export of executions, with explanation overlays. *)
 
 module Event = Event
 module Sem = Sem
 module Budget = Budget
 module Check = Check
+module Explain = Explain
 module Dot = Dot
 include Execution

@@ -11,7 +11,7 @@
    field and, for [gave_up] entries, a structured reason that
    round-trips exactly:
 
-     {"schema_version": 2, "id": "corpus/SB.litmus", "time_s": 0.003,
+     {"schema_version": 3, "id": "corpus/SB.litmus", "time_s": 0.003,
       "candidates": 12, "status": "pass", "verdict": "Allow"}
 
    Duplicate ids can appear legitimately (a crashed item retried and

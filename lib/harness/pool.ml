@@ -365,7 +365,7 @@ let run_queue cfg ~worker ~on_entry (queue : queued list) =
    - [resume] recycles entries from an existing journal and runs only
      the missing items (pass the same path as [journal] to extend it in
      place). *)
-let run ?(config = default) ?worker ?journal ?resume
+let run ?(config = default) ?worker ?journal ?resume ?explainer
     ?(model = Runner.static_model (module Lkmm : Exec.Check.MODEL))
     (items : Runner.item list) =
   let t0 = Unix.gettimeofday () in
@@ -379,7 +379,7 @@ let run ?(config = default) ?worker ?journal ?resume
   let worker =
     match worker with
     | Some w -> w
-    | None -> Runner.run_item ~limits ~lint:config.lint ~model
+    | None -> Runner.run_item ~limits ~lint:config.lint ?explainer ~model
   in
   let recycled =
     match resume with

@@ -27,6 +27,15 @@
                 v1 consumers that ignore unknown fields read v2
                 documents unchanged; journals written at v1 load at v2
                 (the journal reader has never keyed on the version).
+   v3 (this PR) per-entry: when a check ran with an explainer and the
+                verdict is Forbid, an [explanations] array rides along
+                (one object per failed check: name, constraint kind,
+                the witnessing cycle/pairs as [steps] with primitive
+                provenance, and the event labels — the exact
+                {!Exec.Explain.to_json} shape, already self-validated
+                before serialisation).  Absent otherwise, so v2
+                consumers that ignore unknown fields read v3 documents
+                unchanged.
 
    The exit-code policy lives here too, because it is a function of the
    report alone: 0 = all pass, 1 = some FAIL, 2 = some ERROR, 3 = some
@@ -167,7 +176,7 @@ let json_escape s =
 (* Reports and journal lines carry this version so downstream consumers
    can detect format changes; bump on any incompatible field change
    (history in the module header). *)
-let schema_version = 2
+let schema_version = 3
 
 let entry_to_json e =
   let base =
@@ -176,9 +185,14 @@ let entry_to_json e =
       (match e.result with
       | Some r ->
           Printf.sprintf
-            ", \"prefiltered\": %d, \"consistent\": %d, \"matching\": %d"
+            ", \"prefiltered\": %d, \"consistent\": %d, \"matching\": %d%s"
             r.Exec.Check.n_prefiltered r.Exec.Check.n_consistent
             r.Exec.Check.n_matching
+            (match r.Exec.Check.explanations with
+            | [] -> ""
+            | es ->
+                Printf.sprintf ", \"explanations\": [%s]"
+                  (String.concat ", " (List.map Exec.Explain.to_json es)))
       | None -> "")
       (if e.retried then ", \"retried\": true" else "")
   in

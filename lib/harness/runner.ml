@@ -115,7 +115,7 @@ let read_file path =
 
 exception Lint_failed of string
 
-let run_item ?(limits = Exec.Budget.default) ?(lint = true)
+let run_item ?(limits = Exec.Budget.default) ?(lint = true) ?explainer
     ~(model : model_factory) (item : item) =
   let t0 = Unix.gettimeofday () in
   let budget =
@@ -161,7 +161,7 @@ let run_item ?(limits = Exec.Budget.default) ?(lint = true)
                              (fun (i : Litmus.Lint.issue) ->
                                i.Litmus.Lint.message)
                              issues))));
-        let r = Exec.Check.run ?budget (model budget) test in
+        let r = Exec.Check.run ?budget ?explainer (model budget) test in
         match r.Exec.Check.verdict with
         | Exec.Check.Unknown (Exec.Check.Budget_exceeded reason) ->
             finish (Gave_up reason)
@@ -186,10 +186,11 @@ let run_item ?(limits = Exec.Budget.default) ?(lint = true)
 
 let summarise = Report.summarise
 
-let run ?limits ?lint ?(model = static_model (module Lkmm : Exec.Check.MODEL))
+let run ?limits ?lint ?explainer
+    ?(model = static_model (module Lkmm : Exec.Check.MODEL))
     (items : item list) =
   let t0 = Unix.gettimeofday () in
-  let entries = List.map (run_item ?limits ?lint ~model) items in
+  let entries = List.map (run_item ?limits ?lint ?explainer ~model) items in
   summarise ~wall:(Unix.gettimeofday () -. t0) entries
 
 let exit_code = Report.exit_code

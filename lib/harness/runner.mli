@@ -102,15 +102,24 @@ val read_file : string -> string
     budgeting (exceptions are still caught).  [lint] defaults to [true]:
     lint errors become [Err {cls = Lint; _}] entries.  When the
     observability collector is on, the item runs inside an "item" span
-    with "parse" and "lint" children (checking opens its own spans). *)
+    with "parse" and "lint" children (checking opens its own spans).
+    [explainer] (forwarded to {!Exec.Check.run}) turns on verdict
+    forensics: Forbid results carry validated explanations, at zero
+    cost when absent. *)
 val run_item :
-  ?limits:Exec.Budget.limits -> ?lint:bool -> model:model_factory -> item -> entry
+  ?limits:Exec.Budget.limits ->
+  ?lint:bool ->
+  ?explainer:(Exec.t -> Exec.Explain.t list) ->
+  model:model_factory ->
+  item ->
+  entry
 
-(** [run ?limits ?lint ?model items] — the whole batch; the model
-    defaults to the native LK model. *)
+(** [run ?limits ?lint ?explainer ?model items] — the whole batch; the
+    model defaults to the native LK model. *)
 val run :
   ?limits:Exec.Budget.limits ->
   ?lint:bool ->
+  ?explainer:(Exec.t -> Exec.Explain.t list) ->
   ?model:model_factory ->
   item list ->
   report

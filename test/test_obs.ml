@@ -284,7 +284,7 @@ let test_report_metrics_object () =
     Harness.Report.summarise ~wall:entry.Harness.Runner.time [ entry ]
   in
   let doc = J.of_string (Harness.Report.to_json report) in
-  Alcotest.(check (option (float 0.0))) "schema version 2" (Some 2.)
+  Alcotest.(check (option (float 0.0))) "schema version 3" (Some 3.)
     (Option.bind (J.mem "schema_version" doc) J.num);
   match J.mem "metrics" doc with
   | Some (J.Obj _) -> ()

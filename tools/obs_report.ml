@@ -132,6 +132,34 @@ let profile path =
       (fun (n, v) -> Printf.printf "  %-28s %12d\n" n v)
       (List.sort compare !counters)
   end;
+  (* forensics: the explainer bumps explain.check_fail.<check> once per
+     explained failure, so a corpus run with --explain summarises to a
+     "which checks fire most" table *)
+  let prefix = "explain.check_fail." in
+  let failing =
+    List.filter_map
+      (fun (n, v) ->
+        if
+          String.length n > String.length prefix
+          && String.sub n 0 (String.length prefix) = prefix
+        then
+          Some
+            (String.sub n (String.length prefix)
+               (String.length n - String.length prefix), v)
+        else None)
+      !counters
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  if failing <> [] then begin
+    let total = List.fold_left (fun acc (_, v) -> acc + v) 0 failing in
+    Printf.printf "\nTop failing checks (%d explained failures):\n" total;
+    Printf.printf "  %-28s %8s %7s\n" "check" "fails" "share";
+    List.iter
+      (fun (n, v) ->
+        Printf.printf "  %-28s %8d %6.1f%%\n" n v
+          (100. *. float_of_int v /. float_of_int (max 1 total)))
+      failing
+  end;
   if !hists <> [] then begin
     Printf.printf "\nHistograms:\n";
     Printf.printf "  %-28s %8s %12s %12s %12s\n" "name" "count" "sum_ms"
