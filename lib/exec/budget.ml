@@ -69,6 +69,22 @@ let start lim =
     ticks = 0;
   }
 
+(* Deadline propagation (checking-as-a-service): a request admitted at
+   time T with deadline D has already spent queue time by the moment a
+   worker picks it up, so the worker arms the budget against the
+   *absolute* deadline — the relative timeout is clamped to whatever of
+   it remains.  A deadline in the past yields a zero timeout: the first
+   [check_time] trips, producing a structured [Timed_out] instead of
+   any work. *)
+let start_at ~deadline lim =
+  let remaining = Float.max 0. (deadline -. Unix.gettimeofday ()) in
+  let timeout =
+    match lim.timeout with
+    | Some t -> Some (Float.min t remaining)
+    | None -> Some remaining
+  in
+  start { lim with timeout }
+
 let candidates_seen b = b.n_candidates
 
 let check_time b =

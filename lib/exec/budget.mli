@@ -45,6 +45,13 @@ type t
 (** [start limits] arms the deadline and zeroes the counters. *)
 val start : limits -> t
 
+(** [start_at ~deadline limits] arms against an *absolute* deadline
+    (Unix time): the relative timeout is clamped to what remains of the
+    deadline at call time, so queue wait before the budget was armed
+    counts against the request.  A deadline already in the past yields
+    a zero timeout whose first {!check_time} trips. *)
+val start_at : deadline:float -> limits -> t
+
 (** Candidate executions materialised so far (partial-progress report). *)
 val candidates_seen : t -> int
 

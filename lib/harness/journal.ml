@@ -333,26 +333,61 @@ let entry_of_line line : Report.entry option =
 (* Writing                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type writer = { oc : out_channel; path : string }
+type writer = { oc : out_channel; path : string; fsync : bool }
 
 (* Append mode: resuming writes into the same journal, so the recycled
-   lines stay and the file remains a complete record of the battery. *)
-let open_writer path =
+   lines stay and the file remains a complete record of the battery.
+
+   [~fsync] (off by default) forces every appended line to stable
+   storage before {!write} returns: a flush hands the line to the
+   kernel, surviving a process kill but not a power cut or OS crash;
+   fsync survives those too, at a per-append cost.  The verdict cache
+   of the checking service opts in, batch journals usually do not. *)
+let open_writer ?(fsync = false) path =
   let oc =
     open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
   in
-  { oc; path }
+  { oc; path; fsync }
 
 let writer_path w = w.path
 
+(* Raw line append (the verdict cache journals its own line shape
+   through the same durability path). *)
+let write_line w line =
+  output_string w.oc line;
+  output_char w.oc '\n';
+  flush w.oc;
+  if w.fsync then
+    try Unix.fsync (Unix.descr_of_out_channel w.oc)
+    with Unix.Unix_error _ -> ()
+
 (* One line per entry, flushed immediately: after a hard kill the
    journal is complete up to the last finished item. *)
-let write w (e : Report.entry) =
-  output_string w.oc (line_of_entry e);
-  output_char w.oc '\n';
-  flush w.oc
+let write w (e : Report.entry) = write_line w (line_of_entry e)
 
 let close w = close_out_noerr w.oc
+
+(* Tolerant raw loading shared with non-entry JSONL journals: every
+   line that parses as JSON, in file order; torn or garbage lines are
+   dropped exactly as {!load} drops them. *)
+let load_json path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in_noerr ic;
+    List.rev_map
+      (fun l -> match Json.of_string l with
+        | j -> Some j
+        | exception Json.Malformed _ -> None)
+      !lines
+    |> List.filter_map Fun.id
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Loading and resuming                                                *)

@@ -51,14 +51,22 @@ val entry_of_line : string -> Report.entry option
 type writer
 
 (** Open for append (create if missing): resuming writes into the same
-    journal, keeping the file a complete record of the battery. *)
-val open_writer : string -> writer
+    journal, keeping the file a complete record of the battery.  With
+    [~fsync] (default [false]) every appended line is forced to stable
+    storage before {!write} returns — surviving power loss and OS
+    crashes, not just process kills, at a per-append cost. *)
+val open_writer : ?fsync:bool -> string -> writer
 
 val writer_path : writer -> string
 
 (** Append one entry and flush: after a hard kill the journal is
     complete up to the last finished item. *)
 val write : writer -> Report.entry -> unit
+
+(** Append one raw (single-line) string through the same flush/fsync
+    path; used by JSONL journals with their own line shape (the
+    service's verdict cache). *)
+val write_line : writer -> string -> unit
 
 val close : writer -> unit
 
@@ -67,6 +75,12 @@ val close : writer -> unit
 (** All entries of a journal, last-wins per id, first occurrence keeping
     its position; [[]] if the file does not exist. *)
 val load : string -> Report.entry list
+
+(** Every line of a JSONL file that parses as JSON, in file order;
+    torn or garbage lines are dropped exactly as {!load} drops them.
+    [[]] if the file does not exist.  For JSONL journals with a
+    non-entry line shape. *)
+val load_json : string -> Json.t list
 
 (** [partition journal items] — split [items] into (already-journalled
     entries, still-to-run items), keyed by item id; journal lines for

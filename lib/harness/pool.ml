@@ -227,8 +227,15 @@ let classify_exit cfg (r : running) status =
 
 (* [run_queue] drives the spawn/drain/reap loop until every queued item
    has produced exactly one final entry; crash retries re-enter the
-   queue behind their backoff gate. *)
-let run_queue cfg ~worker ~on_entry (queue : queued list) =
+   queue behind their backoff gate.
+
+   [drain] is the graceful-shutdown latch (set by the SIGTERM/SIGINT
+   handlers that {!run} installs): once set, no further item is
+   dispatched, but every in-flight worker is seen through to its entry
+   — reaped, classified, journalled — before the loop returns.  The
+   watchdogs stay armed, so draining cannot hang on a wedged worker. *)
+let run_queue cfg ~worker ~on_entry ~(drain_sig : int option ref)
+    (queue : queued list) =
   let pending = ref queue in
   let running : running list ref = ref [] in
   let finished = ref [] in
@@ -239,13 +246,15 @@ let run_queue cfg ~worker ~on_entry (queue : queued list) =
     on_entry entry;
     finished := (idx, entry) :: !finished
   in
-  while !n_final < total do
-    (* 1. fill free slots with runnable queued items *)
+  while (!drain_sig = None && !n_final < total) || !running <> [] do
+    (* 1. fill free slots with runnable queued items (none once draining) *)
     let now = Unix.gettimeofday () in
     let runnable, gated =
       List.partition (fun q -> q.not_before <= now) !pending
     in
-    let free = cfg.jobs - List.length !running in
+    let free =
+      if !drain_sig <> None then 0 else cfg.jobs - List.length !running
+    in
     let rec take n = function
       | x :: rest when n > 0 ->
           let taken, left = take (n - 1) rest in
@@ -364,7 +373,15 @@ let run_queue cfg ~worker ~on_entry (queue : queued list) =
    - [journal] appends each completed entry to a JSONL journal;
    - [resume] recycles entries from an existing journal and runs only
      the missing items (pass the same path as [journal] to extend it in
-     place). *)
+     place).
+
+   SIGTERM/SIGINT during the run trigger a graceful drain: dispatching
+   stops, in-flight workers are reaped and their entries journalled,
+   the journal is flushed and closed, and the process exits with the
+   conventional 128+signal code (143 for SIGTERM, 130 for SIGINT) —
+   so an interrupted [--journal] run is always resumable with no item
+   half-recorded.  The previous handlers are restored on a normal
+   return, so library callers outside a run keep their own behavior. *)
 let run ?(config = default) ?worker ?journal ?resume ?explainer
     ?(model = Runner.static_model (module Lkmm : Exec.Check.MODEL))
     (items : Runner.item list) =
@@ -379,7 +396,8 @@ let run ?(config = default) ?worker ?journal ?resume ?explainer
   let worker =
     match worker with
     | Some w -> w
-    | None -> Runner.run_item ~limits ~lint:config.lint ?explainer ~model
+    | None ->
+        fun it -> Runner.run_item ~limits ~lint:config.lint ?explainer ~model it
   in
   let recycled =
     match resume with
@@ -400,10 +418,40 @@ let run ?(config = default) ?worker ?journal ?resume ?explainer
     |> List.map (fun (i, x) ->
            { q_idx = i; q_item = x; q_attempt = 0; not_before = 0. })
   in
+  (* graceful drain on SIGTERM/SIGINT: the handler only sets the latch;
+     the run loop does the draining at a safe point *)
+  let drain = ref None in
+  let install s =
+    try Some (Sys.signal s (Sys.Signal_handle (fun s -> drain := Some s)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let prev_term = install Sys.sigterm and prev_int = install Sys.sigint in
+  let restore s prev =
+    match prev with Some b -> (try Sys.set_signal s b with _ -> ()) | None -> ()
+  in
   let fresh =
-    Obs.with_span "pool" (fun () -> run_queue config ~worker ~on_entry queue)
+    Obs.with_span "pool" (fun () ->
+        run_queue config ~worker ~on_entry ~drain_sig:drain queue)
   in
   Option.iter Journal.close jw;
+  (match !drain with
+  | Some s ->
+      (* every in-flight worker was reaped and journalled; exit with the
+         conventional interrupted-by-signal code so callers and scripts
+         can tell a drained run from a completed one.  (The latch holds
+         OCaml's portable signal number, which is negative — map it back
+         to the system convention by hand.) *)
+      let sysnum = if s = Sys.sigint then 2 else 15 in
+      Printf.eprintf
+        "pool: %s received — drained %d finished item(s), journal %s; \
+         exiting %d\n%!"
+        (Exec.Check.signal_name s) (List.length fresh)
+        (match journal with Some p -> "flushed to " ^ p | None -> "not kept")
+        (128 + sysnum);
+      Stdlib.exit (128 + sysnum)
+  | None -> ());
+  restore Sys.sigterm prev_term;
+  restore Sys.sigint prev_int;
   (* reassemble in item order: recycled entries keep their item's slot *)
   let by_id = Hashtbl.create 64 in
   List.iter

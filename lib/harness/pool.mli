@@ -10,7 +10,14 @@
     - a worker dying on a signal is reaped as [Err {cls = Crash _}] and
       retried with exponential backoff (the retry marked [retried]);
     - with a journal, entries are appended and flushed as they arrive;
-      resuming recycles journalled items without re-running them.
+      resuming recycles journalled items without re-running them;
+    - SIGTERM/SIGINT mid-run trigger a graceful drain: dispatching
+      stops, in-flight workers are reaped and journalled (watchdogs
+      stay armed, so a wedged worker cannot hang the drain), the
+      journal is flushed and closed, and the process exits 128+signal
+      (143 SIGTERM, 130 SIGINT) — an interrupted [--journal] run is
+      always resumable.  The previous handlers are restored on normal
+      return.
 
     Entries come back in item order whatever the completion order, so
     [-j N] output is deterministic modulo timings.

@@ -115,12 +115,15 @@ let read_file path =
 
 exception Lint_failed of string
 
-let run_item ?(limits = Exec.Budget.default) ?(lint = true) ?explainer
+let run_item ?(limits = Exec.Budget.default) ?deadline ?(lint = true) ?explainer
     ~(model : model_factory) (item : item) =
   let t0 = Unix.gettimeofday () in
   let budget =
-    if Exec.Budget.is_unlimited limits then None
-    else Some (Exec.Budget.start limits)
+    match deadline with
+    | Some d -> Some (Exec.Budget.start_at ~deadline:d limits)
+    | None ->
+        if Exec.Budget.is_unlimited limits then None
+        else Some (Exec.Budget.start limits)
   in
   let finish ?result status =
     {

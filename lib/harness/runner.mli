@@ -105,9 +105,12 @@ val read_file : string -> string
     with "parse" and "lint" children (checking opens its own spans).
     [explainer] (forwarded to {!Exec.Check.run}) turns on verdict
     forensics: Forbid results carry validated explanations, at zero
-    cost when absent. *)
+    cost when absent.  [deadline] (checking-as-a-service) arms the
+    budget against an absolute deadline via {!Exec.Budget.start_at}, so
+    time spent queued before this call counts against the item. *)
 val run_item :
   ?limits:Exec.Budget.limits ->
+  ?deadline:float ->
   ?lint:bool ->
   ?explainer:(Exec.t -> Exec.Explain.t list) ->
   model:model_factory ->

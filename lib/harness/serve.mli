@@ -1,0 +1,92 @@
+(** Checking-as-a-service: a long-running daemon answering {!Proto}
+    requests over a Unix-domain socket, scheduling checks on an OCaml 5
+    domain-based worker pool.  Models are compiled once at startup and
+    shared by all workers (no fork, no marshalling, warm per-domain
+    static-prefix caches); robustness comes from five mechanisms, each
+    mapping a failure mode to a response class:
+
+    - bounded queue with admission control — [overloaded], never
+      unbounded accumulation;
+    - absolute per-request deadlines armed into worker budgets
+      ({!Exec.Budget.start_at}) — a slow request degrades to a
+      structured [unknown], never a stuck worker;
+    - a supervisor that abandons wedged worker domains (epoch bump:
+      stale completions are dropped, the abandoned loop exits on its
+      own) and replaces dead ones, up to a replacement bound;
+    - retry-once-with-backoff for requests in flight on a lost worker,
+      and [quarantined] for fingerprints that cost two workers;
+    - a content-addressed, journal-backed verdict cache ({!Vcache})
+      that survives [kill -9] and serves repeated requests without
+      touching a worker.
+
+    SIGTERM/SIGINT (or a [shutdown] request) drain gracefully: queued
+    requests are answered [overloaded], in-flight checks finish (up to
+    their deadline plus grace), the cache journal is closed. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path *)
+  workers : int;  (** worker domains (>= 1) *)
+  queue_bound : int;  (** max queued requests before [overloaded] *)
+  limits : Exec.Budget.limits;  (** per-check budget (timeout clamped
+      to the request deadline) *)
+  default_timeout : float;
+      (** request deadline, seconds, when the client sends none *)
+  max_line : int;  (** request lines over this many bytes are rejected *)
+  wedge_grace : float;
+      (** seconds past its job's deadline before a worker is abandoned *)
+  max_replacements : int;  (** lifetime bound on replacement domains *)
+  cache_journal : string option;  (** verdict-cache persistence path *)
+  fsync : bool;  (** fsync each cache insertion ({!Journal}) *)
+  chaos_ops : bool;  (** accept [chaos_kill]/[chaos_wedge] requests *)
+  retries : int;  (** retries for a request that lost its worker *)
+  backoff : float;  (** seconds before the first retry, doubling *)
+}
+
+val default : config
+(** 2 workers, queue 64, 10 s default deadline, 1 MiB lines, 2 s grace,
+    no cache journal, chaos ops off, one retry at 50 ms backoff. *)
+
+val run : ?config:config -> unit -> int
+(** Bind the socket, warm the models, spawn the workers and serve until
+    SIGTERM/SIGINT or a [shutdown] request; returns the exit code (0
+    after a clean drain).  Blocks the calling thread; intended as the
+    whole program of [lkserve]. *)
+
+(** Synchronous client for the daemon (used by [lkserve --client], the
+    chaos driver, the benchmark and the tests).  One request at a time:
+    each call sends one line and blocks for one response line. *)
+module Client : sig
+  type t
+
+  val connect : string -> t
+  (** Connect to the daemon's socket; raises [Unix.Unix_error] if the
+      daemon is not there. *)
+
+  val check :
+    t ->
+    ?id:string ->
+    ?model:string ->
+    ?timeout_ms:int ->
+    ?expected:Exec.Check.verdict ->
+    string ->
+    (Proto.response, string) result
+  (** Check one litmus source text; [id] defaults to a fresh
+      per-connection id (pass one explicitly to exercise duplicate-id
+      handling). *)
+
+  val ping : t -> (Proto.response, string) result
+  val stats : t -> (Proto.response, string) result
+  val shutdown : t -> (Proto.response, string) result
+  val chaos_kill : t -> (Proto.response, string) result
+  val chaos_wedge : t -> float -> (Proto.response, string) result
+
+  val send : t -> string -> unit
+  (** Raw line send (protocol-edge tests build their own lines). *)
+
+  val recv : t -> (Proto.response, string) result
+  (** Read one response line. *)
+
+  val request : t -> string -> (Proto.response, string) result
+
+  val close : t -> unit
+end

@@ -1,0 +1,136 @@
+(* Content-addressed verdict cache for the checking service.
+
+   A verdict depends on exactly two things: the test source and the
+   model checking it.  The cache key is therefore
+   [Digest (model_key NUL source)] — whitespace-identical resubmissions
+   of the same test under the same model hit, anything else misses.
+   [model_key] must capture the model's full identity: for built-in
+   models the name suffices (the binary pins the semantics); for .cat
+   files it must include a digest of the file's contents, which
+   {!Serve} arranges when it builds its model table.
+
+   Only deterministic outcomes are cached: [Pass] and [Fail] entries.
+   [Gave_up] depends on the budget a request happened to carry and
+   [Err] may be transient (a crashed worker), so both always re-run.
+
+   Persistence rides on {!Journal}: each insertion appends one JSONL
+   line — the entry's journal line with a leading ["vkey"] member — and
+   recovery re-reads the file through the same torn-tail-tolerant
+   loader the run journal uses, so a daemon killed mid-append recovers
+   every complete insertion and silently drops the torn one. *)
+
+type t = {
+  tbl : (string, Report.entry) Hashtbl.t;
+  mutex : Mutex.t;
+  writer : Journal.writer option;
+  hits : Obs.Counter.t;
+  misses : Obs.Counter.t;
+  stores : Obs.Counter.t;
+}
+
+let key ~model_key ~source =
+  Digest.to_hex (Digest.string (model_key ^ "\x00" ^ source))
+
+(* The persisted line: the entry's journal line with the cache key
+   spliced in as a leading member ({!Journal.entry_of_line} ignores
+   members it does not know, so the line is still a valid entry line). *)
+let line_of_binding vkey entry =
+  let line = Journal.line_of_entry entry in
+  (* line is "{...}"; re-open it with the vkey member in front. *)
+  Printf.sprintf "{\"vkey\": \"%s\", %s" (Report.json_escape vkey)
+    (String.sub line 1 (String.length line - 1))
+
+let cacheable (e : Report.entry) =
+  match e.Report.status with
+  | Report.Pass _ | Report.Fail _ -> true
+  | Report.Gave_up _ | Report.Err _ -> false
+
+(* Recovery walks the file line by line, keeping lines that both parse
+   as JSON with a ["vkey"] member and round-trip through
+   {!Journal.entry_of_line} — same tolerance as {!Journal.load}: torn
+   or foreign lines are dropped, never propagated. *)
+let load_bindings path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let acc = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         match Journal.Json.of_string line with
+         | exception Journal.Json.Malformed _ -> () (* torn tail, garbage *)
+         | j -> (
+             match
+               ( Option.bind (Journal.Json.mem "vkey" j) Journal.Json.str,
+                 Journal.entry_of_line line )
+             with
+             | Some vkey, Some entry when cacheable entry ->
+                 acc := (vkey, entry) :: !acc
+             | _ -> ())
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !acc
+  end
+
+let create ?journal ?(fsync = false) () =
+  let tbl = Hashtbl.create 256 in
+  let writer =
+    match journal with
+    | None -> None
+    | Some path ->
+        (* Recover first (tolerant), then open for append: bindings that
+           survived the crash keep serving, the torn tail is gone, and
+           new insertions extend the same file. *)
+        List.iter
+          (fun (k, e) -> Hashtbl.replace tbl k e)
+          (load_bindings path);
+        Some (Journal.open_writer ~fsync path)
+  in
+  {
+    tbl;
+    mutex = Mutex.create ();
+    writer;
+    hits = Obs.Counter.make "serve.cache.hits";
+    misses = Obs.Counter.make "serve.cache.misses";
+    stores = Obs.Counter.make "serve.cache.stores";
+  }
+
+let locked c f =
+  Mutex.lock c.mutex;
+  match f () with
+  | v ->
+      Mutex.unlock c.mutex;
+      v
+  | exception e ->
+      Mutex.unlock c.mutex;
+      raise e
+
+let find c vkey =
+  locked c (fun () ->
+      match Hashtbl.find_opt c.tbl vkey with
+      | Some e ->
+          Obs.Counter.incr c.hits;
+          Some e
+      | None ->
+          Obs.Counter.incr c.misses;
+          None)
+
+let store c vkey entry =
+  if cacheable entry then
+    locked c (fun () ->
+        if not (Hashtbl.mem c.tbl vkey) then begin
+          Hashtbl.replace c.tbl vkey entry;
+          Obs.Counter.incr c.stores;
+          match c.writer with
+          | Some w -> Journal.write_line w (line_of_binding vkey entry)
+          | None -> ()
+        end)
+
+let size c = locked c (fun () -> Hashtbl.length c.tbl)
+let hits c = Obs.Counter.value c.hits
+let misses c = Obs.Counter.value c.misses
+
+let close c =
+  locked c (fun () ->
+      match c.writer with Some w -> Journal.close w | None -> ())

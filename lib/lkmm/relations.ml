@@ -218,18 +218,26 @@ let make ?static (x : Exec.t) =
    array physically; keying on that identity makes the cache hit for
    every candidate but the structure's first, and a miss merely
    recomputes — caching is never observable in the results. *)
-let static_cache : (Exec.Event.t array * static_ctx) option ref = ref None
+(* Domain-local, not global: the checking-as-a-service scheduler runs
+   one check per domain concurrently, and a single shared slot would
+   thrash (every domain evicting the others' entry) and race.  Each
+   domain sees its own candidates consecutively, which is exactly the
+   access pattern the one-slot design wants. *)
+let static_cache : (Exec.Event.t array * static_ctx) option ref Domain.DLS.key
+    =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let make_cached (x : Exec.t) =
+  let cache = Domain.DLS.get static_cache in
   let s =
-    match !static_cache with
+    match !cache with
     | Some (ev, s) when ev == x.events ->
         Obs.Counter.incr c_cache_hits;
         s
     | _ ->
         Obs.Counter.incr c_cache_misses;
         let s = static_of x in
-        static_cache := Some (x.events, s);
+        cache := Some (x.events, s);
         s
   in
   make ~static:s x

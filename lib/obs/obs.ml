@@ -21,12 +21,34 @@
       the worker's spans with its pid — so a [-j N] run produces one
       coherent trace.
 
+   4. *Domain-transparent.*  {!Harness.Serve} checks requests on OCaml 5
+      domains sharing this one collector; counters are atomic, the span
+      ring and registries are guarded by a single mutex taken only in
+      the enabled paths, and the open-span *stack* is domain-local
+      (spans from different domains never nest under each other; each
+      span carries its domain id as [tid], 0 on the main domain so
+      single-domain traces are unchanged).
+
    Timestamps come from one clamped clock ({!now_us}): microseconds
    since collector creation, never decreasing even if the wall clock
    steps backwards, so spans are well-nested by construction.  Exports:
    JSONL (one self-describing line per span / counter / histogram, the
    format {!tools/obs_report} consumes) and the Chrome trace-event
    format, loadable directly in chrome://tracing or Perfetto. *)
+
+(* The one collector lock (see design constraint 4).  Every enabled-path
+   mutation of shared state takes it; disabled probes never touch it. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
 
 (* ------------------------------------------------------------------ *)
 (* The enable switch                                                   *)
@@ -72,14 +94,22 @@ type collector = {
   mutable ring : span array; (* slot i holds span number (total - live + i') *)
   mutable total : int; (* spans ever recorded *)
   mutable next_id : int;
-  mutable stack : span list; (* open spans, innermost first *)
 }
 
 let dummy =
   { id = -1; parent = -1; tid = 0; name = ""; item = ""; start_us = 0.;
     dur_us = 0. }
 
-let c = { ring = [||]; total = 0; next_id = 0; stack = [] }
+let c = { ring = [||]; total = 0; next_id = 0 }
+
+(* Open spans, innermost first — per domain, so concurrent domains each
+   keep a well-nested stack and never adopt each other's parents.
+   {!reset} clears the calling domain's stack only (a forked pool worker
+   has exactly one). *)
+let stack_key : span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
 
 let capacity () =
   if Array.length c.ring = 0 then c.ring <- Array.make default_capacity dummy;
@@ -94,9 +124,10 @@ let dropped () = max 0 (c.total - Array.length c.ring)
 
 (* Recorded spans, oldest first (closed or not). *)
 let spans () =
-  let cap = Array.length c.ring in
-  let live = min c.total cap in
-  List.init live (fun i -> c.ring.((c.total - live + i) mod cap))
+  locked (fun () ->
+      let cap = Array.length c.ring in
+      let live = min c.total cap in
+      List.init live (fun i -> c.ring.((c.total - live + i) mod cap)))
 
 let fresh_id () =
   let id = c.next_id in
@@ -104,13 +135,18 @@ let fresh_id () =
   id
 
 let enter ?(item = "") name =
-  let parent = match c.stack with s :: _ -> s.id | [] -> -1 in
+  let stk = stack () in
+  let parent = match !stk with s :: _ -> s.id | [] -> -1 in
   let s =
-    { id = fresh_id (); parent; tid = 0; name; item;
-      start_us = now_us (); dur_us = -1. }
+    locked (fun () ->
+        let s =
+          { id = fresh_id (); parent; tid = (Domain.self () :> int); name;
+            item; start_us = now_us (); dur_us = -1. }
+        in
+        push_span s;
+        s)
   in
-  push_span s;
-  c.stack <- s :: c.stack;
+  stk := s :: !stk;
   s
 
 let exit_span s =
@@ -122,7 +158,8 @@ let exit_span s =
     | _ :: rest -> pop rest
     | [] -> []
   in
-  if List.exists (fun x -> x == s) c.stack then c.stack <- pop c.stack
+  let stk = stack () in
+  if List.exists (fun x -> x == s) !stk then stk := pop !stk
 
 let with_span ?item name f =
   if not !on then f ()
@@ -136,7 +173,11 @@ let with_span ?item name f =
 (* ------------------------------------------------------------------ *)
 
 module Counter = struct
-  type t = { name : string; mutable v : int }
+  (* Atomic, not mutable-int: hot-path counters are bumped from every
+     checking domain concurrently and a plain read-modify-write would
+     lose increments.  fetch-and-add is one lock-prefixed instruction —
+     no mutex on the add path. *)
+  type t = { name : string; v : int Atomic.t }
 
   (* The registry survives {!reset} (values are zeroed in place), so
      module-level [make] bindings in instrumented code stay valid for
@@ -144,16 +185,17 @@ module Counter = struct
   let registry : (string, t) Hashtbl.t = Hashtbl.create 32
 
   let make name =
-    match Hashtbl.find_opt registry name with
-    | Some c -> c
-    | None ->
-        let c = { name; v = 0 } in
-        Hashtbl.add registry name c;
-        c
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some c -> c
+        | None ->
+            let c = { name; v = Atomic.make 0 } in
+            Hashtbl.add registry name c;
+            c)
 
-  let add c n = if !on then c.v <- c.v + n
+  let add c n = if !on then ignore (Atomic.fetch_and_add c.v n)
   let incr c = add c 1
-  let value c = c.v
+  let value c = Atomic.get c.v
   let name c = c.name
 end
 
@@ -178,29 +220,30 @@ module Histogram = struct
   let registry : (string, t) Hashtbl.t = Hashtbl.create 32
 
   let make name =
-    match Hashtbl.find_opt registry name with
-    | Some h -> h
-    | None ->
-        let h =
-          { name; count = 0; sum = 0.; min_v = infinity; max_v = neg_infinity;
-            buckets = Array.make n_buckets 0 }
-        in
-        Hashtbl.add registry name h;
-        h
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some h -> h
+        | None ->
+            let h =
+              { name; count = 0; sum = 0.; min_v = infinity;
+                max_v = neg_infinity; buckets = Array.make n_buckets 0 }
+            in
+            Hashtbl.add registry name h;
+            h)
 
   let bucket_of v =
     if v < 1. then 0
     else min (n_buckets - 1) (int_of_float (Float.log2 v))
 
   let observe h v =
-    if !on then begin
-      h.count <- h.count + 1;
-      h.sum <- h.sum +. v;
-      if v < h.min_v then h.min_v <- v;
-      if v > h.max_v then h.max_v <- v;
-      let b = bucket_of v in
-      h.buckets.(b) <- h.buckets.(b) + 1
-    end
+    if !on then
+      locked (fun () ->
+          h.count <- h.count + 1;
+          h.sum <- h.sum +. v;
+          if v < h.min_v then h.min_v <- v;
+          if v > h.max_v then h.max_v <- v;
+          let b = bucket_of v in
+          h.buckets.(b) <- h.buckets.(b) + 1)
 
   let count h = h.count
   let sum h = h.sum
@@ -211,12 +254,19 @@ end
 (* Reset, dump, merge (the fork boundary)                              *)
 (* ------------------------------------------------------------------ *)
 
-let counters () =
+(* The [_u] variants assume the collector lock is held (or never
+   contended: single-domain tooling paths); the public ones take it.
+   The lock is not reentrant, so locked code must call only [_u]s. *)
+
+let counters_u () =
   Hashtbl.fold
     (fun name (ct : Counter.t) acc ->
-      if ct.Counter.v <> 0 then (name, ct.Counter.v) :: acc else acc)
+      let v = Atomic.get ct.Counter.v in
+      if v <> 0 then (name, v) :: acc else acc)
     Counter.registry []
   |> List.sort compare
+
+let counters () = locked counters_u
 
 type hist_summary = {
   h_count : int;
@@ -226,7 +276,7 @@ type hist_summary = {
   h_buckets : int array;
 }
 
-let histograms () =
+let histograms_u () =
   Hashtbl.fold
     (fun name (h : Histogram.t) acc ->
       if h.Histogram.count > 0 then
@@ -239,20 +289,25 @@ let histograms () =
     Histogram.registry []
   |> List.sort compare
 
+let histograms () = locked histograms_u
+
 let reset () =
-  c.ring <- [||];
-  c.total <- 0;
-  c.next_id <- 0;
-  c.stack <- [];
-  Hashtbl.iter (fun _ (ct : Counter.t) -> ct.Counter.v <- 0) Counter.registry;
-  Hashtbl.iter
-    (fun _ (h : Histogram.t) ->
-      h.Histogram.count <- 0;
-      h.Histogram.sum <- 0.;
-      h.Histogram.min_v <- infinity;
-      h.Histogram.max_v <- neg_infinity;
-      Array.fill h.Histogram.buckets 0 Histogram.n_buckets 0)
-    Histogram.registry
+  (stack ()) := [];
+  locked (fun () ->
+      c.ring <- [||];
+      c.total <- 0;
+      c.next_id <- 0;
+      Hashtbl.iter
+        (fun _ (ct : Counter.t) -> Atomic.set ct.Counter.v 0)
+        Counter.registry;
+      Hashtbl.iter
+        (fun _ (h : Histogram.t) ->
+          h.Histogram.count <- 0;
+          h.Histogram.sum <- 0.;
+          h.Histogram.min_v <- infinity;
+          h.Histogram.max_v <- neg_infinity;
+          Array.fill h.Histogram.buckets 0 Histogram.n_buckets 0)
+        Histogram.registry)
 
 (* A dump is a self-contained marshalable snapshot: plain records,
    strings, floats and int arrays only, so it crosses the pool's
@@ -264,17 +319,23 @@ type dump = {
   d_hists : (string * hist_summary) list;
 }
 
+let spans_u () =
+  let cap = Array.length c.ring in
+  let live = min c.total cap in
+  List.init live (fun i -> c.ring.((c.total - live + i) mod cap))
+
 let dump () =
   let now = now_us () in
   let close s =
     if s.dur_us < 0. then { s with dur_us = now -. s.start_us } else s
   in
-  {
-    d_spans = List.map close (spans ());
-    d_dropped = dropped ();
-    d_counters = counters ();
-    d_hists = histograms ();
-  }
+  locked (fun () ->
+      {
+        d_spans = List.map close (spans_u ());
+        d_dropped = dropped ();
+        d_counters = counters_u ();
+        d_hists = histograms_u ();
+      })
 
 let empty_dump =
   { d_spans = []; d_dropped = 0; d_counters = []; d_hists = [] }
@@ -284,33 +345,59 @@ let empty_dump =
    own ring wrap becomes -1), and every span is tagged with [~tid] so
    traces distinguish workers.  Counters and histograms add up. *)
 let merge ?(tid = 0) (d : dump) =
-  let remap = Hashtbl.create 64 in
-  List.iter
-    (fun (s : span) ->
-      let id = fresh_id () in
-      Hashtbl.replace remap s.id id;
-      let parent =
-        match Hashtbl.find_opt remap s.parent with Some p -> p | None -> -1
-      in
-      push_span { s with id; parent; tid })
-    d.d_spans;
-  c.total <- c.total + d.d_dropped (* dropped spans stay counted *);
-  List.iter
-    (fun (name, v) ->
-      let ct = Counter.make name in
-      ct.Counter.v <- ct.Counter.v + v)
-    d.d_counters;
-  List.iter
-    (fun (name, hs) ->
-      let h = Histogram.make name in
-      h.Histogram.count <- h.Histogram.count + hs.h_count;
-      h.Histogram.sum <- h.Histogram.sum +. hs.h_sum;
-      if hs.h_min < h.Histogram.min_v then h.Histogram.min_v <- hs.h_min;
-      if hs.h_max > h.Histogram.max_v then h.Histogram.max_v <- hs.h_max;
-      Array.iteri
-        (fun i n -> h.Histogram.buckets.(i) <- h.Histogram.buckets.(i) + n)
-        hs.h_buckets)
-    d.d_hists
+  (* inlined find-or-create: Counter.make/Histogram.make take the lock,
+     which this whole fold already holds *)
+  let counter name =
+    match Hashtbl.find_opt Counter.registry name with
+    | Some c -> c
+    | None ->
+        let c = { Counter.name; v = Atomic.make 0 } in
+        Hashtbl.add Counter.registry name c;
+        c
+  in
+  let histogram name =
+    match Hashtbl.find_opt Histogram.registry name with
+    | Some h -> h
+    | None ->
+        let h =
+          { Histogram.name; count = 0; sum = 0.; min_v = infinity;
+            max_v = neg_infinity;
+            buckets = Array.make Histogram.n_buckets 0 }
+        in
+        Hashtbl.add Histogram.registry name h;
+        h
+  in
+  locked (fun () ->
+      let remap = Hashtbl.create 64 in
+      List.iter
+        (fun (s : span) ->
+          let id = fresh_id () in
+          Hashtbl.replace remap s.id id;
+          let parent =
+            match Hashtbl.find_opt remap s.parent with
+            | Some p -> p
+            | None -> -1
+          in
+          push_span { s with id; parent; tid })
+        d.d_spans;
+      c.total <- c.total + d.d_dropped (* dropped spans stay counted *);
+      List.iter
+        (fun (name, v) ->
+          let ct = counter name in
+          ignore (Atomic.fetch_and_add ct.Counter.v v))
+        d.d_counters;
+      List.iter
+        (fun (name, hs) ->
+          let h = histogram name in
+          h.Histogram.count <- h.Histogram.count + hs.h_count;
+          h.Histogram.sum <- h.Histogram.sum +. hs.h_sum;
+          if hs.h_min < h.Histogram.min_v then h.Histogram.min_v <- hs.h_min;
+          if hs.h_max > h.Histogram.max_v then h.Histogram.max_v <- hs.h_max;
+          Array.iteri
+            (fun i n ->
+              h.Histogram.buckets.(i) <- h.Histogram.buckets.(i) + n)
+            hs.h_buckets)
+        d.d_hists)
 
 (* ------------------------------------------------------------------ *)
 (* Export                                                              *)

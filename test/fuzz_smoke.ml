@@ -6,7 +6,11 @@
      failure is a classified entry (parse/lex/type/lint/budget/internal);
    - Cat.parse on garbage raises only its typed Parser.Error/Lexer.Error;
    - cat sources that still parse run as models through the same fault
-     barrier without escaping exceptions.
+     barrier without escaping exceptions;
+   - the explain path rides along on every check (the native explainer
+     for litmus mutants, the mutated model explaining itself for cat
+     mutants): explainer failures must surface as classified entries
+     through the same barrier, never as escapes.
 
    Deterministic: a fixed Random.State seed, so a failure reproduces.
    Run directly (dune exec test/fuzz_smoke.exe) or via dune runtest. *)
@@ -81,10 +85,16 @@ let limits = Exec.Budget.limits ~timeout:2.0 ~max_candidates:20_000 ()
 
 let escaped = ref 0 (* exceptions that got past a fault barrier *)
 let untyped = ref 0 (* cat parse failures outside the typed errors *)
+let explained = ref 0 (* mutants whose run produced explanations *)
 let total = ref 0
 let by_status = Hashtbl.create 16
 
 let record k = Hashtbl.replace by_status k (1 + try Hashtbl.find by_status k with Not_found -> 0)
+
+let note_explained (e : Harness.Runner.entry) =
+  match e.Harness.Runner.result with
+  | Some r when r.Exec.Check.explanations <> [] -> incr explained
+  | _ -> ()
 
 let run_litmus_mutant src =
   incr total;
@@ -92,11 +102,12 @@ let run_litmus_mutant src =
     { Harness.Runner.id = "mutant"; source = `Text src; expected = None }
   in
   match
-    Harness.Runner.run_item ~limits
+    Harness.Runner.run_item ~limits ~explainer:Lkmm.Explain.explainer
       ~model:(Harness.Runner.static_model (module Lkmm))
       item
   with
   | e ->
+      note_explained e;
       record
         (match e.Harness.Runner.status with
         | Harness.Runner.Pass _ -> "pass"
@@ -118,14 +129,21 @@ let run_cat_mutant src =
   | model -> (
       record "cat-parses";
       (* the mutated model still parses: interpret it inside the fault
-         barrier, where type errors must come out classified *)
+         barrier, where type errors must come out classified — with the
+         mutated model also explaining its own verdicts, so explainer
+         faults (bad relation references, broken checks) hit the same
+         barrier *)
       let factory budget = Cat.to_check_model ~name:"mutant" ?budget model in
       let item =
         { Harness.Runner.id = "cat-mutant"; source = `Text sb_probe;
           expected = None }
       in
-      match Harness.Runner.run_item ~limits ~model:factory item with
+      match
+        Harness.Runner.run_item ~limits ~explainer:(Cat.explainer model)
+          ~model:factory item
+      with
       | e ->
+          note_explained e;
           record
             (match e.Harness.Runner.status with
             | Harness.Runner.Err i ->
@@ -164,7 +182,8 @@ let () =
         run_cat_mutant (mutate rng src)
       done)
     cat_bases;
-  Printf.printf "fuzz_smoke: %d mutated inputs\n" !total;
+  Printf.printf "fuzz_smoke: %d mutated inputs (%d with explanations)\n"
+    !total !explained;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_status []
   |> List.sort compare
   |> List.iter (fun (k, v) -> Printf.printf "  %-14s %d\n" k v);
@@ -175,6 +194,12 @@ let () =
   if !escaped > 0 || !untyped > 0 then begin
     Printf.eprintf "fuzz_smoke: %d escaped exception(s), %d untyped failure(s)\n"
       !escaped !untyped;
+    exit 1
+  end;
+  if !explained = 0 then begin
+    (* the explainer must actually have run on some mutants, or the
+       explain-path coverage above is vacuous *)
+    Printf.eprintf "fuzz_smoke: explain path never exercised\n";
     exit 1
   end;
   print_endline "fuzz_smoke: OK (no uncaught exceptions)"

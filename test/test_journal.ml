@@ -118,6 +118,59 @@ let test_writer_appends () =
   Alcotest.(check (list string)) "both sessions present" [ "p"; "f" ]
     (List.map (fun (e : R.entry) -> e.R.item_id) loaded)
 
+let test_fsync_writer () =
+  let path = tmpfile () in
+  let w = J.open_writer ~fsync:true path in
+  List.iter (J.write w) sample_entries;
+  J.close w;
+  let loaded = J.load path in
+  Sys.remove path;
+  Alcotest.(check (list string))
+    "all entries durable through the fsync path"
+    (List.map (fun (e : R.entry) -> e.R.item_id) sample_entries)
+    (List.map (fun (e : R.entry) -> e.R.item_id) loaded)
+
+(* The recovery property, exhaustively: truncate a journal at *every*
+   byte offset.  Whatever the cut, recovery must yield exactly the
+   entries whose complete line text fits under it — never dropping a
+   complete entry, never accepting a torn one. *)
+let test_truncate_every_offset () =
+  let entries =
+    [
+      List.nth sample_entries 0;
+      List.nth sample_entries 2;
+      List.nth sample_entries 6;
+      List.nth sample_entries 8;
+    ]
+  in
+  let texts = List.map J.line_of_entry entries in
+  let full = String.concat "" (List.map (fun t -> t ^ "\n") texts) in
+  (* offset at which each entry's line text (newline excluded — a final
+     line torn of its newline still parses) is complete *)
+  let ends, _ =
+    List.fold_left
+      (fun (acc, pos) t ->
+        let e = pos + String.length t in
+        (e :: acc, e + 1))
+      ([], 0) texts
+  in
+  let ends = List.rev ends in
+  let path = tmpfile () in
+  for cut = 0 to String.length full do
+    write_lines path [ String.sub full 0 cut ];
+    let expected =
+      List.filteri (fun i _ -> List.nth ends i <= cut) entries
+    in
+    let loaded = J.load path in
+    Alcotest.(check (list string))
+      (Printf.sprintf "cut at byte %d" cut)
+      (List.map (fun (e : R.entry) -> e.R.item_id) expected)
+      (List.map (fun (e : R.entry) -> e.R.item_id) loaded);
+    List.iter2 (fun e e' -> check_entry_eq "recovered intact" e e')
+      expected loaded
+  done;
+  Sys.remove path
+
 (* ------------------------------------------------------------------ *)
 (* Resume after SIGKILL                                                *)
 (* ------------------------------------------------------------------ *)
@@ -235,6 +288,9 @@ let () =
           Alcotest.test_case "duplicate ids" `Quick
             test_duplicate_ids_last_wins;
           Alcotest.test_case "writer appends" `Quick test_writer_appends;
+          Alcotest.test_case "fsync writer" `Quick test_fsync_writer;
+          Alcotest.test_case "truncate at every offset" `Quick
+            test_truncate_every_offset;
         ] );
       ( "resume",
         [

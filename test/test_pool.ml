@@ -8,6 +8,7 @@
 
 module R = Harness.Runner
 module P = Harness.Pool
+module J = Harness.Journal
 module B = Exec.Budget
 
 let limits = B.limits ~timeout:5.0 ~max_candidates:50_000 ()
@@ -171,6 +172,94 @@ let test_agrees_with_runner () =
   Alcotest.(check int) "same exit code" (R.exit_code inproc)
     (R.exit_code pooled)
 
+(* ------------------------------------------------------------------ *)
+(* Graceful drain on SIGTERM                                           *)
+(* ------------------------------------------------------------------ *)
+
+let count_lines path =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let ic = open_in path in
+    let k = ref 0 in
+    (try
+       while true do
+         ignore (input_line ic);
+         incr k
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !k
+  end
+
+let wait_for_lines path n deadline =
+  let rec go () =
+    if count_lines path >= n then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.01;
+      go ()
+    end
+  in
+  go ()
+
+(* SIGTERM a -j 2 run mid-corpus: the pool must stop dispatching, reap
+   what is in flight, journal it, and exit 143 — leaving a journal a
+   resumed run completes from. *)
+let test_sigterm_drains_journal () =
+  let path = Filename.temp_file "pool_drain" ".jsonl" in
+  Sys.remove path;
+  let battery =
+    List.concat_map
+      (fun n -> [ item (n ^ "/SB") (src "SB") (Some Exec.Check.Allow) ])
+      [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" ]
+  in
+  let cfg = { P.default with P.jobs = 2; limits; backoff = 0.01 } in
+  (* each item sleeps, so SIGTERM lands mid-corpus with items in flight *)
+  let slow (it : R.item) =
+    Unix.sleepf 0.15;
+    normal_worker it
+  in
+  flush stdout;
+  flush stderr;
+  let child =
+    match Unix.fork () with
+    | 0 ->
+        (* the drain path calls exit itself; 0 would mean it didn't *)
+        (try ignore (P.run ~config:cfg ~worker:slow ~journal:path ~model battery)
+         with _ -> ());
+        Unix._exit 0
+    | pid -> pid
+  in
+  let got_two = wait_for_lines path 2 (Unix.gettimeofday () +. 20.) in
+  Unix.kill child Sys.sigterm;
+  let _, status = Unix.waitpid [] child in
+  Alcotest.(check bool) "journal grew before the signal" true got_two;
+  (match status with
+  | Unix.WEXITED 143 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "expected exit 143, got %d" n
+  | Unix.WSIGNALED s -> Alcotest.failf "died on signal %d instead of draining" s
+  | Unix.WSTOPPED _ -> Alcotest.fail "stopped");
+  (* every journalled line is a complete, well-formed entry *)
+  let drained = J.load path in
+  let n_drained = List.length drained in
+  Alcotest.(check bool) "partial but non-empty journal" true
+    (n_drained >= 2 && n_drained < List.length battery);
+  List.iter
+    (fun (e : R.entry) ->
+      match e.R.status with
+      | R.Pass _ -> ()
+      | s -> Alcotest.failf "%s drained as %a" e.R.item_id R.pp_status s)
+    drained;
+  (* the journal resumes: only the missing items re-run, the report is
+     the uninterrupted one *)
+  let resumed = P.run ~config:cfg ~journal:path ~resume:path ~model battery in
+  Alcotest.(check int) "all items reported" (List.length battery)
+    (List.length resumed.R.entries);
+  Alcotest.(check int) "all passed" (List.length battery) resumed.R.n_pass;
+  Alcotest.(check int) "journal now complete" (List.length battery)
+    (List.length (J.load path));
+  Sys.remove path
+
 let () =
   Alcotest.run "pool"
     [
@@ -187,6 +276,11 @@ let () =
         [
           Alcotest.test_case "flaky crash retried" `Quick
             test_flaky_crash_retried;
+        ] );
+      ( "drain",
+        [
+          Alcotest.test_case "SIGTERM drains and journal resumes" `Slow
+            test_sigterm_drains_journal;
         ] );
       ( "policy",
         [

@@ -1,0 +1,193 @@
+(* Benchmark of the checking service against batch mode.
+
+     dune exec tools/bench_serve.exe               # full, BENCH_serve.json
+     dune exec tools/bench_serve.exe -- --smoke    # CI smoke (small sample)
+     dune exec tools/bench_serve.exe -- out.json
+
+   Three measurements over the same corpus sample:
+
+   - cold: every test submitted once to a fresh daemon — each is a
+     cache miss and runs on a worker domain (models pre-compiled, no
+     fork, no marshalling);
+   - warm: the same tests resubmitted — each is a verdict-cache hit,
+     answered without touching a worker;
+   - pool: the same tests through Harness.Pool at the same parallelism
+     — the fork-per-test batch baseline the daemon competes with.
+
+   Requests are sequential (one connection, one in flight), so the
+   latency percentiles are honest end-to-end round-trips and the
+   throughput numbers are conservative for the daemon (workers are
+   mostly idle under a single synchronous client).
+
+   Gate: warm throughput must be at least 3x cold throughput — if a
+   cache hit is not clearly cheaper than a fresh check, the cache is
+   broken.  Exits 1 on a gate violation. *)
+
+module S = Harness.Serve
+module Pr = Harness.Proto
+module R = Harness.Runner
+module P = Harness.Pool
+module B = Exec.Budget
+
+let smoke = Array.exists (( = ) "--smoke") Sys.argv
+
+let out =
+  let named =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a -> a <> "--smoke")
+  in
+  match named with f :: _ -> f | [] -> "BENCH_serve.json"
+
+let corpus_dir = "corpus"
+let n_sample = if smoke then 10 else 60
+let workers = 2
+
+let sample_tests () =
+  let files =
+    Sys.readdir corpus_dir |> Array.to_list |> List.sort compare
+    |> List.filter (fun f -> Filename.check_suffix f ".litmus")
+  in
+  (* deterministic spread over the corpus: every k-th file *)
+  let k = max 1 (List.length files / n_sample) in
+  files
+  |> List.filteri (fun i _ -> i mod k = 0)
+  |> List.filteri (fun i _ -> i < n_sample)
+  |> List.map (fun f -> (f, R.read_file (Filename.concat corpus_dir f)))
+
+let limits = B.limits ~timeout:10.0 ~max_candidates:200_000 ()
+
+let socket = Filename.temp_file "bench_serve" ".sock"
+
+let config =
+  {
+    S.default with
+    S.socket;
+    workers;
+    queue_bound = 256;
+    limits;
+    default_timeout = 10.0;
+  }
+
+let start_daemon () =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      let code = try S.run ~config () with _ -> 125 in
+      Unix._exit code
+  | pid -> pid
+
+let connect_retry () =
+  let stop = Unix.gettimeofday () +. 30. in
+  let rec go () =
+    match S.Client.connect socket with
+    | c -> c
+    | exception Unix.Unix_error _ ->
+        if Unix.gettimeofday () > stop then failwith "daemon did not come up"
+        else begin
+          Unix.sleepf 0.05;
+          go ()
+        end
+  in
+  go ()
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (float_of_int n *. p)))
+
+(* One pass: submit every test sequentially, return (wall, latencies). *)
+let pass c tests expect_cache =
+  let lats =
+    List.map
+      (fun (name, source) ->
+        let t0 = Unix.gettimeofday () in
+        (match S.Client.check c source with
+        | Ok r ->
+            (match r.Pr.rsp_cls with
+            | Pr.Ok_ | Pr.Fail | Pr.Unknown -> ()
+            | cls ->
+                Printf.eprintf "bench_serve: %s answered %s\n%!" name
+                  (Pr.cls_name cls));
+            (match (expect_cache, r.Pr.rsp_cache_hit) with
+            | Some want, Some got when want <> got ->
+                Printf.eprintf "bench_serve: %s cache %b, expected %b\n%!" name
+                  got want
+            | _ -> ())
+        | Error e -> Printf.eprintf "bench_serve: %s: %s\n%!" name e);
+        Unix.gettimeofday () -. t0)
+      tests
+  in
+  let arr = Array.of_list lats in
+  Array.sort compare arr;
+  (List.fold_left ( +. ) 0. lats, arr)
+
+let () =
+  let tests = sample_tests () in
+  let n = List.length tests in
+  Printf.printf "bench_serve: %d corpus tests, %d workers%s\n%!" n workers
+    (if smoke then " (smoke)" else "");
+  Sys.remove socket;
+  let pid = start_daemon () in
+  let c = connect_retry () in
+  let cold_wall, cold_lat = pass c tests (Some false) in
+  let warm_wall, warm_lat = pass c tests (Some true) in
+  ignore (S.Client.shutdown c);
+  S.Client.close c;
+  ignore (Unix.waitpid [] pid);
+  (try Sys.remove socket with Sys_error _ -> ());
+  (* batch baseline: the same tests through the fork-per-item pool *)
+  let items =
+    List.map
+      (fun (name, source) -> { R.id = name; source = `Text source;
+                               expected = None })
+      tests
+  in
+  let t0 = Unix.gettimeofday () in
+  let report =
+    P.run
+      ~config:{ P.default with P.jobs = workers; limits }
+      ~model:(R.static_model (module Lkmm : Exec.Check.MODEL))
+      items
+  in
+  let pool_wall = Unix.gettimeofday () -. t0 in
+  ignore report;
+  let thr wall = float_of_int n /. wall in
+  let cold_thr = thr cold_wall and warm_thr = thr warm_wall in
+  let ratio = warm_thr /. cold_thr in
+  let ms x = x *. 1000. in
+  let json =
+    Printf.sprintf
+      {|{
+  "schema_version": 1,
+  "mode": "%s",
+  "n_tests": %d,
+  "workers": %d,
+  "cold": { "wall_s": %.4f, "tests_per_s": %.2f, "p50_ms": %.3f, "p99_ms": %.3f },
+  "warm": { "wall_s": %.4f, "tests_per_s": %.2f, "p50_ms": %.3f, "p99_ms": %.3f },
+  "pool": { "wall_s": %.4f, "tests_per_s": %.2f, "jobs": %d },
+  "warm_over_cold": %.2f,
+  "daemon_cold_over_pool": %.2f
+}
+|}
+      (if smoke then "smoke" else "full")
+      n workers cold_wall cold_thr
+      (ms (percentile cold_lat 0.5))
+      (ms (percentile cold_lat 0.99))
+      warm_wall warm_thr
+      (ms (percentile warm_lat 0.5))
+      (ms (percentile warm_lat 0.99))
+      pool_wall (thr pool_wall) workers ratio
+      (cold_thr /. thr pool_wall)
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  Printf.printf "bench_serve: wrote %s\n%!" out;
+  if ratio < 3.0 then begin
+    Printf.eprintf
+      "bench_serve: GATE FAILED — warm throughput only %.2fx cold (need 3x)\n%!"
+      ratio;
+    exit 1
+  end

@@ -1,0 +1,410 @@
+(* Fault-injection driver for the checking service (Harness.Serve).
+
+     dune exec tools/chaos.exe -- --seconds 60 --seed 42
+
+   Forks an lkserve daemon (chaos ops enabled, verdict cache
+   journalled) and replays corpus tests at it while injecting every
+   fault the service claims to survive:
+
+   - chaos_kill / chaos_wedge requests that cost worker domains;
+   - malformed, oversized and deadline-zero requests;
+   - pipelined bursts past the admission queue bound;
+   - kill -9 of the whole daemon, truncation of the cache journal at a
+     random byte offset (a torn write), and restart.
+
+   Every check response carrying a verdict is compared against ground
+   truth computed in-process through the same Runner the batch tools
+   use.  Acceptance: zero wrong verdicts, zero unexpected daemon
+   deaths, every response inside the structured taxonomy, and at least
+   one verdict served from the recovered cache after a restart.  Exits
+   non-zero on any violation. *)
+
+module S = Harness.Serve
+module Pr = Harness.Proto
+module R = Harness.Runner
+module B = Exec.Budget
+
+let usage = "chaos [--seconds N] [--seed N] [--corpus DIR] [--tests N]"
+
+let seconds = ref 30.0
+let seed = ref 42
+let corpus_dir = ref "corpus"
+let n_tests = ref 24
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--seconds" :: v :: rest ->
+        seconds := float_of_string v;
+        parse rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | "--corpus" :: v :: rest ->
+        corpus_dir := v;
+        parse rest
+    | "--tests" :: v :: rest ->
+        n_tests := int_of_string v;
+        parse rest
+    | a :: _ ->
+        prerr_endline ("chaos: unknown argument " ^ a ^ "\nusage: " ^ usage);
+        exit 124
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let rng = Random.State.make [| !seed |]
+let pick l = List.nth l (Random.State.int rng (List.length l))
+
+(* ------------------------------------------------------------------ *)
+(* Ground truth                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type truth = { name : string; source : string; verdict : string }
+
+let ground_truth () =
+  let files =
+    Sys.readdir !corpus_dir |> Array.to_list |> List.sort compare
+    |> List.filter (fun f -> Filename.check_suffix f ".litmus")
+  in
+  if files = [] then begin
+    prerr_endline ("chaos: no .litmus files in " ^ !corpus_dir);
+    exit 124
+  end;
+  (* a seed-stable sample: shuffle by random keys, take the prefix *)
+  let sample =
+    files
+    |> List.map (fun f -> (Random.State.bits rng, f))
+    |> List.sort compare |> List.map snd
+    |> List.filteri (fun i _ -> i < !n_tests)
+  in
+  let limits = B.limits ~timeout:10.0 () in
+  let model = R.static_model (module Lkmm : Exec.Check.MODEL) in
+  List.filter_map
+    (fun f ->
+      let source = R.read_file (Filename.concat !corpus_dir f) in
+      let entry =
+        R.run_item ~limits ~model { R.id = f; source = `Text source;
+                                    expected = None }
+      in
+      match entry.R.status with
+      | R.Pass Exec.Check.Allow -> Some { name = f; source; verdict = "Allow" }
+      | R.Pass Exec.Check.Forbid ->
+          Some { name = f; source; verdict = "Forbid" }
+      | _ -> None (* non-deterministic under budget: useless as truth *))
+    sample
+
+(* ------------------------------------------------------------------ *)
+(* Daemon lifecycle                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let socket = Filename.temp_file "chaos" ".sock"
+let journal = Filename.temp_file "chaos" ".jsonl"
+
+let config =
+  {
+    S.default with
+    S.socket;
+    workers = 2;
+    queue_bound = 8;
+    limits = B.limits ~timeout:2.0 ~max_candidates:200_000 ();
+    default_timeout = 2.0;
+    max_line = 1 lsl 16;
+    wedge_grace = 0.4;
+    backoff = 0.02;
+    cache_journal = Some journal;
+    chaos_ops = true;
+  }
+
+let start_daemon () =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      let code = try S.run ~config () with _ -> 125 in
+      Unix._exit code
+  | pid -> pid
+
+let connect_retry () =
+  let stop = Unix.gettimeofday () +. 30. in
+  let rec go () =
+    match S.Client.connect socket with
+    | c -> c
+    | exception Unix.Unix_error _ ->
+        if Unix.gettimeofday () > stop then failwith "daemon did not come up"
+        else begin
+          Unix.sleepf 0.05;
+          go ()
+        end
+  in
+  go ()
+
+(* Has the daemon died behind our back? *)
+let daemon_alive pid =
+  match Unix.waitpid [ Unix.WNOHANG ] pid with
+  | 0, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> false
+
+(* ------------------------------------------------------------------ *)
+(* Scoreboard                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let wrong_verdicts = ref 0
+let daemon_deaths = ref 0
+let unanswered = ref 0
+let restart_hits = ref 0
+let restarts = ref 0
+let classes = Hashtbl.create 8
+let actions = Hashtbl.create 8
+
+let bump tbl k =
+  Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+
+let note_response action t_opt = function
+  | Error e ->
+      incr unanswered;
+      Printf.eprintf "chaos: UNANSWERED %s: %s\n%!" action e
+  | Ok (r : Pr.response) -> (
+      bump classes (Pr.cls_name r.Pr.rsp_cls);
+      match (t_opt, r.Pr.rsp_cls, r.Pr.rsp_verdict) with
+      | Some t, (Pr.Ok_ | Pr.Fail), Some v when v <> t.verdict ->
+          incr wrong_verdicts;
+          Printf.eprintf "chaos: WRONG VERDICT %s: daemon says %s, truth %s\n%!"
+            t.name v t.verdict
+      | Some t, (Pr.Ok_ | Pr.Fail), None ->
+          incr wrong_verdicts;
+          Printf.eprintf "chaos: WRONG: completed class without verdict (%s)\n%!"
+            t.name
+      | _ -> () (* unknown / overloaded / error carry no verdict claim *))
+
+(* ------------------------------------------------------------------ *)
+(* Actions                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check_action truths ctl =
+  let t = pick truths in
+  bump actions "check";
+  (* sometimes assert the truth, sometimes contradict it — the class
+     must track the expectation either way *)
+  let expected, want_cls =
+    match Random.State.int rng 3 with
+    | 0 -> (None, None)
+    | 1 ->
+        ( Some
+            (if t.verdict = "Allow" then Exec.Check.Allow else Exec.Check.Forbid),
+          Some Pr.Ok_ )
+    | _ ->
+        ( Some
+            (if t.verdict = "Allow" then Exec.Check.Forbid else Exec.Check.Allow),
+          Some Pr.Fail )
+  in
+  let r = S.Client.check ctl ?expected t.source in
+  note_response "check" (Some t) r;
+  match (r, want_cls) with
+  | Ok rr, Some want
+    when rr.Pr.rsp_cls <> want
+         && (rr.Pr.rsp_cls = Pr.Ok_ || rr.Pr.rsp_cls = Pr.Fail) ->
+      incr wrong_verdicts;
+      Printf.eprintf "chaos: WRONG CLASS %s: got %s, wanted %s\n%!" t.name
+        (Pr.cls_name rr.Pr.rsp_cls) (Pr.cls_name want)
+  | _ -> ()
+
+let kill_action ctl =
+  bump actions "chaos_kill";
+  note_response "chaos_kill" None (S.Client.chaos_kill ctl)
+
+let wedge_action ctl =
+  bump actions "chaos_wedge";
+  note_response "chaos_wedge" None
+    (S.Client.chaos_wedge ctl (3.0 +. Random.State.float rng 5.0))
+
+let malformed_action ctl =
+  bump actions "malformed";
+  let garbage =
+    pick
+      [
+        "{\"id\": \"m\", \"op\": ";
+        "not json at all";
+        "{\"op\": \"check\"}";
+        "{\"id\": \"m\", \"op\": \"check\"}";
+        "[1, 2, 3]";
+        "{\"id\": \"m\", \"op\": \"nonsense\"}";
+      ]
+  in
+  S.Client.send ctl garbage;
+  note_response "malformed" None (S.Client.recv ctl)
+
+let oversized_action ctl =
+  bump actions "oversized";
+  S.Client.send ctl
+    ("{\"id\": \"big\", \"op\": \"check\", \"test\": \""
+    ^ String.make (config.S.max_line + 1024) 'x');
+  note_response "oversized" None (S.Client.recv ctl)
+
+let deadline_zero_action truths ctl =
+  bump actions "deadline_zero";
+  let t = pick truths in
+  note_response "deadline_zero" (Some t)
+    (S.Client.check ctl ~timeout_ms:0 t.source)
+
+(* Pipeline a burst past the queue bound on a dedicated connection; all
+   must be answered (some overloaded), verdicts must stay correct. *)
+let burst_action truths =
+  bump actions "burst";
+  let c = connect_retry () in
+  let n = config.S.queue_bound * 2 in
+  let sent =
+    List.init n (fun i ->
+        let t = pick truths in
+        S.Client.send c
+          (Pr.check_line ~id:(Printf.sprintf "b%d" i) t.source);
+        (Printf.sprintf "b%d" i, t))
+  in
+  List.iter
+    (fun _ ->
+      match S.Client.recv c with
+      | Error e ->
+          incr unanswered;
+          Printf.eprintf "chaos: UNANSWERED burst: %s\n%!" e
+      | Ok r ->
+          let t = List.assoc_opt r.Pr.rsp_id sent in
+          note_response "burst" t (Ok r))
+    sent;
+  S.Client.close c
+
+(* kill -9 the daemon, tear the cache journal, restart, and check that
+   recovered verdicts (a) still serve and (b) are still right. *)
+let restart_action truths pid =
+  bump actions "restart";
+  incr restarts;
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  (* tear the journal tail at a random offset (first restart keeps the
+     file whole so at least one recovery is loss-free) *)
+  let size =
+    try (Unix.stat journal).Unix.st_size with Unix.Unix_error _ -> 0
+  in
+  if !restarts > 1 && size > 0 then begin
+    let keep = Random.State.int rng (size + 1) in
+    let fd = Unix.openfile journal [ Unix.O_WRONLY ] 0 in
+    Unix.ftruncate fd keep;
+    Unix.close fd
+  end;
+  let pid = start_daemon () in
+  let ctl = connect_retry () in
+  (* replay the whole truth sample: answers must be correct whether they
+     come from the recovered cache or from a fresh check *)
+  List.iter
+    (fun t ->
+      match S.Client.check ctl t.source with
+      | Ok r ->
+          note_response "post-restart" (Some t) (Ok r);
+          if r.Pr.rsp_cache_hit = Some true then incr restart_hits
+      | Error e ->
+          incr unanswered;
+          Printf.eprintf "chaos: UNANSWERED post-restart: %s\n%!" e)
+    truths;
+  (pid, ctl)
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  (* a wedged driver is a failed run, not a hung CI job *)
+  ignore (Unix.alarm (int_of_float !seconds * 3 + 120));
+  Printf.printf "chaos: computing ground truth (%d tests)...\n%!" !n_tests;
+  let truths = ground_truth () in
+  Printf.printf "chaos: %d deterministic truths; running %.0fs with seed %d\n%!"
+    (List.length truths) !seconds !seed;
+  if List.length truths < 4 then begin
+    prerr_endline "chaos: not enough deterministic tests to differentiate";
+    exit 124
+  end;
+  Sys.remove socket;
+  (try Sys.remove journal with Sys_error _ -> ());
+  let pid = ref (start_daemon ()) in
+  let ctl = ref (connect_retry ()) in
+  let stop_at = Unix.gettimeofday () +. !seconds in
+  let last_restart = ref (Unix.gettimeofday ()) in
+  while Unix.gettimeofday () < stop_at do
+    if not (daemon_alive !pid) then begin
+      incr daemon_deaths;
+      Printf.eprintf "chaos: DAEMON DIED unexpectedly — restarting\n%!";
+      pid := start_daemon ();
+      ctl := connect_retry ()
+    end;
+    (* roughly every 8 wall seconds, a kill -9 + torn-journal restart *)
+    if Unix.gettimeofday () -. !last_restart > 8.0 then begin
+      let p, c = restart_action truths !pid in
+      S.Client.close !ctl;
+      pid := p;
+      ctl := c;
+      last_restart := Unix.gettimeofday ()
+    end
+    else begin
+      match Random.State.int rng 100 with
+      | n when n < 55 -> check_action truths !ctl
+      | n when n < 65 -> kill_action !ctl
+      | n when n < 72 -> wedge_action !ctl
+      | n when n < 80 -> malformed_action !ctl
+      | n when n < 86 -> oversized_action !ctl
+      | n when n < 92 -> deadline_zero_action truths !ctl
+      | _ -> burst_action truths
+    end
+  done;
+  (* final health check and graceful shutdown *)
+  let healthy =
+    match S.Client.ping !ctl with Ok r -> r.Pr.rsp_cls = Pr.Ok_ | Error _ -> false
+  in
+  if not healthy then begin
+    incr daemon_deaths;
+    Printf.eprintf "chaos: daemon unresponsive at end of run\n%!"
+  end;
+  ignore (S.Client.shutdown !ctl);
+  S.Client.close !ctl;
+  let rec reap tries =
+    if tries = 0 then begin
+      Unix.kill !pid Sys.sigkill;
+      ignore (Unix.waitpid [] !pid);
+      incr daemon_deaths;
+      prerr_endline "chaos: daemon did not drain on shutdown"
+    end
+    else
+      match Unix.waitpid [ Unix.WNOHANG ] !pid with
+      | 0, _ ->
+          Unix.sleepf 0.1;
+          reap (tries - 1)
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ ->
+          incr daemon_deaths;
+          prerr_endline "chaos: daemon exited abnormally on shutdown"
+  in
+  reap 100;
+  (try Sys.remove journal with Sys_error _ -> ());
+  (try Sys.remove socket with Sys_error _ -> ());
+  let total = Hashtbl.fold (fun _ n acc -> n + acc) classes 0 in
+  Printf.printf "\nchaos: %d responses over %d restarts\n" total !restarts;
+  Hashtbl.iter (fun k n -> Printf.printf "  class %-12s %6d\n" k n) classes;
+  Printf.printf "actions:\n";
+  Hashtbl.iter (fun k n -> Printf.printf "  %-18s %6d\n" k n) actions;
+  Printf.printf
+    "wrong verdicts:      %d\n\
+     unexpected deaths:   %d\n\
+     unanswered:          %d\n\
+     post-restart hits:   %d\n%!"
+    !wrong_verdicts !daemon_deaths !unanswered !restart_hits;
+  let violations =
+    (if !wrong_verdicts > 0 then [ "wrong verdicts" ] else [])
+    @ (if !daemon_deaths > 0 then [ "daemon deaths" ] else [])
+    @ (if !unanswered > 0 then [ "unanswered requests" ] else [])
+    @
+    if !restarts > 0 && !restart_hits = 0 then
+      [ "no cache hit survived any restart" ]
+    else []
+  in
+  if violations <> [] then begin
+    Printf.eprintf "chaos: FAIL — %s\n%!" (String.concat ", " violations);
+    exit 1
+  end;
+  Printf.printf "chaos: PASS — zero wrong verdicts, zero daemon deaths\n%!"
