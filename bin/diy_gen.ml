@@ -10,16 +10,29 @@
 
 open Cmdliner
 
-let main size sample verdicts outdir timeout max_candidates max_events jobs
-    journal resume json trace metrics =
+let main size sample seed_range verdicts outdir timeout max_candidates
+    max_events jobs journal resume json trace metrics =
   Harness.Cli.with_obs ~trace ~metrics @@ fun () ->
   (* with --json, stdout carries the report; the listing moves to stderr *)
   let ppf = if json then Fmt.stderr else Fmt.stdout in
   let t_start = Unix.gettimeofday () in
   let tests =
-    match sample with
-    | None -> Diygen.generate ~vocabulary:Diygen.Edge.core_vocabulary size
-    | Some count ->
+    match (seed_range, sample) with
+    | Some (lo, hi), _ ->
+        (* deterministic: the same range always regenerates the
+           byte-identical tests (campaign shards rely on this); distinct
+           seeds can collide on a cycle, so keep the first of each name *)
+        let seen = Hashtbl.create 256 in
+        Diygen.generate_range ~vocabulary:Diygen.Edge.core_vocabulary ~size lo
+          hi
+        |> List.filter_map (fun ((_ : int), (t : Litmus.Ast.t)) ->
+               if Hashtbl.mem seen t.name then None
+               else begin
+                 Hashtbl.replace seen t.name ();
+                 Some t
+               end)
+    | None, None -> Diygen.generate ~vocabulary:Diygen.Edge.core_vocabulary size
+    | None, Some count ->
         let rng = Random.State.make [| 2018 |] in
         Diygen.sample ~vocabulary:Diygen.Edge.core_vocabulary ~rng ~count size
   in
@@ -152,6 +165,16 @@ let sample_arg =
     & info [ "sample" ] ~docv:"N"
         ~doc:"Sample N random cycles instead of enumerating.")
 
+let seed_range_arg =
+  Arg.(
+    value
+    & opt (some Harness.Cli.seed_range_conv) None
+    & info [ "seed-range" ] ~docv:"A..B"
+        ~doc:
+          "Generate deterministically from seeds A (inclusive) to B \
+           (exclusive): the same range always produces the byte-identical \
+           tests.")
+
 let verdicts_arg =
   Arg.(value & flag & info [ "verdicts" ] ~doc:"Print LK and C11 verdicts.")
 
@@ -167,9 +190,9 @@ let cmd =
     (Cmd.info "diy_gen" ~doc:"Generate litmus tests from relaxation cycles"
        ~exits:C.exit_infos)
     Term.(
-      const main $ size_arg $ sample_arg $ verdicts_arg $ outdir_arg
-      $ C.timeout_arg $ C.max_candidates_arg $ C.max_events_arg $ C.jobs_arg
-      $ C.journal_arg $ C.resume_arg $ C.json_arg $ C.trace_arg
+      const main $ size_arg $ sample_arg $ seed_range_arg $ verdicts_arg
+      $ outdir_arg $ C.timeout_arg $ C.max_candidates_arg $ C.max_events_arg
+      $ C.jobs_arg $ C.journal_arg $ C.resume_arg $ C.json_arg $ C.trace_arg
       $ C.metrics_arg)
 
 let () = Harness.Cli.eval ~name:"diy_gen" cmd

@@ -15,33 +15,36 @@ module Realize = Realize
 let generate ?vocabulary n =
   List.filter_map Realize.test_of_cycle (Cycle.enumerate ?vocabulary n)
 
+(* Build one junction-consistent random cycle of length [n], so most
+   candidates are sane; full validity is still checked by Cycle.sane /
+   Realize.  Shared by {!sample} and the deterministic per-seed
+   generation below. *)
+let random_cycle ~vocabulary ~rng n =
+  let pick_from l = List.nth l (Random.State.int rng (List.length l)) in
+  let rec go acc prev k =
+    if k = 0 then Some (List.rev acc)
+    else
+      let compat =
+        List.filter
+          (fun e ->
+            match (prev, Edge.src_dir e) with
+            | Some d, Some d' -> d = d'
+            | _ -> true)
+          vocabulary
+      in
+      match compat with
+      | [] -> None
+      | _ ->
+          let e = pick_from compat in
+          go (e :: acc) (Edge.tgt_dir e) (k - 1)
+  in
+  go [] None n
+
 (** [sample ?vocabulary ~rng ~count n] realises up to [count] random
     cycles of length [n]; used for sweeps where full enumeration is too
     large. *)
 let sample ?(vocabulary = Edge.vocabulary) ~rng ~count n =
-  (* build junction-consistent cycles edge by edge, so most candidates are
-     sane; full validity is still checked by Cycle.sane / Realize *)
-  let pick_from l = List.nth l (Random.State.int rng (List.length l)) in
-  let pick () =
-    let rec go acc prev k =
-      if k = 0 then Some (List.rev acc)
-      else
-        let compat =
-          List.filter
-            (fun e ->
-              match (prev, Edge.src_dir e) with
-              | Some d, Some d' -> d = d'
-              | _ -> true)
-            vocabulary
-        in
-        match compat with
-        | [] -> None
-        | _ ->
-            let e = pick_from compat in
-            go (e :: acc) (Edge.tgt_dir e) (k - 1)
-    in
-    go [] None n
-  in
+  let pick () = random_cycle ~vocabulary ~rng n in
   let seen = Hashtbl.create 64 in
   let rec go acc tries =
     if List.length acc >= count || tries > count * 200 then List.rev acc
@@ -59,3 +62,42 @@ let sample ?(vocabulary = Edge.vocabulary) ~rng ~count n =
       | _ -> go acc (tries + 1)
   in
   go [] 0
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic per-seed generation (campaign shards)                  *)
+(* ------------------------------------------------------------------ *)
+
+(** [test_of_seed ?vocabulary ~size seed] is the test seed [seed]
+    denotes at cycle length [size], or [None] when that seed's random
+    walk does not produce a realisable cycle.
+
+    The binding seed -> test is a pure function: the RNG is seeded from
+    [(size, seed)] alone, the walk consumes it deterministically, and
+    the cycle is canonicalised before realisation, so the same seed
+    always yields the byte-identical test — across calls, processes and
+    machines.  This is the property campaign shards depend on: a shard
+    is just a (config, seed range) pair, and any worker can regenerate
+    its tests on demand instead of reading 10^6 files from disk.
+
+    Distinct seeds may collide on the same canonical cycle (the walk is
+    random, not a bijection); campaign journals key results by seed, so
+    collisions are harmless and deduplicated only where display wants
+    unique test names. *)
+let test_of_seed ?(vocabulary = Edge.vocabulary) ~size seed =
+  let rng = Random.State.make [| 0x6c6b6d6d; size; seed |] in
+  match random_cycle ~vocabulary ~rng size with
+  | Some c when Cycle.sane c -> Realize.test_of_cycle (Cycle.canonical c)
+  | _ -> None
+
+(** [generate_range ?vocabulary ~size lo hi] — every [(seed, test)] for
+    seeds in [\[lo, hi)], in seed order; seeds whose walk fails realise
+    nothing and are skipped. *)
+let generate_range ?vocabulary ~size lo hi =
+  let rec go acc s =
+    if s >= hi then List.rev acc
+    else
+      match test_of_seed ?vocabulary ~size s with
+      | Some t -> go ((s, t) :: acc) (s + 1)
+      | None -> go acc (s + 1)
+  in
+  go [] lo

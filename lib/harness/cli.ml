@@ -86,6 +86,30 @@ let json_arg =
           "Emit the batch report as JSON on stdout (the unified \
            schema-versioned report; see README).")
 
+(* A..B, half-open: the deterministic seed intervals of generated
+   sweeps and campaign shards. *)
+let seed_range_conv =
+  let parse s =
+    match String.index_opt s '.' with
+    | Some i
+      when i + 1 < String.length s
+           && s.[i + 1] = '.'
+           && i > 0
+           && i + 2 < String.length s -> (
+        match
+          ( int_of_string_opt (String.sub s 0 i),
+            int_of_string_opt (String.sub s (i + 2) (String.length s - i - 2))
+          )
+        with
+        | Some a, Some b when a < b -> Ok (a, b)
+        | Some a, Some b when a >= b ->
+            Error (`Msg (Printf.sprintf "empty seed range %d..%d" a b))
+        | _ -> Error (`Msg ("bad seed range: " ^ s)))
+    | _ -> Error (`Msg ("expected A..B, got " ^ s))
+  in
+  let print ppf (a, b) = Format.fprintf ppf "%d..%d" a b in
+  Arg.conv (parse, print)
+
 let trace_arg =
   Arg.(
     value

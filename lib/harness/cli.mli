@@ -35,6 +35,9 @@ val resume_arg : string option Term.t
 val json_arg : bool Term.t
 (** [--json] — emit the unified {!Report} JSON on stdout. *)
 
+val seed_range_conv : (int * int) Arg.conv
+(** ["A..B"], half-open, [A < B] — deterministic seed intervals. *)
+
 val trace_arg : string option Term.t
 (** [--trace FILE] — enable the collector, write a Chrome trace. *)
 

@@ -367,69 +367,78 @@ let write w (e : Report.entry) = write_line w (line_of_entry e)
 
 let close w = close_out_noerr w.oc
 
+(* ------------------------------------------------------------------ *)
+(* Streaming readers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Campaign-scale journals hold 10^5+ lines; the streaming readers visit
+   one line at a time so a resume never materialises the whole file as a
+   list.  Everything below (tolerant loading, partitioning, the verdict
+   cache's recovery, the campaign manifest replay) is built on these. *)
+
+let iter_lines path f =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    (try
+       while true do
+         f (input_line ic)
+       done
+     with End_of_file -> ());
+    close_in_noerr ic
+  end
+
+let fold_lines path ~init ~f =
+  let acc = ref init in
+  iter_lines path (fun l -> acc := f !acc l);
+  !acc
+
+(* Parsed-entry streaming: torn or garbage lines are skipped, exactly as
+   {!load} drops them.  No duplicate-id resolution — the caller sees the
+   raw append order (last occurrence supersedes for callers that fold
+   into a table). *)
+let fold path ~init ~f =
+  fold_lines path ~init ~f:(fun acc l ->
+      match entry_of_line l with Some e -> f acc e | None -> acc)
+
+let iter path f = fold path ~init:() ~f:(fun () e -> f e)
+
 (* Tolerant raw loading shared with non-entry JSONL journals: every
    line that parses as JSON, in file order; torn or garbage lines are
    dropped exactly as {!load} drops them. *)
 let load_json path =
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in_bin path in
-    let lines = ref [] in
-    (try
-       while true do
-         lines := input_line ic :: !lines
-       done
-     with End_of_file -> ());
-    close_in_noerr ic;
-    List.rev_map
-      (fun l -> match Json.of_string l with
-        | j -> Some j
-        | exception Json.Malformed _ -> None)
-      !lines
-    |> List.filter_map Fun.id
-  end
+  fold_lines path ~init:[] ~f:(fun acc l ->
+      match Json.of_string l with
+      | j -> j :: acc
+      | exception Json.Malformed _ -> acc)
+  |> List.rev
 
 (* ------------------------------------------------------------------ *)
 (* Loading and resuming                                                *)
 (* ------------------------------------------------------------------ *)
 
 let load path =
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in_bin path in
-    let lines = ref [] in
-    (try
-       while true do
-         lines := input_line ic :: !lines
-       done
-     with End_of_file -> ());
-    close_in_noerr ic;
-    (* tolerate any unparseable line — in particular a torn final one *)
-    let entries = List.rev_map entry_of_line !lines |> List.filter_map Fun.id in
-    (* duplicates: the LAST line for an id wins (it supersedes earlier
-       attempts), but the first occurrence keeps its position *)
-    let best = Hashtbl.create 64 in
-    List.iter (fun (e : Report.entry) -> Hashtbl.replace best e.Report.item_id e) entries;
-    let seen = Hashtbl.create 64 in
-    List.filter_map
-      (fun (e : Report.entry) ->
-        if Hashtbl.mem seen e.Report.item_id then None
-        else begin
-          Hashtbl.add seen e.Report.item_id ();
-          Hashtbl.find_opt best e.Report.item_id
-        end)
-      entries
-  end
+  (* one streaming pass: the LAST line for an id wins (it supersedes
+     earlier attempts), but the first occurrence keeps its position *)
+  let best = Hashtbl.create 64 in
+  let order =
+    fold path ~init:[] ~f:(fun order (e : Report.entry) ->
+        let fresh = not (Hashtbl.mem best e.Report.item_id) in
+        Hashtbl.replace best e.Report.item_id e;
+        if fresh then e.Report.item_id :: order else order)
+  in
+  List.rev_map (Hashtbl.find best) order
 
 (* [partition journal items] — split [items] into (already-journalled
    entries, still-to-run items).  Journalled entries are keyed by item
-   id; journal lines for unknown ids are ignored. *)
+   id; journal lines for unknown ids are ignored.  Streams the journal:
+   only entries whose id matches a requested item are retained. *)
 let partition path (items : Runner.item list) =
-  let done_ = load path in
+  let wanted = Hashtbl.create 64 in
+  List.iter (fun (i : Runner.item) -> Hashtbl.replace wanted i.Runner.id ()) items;
   let by_id = Hashtbl.create 64 in
-  List.iter
-    (fun (e : Report.entry) -> Hashtbl.replace by_id e.Report.item_id e)
-    done_;
+  iter path (fun (e : Report.entry) ->
+      if Hashtbl.mem wanted e.Report.item_id then
+        Hashtbl.replace by_id e.Report.item_id e);
   let recycled, todo =
     List.partition_map
       (fun (i : Runner.item) ->

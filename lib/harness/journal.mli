@@ -70,6 +70,27 @@ val write_line : writer -> string -> unit
 
 val close : writer -> unit
 
+(** {1 Streaming readers}
+
+    Campaign-scale journals hold 10^5+ lines; these visit one line at a
+    time so a resume never materialises the file as a list.  All the
+    list-returning loaders below are built on them. *)
+
+(** [iter_lines path f] — [f] on every raw line, in file order; a no-op
+    if the file does not exist. *)
+val iter_lines : string -> (string -> unit) -> unit
+
+(** [fold_lines path ~init ~f] — fold over every raw line. *)
+val fold_lines : string -> init:'a -> f:('a -> string -> 'a) -> 'a
+
+(** [fold path ~init ~f] — fold over every line that parses as an entry
+    (torn or garbage lines skipped, as {!load} drops them).  No
+    duplicate-id resolution: the caller sees raw append order. *)
+val fold : string -> init:'a -> f:('a -> Report.entry -> 'a) -> 'a
+
+(** [iter path f] — {!fold} without an accumulator. *)
+val iter : string -> (Report.entry -> unit) -> unit
+
 (** {1 Loading and resuming} *)
 
 (** All entries of a journal, last-wins per id, first occurrence keeping

@@ -45,35 +45,60 @@ let cacheable (e : Report.entry) =
   | Report.Pass _ | Report.Fail _ -> true
   | Report.Gave_up _ | Report.Err _ -> false
 
-(* Recovery walks the file line by line, keeping lines that both parse
-   as JSON with a ["vkey"] member and round-trip through
+(* Recovery walks the file line by line (streamed through
+   {!Journal.iter_lines} — a long-lived daemon's journal can hold far
+   more history than is worth holding as a list), keeping lines that
+   both parse as JSON with a ["vkey"] member and round-trip through
    {!Journal.entry_of_line} — same tolerance as {!Journal.load}: torn
-   or foreign lines are dropped, never propagated. *)
+   or foreign lines are dropped, never propagated.  Returns the
+   bindings in file order plus the raw line count, which the startup
+   compaction below compares against the live set. *)
 let load_bindings path =
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in path in
-    let acc = ref [] in
-    (try
-       while true do
-         let line = input_line ic in
-         match Journal.Json.of_string line with
-         | exception Journal.Json.Malformed _ -> () (* torn tail, garbage *)
-         | j -> (
-             match
-               ( Option.bind (Journal.Json.mem "vkey" j) Journal.Json.str,
-                 Journal.entry_of_line line )
-             with
-             | Some vkey, Some entry when cacheable entry ->
-                 acc := (vkey, entry) :: !acc
-             | _ -> ())
-       done
-     with End_of_file -> ());
-    close_in ic;
-    List.rev !acc
-  end
+  let n_lines = ref 0 in
+  let acc = ref [] in
+  Journal.iter_lines path (fun line ->
+      incr n_lines;
+      match Journal.Json.of_string line with
+      | exception Journal.Json.Malformed _ -> () (* torn tail, garbage *)
+      | j -> (
+          match
+            ( Option.bind (Journal.Json.mem "vkey" j) Journal.Json.str,
+              Journal.entry_of_line line )
+          with
+          | Some vkey, Some entry when cacheable entry ->
+              acc := (vkey, entry) :: !acc
+          | _ -> ()));
+  (List.rev !acc, !n_lines)
 
-let create ?journal ?(fsync = false) () =
+(* Startup compaction: across restarts the journal accumulates
+   duplicate keys (overlapping daemons, replayed inserts), torn tails
+   and foreign garbage, and replay cost grows without bound even though
+   the live set does not.  When the raw line count reaches the
+   threshold and exceeds the live set, the file is rewritten to exactly
+   the live bindings — atomically (temp + fsync + rename), so a kill at
+   any point leaves either the old journal or the compacted one, never
+   a torn hybrid.  Duplicate keys resolve last-wins, first-occurrence
+   key order preserved (the same resolution the in-memory table
+   applies). *)
+let default_compact_threshold = 8192
+
+let compact_file path lines =
+  let tmp = path ^ ".compact.tmp" in
+  (try Sys.remove tmp with Sys_error _ -> ());
+  let oc = open_out tmp in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  flush oc;
+  (try Unix.fsync (Unix.descr_of_out_channel oc)
+   with Unix.Unix_error _ -> ());
+  close_out oc;
+  Sys.rename tmp path
+
+let create ?journal ?(fsync = false)
+    ?(compact_threshold = default_compact_threshold) () =
   let tbl = Hashtbl.create 256 in
   let writer =
     match journal with
@@ -82,9 +107,18 @@ let create ?journal ?(fsync = false) () =
         (* Recover first (tolerant), then open for append: bindings that
            survived the crash keep serving, the torn tail is gone, and
            new insertions extend the same file. *)
+        let bindings, n_lines = load_bindings path in
+        let order = ref [] in
         List.iter
-          (fun (k, e) -> Hashtbl.replace tbl k e)
-          (load_bindings path);
+          (fun (k, e) ->
+            if not (Hashtbl.mem tbl k) then order := k :: !order;
+            Hashtbl.replace tbl k e)
+          bindings;
+        if n_lines >= compact_threshold && n_lines > Hashtbl.length tbl then
+          compact_file path
+            (List.rev_map
+               (fun k -> line_of_binding k (Hashtbl.find tbl k))
+               !order);
         Some (Journal.open_writer ~fsync path)
   in
   {

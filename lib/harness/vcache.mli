@@ -21,10 +21,20 @@ type t
 val key : model_key:string -> source:string -> string
 (** The cache key: hex digest of model identity and source text. *)
 
-val create : ?journal:string -> ?fsync:bool -> unit -> t
+val create :
+  ?journal:string -> ?fsync:bool -> ?compact_threshold:int -> unit -> t
 (** Recover [journal] (if given and present), then open it for append;
     [fsync] forces each insertion to stable storage
-    ({!Journal.open_writer}). *)
+    ({!Journal.open_writer}).
+
+    Across restarts the journal accumulates duplicate keys, torn tails
+    and foreign garbage: replay cost grows without bound even though
+    the live set does not.  When recovery reads at least
+    [compact_threshold] raw lines (default 8192) and more lines than
+    live bindings, the file is compacted on startup — rewritten
+    atomically (temp + fsync + rename) to exactly the live bindings,
+    duplicate keys resolved last-wins — so long-lived [lkserve]
+    instances never replay unbounded history. *)
 
 val find : t -> string -> Report.entry option
 (** Lookup by key; counts a hit or a miss. *)

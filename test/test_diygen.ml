@@ -156,6 +156,53 @@ let test_generate_sizes () =
   Alcotest.(check bool) "size 3 small but nonempty" true (List.length n3 >= 1);
   Alcotest.(check bool) "size 4 has the classics" true (List.length n4 >= 10)
 
+(* ------------------------------------------------------------------ *)
+(* Deterministic seed-range generation (campaign shards)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Campaign shards regenerate their tests from (config, seed) alone:
+   the same range must yield the byte-identical tests, every time. *)
+let test_seed_range_deterministic () =
+  let gen () =
+    List.map
+      (fun (seed, (t : Litmus.Ast.t)) -> (seed, t.name, Litmus.to_string t))
+      (Diygen.generate_range ~vocabulary:E.core_vocabulary ~size:4 0 400)
+  in
+  let a = gen () and b = gen () in
+  Alcotest.(check bool) "some seeds realise" true (List.length a > 3);
+  Alcotest.(check bool) "byte-identical across calls" true (a = b);
+  (* a sub-range is a sub-list: seeds are independent, not a stream *)
+  let sub =
+    List.map
+      (fun (seed, (t : Litmus.Ast.t)) -> (seed, t.name, Litmus.to_string t))
+      (Diygen.generate_range ~vocabulary:E.core_vocabulary ~size:4 100 300)
+  in
+  Alcotest.(check bool) "range-independent" true
+    (List.for_all (fun x -> List.mem x a) sub
+     && List.for_all
+          (fun ((s, _, _) as x) ->
+            if s >= 100 && s < 300 then List.mem x sub else true)
+          a)
+
+let test_seed_denotes_canonical_test () =
+  (* the walk is canonicalised before realisation, so a seed's test is
+     stable under the name <-> cycle bijection the corpus relies on *)
+  List.iter
+    (fun seed ->
+      match Diygen.test_of_seed ~vocabulary:E.core_vocabulary ~size:4 seed with
+      | None -> ()
+      | Some t -> (
+          match
+            Diygen.test_of_seed ~vocabulary:E.core_vocabulary ~size:4 seed
+          with
+          | Some t' ->
+              Alcotest.(check string) "stable name" t.Litmus.Ast.name
+                t'.Litmus.Ast.name;
+              Alcotest.(check string) "stable source" (Litmus.to_string t)
+                (Litmus.to_string t')
+          | None -> Alcotest.fail "seed flickered"))
+    [ 0; 1; 7; 79; 123; 1024 ]
+
 let () =
   Alcotest.run "diygen"
     [
@@ -185,5 +232,12 @@ let () =
             test_dependency_edges_materialise;
           Alcotest.test_case "ctrl edges" `Quick test_ctrl_edges_materialise;
           Alcotest.test_case "sizes" `Quick test_generate_sizes;
+        ] );
+      ( "seed ranges",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_seed_range_deterministic;
+          Alcotest.test_case "canonical per seed" `Quick
+            test_seed_denotes_canonical_test;
         ] );
     ]

@@ -1,0 +1,153 @@
+(* Benchmark of the campaign orchestrator: end-to-end sharded sweep
+   throughput (generation + all model columns + manifest journalling +
+   mining) at jobs=2.  Writes BENCH_campaign.json.
+
+     dune exec tools/bench_campaign.exe [-- OUT.json]
+     dune exec tools/bench_campaign.exe -- --smoke [BASELINE.json]
+
+   Two campaign sizes over the same configuration (size-4 cycles,
+   lk/cat/c11 columns, default deterministic budgets):
+
+   - full: 40k seeds, the number the committed baseline records;
+   - smoke: 6k seeds, rerun in CI and gated at 2x the committed
+     baseline's [smoke_wall_s] — a coarse cross-runner guard against
+     orchestration overhead regressions (forks, journal writes, shard
+     accounting) sneaking into the per-seed path.
+
+   Seeds/s is the honest denominator (every seed is visited); tests/s
+   counts only the seeds that realise a test (~4.5% at size 4). *)
+
+module Camp = Harness.Campaign
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let jobs = 2
+
+(* One timed campaign in a throwaway directory. *)
+let run_campaign seeds =
+  let tmp = Filename.temp_file "bench_campaign" "" in
+  Sys.remove tmp;
+  Unix.mkdir tmp 0o755;
+  let config =
+    {
+      Camp.default with
+      Camp.dir = Filename.concat tmp "c";
+      size = 4;
+      seed_lo = 0;
+      seed_hi = seeds;
+      shard_size = 1024;
+      jobs;
+      log = ignore;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let rep =
+    match Camp.run config with
+    | Ok rep -> rep
+    | Error e ->
+        rm_rf tmp;
+        prerr_endline ("bench_campaign: " ^ e);
+        exit 2
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  rm_rf tmp;
+  (wall, rep)
+
+(* ------------------------------------------------------------------ *)
+(* Smoke mode                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let smoke_seeds = 6_000
+
+(* Pull a float field out of the committed baseline without a JSON
+   dependency: the file is machine-written, so a textual scan is safe. *)
+let baseline_field file key =
+  let s = read_file file in
+  let pat = Printf.sprintf "\"%s\":" key in
+  let rec find i =
+    if i + String.length pat > String.length s then None
+    else if String.sub s i (String.length pat) = pat then
+      Some (i + String.length pat)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      let j = ref i in
+      while
+        !j < String.length s
+        && (match s.[!j] with
+           | '0' .. '9' | '.' | ' ' | '-' | 'e' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      float_of_string_opt (String.trim (String.sub s i (!j - i)))
+
+let smoke baseline_file =
+  let wall, rep = run_campaign smoke_seeds in
+  match baseline_field baseline_file "smoke_wall_s" with
+  | None ->
+      Printf.eprintf "bench_campaign: no smoke baseline in %s\n" baseline_file;
+      exit 2
+  | Some base ->
+      Printf.printf
+        "bench_campaign smoke: %d seeds (%d tests) in %.3f s at -j %d \
+         (baseline %.3f s, ratio %.2f)\n"
+        smoke_seeds rep.Camp.totals.Camp.n_tests wall jobs base (wall /. base);
+      if wall > 2.0 *. base then begin
+        prerr_endline
+          "bench_campaign: FAIL: smoke campaign more than 2x the baseline";
+        exit 1
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Full mode                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let full_seeds = 40_000
+
+let full out =
+  let smoke_wall, smoke_rep = run_campaign smoke_seeds in
+  let wall, rep = run_campaign full_seeds in
+  let t = rep.Camp.totals in
+  let json =
+    Printf.sprintf
+      {|{
+  "schema_version": 1,
+  "jobs": %d,
+  "models": "lk,cat,c11",
+  "full": { "seeds": %d, "tests": %d, "wall_s": %.3f, "seeds_per_s": %.1f, "tests_per_s": %.1f },
+  "smoke_seeds": %d, "smoke_tests": %d, "smoke_wall_s": %.3f, "smoke_seeds_per_s": %.1f
+}
+|}
+      jobs full_seeds t.Camp.n_tests wall
+      (float_of_int full_seeds /. wall)
+      (float_of_int t.Camp.n_tests /. wall)
+      smoke_seeds smoke_rep.Camp.totals.Camp.n_tests smoke_wall
+      (float_of_int smoke_seeds /. smoke_wall)
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  Printf.printf "bench_campaign: wrote %s\n%!" out
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--smoke" :: rest ->
+      smoke (match rest with b :: _ -> b | [] -> "BENCH_campaign.json")
+  | _ :: out :: _ -> full out
+  | _ -> full "BENCH_campaign.json"

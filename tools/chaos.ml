@@ -1,10 +1,12 @@
-(* Fault-injection driver for the checking service (Harness.Serve).
+(* Fault-injection driver for the checking service (Harness.Serve) and
+   the campaign orchestrator (Harness.Campaign).
 
      dune exec tools/chaos.exe -- --seconds 60 --seed 42
+     dune exec tools/chaos.exe -- --campaign --camp-seeds 20000 --kills 6
 
-   Forks an lkserve daemon (chaos ops enabled, verdict cache
-   journalled) and replays corpus tests at it while injecting every
-   fault the service claims to survive:
+   Service mode forks an lkserve daemon (chaos ops enabled, verdict
+   cache journalled) and replays corpus tests at it while injecting
+   every fault the service claims to survive:
 
    - chaos_kill / chaos_wedge requests that cost worker domains;
    - malformed, oversized and deadline-zero requests;
@@ -16,20 +18,34 @@
    truth computed in-process through the same Runner the batch tools
    use.  Acceptance: zero wrong verdicts, zero unexpected daemon
    deaths, every response inside the structured taxonomy, and at least
-   one verdict served from the recovered cache after a restart.  Exits
-   non-zero on any violation. *)
+   one verdict served from the recovered cache after a restart.
+
+   Campaign mode first runs a campaign uninterrupted (with injected
+   poison and wedge seeds exercising the retry/bisect/quarantine
+   ladder), then runs the same campaign while repeatedly kill -9ing
+   the orchestrator mid-flight and tearing the manifest journal at a
+   random byte offset before each resume.  Acceptance: the interrupted
+   campaign converges and its mined report is byte-identical to the
+   uninterrupted run's — zero lost or duplicated verdicts — with
+   exactly the injected seeds quarantined.  Exits non-zero on any
+   violation. *)
 
 module S = Harness.Serve
 module Pr = Harness.Proto
 module R = Harness.Runner
 module B = Exec.Budget
 
-let usage = "chaos [--seconds N] [--seed N] [--corpus DIR] [--tests N]"
+let usage =
+  "chaos [--seconds N] [--seed N] [--corpus DIR] [--tests N]\n\
+  \       chaos --campaign [--camp-seeds N] [--kills N] [--seed N]"
 
 let seconds = ref 30.0
 let seed = ref 42
 let corpus_dir = ref "corpus"
 let n_tests = ref 24
+let campaign_mode = ref false
+let camp_seeds = ref 6000
+let kills = ref 6
 
 let () =
   let rec parse = function
@@ -45,6 +61,15 @@ let () =
         parse rest
     | "--tests" :: v :: rest ->
         n_tests := int_of_string v;
+        parse rest
+    | "--campaign" :: rest ->
+        campaign_mode := true;
+        parse rest
+    | "--camp-seeds" :: v :: rest ->
+        camp_seeds := int_of_string v;
+        parse rest
+    | "--kills" :: v :: rest ->
+        kills := int_of_string v;
         parse rest
     | a :: _ ->
         prerr_endline ("chaos: unknown argument " ^ a ^ "\nusage: " ^ usage);
@@ -307,10 +332,198 @@ let restart_action truths pid =
   (pid, ctl)
 
 (* ------------------------------------------------------------------ *)
-(* Main loop                                                           *)
+(* Campaign mode                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Camp = Harness.Campaign
+module Mf = Harness.Manifest
+
+let read_whole path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_whole path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* One orchestrator process: runs the campaign to completion (or until
+   shot) and leaves the mined report next to the manifest. *)
+let fork_orchestrator cfg =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      let code =
+        match Camp.run cfg with
+        | Ok rep ->
+            write_whole
+              (Filename.concat cfg.Camp.dir "report.json")
+              (Camp.report_to_json rep);
+            if rep.Camp.totals.Camp.n_quarantined > 0 then 4 else 0
+        | Error _ -> 120
+        | exception _ -> 121
+      in
+      Unix._exit code
+  | pid -> pid
+
+(* A manifest truncation can erase the Lease record of a live wedge
+   worker, so no resume ever learns its pid: it would sleep forever,
+   holding stdout open.  The whole chaos tree shares a process group so
+   such leaks can be swept before exiting. *)
+let sweep_orphans () =
+  Sys.set_signal Sys.sigterm Sys.Signal_ignore;
+  try Unix.kill (-(Unix.getpid ())) Sys.sigterm with Unix.Unix_error _ -> ()
+
+let campaign_chaos () =
+  ignore (Unix.alarm 1800);
+  (try ignore (Unix.setsid ()) with Unix.Unix_error _ -> ());
+  let tmp = Filename.temp_file "chaos_campaign" "" in
+  Sys.remove tmp;
+  Unix.mkdir tmp 0o755;
+  (* a poison seed (worker crashes) and a wedge seed (worker hangs past
+     its lease): both ladders must narrow to quarantined singletons, in
+     the ground truth and under chaos alike *)
+  let poison = !camp_seeds / 3 and wedge = 2 * !camp_seeds / 3 in
+  let cfg dir =
+    {
+      Camp.default with
+      Camp.dir;
+      size = 4;
+      seed_lo = 0;
+      seed_hi = !camp_seeds;
+      shard_size = max 8 (!camp_seeds / 24);
+      jobs = 4;
+      lease_timeout = 0.5;
+      poison = [ poison ];
+      wedge = [ wedge ];
+      log = ignore;
+    }
+  in
+  Printf.printf
+    "chaos: campaign ground truth over %d seeds (poison %d, wedge %d)...\n%!"
+    !camp_seeds poison wedge;
+  let gt_dir = Filename.concat tmp "truth" in
+  let gt =
+    match Camp.run (cfg gt_dir) with
+    | Ok rep -> Camp.report_to_json rep
+    | Error e ->
+        prerr_endline ("chaos: ground truth failed: " ^ e);
+        exit 124
+  in
+  let ch_dir = Filename.concat tmp "chaos" in
+  let ch_cfg = cfg ch_dir in
+  let kills_done = ref 0 and truncations = ref 0 and resumes = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    incr resumes;
+    let pid = fork_orchestrator ch_cfg in
+    if !kills_done < !kills then begin
+      Unix.sleepf (0.2 +. Random.State.float rng 2.0);
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+          (* mid-flight: shoot the orchestrator (its workers become
+             orphans the next resume must hunt down), then tear the
+             manifest at a random byte offset — a torn write *)
+          Unix.kill pid Sys.sigkill;
+          ignore (Unix.waitpid [] pid);
+          incr kills_done;
+          let mpath = Camp.manifest_path ch_dir in
+          let size =
+            try (Unix.stat mpath).Unix.st_size with Unix.Unix_error _ -> 0
+          in
+          if size > 0 then begin
+            let keep = Random.State.int rng (size + 1) in
+            let fd = Unix.openfile mpath [ Unix.O_WRONLY ] 0 in
+            Unix.ftruncate fd keep;
+            Unix.close fd;
+            incr truncations;
+            Printf.printf "chaos: kill -9 #%d, manifest torn %d -> %d\n%!"
+              !kills_done size keep
+          end
+          else Printf.printf "chaos: kill -9 #%d (no manifest yet)\n%!"
+                 !kills_done
+      | _, Unix.WEXITED (0 | 4) -> finished := true
+      | _, st ->
+          Printf.eprintf "chaos: orchestrator died by itself (%s)\n%!"
+            (match st with
+            | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+            | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+            | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s)
+    end
+    else begin
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED (0 | 4) -> finished := true
+      | _, st ->
+          Printf.eprintf "chaos: final run failed (%s)\n%!"
+            (match st with
+            | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+            | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+            | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s);
+          sweep_orphans ();
+          rm_rf tmp;
+          exit 1
+    end
+  done;
+  let ch = read_whole (Filename.concat ch_dir "report.json") in
+  let violations = ref [] in
+  if ch <> gt then begin
+    violations := "mined report diverged from uninterrupted run" :: !violations;
+    Printf.eprintf "chaos: DIVERGED\n  truth: %s\n  chaos: %s\n%!" gt ch
+  end;
+  (match Mf.load (Camp.manifest_path ch_dir) with
+  | Error e -> violations := ("manifest unreadable: " ^ e) :: !violations
+  | Ok m ->
+      let q =
+        List.filter_map
+          (fun (s : Mf.shard) ->
+            match s.state with
+            | Mf.Quarantined _ -> Some (s.lo, s.hi)
+            | _ -> None)
+          (Mf.shards m)
+        |> List.sort compare
+      in
+      let expect =
+        List.sort compare [ (poison, poison + 1); (wedge, wedge + 1) ]
+      in
+      if q <> expect then
+        violations :=
+          Printf.sprintf "quarantined %s, expected exactly the injected seeds"
+            (String.concat ","
+               (List.map (fun (a, b) -> Printf.sprintf "[%d,%d)" a b) q))
+          :: !violations);
+  if !kills_done = 0 then
+    violations := "campaign finished before any kill landed" :: !violations;
+  sweep_orphans ();
+  rm_rf tmp;
+  Printf.printf
+    "\nchaos: campaign over %d seeds: %d kills, %d manifest truncations, %d \
+     resumes\n\
+     report identical to uninterrupted run: %b (zero lost or duplicated \
+     verdicts)\n%!"
+    !camp_seeds !kills_done !truncations !resumes (ch = gt);
+  if !violations <> [] then begin
+    Printf.eprintf "chaos: FAIL — %s\n%!" (String.concat "; " !violations);
+    exit 1
+  end;
+  Printf.printf "chaos: PASS — campaign survives kill -9 and torn manifests\n%!";
+  exit 0
+
+(* ------------------------------------------------------------------ *)
+(* Main loop (service mode)                                            *)
 (* ------------------------------------------------------------------ *)
 
 let () =
+  if !campaign_mode then campaign_chaos ();
   (* a wedged driver is a failed run, not a hung CI job *)
   ignore (Unix.alarm (int_of_float !seconds * 3 + 120));
   Printf.printf "chaos: computing ground truth (%d tests)...\n%!" !n_tests;
