@@ -37,9 +37,9 @@ let main size sample seed_range verdicts outdir timeout max_candidates
         Diygen.sample ~vocabulary:Diygen.Edge.core_vocabulary ~rng ~count size
   in
   let limits = Exec.Budget.limits ?timeout ?max_events ?max_candidates () in
-  let budgeted m t =
-    if Exec.Budget.is_unlimited limits then Exec.Check.run m t
-    else Exec.Check.run ~budget:(Exec.Budget.start limits) m t
+  let budgeted ?batch m t =
+    if Exec.Budget.is_unlimited limits then Exec.Check.run ?batch m t
+    else Exec.Check.run ?batch ~budget:(Exec.Budget.start limits) m t
   in
   let unknowns = ref 0 in
   Fmt.pf ppf "generated %d tests of size %d@." (List.length tests) size;
@@ -78,9 +78,7 @@ let main size sample seed_range verdicts outdir timeout max_candidates
       { Harness.Pool.default with Harness.Pool.jobs = max 1 jobs; limits }
     in
     let report =
-      Harness.Pool.run ~config ?journal ?resume
-        ~model:(Harness.Runner.static_model (module Lkmm))
-        items
+      Harness.Pool.run ~config ?journal ?resume items
     in
     List.iter2
       (fun (t : Litmus.Ast.t) (e : Harness.Runner.entry) ->
@@ -109,7 +107,7 @@ let main size sample seed_range verdicts outdir timeout max_candidates
            (* fresh budget per test: one explosive cycle degrades to Unknown
               and the sweep keeps going *)
            let t0 = Unix.gettimeofday () in
-           let r = budgeted (module Lkmm) t in
+           let r = budgeted ~batch:Lkmm.consistent_mask (module Lkmm) t in
            let lk = r.Exec.Check.verdict in
            (match lk with Exec.Check.Unknown _ -> incr unknowns | _ -> ());
            let status =

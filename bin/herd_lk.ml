@@ -30,6 +30,22 @@ let model_of_name name : Harness.Runner.model_factory =
       fun budget -> Cat.to_check_model ~name ?budget m
   | other -> failwith ("unknown model: " ^ other)
 
+(* The model's bit-plane oracle, where one exists: the native LK axioms
+   and any cat-interpreted model batch; the operational simulators stay
+   scalar. *)
+let batch_of_name name : Harness.Runner.batch_factory option =
+  match String.lowercase_ascii name with
+  | "lk" | "lkmm" | "linux" ->
+      Some (Harness.Runner.static_batch Lkmm.consistent_mask)
+  | "lk-cat" ->
+      let m = Cat.parse Cat.Stdmodels.lk in
+      Some
+        (fun budget -> snd (Cat.to_batched_model ~name:"LK(cat)" ?budget m))
+  | _ when Filename.check_suffix name ".cat" ->
+      let m = Cat.load_file name in
+      Some (fun budget -> snd (Cat.to_batched_model ~name ?budget m))
+  | _ -> None
+
 let model_display_name name =
   match String.lowercase_ascii name with
   | "lk" | "lkmm" | "linux" -> "LK"
@@ -247,10 +263,12 @@ let shrink_failures ~limits ~factory ~pool_config
     report.R.entries items
 
 let main model verbose outcomes dot explain explain_diff_spec builtin timeout
-    max_candidates max_events json jobs mem_limit journal resume shrink trace
-    metrics files =
+    max_candidates max_events json jobs mem_limit journal resume shrink
+    no_batch trace metrics files =
   Harness.Cli.with_obs ~trace ~metrics @@ fun () ->
   let factory = model_of_name model in
+  let batch = if no_batch then None else batch_of_name model in
+  let delta = if no_batch then Some false else None in
   let mname = model_display_name model in
   let limits =
     Exec.Budget.limits ?timeout ?max_events ?max_candidates ()
@@ -302,8 +320,10 @@ let main model verbose outcomes dot explain explain_diff_spec builtin timeout
     let report =
       if use_pool then
         Harness.Pool.run ~config:pool_config ?journal ?resume ?explainer
-          ~model:factory items
-      else Harness.Runner.run ~limits ?explainer ~model:factory items
+          ?delta ~model:factory ?batch items
+      else
+        Harness.Runner.run ~limits ?explainer ?delta ~model:factory ?batch
+          items
     in
     if shrink then shrink_failures ~limits ~factory ~pool_config report items;
     if json then print_string (Harness.Runner.to_json report ^ "\n")
@@ -417,6 +437,7 @@ let cmd =
       $ explain_arg $ explain_diff_arg
       $ builtin_arg $ C.timeout_arg $ C.max_candidates_arg $ C.max_events_arg
       $ C.json_arg $ C.jobs_arg $ C.mem_limit_arg $ C.journal_arg
-      $ C.resume_arg $ shrink_arg $ C.trace_arg $ C.metrics_arg $ files_arg)
+      $ C.resume_arg $ shrink_arg $ C.no_batch_arg $ C.trace_arg
+      $ C.metrics_arg $ files_arg)
 
 let () = Harness.Cli.eval ~name:"herd_lk" cmd

@@ -91,6 +91,53 @@ let to_check_model ~name ?budget ?(cache = true) (model : model) :
     end)
   end
 
+(** [to_batched_model ~name ?budget model] packages a cat model for the
+    batched path of {!Exec.Check.run}: a scalar {!Exec.Check.MODEL} plus
+    a {!Exec.Check.batch_fn} deciding up to 63 pairwise
+    static-compatible witnesses per word-parallel pass
+    ({!Interp.run_with_prefix_batched}); statics come from the first
+    candidate, which the compatibility contract makes representative.
+    Both share one compiled model and one static-prefix slot, so mixing
+    them (the batch loop never calls the scalar module, but callers may)
+    stays cheap.  [~coherent] is ignored — cat models re-check their
+    coherence axiom even on prefiltered candidates, which is sound and
+    keeps the evaluator oblivious to which checks encode coherence. *)
+let to_batched_model ~name ?budget (model : model) :
+    (module Exec.Check.MODEL) * Exec.Check.batch_fn =
+  let compiled = Interp.compile model in
+  let slot : (Exec.Event.t array * Interp.prefix) option ref = ref None in
+  let prefix_of (x : Exec.t) =
+    match !slot with
+    | Some (ev, p) when ev == x.Exec.events ->
+        Obs.Counter.incr c_cache_hits;
+        p
+    | _ ->
+        Obs.Counter.incr c_cache_misses;
+        let p = Interp.prefix ?budget compiled (Interp.env_of_execution x) in
+        slot := Some (x.Exec.events, p);
+        p
+  in
+  let scalar : (module Exec.Check.MODEL) =
+    (module struct
+      let name = name
+
+      let consistent (x : Exec.t) =
+        let env = Interp.env_of_execution x in
+        let prefix = prefix_of x in
+        let t0 = if Obs.enabled () then Obs.now_us () else 0. in
+        let outcomes = Interp.run_with_prefix ?budget prefix env in
+        if Obs.enabled () then
+          Obs.Histogram.observe h_replay (Obs.now_us () -. t0);
+        List.for_all (fun (o : Interp.outcome) -> o.holds) outcomes
+    end)
+  in
+  let batch ~coherent:_ ~mask (xs : Exec.t array) =
+    let prefix = prefix_of xs.(0) in
+    let benv = Interp.benv_of_executions ~mask xs in
+    Interp.run_with_prefix_batched ?budget prefix benv
+  in
+  (scalar, batch)
+
 (** [explainer ?budget model] is a verdict-forensics hook for
     {!Exec.Check.run}: explanations of every failed check on a rejected
     candidate (see {!Explain}). *)
@@ -102,6 +149,14 @@ let check_names = Explain.check_names
 (** The shipped LK model (lk.cat), parsed. *)
 let lk = lazy (parse Stdmodels.lk)
 
-(** [check_lk test] runs [test] against the cat-interpreted LK model. *)
-let check_lk test =
-  Exec.Check.run (to_check_model ~name:"LK(cat)" (Lazy.force lk)) test
+(** [check_lk test] runs [test] against the cat-interpreted LK model,
+    batched ([?batched], default [true]: the bit-plane path,
+    observationally identical to the scalar one). *)
+let check_lk ?(batched = true) test =
+  if batched then
+    let m, batch = to_batched_model ~name:"LK(cat)" (Lazy.force lk) in
+    Exec.Check.run ~batch m test
+  else
+    Exec.Check.run ~delta:false
+      (to_check_model ~name:"LK(cat)" (Lazy.force lk))
+      test

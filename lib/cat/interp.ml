@@ -291,6 +291,256 @@ let run_with_prefix ?budget { compiled; lets; checks } env =
   go 0 env [] compiled.model.stmts
 
 (* ------------------------------------------------------------------ *)
+(* Batched evaluation of the dynamic suffix                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Up to 63 pairwise static-compatible candidates
+   ({!Exec.Execution.static_compatible}), evaluated at once: the
+   witness relations (rf, co and derivatives) become candidate-major
+   bit planes ({!Rel.Batch}) and every operator of the dynamic suffix
+   runs word-parallel across all planes; static bindings ride along as
+   ordinary scalar values ([Bval]) and are broadcast into planes only
+   at the point an operator mixes them with a witness-dependent
+   operand.
+
+   The value domain is total for the supported dialect: the language
+   has no relation-to-set operator, so a witness-dependent value is
+   always relation-valued — anywhere a set is required ([Bracket],
+   [Cartesian]), a [Bplanes] operand is a type error in the scalar
+   interpreter too, and the batched evaluator raises the same
+   {!Type_error}.  Differential equivalence with the scalar path over
+   the corpus and the randomized suite is the correctness contract. *)
+
+module B = Rel.Batch
+
+type bvalue =
+  | Bval of value (* identical in every candidate (static) *)
+  | Bplanes of B.t (* relation-valued, varying per candidate *)
+  | Bfun of string list * Ast.expr * benv
+
+and benv = {
+  b_n : int; (* events per candidate: the shared universe size *)
+  b_mask : int; (* planes still undecided; broadcasts target these *)
+  b_univ : Iset.t;
+  b_bindings : (string * bvalue) list;
+}
+
+let lookup_b benv x =
+  match List.assoc_opt x benv.b_bindings with
+  | Some v -> v
+  | None -> raise (Type_error ("unbound identifier " ^ x))
+
+let bind_b benv x v = { benv with b_bindings = (x, v) :: benv.b_bindings }
+
+(* A scalar closure environment, lifted: its bindings are static. *)
+let benv_of_env benv (env : env) =
+  {
+    benv with
+    b_univ = env.universe;
+    b_bindings = List.map (fun (n, v) -> (n, Bval v)) env.bindings;
+  }
+
+let promote benv = function
+  | Bval v -> B.broadcast ~n:benv.b_n ~mask:benv.b_mask (as_rel v)
+  | Bplanes p -> p
+  | Bfun _ -> raise (Type_error "function used as a relation")
+
+let as_set_b = function
+  | Bval v -> as_set v
+  | Bplanes _ -> raise (Type_error "relation used as a set")
+  | Bfun _ -> raise (Type_error "function used as a set")
+
+let rec eval_b benv (e : Ast.expr) =
+  match e with
+  | Ast.Id x -> lookup_b benv x
+  | Ast.Empty_rel -> Bval (Vrel Rel.empty)
+  | Ast.Union (a, b) -> (
+      match (eval_b benv a, eval_b benv b) with
+      | Bval (Vset s1), Bval (Vset s2) -> Bval (Vset (Iset.union s1 s2))
+      | Bval v1, Bval v2 -> Bval (Vrel (Rel.union (as_rel v1) (as_rel v2)))
+      | v1, v2 -> Bplanes (B.union (promote benv v1) (promote benv v2)))
+  | Ast.Inter (a, b) -> (
+      match (eval_b benv a, eval_b benv b) with
+      | Bval (Vset s1), Bval (Vset s2) -> Bval (Vset (Iset.inter s1 s2))
+      | Bval v1, Bval v2 -> Bval (Vrel (Rel.inter (as_rel v1) (as_rel v2)))
+      | v1, v2 -> Bplanes (B.inter (promote benv v1) (promote benv v2)))
+  | Ast.Diff (a, b) -> (
+      match (eval_b benv a, eval_b benv b) with
+      | Bval (Vset s1), Bval (Vset s2) -> Bval (Vset (Iset.diff s1 s2))
+      | Bval v1, Bval v2 -> Bval (Vrel (Rel.diff (as_rel v1) (as_rel v2)))
+      | v1, v2 -> Bplanes (B.diff (promote benv v1) (promote benv v2)))
+  | Ast.Seq (a, b) -> (
+      match (eval_b benv a, eval_b benv b) with
+      | Bval v1, Bval v2 -> Bval (Vrel (Rel.seq (as_rel v1) (as_rel v2)))
+      | v1, v2 -> Bplanes (B.seq (promote benv v1) (promote benv v2)))
+  | Ast.Cartesian (a, b) ->
+      Bval
+        (Vrel
+           (Rel.cartesian
+              (as_set_b (eval_b benv a))
+              (as_set_b (eval_b benv b))))
+  | Ast.Inverse a -> (
+      match eval_b benv a with
+      | Bval v -> Bval (Vrel (Rel.inverse (as_rel v)))
+      | v -> Bplanes (B.inverse (promote benv v)))
+  | Ast.Plus a -> (
+      match eval_b benv a with
+      | Bval v -> Bval (Vrel (Rel.transitive_closure (as_rel v)))
+      | v -> Bplanes (B.transitive_closure (promote benv v)))
+  | Ast.Star a -> (
+      match eval_b benv a with
+      | Bval v ->
+          Bval
+            (Vrel
+               (Rel.reflexive_transitive_closure ~universe:benv.b_univ
+                  (as_rel v)))
+      | v ->
+          Bplanes
+            (B.reflexive_transitive_closure ~mask:benv.b_mask
+               (promote benv v)))
+  | Ast.Opt a -> (
+      match eval_b benv a with
+      | Bval v ->
+          Bval (Vrel (Rel.reflexive_closure ~universe:benv.b_univ (as_rel v)))
+      | v -> Bplanes (B.reflexive_closure ~mask:benv.b_mask (promote benv v)))
+  | Ast.Complement a -> (
+      match eval_b benv a with
+      | Bval (Vset s) -> Bval (Vset (Iset.diff benv.b_univ s))
+      | Bval v ->
+          Bval (Vrel (Rel.complement ~universe:benv.b_univ (as_rel v)))
+      | v -> Bplanes (B.complement ~mask:benv.b_mask (promote benv v)))
+  | Ast.Bracket a -> Bval (Vrel (Rel.id_of_set (as_set_b (eval_b benv a))))
+  | Ast.App (f, arg) -> (
+      match lookup_b benv f with
+      | Bval (Vfun ([ p ], body, closure_env)) ->
+          eval_b
+            (bind_b (benv_of_env benv closure_env) p (eval_b benv arg))
+            body
+      | Bfun ([ p ], body, closure_benv) ->
+          eval_b (bind_b closure_benv p (eval_b benv arg)) body
+      | Bval (Vfun (ps, _, _)) | Bfun (ps, _, _) ->
+          raise
+            (Type_error
+               (Printf.sprintf "%s expects %d arguments" f (List.length ps)))
+      | _ -> raise (Type_error (f ^ " is not a function")))
+
+(* Plane-wise equality, for the Kleene convergence test; [Bfun]s never
+   appear (scalar [rec] rejects function bindings the same way). *)
+let bvalue_equal benv v1 v2 =
+  match (v1, v2) with
+  | Bval a, Bval b -> Rel.equal (as_rel a) (as_rel b)
+  | (Bval _ | Bplanes _), (Bval _ | Bplanes _) ->
+      B.equal (promote benv v1) (promote benv v2)
+  | _ -> raise (Type_error "function used as a relation")
+
+let eval_let_b ?budget benv bindings is_rec =
+  if not is_rec then
+    List.fold_left
+      (fun benv' (name, params, body) ->
+        match params with
+        | [] -> bind_b benv' name (eval_b benv body)
+        | ps -> bind_b benv' name (Bfun (ps, body, benv)))
+      benv bindings
+  else begin
+    let names = List.map (fun (n, _, _) -> n) bindings in
+    let start =
+      List.fold_left
+        (fun e n -> bind_b e n (Bval (Vrel Rel.empty)))
+        benv names
+    in
+    let step e =
+      List.fold_left
+        (fun acc (name, params, body) ->
+          if params <> [] then
+            raise (Type_error "recursive functions are not supported");
+          bind_b acc name (eval_b e body))
+        e bindings
+    in
+    let values e = List.map (fun n -> lookup_b e n) names in
+    let rec go e n =
+      if n > 1000 then raise (Type_error "rec definition did not converge");
+      Option.iter Exec.Budget.check_time budget;
+      Obs.Counter.incr c_fixpoint;
+      let e' = step e in
+      if List.for_all2 (bvalue_equal benv) (values e) (values e') then e'
+      else go e' (n + 1)
+    in
+    go start 0
+  end
+
+(* One check, decided for every live plane at once: the mask of planes
+   (within [b_mask]) where it holds. *)
+let run_check_b benv kind e =
+  match (kind, eval_b benv e) with
+  | _, Bfun _ -> raise (Type_error "function used as a relation")
+  | Ast.Acyclic, Bval v ->
+      if Rel.is_acyclic (as_rel v) then benv.b_mask else 0
+  | Ast.Acyclic, Bplanes p -> B.acyclic_mask ~mask:benv.b_mask p
+  | Ast.Irreflexive, Bval v ->
+      if Rel.is_irreflexive (as_rel v) then benv.b_mask else 0
+  | Ast.Irreflexive, Bplanes p -> B.irreflexive_mask ~mask:benv.b_mask p
+  | Ast.Is_empty, Bval (Vset s) ->
+      if Iset.is_empty s then benv.b_mask else 0
+  | Ast.Is_empty, Bval v -> if Rel.is_empty (as_rel v) then benv.b_mask else 0
+  | Ast.Is_empty, Bplanes p -> B.empty_mask ~mask:benv.b_mask p
+
+let c_batch_early = Obs.Counter.make "cat.batch.early_exit"
+
+(* Replay the statement list for a whole batch: static lets and checks
+   come from the prefix (lifted to [Bval] / all-or-nothing masks), the
+   dynamic remainder evaluates over planes.  Returns the mask of planes
+   satisfying every check.  Statements are never skipped — a model that
+   would raise [Type_error] on the scalar path raises here too — but
+   the live mask shrinks as checks fail, so later broadcasts and
+   closures stop paying for decided candidates (their planes zero out
+   and the kernels skip zero words). *)
+let run_with_prefix_batched ?budget { compiled; lets; checks } benv =
+  let last_check =
+    let rec go i last = function
+      | [] -> last
+      | Ast.Check _ :: rest -> go (i + 1) i rest
+      | Ast.Let _ :: rest -> go (i + 1) last rest
+    in
+    go 0 (-1) compiled.model.stmts
+  in
+  let rec go i benv acc = function
+    | [] -> acc
+    | stmt :: rest ->
+        let live benv m =
+          (* planes decided before the final check are early exits *)
+          let acc' = acc land m in
+          if i <> last_check && acc' <> acc then
+            Obs.Counter.incr c_batch_early;
+          (* keep evaluating with the shrunk mask: broadcasts target
+             only still-live planes *)
+          go (i + 1) { benv with b_mask = acc' } acc' rest
+        in
+        if compiled.static_stmt.(i) then
+          match stmt with
+          | Ast.Let _ ->
+              let benv =
+                List.fold_right
+                  (fun (n, v) e -> bind_b e n (Bval v))
+                  lets.(i) benv
+              in
+              go (i + 1) benv acc rest
+          | Ast.Check _ -> (
+              match checks.(i) with
+              | Some o -> live benv (if o.holds then benv.b_mask else 0)
+              | None -> assert false)
+        else begin
+          match stmt with
+          | Ast.Let (bs, is_rec) ->
+              Option.iter Exec.Budget.tick budget;
+              go (i + 1) (eval_let_b ?budget benv bs is_rec) acc rest
+          | Ast.Check (kind, e, _) ->
+              Option.iter Exec.Budget.tick budget;
+              live benv (run_check_b benv kind e)
+        end
+  in
+  go 0 benv benv.b_mask compiled.model.stmts
+
+(* ------------------------------------------------------------------ *)
 (* The predefined environment of a candidate execution                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -339,3 +589,37 @@ let env_of_execution (x : Exec.t) =
     ]
   in
   { universe = x.universe; bindings }
+
+(* The batched counterpart: one shared event structure, up to 63
+   witnesses.  Structural bindings come from candidate 0 (identical in
+   every candidate by construction); the witness relations become
+   candidate-major bit planes. *)
+let benv_of_executions ~mask (xs : Exec.t array) =
+  let x0 = xs.(0) in
+  let n = Array.length x0.Exec.events in
+  let dyn f = Bplanes (B.of_rels ~n ~mask (Array.map f xs)) in
+  let env = env_of_execution x0 in
+  let static =
+    List.filter (fun (nm, _) -> not (List.mem nm witness_names)) env.bindings
+  in
+  let planes =
+    [
+      ("rf", dyn (fun x -> x.Exec.rf));
+      ("co", dyn (fun x -> x.Exec.co));
+      ("fr", dyn (fun x -> x.Exec.fr));
+      ("rfi", dyn (fun x -> x.Exec.rfi));
+      ("rfe", dyn (fun x -> x.Exec.rfe));
+      ("coi", dyn (fun x -> x.Exec.coi));
+      ("coe", dyn (fun x -> x.Exec.coe));
+      ("fri", dyn (fun x -> x.Exec.fri));
+      ("fre", dyn (fun x -> x.Exec.fre));
+      ("com", dyn (fun x -> x.Exec.com));
+    ]
+  in
+  {
+    b_n = n;
+    b_mask = mask;
+    b_univ = env.universe;
+    b_bindings =
+      planes @ List.map (fun (nm, v) -> (nm, Bval v)) static;
+  }

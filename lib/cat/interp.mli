@@ -86,6 +86,50 @@ val prefix : ?budget:Exec.Budget.t -> compiled -> env -> prefix
 val run_with_prefix :
   ?budget:Exec.Budget.t -> prefix -> env -> outcome list
 
+(** {1 Batched evaluation}
+
+    The dynamic suffix for up to 63 pairwise static-compatible
+    witnesses ({!Exec.Execution.static_compatible}) at once: witness
+    relations become candidate-major bit planes
+    ({!Rel.Batch}) and every operator runs word-parallel across all
+    planes; static bindings ride along as scalar values, broadcast into
+    planes only where an operator mixes them with a witness-dependent
+    operand.  Observationally equivalent to replaying
+    {!run_with_prefix} per candidate — including {!Type_error}s: the
+    dialect has no relation-to-set operator, so plane-valued values are
+    always relations, and set positions reject them exactly where the
+    scalar evaluator does. *)
+
+(** A value in the batched evaluator. *)
+type bvalue =
+  | Bval of value  (** identical in every candidate (static) *)
+  | Bplanes of Rel.Batch.t  (** relation-valued, varying per candidate *)
+  | Bfun of string list * Ast.expr * benv
+
+and benv = {
+  b_n : int;  (** events per candidate: the shared universe size *)
+  b_mask : int;  (** planes still undecided; broadcasts target these *)
+  b_univ : Iset.t;
+  b_bindings : (string * bvalue) list;
+}
+
+val eval_b : benv -> Ast.expr -> bvalue
+
+(** [run_with_prefix_batched ?budget p benv] replays all statements for
+    a whole batch, pulling static bindings and check outcomes from [p]
+    and evaluating the dynamic remainder over planes.  Returns the mask
+    of planes (within [benv.b_mask]) satisfying every check.  The live
+    mask shrinks as checks fail — decided planes zero out and stop
+    paying for later statements — but no statement is skipped, so
+    models that raise on the scalar path raise here too. *)
+val run_with_prefix_batched : ?budget:Exec.Budget.t -> prefix -> benv -> int
+
+(** [benv_of_executions ~mask xs] is the batched counterpart of
+    {!env_of_execution}: structural bindings from [xs.(0)] (identical in
+    every candidate by construction), witness relations stacked into bit
+    planes covering the candidates of [mask]. *)
+val benv_of_executions : mask:int -> Exec.t array -> benv
+
 (** The predefined cat environment of an execution: the event sets ([_],
     [W], [R], [M], [F], [IW], and one per annotation), the base relations
     ([po], [addr], [data], [ctrl], [rmw], [rf], [co]), the usual derived

@@ -17,6 +17,16 @@ module type MODEL = sig
   val consistent : Execution.t -> bool
 end
 
+(* A batched consistency oracle: all candidates are pairwise
+   {!Execution.static_compatible}, so the model may take every
+   witness-independent part from [xs.(0)]; bit c of the result must
+   equal [consistent xs.(c)], for every c in [mask] (bits outside
+   [mask] are ignored).  [~coherent]
+   tells the model that every candidate of [mask] already passed the
+   sc-per-location prefilter, so a model whose coherence axiom is
+   exactly that check may skip re-deciding it. *)
+type batch_fn = coherent:bool -> mask:int -> Execution.t array -> int
+
 type unknown_reason =
   | Budget_exceeded of Budget.reason
   | Model_error of exn (* the model raised on some candidate *)
@@ -90,9 +100,11 @@ let c_consistent = Obs.Counter.make "check.consistent"
 let c_matching = Obs.Counter.make "check.matching"
 let h_prefilter = Obs.Histogram.make "check.prefilter_us"
 let h_model = Obs.Histogram.make "check.model_us"
+let c_batch_flushes = Obs.Counter.make "check.batch.flushes"
+let h_occupancy = Obs.Histogram.make "check.batch.occupancy"
 
-let run_exn ?budget ?(prefilter = true) ?explainer (module M : MODEL)
-    (test : Litmus.Ast.t) =
+let run_exn ?budget ?(prefilter = true) ?delta ?batch ?explainer
+    (module M : MODEL) (test : Litmus.Ast.t) =
   let satisfies x =
     match test.quant with
     | Litmus.Ast.Q_exists | Litmus.Ast.Q_not_exists -> Execution.satisfies_cond x
@@ -119,45 +131,121 @@ let run_exn ?budget ?(prefilter = true) ?explainer (module M : MODEL)
      including the short-circuit that skips [coherent] entirely when the
      prefilter is off. *)
   let tracing = Obs.enabled () in
+  (* Per-candidate tallies, shared verbatim between the scalar loop and
+     the batched flush: the flush walks its buffer in enumeration order
+     calling exactly these, so counters, outcome order, witness and
+     counterexample identity cannot diverge between the two paths. *)
+  let prefiltered x =
+    incr n_prefiltered;
+    Obs.Counter.incr c_prefiltered;
+    if track_cex && !cex_prefiltered = None && satisfies x then
+      cex_prefiltered := Some x
+  in
+  let decided x ok =
+    if ok then begin
+      incr n_consistent;
+      Obs.Counter.incr c_consistent;
+      let sat = satisfies x in
+      outcomes := (Execution.outcome x, sat) :: !outcomes;
+      if sat then begin
+        incr n_matching;
+        Obs.Counter.incr c_matching;
+        if !witness = None then witness := Some x
+      end
+    end
+    else if track_cex && !cex = None && satisfies x then cex := Some x
+  in
   Obs.with_span ~item:test.name "check" (fun () ->
       Obs.with_span ~item:test.name "enumerate" (fun () ->
-          Seq.iter
-            (fun x ->
-              (* counted as consumed, so the tally is correct however the
-                 stream ends (completion, budget trip, model failure) *)
-              incr n_candidates;
-              Obs.Counter.incr c_candidates;
-              Option.iter Budget.tick budget;
-              let t0 = if tracing then Obs.now_us () else 0. in
-              let keep = (not prefilter) || Execution.coherent x in
-              if tracing && prefilter then
-                Obs.Histogram.observe h_prefilter (Obs.now_us () -. t0);
-              if not keep then begin
-                incr n_prefiltered;
-                Obs.Counter.incr c_prefiltered;
-                if track_cex && !cex_prefiltered = None && satisfies x then
-                  cex_prefiltered := Some x
-              end
-              else begin
-                let t1 = if tracing then Obs.now_us () else 0. in
-                let ok = M.consistent x in
-                if tracing then
-                  Obs.Histogram.observe h_model (Obs.now_us () -. t1);
-                if ok then begin
-                  incr n_consistent;
-                  Obs.Counter.incr c_consistent;
-                  let sat = satisfies x in
-                  outcomes := (Execution.outcome x, sat) :: !outcomes;
-                  if sat then begin
-                    incr n_matching;
-                    Obs.Counter.incr c_matching;
-                    if !witness = None then witness := Some x
-                  end
+          let stream = Execution.of_test_seq ?budget ?delta test in
+          match batch with
+          | None ->
+              Seq.iter
+                (fun x ->
+                  (* counted as consumed, so the tally is correct however
+                     the stream ends (completion, budget trip, model
+                     failure) *)
+                  incr n_candidates;
+                  Obs.Counter.incr c_candidates;
+                  Option.iter Budget.tick budget;
+                  let t0 = if tracing then Obs.now_us () else 0. in
+                  let keep = (not prefilter) || Execution.coherent x in
+                  if tracing && prefilter then
+                    Obs.Histogram.observe h_prefilter (Obs.now_us () -. t0);
+                  if not keep then prefiltered x
+                  else begin
+                    let t1 = if tracing then Obs.now_us () else 0. in
+                    let ok = M.consistent x in
+                    if tracing then
+                      Obs.Histogram.observe h_model (Obs.now_us () -. t1);
+                    decided x ok
+                  end)
+                stream
+          | Some batch_fn ->
+              (* Buffer up to 63 pairwise static-compatible candidates —
+                 within one event structure they share the events array
+                 physically, and across enumeration-adjacent structures
+                 of the same test the statics usually coincide (the
+                 structures branch only on read values) — then decide
+                 the prefilter and the model for the whole buffer in
+                 word-parallel passes over candidate-major bit planes,
+                 and tally in enumeration order.  Compatibility is
+                 checked against the newest buffered candidate
+                 (transitivity covers the rest), memoised per event-
+                 array pair so each structure boundary costs one deep
+                 comparison. *)
+              let memo = ref None in
+              let compatible (y : Execution.t) (x : Execution.t) =
+                y.Execution.events == x.Execution.events
+                ||
+                match !memo with
+                | Some (ea, eb, r)
+                  when ea == y.Execution.events && eb == x.Execution.events ->
+                    r
+                | _ ->
+                    let r = Execution.static_compatible y x in
+                    memo := Some (y.Execution.events, x.Execution.events, r);
+                    r
+              in
+              let buf = ref [] and len = ref 0 in
+              let flush () =
+                if !len > 0 then begin
+                  let xs = Array.of_list (List.rev !buf) in
+                  buf := [];
+                  len := 0;
+                  let k = Array.length xs in
+                  let full = Rel.Batch.full_mask k in
+                  Obs.Counter.incr c_batch_flushes;
+                  Obs.Histogram.observe h_occupancy (float_of_int k);
+                  let live =
+                    if prefilter then Execution.coherent_mask ~mask:full xs
+                    else full
+                  in
+                  let consistent =
+                    if live = 0 then 0
+                    else batch_fn ~coherent:prefilter ~mask:live xs
+                  in
+                  Array.iteri
+                    (fun c x ->
+                      let bit = 1 lsl c in
+                      if live land bit = 0 then prefiltered x
+                      else decided x (consistent land bit <> 0))
+                    xs
                 end
-                else if track_cex && !cex = None && satisfies x then
-                  cex := Some x
-              end)
-            (Execution.of_test_seq ?budget test)));
+              in
+              Seq.iter
+                (fun x ->
+                  incr n_candidates;
+                  Obs.Counter.incr c_candidates;
+                  Option.iter Budget.tick budget;
+                  (match !buf with
+                  | y :: _ when not (compatible y x) -> flush ()
+                  | _ -> ());
+                  buf := x :: !buf;
+                  incr len;
+                  if !len = Rel.Batch.width then flush ())
+                stream;
+              flush ()));
   (* Forensics run after enumeration, on the retained counterexample
      only.  The explainer re-derives the model's checks on it; any
      [Explain.Invalid] it raises (an explanation that fails its own
@@ -209,11 +297,13 @@ let unknown ?budget reason =
    [Unknown] results carrying the partial candidate count — a check under
    a budget never raises.  Without a budget, behaviour (and exceptions)
    are exactly the pre-budget ones. *)
-let run ?budget ?prefilter ?explainer (module M : MODEL) (test : Litmus.Ast.t) =
+let run ?budget ?prefilter ?delta ?batch ?explainer (module M : MODEL)
+    (test : Litmus.Ast.t) =
   match budget with
-  | None -> run_exn ?prefilter ?explainer (module M) test
+  | None -> run_exn ?prefilter ?delta ?batch ?explainer (module M) test
   | Some b -> (
-      try run_exn ~budget:b ?prefilter ?explainer (module M) test with
+      try run_exn ~budget:b ?prefilter ?delta ?batch ?explainer (module M) test
+      with
       | Budget.Exceeded r -> unknown ~budget:b (Budget_exceeded r)
       | Stack_overflow -> unknown ~budget:b (Model_error Stack_overflow)
       | exn -> unknown ~budget:b (Model_error exn))

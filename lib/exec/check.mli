@@ -14,6 +14,19 @@ module type MODEL = sig
   val consistent : Execution.t -> bool
 end
 
+(** A batched consistency oracle.  All candidates of [xs] are pairwise
+    {!Execution.static_compatible} — the model may take every
+    witness-independent part (events up to values, static relations,
+    event-class sets) from [xs.(0)]; bit [c] of the result must equal
+    [M.consistent xs.(c)] for every [c] set in [mask] (bits outside
+    [mask] are ignored).  [~coherent] asserts that every candidate of
+    [mask] already passed the sc-per-location prefilter, so a model
+    whose coherence axiom is exactly that check may skip re-deciding
+    it.  Differential equivalence with the scalar [consistent] is the
+    correctness contract (exercised by the randomized suite and the
+    corpus-wide agreement checks in test/). *)
+type batch_fn = coherent:bool -> mask:int -> Execution.t array -> int
+
 type unknown_reason =
   | Budget_exceeded of Budget.reason
   | Model_error of exn  (** the model raised on some candidate *)
@@ -81,9 +94,22 @@ type result = {
     {!Explain.Invalid} is a hard error: under a budget it surfaces as
     [Unknown (Model_error _)], otherwise it propagates.  Without
     [?explainer] the streaming loop is unchanged up to one option test
-    per rejected candidate. *)
+    per rejected candidate.
+
+    With [?batch], candidates are buffered — up to 63 pairwise
+    {!Execution.static_compatible} ones, which spans enumeration-
+    adjacent event structures when they differ only in read values —
+    and decided by word-parallel passes over candidate-major bit
+    planes: the sc-per-location prefilter through
+    {!Execution.coherent_mask} and the model through the given
+    {!batch_fn}; the buffer is then tallied in enumeration order, so
+    every observable of the result (counters, outcomes, witness and
+    counterexample identity) matches the scalar path's.  [?delta]
+    (default on) is forwarded to {!Execution.of_test_seq}'s incremental
+    re-evaluation; both default paths are toggled off together by the
+    CLIs' [--no-batch]. *)
 val run :
-  ?budget:Budget.t -> ?prefilter:bool ->
+  ?budget:Budget.t -> ?prefilter:bool -> ?delta:bool -> ?batch:batch_fn ->
   ?explainer:(Execution.t -> Explain.t list) -> (module MODEL) ->
   Litmus.Ast.t -> result
 

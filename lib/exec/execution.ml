@@ -159,13 +159,17 @@ let structure_of (events : Event.t array) po =
     st_init_ws = set_of events Event.is_init;
   }
 
-let build test events st po addr data ctrl rmw rf co final_regs =
+let build ?fr ?coi ?coe test events st po addr data ctrl rmw rf co final_regs =
   let int_r = st.st_int_r and ext_r = st.st_ext_r in
-  let fr = Rel.diff (Rel.seq (Rel.inverse rf) co) st.st_id_r in
+  let fr =
+    match fr with
+    | Some fr -> fr
+    | None -> Rel.diff (Rel.seq (Rel.inverse rf) co) st.st_id_r
+  in
   let rfi = Rel.inter rf int_r in
   let rfe = Rel.inter rf ext_r in
-  let coi = Rel.inter co int_r in
-  let coe = Rel.inter co ext_r in
+  let coi = match coi with Some r -> r | None -> Rel.inter co int_r in
+  let coe = match coe with Some r -> r | None -> Rel.inter co ext_r in
   let fri = Rel.inter fr int_r in
   let fre = Rel.inter fr ext_r in
   let com = Rel.union rf (Rel.union co fr) in
@@ -347,8 +351,10 @@ let seq_product ?(tick = fun () -> ()) lists =
 
 let c_structures = Obs.Counter.make "exec.structures"
 let c_events = Obs.Counter.make "exec.events"
+let c_delta_patched = Obs.Counter.make "exec.delta.patched"
+let c_delta_full = Obs.Counter.make "exec.delta.full"
 
-let of_test_seq ?budget (test : Litmus.Ast.t) =
+let of_test_seq ?budget ?(delta = true) (test : Litmus.Ast.t) =
   let tick () = Option.iter Budget.tick budget in
   let per_thread =
     Obs.with_span ~item:test.name "sem" (fun () ->
@@ -485,8 +491,11 @@ let of_test_seq ?budget (test : Litmus.Ast.t) =
         budget;
       (* Per-location coherence orders are few (factorial in the writes
          per location, which the claim above already bounded), so their
-         product is materialised once and re-walked per rf choice; the
-         rf choices themselves stream. *)
+         product is materialised once; the rf choices stream.  The co
+         choices are the *outer* loop: within one coherence order,
+         enumeration-adjacent candidates differ only in the writers of
+         a suffix of the reads (usually just the last one), which is
+         what the delta re-evaluation below patches. *)
       let co_choices =
         cartesian_product ~tick
           (List.map
@@ -502,18 +511,49 @@ let of_test_seq ?budget (test : Litmus.Ast.t) =
       in
       let st = structure_of events !po in
       Seq.concat_map
-        (fun rf_pairs ->
-          let rf = Rel.of_list rf_pairs in
+        (fun co_parts ->
+          let co = List.fold_left Rel.union Rel.empty co_parts in
+          let coi = Rel.inter co st.st_int_r
+          and coe = Rel.inter co st.st_ext_r in
+          (* Incremental re-evaluation: rf is functional per read, so
+             the from-reads row of a read is exactly the coherence row
+             of its writer ((rf⁻¹;co) restricted to one read; the
+             diagonal never intersects it, reads not being writes).
+             When only some reads change writer between adjacent rf
+             choices, patch those rf edges and fr rows instead of
+             recomputing the inverse-and-compose from scratch.  [prev]
+             holds the previous candidate's rf pair list — positionally
+             aligned with [per_read_writes] — and its rf/fr. *)
+          let prev = ref None in
           Seq.map
-            (fun co_parts ->
+            (fun rf_pairs ->
               Option.iter Budget.count_candidate budget;
-              let co = List.fold_left Rel.union Rel.empty co_parts in
-              build test events st !po !addr !data !ctrl !rmw rf co final_regs)
-            (List.to_seq co_choices))
-        (seq_product ~tick per_read_writes))
+              let rf, fr =
+                match !prev with
+                | Some (prev_pairs, prev_rf, prev_fr) when delta ->
+                    Obs.Counter.incr c_delta_patched;
+                    let rf = ref prev_rf and fr = ref prev_fr in
+                    List.iter2
+                      (fun (w, r) (w', _) ->
+                        if w <> w' then begin
+                          rf := Rel.add w' r (Rel.remove w r !rf);
+                          fr := Rel.set_row_from ~src:co w' r !fr
+                        end)
+                      prev_pairs rf_pairs;
+                    (!rf, !fr)
+                | _ ->
+                    Obs.Counter.incr c_delta_full;
+                    let rf = Rel.of_list rf_pairs in
+                    (rf, Rel.diff (Rel.seq (Rel.inverse rf) co) st.st_id_r)
+              in
+              prev := Some (rf_pairs, rf, fr);
+              build ~fr ~coi ~coe test events st !po !addr !data !ctrl !rmw rf
+                co final_regs)
+            (seq_product ~tick per_read_writes))
+        (List.to_seq co_choices))
     (seq_product per_thread)
 
-let of_test ?budget test = List.of_seq (of_test_seq ?budget test)
+let of_test ?budget ?delta test = List.of_seq (of_test_seq ?budget ?delta test)
 
 (* ------------------------------------------------------------------ *)
 (* Coherence prefilter                                                 *)
@@ -525,6 +565,47 @@ let of_test ?budget test = List.of_seq (of_test_seq ?budget test)
    incoherent candidate is inconsistent under all of them and can be
    rejected before the model runs — herd's classic pruning. *)
 let coherent t = Rel.is_acyclic (Rel.union t.po_loc t.com)
+
+(* Can candidates [a] and [b] share one batched evaluation pass?  The
+   models consume events only through their static shape — id, thread,
+   direction, location, annotation — and the static relations; read
+   values feed conditions and outcomes, which are always evaluated per
+   candidate.  So two candidates are batch-compatible iff their events
+   agree up to values and their input statics are equal: every derived
+   static (po-loc, int/ext, the event-class sets, crit, ...) is a
+   function of exactly those.  This is componentwise equality, hence an
+   equivalence: comparing each candidate against its predecessor in the
+   stream keeps a whole buffer pairwise compatible. *)
+let same_static_event (a : Event.t) (b : Event.t) =
+  a.Event.id = b.Event.id && a.Event.tid = b.Event.tid
+  && a.Event.dir = b.Event.dir
+  && a.Event.annot = b.Event.annot
+  && String.equal a.Event.loc b.Event.loc
+
+let static_compatible a b =
+  a.events == b.events
+  || Array.length a.events = Array.length b.events
+     && (try
+           Array.iter2
+             (fun ea eb ->
+               if not (same_static_event ea eb) then raise Exit)
+             a.events b.events;
+           true
+         with Exit -> false)
+     && Rel.equal a.po b.po && Rel.equal a.addr b.addr
+     && Rel.equal a.data b.data && Rel.equal a.ctrl b.ctrl
+     && Rel.equal a.rmw b.rmw
+
+(* The same test over a batch of static-compatible candidates: po-loc
+   is witness-independent and equal across the batch (broadcast once
+   from the first), only com varies per plane.  Bit c of the result:
+   candidate c is coherent. *)
+let coherent_mask ~mask (xs : t array) =
+  let x0 = xs.(0) in
+  let n = Array.length x0.events in
+  let po_loc = Rel.Batch.broadcast ~n ~mask x0.po_loc in
+  let com = Rel.Batch.of_rels ~n ~mask (Array.map (fun x -> x.com) xs) in
+  Rel.Batch.acyclic_mask ~mask (Rel.Batch.union po_loc com)
 
 (* ------------------------------------------------------------------ *)
 (* Final states                                                        *)

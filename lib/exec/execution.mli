@@ -66,17 +66,42 @@ val thread_candidate_lists : Litmus.Ast.t -> Sem.candidate list list
     budget, forcing the sequence raises {!Budget.Exceeded} as soon as
     the event, candidate, or wall-clock limit trips (an arithmetic
     pre-check on the rf/co product size fails explosions before anything
-    is materialised). *)
-val of_test_seq : ?budget:Budget.t -> Litmus.Ast.t -> t Seq.t
+    is materialised).
+
+    Within one coherence choice, enumeration-adjacent candidates differ
+    only in the writers of a suffix of the reads; with [?delta] (default
+    [true]) the enumerator patches rf and the affected from-reads rows
+    between adjacent candidates instead of recomputing them (rf being
+    functional per read, a read's fr row is exactly its writer's co
+    row).  [~delta:false] recovers the from-scratch construction; the
+    candidates produced, and their order, are identical either way. *)
+val of_test_seq : ?budget:Budget.t -> ?delta:bool -> Litmus.Ast.t -> t Seq.t
 
 (** [of_test ?budget test] is [of_test_seq], fully materialised. *)
-val of_test : ?budget:Budget.t -> Litmus.Ast.t -> t list
+val of_test : ?budget:Budget.t -> ?delta:bool -> Litmus.Ast.t -> t list
 
 (** [coherent t] holds iff [po-loc ∪ rf ∪ co ∪ fr] is acyclic —
     sc-per-location.  Every shipped model constrains a superset of this
     relation, so incoherent candidates are inconsistent under all of
     them; {!Check.run} uses this as a cheap prefilter. *)
 val coherent : t -> bool
+
+(** [static_compatible a b] — may [a] and [b] share one batched
+    evaluation pass?  Holds iff their events agree up to read/written
+    values and their input statics (po, addr, data, ctrl, rmw) are
+    equal; the models consume nothing else that is witness-independent,
+    values being strictly per-candidate (conditions, outcomes).  An
+    equivalence, so a stream checked pairwise stays pairwise
+    compatible.  Candidates of one event structure share their event
+    array physically and are compatible for free. *)
+val static_compatible : t -> t -> bool
+
+(** [coherent_mask ~mask xs] decides {!coherent} for up to 63
+    pairwise {!static_compatible} candidates in a single word-parallel
+    pass over candidate-major bit planes ({!Rel.Batch}): bit [c] of the
+    result is set iff bit [c] of [mask] is set and [xs.(c)] is
+    coherent. *)
+val coherent_mask : mask:int -> t array -> int
 
 (** [final_mem t x] is the value of [x] after the execution: its
     co-maximal write (or the initial value). *)

@@ -116,22 +116,27 @@ let verdict_str = function
   | Exec.Check.Forbid -> "Forbid"
   | Exec.Check.Unknown _ -> "Unknown"
 
-let check_verdict limits m t =
+let check_verdict ?batch limits m t =
   match
-    if Exec.Budget.is_unlimited limits then Exec.Check.run m t
-    else Exec.Check.run ~budget:(Exec.Budget.start limits) m t
+    if Exec.Budget.is_unlimited limits then Exec.Check.run ?batch m t
+    else Exec.Check.run ?batch ~budget:(Exec.Budget.start limits) m t
   with
   | r -> verdict_str r.Exec.Check.verdict
   | exception _ -> "Unknown"
 
 (* The axiomatic columns, built once per worker: the packaged cat model
    carries a one-slot prefix cache that must live across the whole
-   shard, not per test. *)
+   shard, not per test.  Each column carries its bit-plane oracle, so
+   campaign sweeps run on the batched path. *)
 let build_checks config =
   List.filter_map
     (function
-      | "lk" -> Some ("lk", (module Lkmm : Exec.Check.MODEL))
-      | "cat" -> Some ("cat", Cat.to_check_model ~name:"LK(cat)" (Lazy.force Cat.lk))
+      | "lk" ->
+          Some
+            ("lk", (module Lkmm : Exec.Check.MODEL), Some Lkmm.consistent_mask)
+      | "cat" ->
+          let m, b = Cat.to_batched_model ~name:"LK(cat)" (Lazy.force Cat.lk) in
+          Some ("cat", m, Some b)
       | _ -> None)
     config.models
 
@@ -145,7 +150,9 @@ let classify ~checks ~c11 ~archs ~hw_runs ~limits ~size seed =
   | Some t ->
       let t0 = Unix.gettimeofday () in
       let v =
-        List.map (fun (name, m) -> (name, check_verdict limits m t)) checks
+        List.map
+          (fun (name, m, batch) -> (name, check_verdict ?batch limits m t))
+          checks
         @ (if c11 then
              [
                ( "c11",
@@ -414,7 +421,8 @@ let attach_explanations ~size (p : pattern) =
           match
             Exec.Check.run
               ~budget:(Exec.Budget.start Exec.Budget.default)
-              ~explainer:Lkmm.Explain.explainer (module Lkmm) t
+              ~batch:Lkmm.consistent_mask ~explainer:Lkmm.Explain.explainer
+              (module Lkmm) t
           with
           | r ->
               {

@@ -86,6 +86,17 @@ let json_arg =
           "Emit the batch report as JSON on stdout (the unified \
            schema-versioned report; see README).")
 
+let no_batch_arg =
+  Arg.(
+    value & flag
+    & info [ "no-batch" ]
+        ~doc:
+          "Evaluate candidates one at a time on the scalar reference \
+           path: no bit-plane batching, no incremental (delta) \
+           re-checking.  Results are identical either way — this is the \
+           escape hatch for benchmarking and for isolating a suspected \
+           batching bug.")
+
 (* A..B, half-open: the deterministic seed intervals of generated
    sweeps and campaign shards. *)
 let seed_range_conv =

@@ -35,6 +35,10 @@ val resume_arg : string option Term.t
 val json_arg : bool Term.t
 (** [--json] — emit the unified {!Report} JSON on stdout. *)
 
+val no_batch_arg : bool Term.t
+(** [--no-batch] — scalar reference evaluation: no bit-plane batching,
+    no delta re-checking.  Observationally identical to the default. *)
+
 val seed_range_conv : (int * int) Arg.conv
 (** ["A..B"], half-open, [A < B] — deterministic seed intervals. *)
 

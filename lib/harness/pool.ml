@@ -382,10 +382,20 @@ let run_queue cfg ~worker ~on_entry ~(drain_sig : int option ref)
    so an interrupted [--journal] run is always resumable with no item
    half-recorded.  The previous handlers are restored on a normal
    return, so library callers outside a run keep their own behavior. *)
-let run ?(config = default) ?worker ?journal ?resume ?explainer
-    ?(model = Runner.static_model (module Lkmm : Exec.Check.MODEL))
-    (items : Runner.item list) =
+let run ?(config = default) ?worker ?journal ?resume ?explainer ?delta ?model
+    ?batch (items : Runner.item list) =
   let t0 = Unix.gettimeofday () in
+  let model, batch =
+    (* same pairing as {!Runner.run}: the default LK model brings its
+       batched oracle, an explicit model only batches with its own *)
+    match (model, batch) with
+    | None, None ->
+        ( Runner.static_model (module Lkmm : Exec.Check.MODEL),
+          Some (Runner.static_batch Lkmm.consistent_mask) )
+    | Some m, b -> (m, b)
+    | None, (Some _ as b) ->
+        (Runner.static_model (module Lkmm : Exec.Check.MODEL), b)
+  in
   let config = { config with jobs = max 1 config.jobs } in
   let limits =
     match config.mem_limit_mb with
@@ -397,7 +407,9 @@ let run ?(config = default) ?worker ?journal ?resume ?explainer
     match worker with
     | Some w -> w
     | None ->
-        fun it -> Runner.run_item ~limits ~lint:config.lint ?explainer ~model it
+        fun it ->
+          Runner.run_item ~limits ~lint:config.lint ?explainer ?delta ?batch
+            ~model it
   in
   let recycled =
     match resume with

@@ -97,6 +97,13 @@ type model_factory = Exec.Budget.t option -> (module Exec.Check.MODEL)
 
 let static_model m : model_factory = fun _ -> m
 
+(* A model's batched oracle, budget-indexed the same way.  [None] means
+   the scalar path (what [--no-batch] selects — it also turns off the
+   delta re-evaluation, recovering the reference evaluation order). *)
+type batch_factory = Exec.Budget.t option -> Exec.Check.batch_fn
+
+let static_batch b : batch_factory = fun _ -> b
+
 let of_battery (entries : Battery.entry list) =
   List.map
     (fun (e : Battery.entry) ->
@@ -116,7 +123,8 @@ let read_file path =
 exception Lint_failed of string
 
 let run_item ?(limits = Exec.Budget.default) ?deadline ?(lint = true) ?explainer
-    ~(model : model_factory) (item : item) =
+    ?delta ?(batch : batch_factory option) ~(model : model_factory)
+    (item : item) =
   let t0 = Unix.gettimeofday () in
   let budget =
     match deadline with
@@ -164,7 +172,11 @@ let run_item ?(limits = Exec.Budget.default) ?deadline ?(lint = true) ?explainer
                              (fun (i : Litmus.Lint.issue) ->
                                i.Litmus.Lint.message)
                              issues))));
-        let r = Exec.Check.run ?budget ?explainer (model budget) test in
+        let r =
+          Exec.Check.run ?budget ?delta ?explainer
+            ?batch:(Option.map (fun bf -> bf budget) batch)
+            (model budget) test
+        in
         match r.Exec.Check.verdict with
         | Exec.Check.Unknown (Exec.Check.Budget_exceeded reason) ->
             finish (Gave_up reason)
@@ -189,11 +201,23 @@ let run_item ?(limits = Exec.Budget.default) ?deadline ?(lint = true) ?explainer
 
 let summarise = Report.summarise
 
-let run ?limits ?lint ?explainer
-    ?(model = static_model (module Lkmm : Exec.Check.MODEL))
-    (items : item list) =
+let run ?limits ?lint ?explainer ?delta ?model ?batch (items : item list) =
+  (* with neither model nor batch given, the default LK model comes with
+     its batched oracle; an explicit model runs scalar unless its own
+     batch comes along (a batch_fn is only sound for its model) *)
+  let model, batch =
+    match (model, batch) with
+    | None, None ->
+        ( static_model (module Lkmm : Exec.Check.MODEL),
+          Some (static_batch Lkmm.consistent_mask) )
+    | Some m, b -> (m, b)
+    | None, (Some _ as b) ->
+        (static_model (module Lkmm : Exec.Check.MODEL), b)
+  in
   let t0 = Unix.gettimeofday () in
-  let entries = List.map (run_item ?limits ?lint ?explainer ~model) items in
+  let entries =
+    List.map (run_item ?limits ?lint ?explainer ?delta ?batch ~model) items
+  in
   summarise ~wall:(Unix.gettimeofday () -. t0) entries
 
 let exit_code = Report.exit_code

@@ -90,6 +90,13 @@ type model_factory = Exec.Budget.t option -> (module Exec.Check.MODEL)
 
 val static_model : (module Exec.Check.MODEL) -> model_factory
 
+(** A model's batched consistency oracle ({!Exec.Check.batch_fn}),
+    budget-indexed the same way.  Only sound alongside the model it was
+    built for. *)
+type batch_factory = Exec.Budget.t option -> Exec.Check.batch_fn
+
+val static_batch : Exec.Check.batch_fn -> batch_factory
+
 (** Battery entries as runner items, expecting the battery's LK verdict. *)
 val of_battery : Battery.entry list -> item list
 
@@ -107,23 +114,33 @@ val read_file : string -> string
     forensics: Forbid results carry validated explanations, at zero
     cost when absent.  [deadline] (checking-as-a-service) arms the
     budget against an absolute deadline via {!Exec.Budget.start_at}, so
-    time spent queued before this call counts against the item. *)
+    time spent queued before this call counts against the item.
+    [batch] selects the model's batched path (bit-plane candidate
+    evaluation), [delta] the enumeration's incremental re-checking —
+    both observationally transparent; the CLIs' [--no-batch] turns both
+    off at once (the scalar reference path). *)
 val run_item :
   ?limits:Exec.Budget.limits ->
   ?deadline:float ->
   ?lint:bool ->
   ?explainer:(Exec.t -> Exec.Explain.t list) ->
+  ?delta:bool ->
+  ?batch:batch_factory ->
   model:model_factory ->
   item ->
   entry
 
-(** [run ?limits ?lint ?explainer ?model items] — the whole batch; the
-    model defaults to the native LK model. *)
+(** [run ?limits ?lint ?explainer ?model ?batch items] — the whole
+    batch.  With neither [model] nor [batch], the native LK model runs
+    with its batched oracle; an explicit [model] runs scalar unless its
+    own [batch] comes along. *)
 val run :
   ?limits:Exec.Budget.limits ->
   ?lint:bool ->
   ?explainer:(Exec.t -> Exec.Explain.t list) ->
+  ?delta:bool ->
   ?model:model_factory ->
+  ?batch:batch_factory ->
   item list ->
   report
 

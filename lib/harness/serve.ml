@@ -63,6 +63,7 @@ type config = {
   chaos_ops : bool; (* accept chaos_kill / chaos_wedge *)
   retries : int; (* retries after a worker loss *)
   backoff : float; (* seconds before the first retry, doubling *)
+  no_batch : bool; (* scalar reference evaluation (no planes, no delta) *)
 }
 
 let default =
@@ -80,6 +81,7 @@ let default =
     chaos_ops = false;
     retries = 1;
     backoff = 0.05;
+    no_batch = false;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -89,15 +91,35 @@ let default =
 (* [mkey] is the model's full identity for cache addressing: the
    canonical name for built-ins (the binary pins their semantics), the
    digest of the file's contents for .cat files (edits invalidate). *)
-type model = { mkey : string; factory : Runner.model_factory }
+type model = {
+  mkey : string;
+  factory : Runner.model_factory;
+  batch : Runner.batch_factory option;
+      (* the model's bit-plane oracle; [None] checks scalar *)
+}
 
-let builtin_models () =
-  let lk = { mkey = "lk"; factory = Runner.static_model (module Lkmm) } in
+let builtin_models ~no_batch () =
+  let scalar mkey m = { mkey; factory = Runner.static_model m; batch = None } in
+  let lk =
+    {
+      mkey = "lk";
+      factory = Runner.static_model (module Lkmm);
+      batch =
+        (if no_batch then None
+         else Some (Runner.static_batch Lkmm.consistent_mask));
+    }
+  in
   let lk_cat =
     let m = Cat.parse Cat.Stdmodels.lk in
     {
       mkey = "lk-cat";
       factory = (fun budget -> Cat.to_check_model ~name:"LK(cat)" ?budget m);
+      batch =
+        (if no_batch then None
+         else
+           Some
+             (fun budget ->
+               snd (Cat.to_batched_model ~name:"LK(cat)" ?budget m)));
     }
   in
   [
@@ -105,20 +127,12 @@ let builtin_models () =
     ("lkmm", lk);
     ("linux", lk);
     ("lk-cat", lk_cat);
-    ("sc", { mkey = "sc"; factory = Runner.static_model (module Models.Sc) });
-    ("tso", { mkey = "tso"; factory = Runner.static_model (module Models.Tso) });
-    ("x86", { mkey = "tso"; factory = Runner.static_model (module Models.Tso) });
-    ("c11", { mkey = "c11"; factory = Runner.static_model (module Models.C11) });
-    ( "c11-psc",
-      {
-        mkey = "c11-psc";
-        factory = Runner.static_model (module Models.C11.Strengthened);
-      } );
-    ( "rc11",
-      {
-        mkey = "c11-psc";
-        factory = Runner.static_model (module Models.C11.Strengthened);
-      } );
+    ("sc", scalar "sc" (module Models.Sc));
+    ("tso", scalar "tso" (module Models.Tso));
+    ("x86", scalar "tso" (module Models.Tso));
+    ("c11", scalar "c11" (module Models.C11));
+    ("c11-psc", scalar "c11-psc" (module Models.C11.Strengthened));
+    ("rc11", scalar "c11-psc" (module Models.C11.Strengthened));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -132,6 +146,7 @@ type job = {
   conn_id : int;
   test : string;
   factory : Runner.model_factory;
+  batch : Runner.batch_factory option;
   expected : Exec.Check.verdict option;
   deadline : float; (* absolute, Unix time *)
   vkey : string; (* content fingerprint — cache and quarantine key *)
@@ -241,7 +256,8 @@ let run_job cfg job =
       else
         let entry =
           Runner.run_item ~limits:cfg.limits ~deadline:job.deadline
-            ~model:job.factory
+            ?delta:(if cfg.no_batch then Some false else None)
+            ?batch:job.batch ~model:job.factory
             { Runner.id = job.req_id; source = `Text job.test;
               expected = job.expected }
         in
@@ -464,6 +480,14 @@ let resolve_model p name =
                         factory =
                           (fun budget ->
                             Cat.to_check_model ~name ?budget parsed);
+                        batch =
+                          (if p.cfg.no_batch then None
+                           else
+                             Some
+                               (fun budget ->
+                                 snd
+                                   (Cat.to_batched_model ~name ?budget
+                                      parsed)));
                       }
                     in
                     Hashtbl.replace p.cat_models digest m;
@@ -563,6 +587,10 @@ let handle_line p conn line ~request_shutdown =
                       conn_id = conn.cid;
                       test = "";
                       factory = Runner.static_model (module Lkmm);
+                      batch =
+                        (if p.cfg.no_batch then None
+                         else
+                           Some (Runner.static_batch Lkmm.consistent_mask));
                       expected = None;
                       deadline = now +. p.cfg.default_timeout;
                       vkey;
@@ -615,6 +643,7 @@ let handle_line p conn line ~request_shutdown =
                             conn_id = conn.cid;
                             test = c.test;
                             factory = m.factory;
+                            batch = m.batch;
                             expected = c.expected;
                             deadline = now +. timeout;
                             vkey;
@@ -688,13 +717,15 @@ let warmup p =
           ignore
             (Runner.run_item
                ~limits:(Exec.Budget.limits ~timeout:10. ())
-               ~model:m.factory item)
+               ?batch:m.batch ~model:m.factory item)
       | None -> ())
     [ "lk"; "lk-cat"; "sc"; "tso"; "c11"; "c11-psc" ]
 
 let create cfg =
   let models = Hashtbl.create 16 in
-  List.iter (fun (n, m) -> Hashtbl.replace models n m) (builtin_models ());
+  List.iter
+    (fun (n, m) -> Hashtbl.replace models n m)
+    (builtin_models ~no_batch:cfg.no_batch ());
   let wake_r, wake_w = Unix.pipe () in
   Unix.set_nonblock wake_w;
   {

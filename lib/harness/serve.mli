@@ -40,6 +40,9 @@ type config = {
   chaos_ops : bool;  (** accept [chaos_kill]/[chaos_wedge] requests *)
   retries : int;  (** retries for a request that lost its worker *)
   backoff : float;  (** seconds before the first retry, doubling *)
+  no_batch : bool;
+      (** scalar reference evaluation: no bit-plane batching, no delta
+          re-checking (the CLI's [--no-batch]) *)
 }
 
 val default : config

@@ -18,11 +18,12 @@ type stats = {
 }
 
 (* A budgeted run: fresh budget per test so one explosion cannot eat the
-   whole sweep's allowance. *)
-let budgeted_run ?limits m t =
+   whole sweep's allowance.  [?batch] selects a model's bit-plane
+   oracle (the LK runs below pass the native one). *)
+let budgeted_run ?limits ?batch m t =
   match limits with
-  | None -> Exec.Check.run m t
-  | Some l -> Exec.Check.run ~budget:(Exec.Budget.start l) m t
+  | None -> Exec.Check.run ?batch m t
+  | Some l -> Exec.Check.run ?batch ~budget:(Exec.Budget.start l) m t
 
 let classify ?limits ?(archs = [ Hwsim.Arch.power8; Hwsim.Arch.x86 ])
     ?(runs = 300) ?(seed = 5) tests =
@@ -35,7 +36,10 @@ let classify ?limits ?(archs = [ Hwsim.Arch.power8; Hwsim.Arch.x86 ])
   and unknown = ref [] in
   List.iter
     (fun (t : Litmus.Ast.t) ->
-      let lk = (budgeted_run ?limits (module Lkmm) t).Exec.Check.verdict in
+      let lk =
+        (budgeted_run ?limits ~batch:Lkmm.consistent_mask (module Lkmm) t)
+          .Exec.Check.verdict
+      in
       (match lk with
       | Exec.Check.Allow -> incr lk_allow
       | Exec.Check.Forbid -> incr lk_forbid
@@ -102,7 +106,10 @@ let strength_issues ?limits tests =
       let v m = (budgeted_run ?limits m t).Exec.Check.verdict in
       let sc = v (module Models.Sc)
       and tso = v (module Models.Tso)
-      and lk = v (module Lkmm) in
+      and lk =
+        (budgeted_run ?limits ~batch:Lkmm.consistent_mask (module Lkmm) t)
+          .Exec.Check.verdict
+      in
       (if sc = Exec.Check.Allow && tso = Exec.Check.Forbid then
          [ Printf.sprintf "%s: SC allows but TSO forbids" t.name ]
        else [])

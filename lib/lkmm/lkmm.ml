@@ -16,9 +16,20 @@ module Explain = Explain
 let name = Model.name
 let consistent = Model.consistent
 
+(** [consistent_mask] is the model's batched consistency oracle — up to
+    63 static-compatible witnesses decided per word-parallel pass
+    (see {!Relations.consistent_mask}); plug it into
+    [Exec.Check.run ~batch]. *)
+let consistent_mask : Exec.Check.batch_fn = Relations.consistent_mask
+
 (** [check ?budget test] runs a litmus test against the LK model; with a
-    budget the result may be [Unknown] instead of raising/hanging. *)
-let check ?budget test = Exec.Check.run ?budget (module Model) test
+    budget the result may be [Unknown] instead of raising/hanging.
+    Candidates are evaluated batched ([?batched], default [true]: the
+    bit-plane path, observationally identical to the scalar one). *)
+let check ?budget ?(batched = true) test =
+  if batched then
+    Exec.Check.run ?budget ~batch:consistent_mask (module Model) test
+  else Exec.Check.run ?budget ~delta:false (module Model) test
 
 (** [verdict ?budget test] is the LK verdict for [test]. *)
 let verdict ?budget test = (check ?budget test).Exec.Check.verdict

@@ -227,17 +227,146 @@ let static_cache : (Exec.Event.t array * static_ctx) option ref Domain.DLS.key
     =
   Domain.DLS.new_key (fun () -> ref None)
 
-let make_cached (x : Exec.t) =
+let static_cached (x : Exec.t) =
   let cache = Domain.DLS.get static_cache in
-  let s =
-    match !cache with
-    | Some (ev, s) when ev == x.events ->
-        Obs.Counter.incr c_cache_hits;
-        s
-    | _ ->
-        Obs.Counter.incr c_cache_misses;
-        let s = static_of x in
-        cache := Some (x.events, s);
-        s
+  match !cache with
+  | Some (ev, s) when ev == x.events ->
+      Obs.Counter.incr c_cache_hits;
+      s
+  | _ ->
+      Obs.Counter.incr c_cache_misses;
+      let s = static_of x in
+      cache := Some (x.events, s);
+      s
+
+let make_cached (x : Exec.t) = make ~static:(static_cached x) x
+
+(* ------------------------------------------------------------------ *)
+(* Batched evaluation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The same dynamic remainder, for up to 63 pairwise static-compatible
+   witnesses at once: every witness-dependent relation is stacked into
+   candidate-major bit planes ({!Rel.Batch}) and the Figure 8 chain
+   runs word-parallel across all of them, with the static prefix —
+   equal across the batch by {!Exec.Execution.static_compatible} —
+   broadcast from the first candidate's cache entry.  The axioms are decided in Figure 3
+   order, and after each one the surviving-plane mask shrinks — decided
+   candidates are dropped from the remaining work entirely (the At
+   stage restricts its inputs, the Hb/Pb/Rcu chain is built only for
+   planes that survived At, and Pb/Rcu inputs are re-restricted), which
+   is work the scalar path cannot skip: [make] computes the whole chain
+   eagerly before any axiom is tested. *)
+
+module B = Rel.Batch
+
+let c_batch_early = Obs.Counter.make "lkmm.batch.early_exit"
+
+let popcount m =
+  let c = ref 0 and m = ref m in
+  while !m <> 0 do
+    incr c;
+    m := !m land (!m - 1)
+  done;
+  !c
+
+let consistent_mask ~coherent ~mask (xs : Exec.t array) =
+  let x0 = xs.(0) in
+  let s = static_cached x0 in
+  let n = Array.length x0.Exec.events in
+  let bc ~mask r = B.broadcast ~n ~mask r in
+  let dyn ~mask f = B.of_rels ~n ~mask (Array.map f xs) in
+  let live = ref mask in
+  let settle ~last m =
+    if not last then Obs.Counter.add c_batch_early (popcount (!live land lnot m));
+    live := !live land m
   in
-  make ~static:s x
+  (* Scpv: acyclic (po-loc | com) — exactly the sc-per-location
+     prefilter, so when the caller vouches for coherence it is already
+     decided for every live plane. *)
+  if not coherent then
+    settle ~last:false
+      (B.acyclic_mask ~mask:!live
+         (B.union
+            (bc ~mask:!live x0.Exec.po_loc)
+            (dyn ~mask:!live (fun x -> x.Exec.com))));
+  (* At: empty (rmw & (fre ; coe)) *)
+  if !live <> 0 then
+    settle ~last:false
+      (B.empty_mask ~mask:!live
+         (B.inter
+            (bc ~mask:!live x0.Exec.rmw)
+            (B.seq
+               (dyn ~mask:!live (fun x -> x.Exec.fre))
+               (dyn ~mask:!live (fun x -> x.Exec.coe)))));
+  (* Hb, Pb and Rcu share the Figure 8 chain. *)
+  if !live <> 0 then begin
+    let lm = !live in
+    let bc r = bc ~mask:lm r and dyn f = dyn ~mask:lm f in
+    let ( |>> ) = B.seq in
+    let star r = B.reflexive_transitive_closure ~mask:lm r in
+    let opt r = B.reflexive_closure ~mask:lm r in
+    let rfi = dyn (fun x -> x.Exec.rfi) in
+    let rfe = dyn (fun x -> x.Exec.rfe) in
+    let overwrite =
+      B.union (dyn (fun x -> x.Exec.co)) (dyn (fun x -> x.Exec.fr))
+    in
+    let int_b = bc x0.Exec.int_r in
+    let rfi_rel_acq = bc s.rel_id |>> rfi |>> bc s.acq_id in
+    let to_w = B.union (bc s.s_rwdep) (B.inter overwrite int_b) in
+    let rrdep = B.union (bc x0.Exec.addr) (bc s.s_dep |>> rfi) in
+    let strong_rrdep =
+      B.inter (B.transitive_closure rrdep) (bc s.s_rb_dep)
+    in
+    let to_r = B.union strong_rrdep rfi_rel_acq in
+    let ppo = star rrdep |>> B.union to_r (B.union to_w (bc s.s_fence)) in
+    let cumul_fence =
+      B.union
+        (opt rfe |>> bc (Rel.union s.s_strong_fence s.s_po_rel))
+        (bc s.s_wmb)
+    in
+    let prop =
+      opt (B.inter overwrite (bc x0.Exec.ext_r))
+      |>> star cumul_fence |>> opt rfe
+    in
+    let hb =
+      B.union
+        (B.inter (B.diff prop (bc x0.Exec.id_r)) int_b)
+        (B.union ppo rfe)
+    in
+    settle ~last:false (B.acyclic_mask ~mask:lm hb);
+    if !live <> 0 then begin
+      let lm = !live in
+      let prop = B.restrict ~mask:lm prop in
+      let hb = B.restrict ~mask:lm hb in
+      let pb = prop |>> bc s.s_strong_fence |>> star hb in
+      settle ~last:false (B.acyclic_mask ~mask:lm pb);
+      if !live <> 0 then begin
+        let lm = !live in
+        let link =
+          star (B.restrict ~mask:lm hb)
+          |>> star (B.restrict ~mask:lm pb)
+          |>> B.restrict ~mask:lm prop
+        in
+        let gp_link = bc s.s_gp |>> link in
+        let rscs_link = bc s.s_rscs |>> link in
+        let step p =
+          List.fold_left B.union gp_link
+            [
+              p |>> p;
+              gp_link |>> rscs_link;
+              rscs_link |>> gp_link;
+              gp_link |>> p |>> rscs_link;
+              rscs_link |>> p |>> gp_link;
+            ]
+        in
+        let rec go p =
+          Obs.Counter.incr c_fixpoint;
+          let next = step p in
+          if B.equal next p then p else go next
+        in
+        settle ~last:true (B.irreflexive_mask ~mask:lm (go gp_link))
+      end
+    end
+  end;
+  !live

@@ -84,3 +84,18 @@ val make : ?static:static_ctx -> Exec.t -> ctx
     enumeration shares across all witnesses of one event structure.
     Results are identical to [make x]. *)
 val make_cached : Exec.t -> ctx
+
+(** [consistent_mask ~coherent ~mask xs] decides the LK model for up to
+    63 pairwise static-compatible witnesses
+    ({!Exec.Execution.static_compatible}) in one word-parallel pass:
+    the witness-dependent relations are stacked into candidate-major
+    bit planes ({!Rel.Batch}), the static prefix — shared across the
+    batch by the compatibility contract — is broadcast from [xs.(0)]'s
+    cache entry, and the axioms are applied in Figure 3 order with the
+    surviving-plane mask shrinking after each — decided candidates drop
+    out of the remaining work.  Bit [c] of the result is set iff bit
+    [c] of [mask] is and [xs.(c)] is consistent ({!Axioms.consistent}).
+    With [~coherent], the sc-per-variable axiom is taken as already
+    decided (the caller ran the sc-per-location prefilter, which is the
+    same check). *)
+val consistent_mask : coherent:bool -> mask:int -> Exec.t array -> int

@@ -6,10 +6,18 @@
    prefilter made executable: candidates it rejects never satisfy the
    model.
 
+   The candidate-major bit-plane kernel ({!Rel.Batch}) gets the same
+   treatment: every batched operator and decision mask against a scalar
+   loop over the planes, randomized over universe size, plane count and
+   mask — plus corpus-wide agreement of {!Exec.Check.run} results with
+   batching on/off × prefilter on/off, for the native LKMM and the cat
+   interpreter (witness identity included, not just verdicts).
+
    Trial tally: the operator suite alone draws 2 relations per trial ×
-   4000 trials, and the closure/sort/cycle suites another 2000 + 2000 +
-   500 — comfortably over the 10k randomized relations the acceptance
-   criteria ask for. *)
+   4000 trials, the closure/sort/cycle suites another 2000 + 2000 +
+   500, and the batch suite 2 × 1500 trials of up to 63 planes each
+   (~40k plane comparisons) — comfortably over the 10k randomized
+   relations the acceptance criteria ask for. *)
 
 module D = Rel
 module S = Rel.Reference
@@ -105,6 +113,119 @@ let prop_linear_extensions_agree =
       = sort (List.map S.to_list (S.linear_extensions elems)))
 
 (* ------------------------------------------------------------------ *)
+(* The bit-plane batch kernel against a scalar loop                    *)
+(* ------------------------------------------------------------------ *)
+
+module B = Rel.Batch
+
+(* (universe size, plane count, mask, per-plane pairs ×2): universes at
+   litmus scale (the kernel packs candidates, not big universes), plane
+   counts up to the full word including the k = 63 [full_mask] edge
+   case, and a random submask so masked variants are exercised with
+   decided planes present. *)
+let gen_batch_input =
+  let open QCheck2.Gen in
+  let* n = oneofl [ 2; 5; 9; 14 ] in
+  let* k = oneofl [ 1; 2; 3; 7; 20; 62; 63 ] in
+  let* mask_bits = int_bound ((1 lsl min k 30) - 1) in
+  let mask = B.full_mask k land lnot mask_bits in
+  let pair = tup2 (int_range 0 (n - 1)) (int_range 0 (n - 1)) in
+  let pairs = list_size (int_range 0 (2 * n)) pair in
+  let plane_list = list_repeat k pairs in
+  tup5 (return n) (return k) (return mask) plane_list plane_list
+
+(* Expected mask of a per-plane predicate, by scalar loop. *)
+let mask_of k pred rels =
+  let m = ref 0 in
+  for c = 0 to k - 1 do
+    if pred rels.(c) then m := !m lor (1 lsl c)
+  done;
+  !m
+
+let prop_batch_ops_agree =
+  QCheck2.Test.make ~name:"batched operators agree with a scalar loop"
+    ~count:1500 gen_batch_input (fun (n, k, _mask, pls1, pls2) ->
+      let rels1 = Array.of_list (List.map D.of_list pls1) in
+      let rels2 = Array.of_list (List.map D.of_list pls2) in
+      let b1 = B.of_rels ~n rels1 and b2 = B.of_rels ~n rels2 in
+      let u = Iset.of_range 0 (n - 1) in
+      let full = B.full_mask k in
+      (* a batched op agrees iff every plane extracts to the scalar
+         op's result on that plane's inputs *)
+      let planes_agree b f =
+        let ok = ref true in
+        for c = 0 to k - 1 do
+          ok := !ok && D.equal (B.plane b c) (f rels1.(c) rels2.(c))
+        done;
+        !ok
+      in
+      planes_agree b1 (fun r _ -> r)
+      && planes_agree (B.union b1 b2) D.union
+      && planes_agree (B.inter b1 b2) D.inter
+      && planes_agree (B.diff b1 b2) D.diff
+      && planes_agree (B.seq b1 b2) D.seq
+      && planes_agree (B.inverse b1) (fun r _ -> D.inverse r)
+      && planes_agree (B.transitive_closure b1) (fun r _ ->
+             D.transitive_closure r)
+      && planes_agree
+           (B.reflexive_closure ~mask:full b1)
+           (fun r _ -> D.reflexive_closure ~universe:u r)
+      && planes_agree
+           (B.reflexive_transitive_closure ~mask:full b1)
+           (fun r _ -> D.reflexive_transitive_closure ~universe:u r)
+      && planes_agree (B.complement ~mask:full b1) (fun r _ ->
+             D.complement ~universe:u r)
+      && B.equal b1 b2 = Array.for_all2 D.equal rels1 rels2)
+
+let prop_batch_masks_agree =
+  QCheck2.Test.make ~name:"batched decision masks agree with a scalar loop"
+    ~count:1500 gen_batch_input (fun (n, k, mask, pls1, _pls2) ->
+      let rels1 = Array.of_list (List.map D.of_list pls1) in
+      let b1 = B.of_rels ~n rels1 in
+      let bm = B.of_rels ~n ~mask rels1 in
+      let is_cyclic r = not (D.is_acyclic r) in
+      let is_reflexive r = not (D.is_irreflexive r) in
+      (* unmasked decision masks *)
+      B.nonempty_mask b1 = mask_of k (fun r -> not (D.is_empty r)) rels1
+      && B.reflexive_mask b1 = mask_of k is_reflexive rels1
+      && B.cyclic_mask b1 = mask_of k is_cyclic rels1
+      (* masked variants answer within the mask only *)
+      && B.acyclic_mask ~mask b1 = mask land mask_of k D.is_acyclic rels1
+      && B.irreflexive_mask ~mask b1
+         = mask land mask_of k D.is_irreflexive rels1
+      && B.empty_mask ~mask b1 = mask land mask_of k D.is_empty rels1
+      (* of_rels ~mask keeps only the masked planes *)
+      && (let ok = ref true in
+          for c = 0 to k - 1 do
+            let expect =
+              if mask land (1 lsl c) <> 0 then rels1.(c) else D.empty
+            in
+            ok := !ok && D.equal (B.plane bm c) expect
+          done;
+          !ok)
+      (* restrict zeroes planes outside the mask *)
+      && (let r = B.restrict ~mask b1 in
+          let ok = ref true in
+          for c = 0 to k - 1 do
+            let expect =
+              if mask land (1 lsl c) <> 0 then rels1.(c) else D.empty
+            in
+            ok := !ok && D.equal (B.plane r c) expect
+          done;
+          !ok)
+      (* broadcast holds the relation in masked planes only *)
+      && (let r0 = if Array.length rels1 > 0 then rels1.(0) else D.empty in
+          let b = B.broadcast ~n ~mask r0 in
+          let ok = ref true in
+          for c = 0 to k - 1 do
+            let expect = if mask land (1 lsl c) <> 0 then r0 else D.empty in
+            ok := !ok && D.equal (B.plane b c) expect
+          done;
+          !ok)
+      (* mem answers per plane *)
+      && B.mem 0 (n - 1) b1 = mask_of k (D.mem 0 (n - 1)) rels1)
+
+(* ------------------------------------------------------------------ *)
 (* Corpus sample: end-to-end agreement and prefilter soundness         *)
 (* ------------------------------------------------------------------ *)
 
@@ -161,6 +282,48 @@ let test_corpus_agreement () =
         (native_on.verdict = cat_cached.verdict))
     (sample_tests 11)
 
+(* Batched evaluation (bit planes + delta re-checking) must be invisible
+   in the results, down to witness identity — the correctness contract of
+   the batched path.  Exercised batch on/off × prefilter on/off, for the
+   native axioms and the cat interpreter. *)
+let witness_rels (x : Exec.t option) =
+  Option.map (fun (x : Exec.t) -> (Rel.to_list x.rf, Rel.to_list x.co)) x
+
+let full_key (r : Exec.Check.result) =
+  (result_key r, r.n_prefiltered, witness_rels r.witness)
+
+let test_batched_agreement () =
+  let lk_cat = Lazy.force Cat.lk in
+  let cat_scalar_m = Cat.to_check_model ~name:"LK(cat)" lk_cat in
+  let cat_batched_m, cat_batch = Cat.to_batched_model ~name:"LK(cat)" lk_cat in
+  List.iter
+    (fun (file, test) ->
+      let pair what scalar batched =
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %s agrees batched vs scalar" file what)
+          true
+          (full_key scalar = full_key batched)
+      in
+      (* the scalar reference path is what --no-batch selects: batching
+         off AND delta re-evaluation off *)
+      let native_scalar = Exec.Check.run ~delta:false (module Lkmm) test in
+      pair "native"
+        native_scalar
+        (Exec.Check.run ~batch:Lkmm.consistent_mask (module Lkmm) test);
+      pair "native (delta only)" native_scalar
+        (Exec.Check.run (module Lkmm) test);
+      pair "native, prefilter off"
+        (Exec.Check.run ~prefilter:false ~delta:false (module Lkmm) test)
+        (Exec.Check.run ~prefilter:false ~batch:Lkmm.consistent_mask
+           (module Lkmm) test);
+      pair "cat"
+        (Exec.Check.run ~delta:false cat_scalar_m test)
+        (Exec.Check.run ~batch:cat_batch cat_batched_m test);
+      pair "cat, prefilter off"
+        (Exec.Check.run ~prefilter:false ~delta:false cat_scalar_m test)
+        (Exec.Check.run ~prefilter:false ~batch:cat_batch cat_batched_m test))
+    (sample_tests 11)
+
 (* Run the model anyway on every candidate the prefilter rejects: none
    may be consistent, under the native axioms or the cat interpreter —
    the executable form of the soundness argument (an sc-per-location
@@ -196,11 +359,15 @@ let () =
             prop_closures_agree;
             prop_cyclicity_agrees;
             prop_linear_extensions_agree;
+            prop_batch_ops_agree;
+            prop_batch_masks_agree;
           ] );
       ( "end-to-end",
         [
           Alcotest.test_case "corpus sample agreement" `Quick
             test_corpus_agreement;
+          Alcotest.test_case "batched vs scalar agreement" `Quick
+            test_batched_agreement;
           Alcotest.test_case "prefilter soundness" `Quick
             test_prefilter_soundness;
         ] );

@@ -59,7 +59,19 @@ let () =
   in
   let in_process = best_of 3 (fun () -> Harness.Runner.run ~limits items) in
   let pool_j1 = best_of 3 (pool 1) in
-  let pool_j4 = best_of 3 (pool 4) in
+  (* A single visible core makes the -j 4 comparison meaningless (the
+     extra workers only add scheduling overhead), so it is skipped
+     outright rather than recorded as a bogus speedup: the columns come
+     out null and downstream readers can tell "not measured" from
+     "measured slow". *)
+  let pool_j4 = if cores () > 1 then Some (best_of 3 (pool 4)) else None in
+  let j4_columns =
+    match pool_j4 with
+    | Some t ->
+        Printf.sprintf "\"pool_j4_s\": %.4f,\n  \"j4_vs_j1_speedup\": %.2f" t
+          (pool_j1 /. t)
+    | None -> "\"pool_j4_s\": null,\n  \"j4_vs_j1_speedup\": null"
+  in
   let json =
     Printf.sprintf
       {|{
@@ -68,14 +80,12 @@ let () =
   "visible_cores": %d,
   "in_process_s": %.4f,
   "pool_j1_s": %.4f,
-  "pool_j4_s": %.4f,
-  "j4_vs_j1_speedup": %.2f,
+  %s,
   "isolation_overhead_vs_in_process_pct": %.2f,
-  "note": "with one visible core -j 4 cannot beat -j 1; the speedup column is meaningful on multi-core machines only"
+  "note": "the -j 4 columns are measured only when more than one core is visible; on a single core the comparison is meaningless and is skipped (null)"
 }
 |}
-      (List.length items) (cores ()) in_process pool_j1 pool_j4
-      (pool_j1 /. pool_j4)
+      (List.length items) (cores ()) in_process pool_j1 j4_columns
       (100.0 *. (pool_j1 -. in_process) /. in_process)
   in
   let oc = open_out out in

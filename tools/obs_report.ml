@@ -160,6 +160,47 @@ let profile path =
           (100. *. float_of_int v /. float_of_int (max 1 total)))
       failing
   end;
+  (* batched evaluation: occupancy is a plane count, not a duration, so
+     it gets its own table (and stays out of the µs-labelled one) *)
+  let counter n = List.assoc_opt n !counters in
+  let occupancy =
+    List.find_opt (fun (n, _, _, _) -> n = "check.batch.occupancy") !hists
+  in
+  (if occupancy <> None || counter "check.batch.flushes" <> None
+      || counter "exec.delta.patched" <> None then begin
+     Printf.printf "\nBatched evaluation:\n";
+     (match (counter "check.batch.flushes", occupancy) with
+     | Some f, Some (_, c, sum, max_occ) ->
+         Printf.printf
+           "  %-28s %12d\n  %-28s %12.1f planes/flush (max %.0f)\n"
+           "flushes" f "mean occupancy"
+           (sum /. float_of_int (Stdlib.max 1 c))
+           max_occ
+     | Some f, None -> Printf.printf "  %-28s %12d\n" "flushes" f
+     | None, _ -> ());
+     (match (counter "lkmm.batch.early_exit", counter "cat.batch.early_exit")
+      with
+     | None, None -> ()
+     | lk, cat ->
+         let lk = Option.value ~default:0 lk
+         and cat = Option.value ~default:0 cat in
+         Printf.printf "  %-28s %12d (native %d, cat %d)\n"
+           "planes decided early" (lk + cat) lk cat);
+     match (counter "exec.delta.patched", counter "exec.delta.full") with
+     | None, None -> ()
+     | patched, full ->
+         let patched = Option.value ~default:0 patched
+         and full = Option.value ~default:0 full in
+         Printf.printf "  %-28s %12d (full recomputes %d, %.1f%% patched)\n"
+           "delta rf patches" patched full
+           (100.
+           *. float_of_int patched
+           /. float_of_int (Stdlib.max 1 (patched + full)))
+   end);
+  let hists =
+    ref
+      (List.filter (fun (n, _, _, _) -> n <> "check.batch.occupancy") !hists)
+  in
   if !hists <> [] then begin
     Printf.printf "\nHistograms:\n";
     Printf.printf "  %-28s %8s %12s %12s %12s\n" "name" "count" "sum_ms"
