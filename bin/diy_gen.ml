@@ -11,8 +11,9 @@
 open Cmdliner
 
 let main size sample seed_range verdicts outdir timeout max_candidates
-    max_events jobs journal resume json trace metrics =
+    max_events jobs journal resume json backend_opt trace metrics =
   Harness.Cli.with_obs ~trace ~metrics @@ fun () ->
+  let backend = Harness.Cli.backend ~backend:backend_opt ~no_batch:false in
   (* with --json, stdout carries the report; the listing moves to stderr *)
   let ppf = if json then Fmt.stderr else Fmt.stdout in
   let t_start = Unix.gettimeofday () in
@@ -37,10 +38,11 @@ let main size sample seed_range verdicts outdir timeout max_candidates
         Diygen.sample ~vocabulary:Diygen.Edge.core_vocabulary ~rng ~count size
   in
   let limits = Exec.Budget.limits ?timeout ?max_events ?max_candidates () in
-  let budgeted ?batch m t =
-    if Exec.Budget.is_unlimited limits then Exec.Check.run ?batch m t
-    else Exec.Check.run ?batch ~budget:(Exec.Budget.start limits) m t
+  let budgeted oracle t =
+    if Exec.Budget.is_unlimited limits then Exec.Oracle.run ~backend oracle t
+    else Exec.Oracle.run ~backend ~budget:(Exec.Budget.start limits) oracle t
   in
+  let c11_oracle = Exec.Oracle.of_model (module Models.C11) in
   let unknowns = ref 0 in
   Fmt.pf ppf "generated %d tests of size %d@." (List.length tests) size;
   let emit_test (t : Litmus.Ast.t) =
@@ -60,8 +62,7 @@ let main size sample seed_range verdicts outdir timeout max_candidates
   in
   let c11_column (t : Litmus.Ast.t) =
     if Models.C11.applicable t then
-      Exec.Check.verdict_to_string
-        (budgeted (module Models.C11) t).Exec.Check.verdict
+      Exec.Check.verdict_to_string (budgeted c11_oracle t).Exec.Check.verdict
     else "-"
   in
   (* the LK sweep is the expensive half; any pool feature moves it into
@@ -78,7 +79,7 @@ let main size sample seed_range verdicts outdir timeout max_candidates
       { Harness.Pool.default with Harness.Pool.jobs = max 1 jobs; limits }
     in
     let report =
-      Harness.Pool.run ~config ?journal ?resume items
+      Harness.Pool.run ~config ?journal ?resume ~backend items
     in
     List.iter2
       (fun (t : Litmus.Ast.t) (e : Harness.Runner.entry) ->
@@ -107,7 +108,7 @@ let main size sample seed_range verdicts outdir timeout max_candidates
            (* fresh budget per test: one explosive cycle degrades to Unknown
               and the sweep keeps going *)
            let t0 = Unix.gettimeofday () in
-           let r = budgeted ~batch:Lkmm.consistent_mask (module Lkmm) t in
+           let r = budgeted Lkmm.oracle t in
            let lk = r.Exec.Check.verdict in
            (match lk with Exec.Check.Unknown _ -> incr unknowns | _ -> ());
            let status =
@@ -190,7 +191,7 @@ let cmd =
     Term.(
       const main $ size_arg $ sample_arg $ seed_range_arg $ verdicts_arg
       $ outdir_arg $ C.timeout_arg $ C.max_candidates_arg $ C.max_events_arg
-      $ C.jobs_arg $ C.journal_arg $ C.resume_arg $ C.json_arg $ C.trace_arg
-      $ C.metrics_arg)
+      $ C.jobs_arg $ C.journal_arg $ C.resume_arg $ C.json_arg $ C.backend_arg
+      $ C.trace_arg $ C.metrics_arg)
 
 let () = Harness.Cli.eval ~name:"diy_gen" cmd

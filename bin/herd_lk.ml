@@ -15,36 +15,21 @@
 
 open Cmdliner
 
-let model_of_name name : Harness.Runner.model_factory =
+(* One oracle per model name: the native LK value carries its batch and
+   SAT engines, cat-interpreted models their batch engine, and the
+   operational simulators stay scalar.  {!Exec.Oracle.run} falls back
+   enumeratively when the selected backend is missing. *)
+let oracle_of_name name : Exec.Oracle.t =
   match String.lowercase_ascii name with
-  | "lk" | "lkmm" | "linux" -> Harness.Runner.static_model (module Lkmm)
-  | "lk-cat" ->
-      let m = Cat.parse Cat.Stdmodels.lk in
-      fun budget -> Cat.to_check_model ~name:"LK(cat)" ?budget m
-  | "sc" -> Harness.Runner.static_model (module Models.Sc)
-  | "tso" | "x86" -> Harness.Runner.static_model (module Models.Tso)
-  | "c11" -> Harness.Runner.static_model (module Models.C11)
-  | "c11-psc" | "rc11" -> Harness.Runner.static_model (module Models.C11.Strengthened)
+  | "lk" | "lkmm" | "linux" -> Lkmm.oracle
+  | "lk-cat" -> Cat.to_oracle ~name:"LK(cat)" (Cat.parse Cat.Stdmodels.lk)
+  | "sc" -> Exec.Oracle.of_model (module Models.Sc)
+  | "tso" | "x86" -> Exec.Oracle.of_model (module Models.Tso)
+  | "c11" -> Exec.Oracle.of_model (module Models.C11)
+  | "c11-psc" | "rc11" -> Exec.Oracle.of_model (module Models.C11.Strengthened)
   | _ when Filename.check_suffix name ".cat" ->
-      let m = Cat.load_file name in
-      fun budget -> Cat.to_check_model ~name ?budget m
+      Cat.to_oracle ~name (Cat.load_file name)
   | other -> failwith ("unknown model: " ^ other)
-
-(* The model's bit-plane oracle, where one exists: the native LK axioms
-   and any cat-interpreted model batch; the operational simulators stay
-   scalar. *)
-let batch_of_name name : Harness.Runner.batch_factory option =
-  match String.lowercase_ascii name with
-  | "lk" | "lkmm" | "linux" ->
-      Some (Harness.Runner.static_batch Lkmm.consistent_mask)
-  | "lk-cat" ->
-      let m = Cat.parse Cat.Stdmodels.lk in
-      Some
-        (fun budget -> snd (Cat.to_batched_model ~name:"LK(cat)" ?budget m))
-  | _ when Filename.check_suffix name ".cat" ->
-      let m = Cat.load_file name in
-      Some (fun budget -> snd (Cat.to_batched_model ~name ?budget m))
-  | _ -> None
 
 let model_display_name name =
   match String.lowercase_ascii name with
@@ -148,7 +133,7 @@ let write_dot path (e : Harness.Runner.entry) source =
 
 (* --explain-diff A,B: run each test under both models with forensics
    on and name the checks failing under one but not the other. *)
-let explain_diff ~limits spec (items : Harness.Runner.item list) =
+let explain_diff ~limits ~backend spec (items : Harness.Runner.item list) =
   let module R = Harness.Runner in
   let a, b =
     match String.split_on_char ',' spec with
@@ -158,8 +143,8 @@ let explain_diff ~limits spec (items : Harness.Runner.item list) =
           (Printf.sprintf "--explain-diff expects MODEL,MODEL (got %S)" spec)
   in
   let run m i =
-    R.run_item ~limits ?explainer:(explainer_of_name m)
-      ~model:(model_of_name m)
+    R.run_item ~limits ~backend ?explainer:(explainer_of_name m)
+      ~oracle:(oracle_of_name m)
       { i with R.expected = None }
   in
   let entries =
@@ -209,7 +194,7 @@ let explain_diff ~limits spec (items : Harness.Runner.item list) =
 (* --shrink: minimise every failing or crashing entry to a reproducer
    next to its input ([<id>.min.litmus]).  Crashes are re-checked in an
    isolated worker; mismatches shrink in-process. *)
-let shrink_failures ~limits ~factory ~pool_config
+let shrink_failures ~limits ~backend ~oracle ~pool_config
     (report : Harness.Runner.report) (items : Harness.Runner.item list) =
   let module R = Harness.Runner in
   let module S = Harness.Shrink in
@@ -242,11 +227,11 @@ let shrink_failures ~limits ~factory ~pool_config
             match e.R.status with
             | R.Err { cls = R.Crash _; _ } ->
                 fun t' ->
-                  S.isolated_check ~config:pool_config ~model:factory
+                  S.isolated_check ~config:pool_config ~oracle ~backend
                     ?expected:i.R.expected t'
             | _ ->
                 fun t' ->
-                  R.run_item ~limits ~model:factory
+                  R.run_item ~limits ~backend ~oracle
                     {
                       R.id = t'.Litmus.Ast.name;
                       source = `Ast t';
@@ -264,11 +249,10 @@ let shrink_failures ~limits ~factory ~pool_config
 
 let main model verbose outcomes dot explain explain_diff_spec builtin timeout
     max_candidates max_events json jobs mem_limit journal resume shrink
-    no_batch trace metrics files =
+    no_batch backend_opt trace metrics files =
   Harness.Cli.with_obs ~trace ~metrics @@ fun () ->
-  let factory = model_of_name model in
-  let batch = if no_batch then None else batch_of_name model in
-  let delta = if no_batch then Some false else None in
+  let oracle = oracle_of_name model in
+  let backend = Harness.Cli.backend ~backend:backend_opt ~no_batch in
   let mname = model_display_name model in
   let limits =
     Exec.Budget.limits ?timeout ?max_events ?max_candidates ()
@@ -301,7 +285,7 @@ let main model verbose outcomes dot explain explain_diff_spec builtin timeout
   else
     match explain_diff_spec with
     | Some spec ->
-        Harness.Runner.exit_code (explain_diff ~limits spec items)
+        Harness.Runner.exit_code (explain_diff ~limits ~backend spec items)
     | None ->
   begin
     let pool_config =
@@ -320,12 +304,12 @@ let main model verbose outcomes dot explain explain_diff_spec builtin timeout
     let report =
       if use_pool then
         Harness.Pool.run ~config:pool_config ?journal ?resume ?explainer
-          ?delta ~model:factory ?batch items
+          ~backend ~oracle items
       else
-        Harness.Runner.run ~limits ?explainer ?delta ~model:factory ?batch
-          items
+        Harness.Runner.run ~limits ?explainer ~backend ~oracle items
     in
-    if shrink then shrink_failures ~limits ~factory ~pool_config report items;
+    if shrink then
+      shrink_failures ~limits ~backend ~oracle ~pool_config report items;
     if json then print_string (Harness.Runner.to_json report ^ "\n")
     else begin
       let sources =
@@ -437,7 +421,7 @@ let cmd =
       $ explain_arg $ explain_diff_arg
       $ builtin_arg $ C.timeout_arg $ C.max_candidates_arg $ C.max_events_arg
       $ C.json_arg $ C.jobs_arg $ C.mem_limit_arg $ C.journal_arg
-      $ C.resume_arg $ shrink_arg $ C.no_batch_arg $ C.trace_arg
-      $ C.metrics_arg $ files_arg)
+      $ C.resume_arg $ shrink_arg $ C.no_batch_arg $ C.backend_arg
+      $ C.trace_arg $ C.metrics_arg $ files_arg)
 
 let () = Harness.Cli.eval ~name:"herd_lk" cmd

@@ -17,7 +17,7 @@
 
 open Cmdliner
 
-let run_one ppf archs runs seed check stable limits test =
+let run_one ppf archs runs seed check stable limits backend test =
   let errors = ref 0 and budget_outs = ref 0 in
   let budget_reason = ref None in
   Fmt.pf ppf "Test %s:@." test.Litmus.Ast.name;
@@ -46,7 +46,7 @@ let run_one ppf archs runs seed check stable limits test =
         s.Hwsim.matched s.Hwsim.total
         (match convergence with Some c -> " (" ^ c ^ ")" | None -> "");
       if check then
-        match Hwsim.soundness ?limits (module Lkmm) test s with
+        match Hwsim.soundness ?limits ~backend Lkmm.oracle test s with
         | Hwsim.Sound ->
             Fmt.pf ppf "  %-7s sound w.r.t. the LK model@." s.Hwsim.arch
         | Hwsim.Unsound bad ->
@@ -65,8 +65,9 @@ let run_one ppf archs runs seed check stable limits test =
   (!errors, !budget_outs, !budget_reason)
 
 let main archs runs seed check stable timeout max_candidates journal resume
-    json trace metrics files builtin =
+    json backend_opt trace metrics files builtin =
   Harness.Cli.with_obs ~trace ~metrics @@ fun () ->
+  let backend = Harness.Cli.backend ~backend:backend_opt ~no_batch:false in
   let module R = Harness.Runner in
   let module J = Harness.Journal in
   (* with --json, stdout carries the report; progress moves to stderr *)
@@ -111,7 +112,7 @@ let main archs runs seed check stable timeout max_candidates journal resume
         let t0 = Unix.gettimeofday () in
         let e, b, reason =
           Obs.with_span ~item:id "item" (fun () ->
-              run_one ppf archs runs seed check stable limits test)
+              run_one ppf archs runs seed check stable limits backend test)
         in
         (* the journalled classification mirrors the exit-code policy:
            unsound = disagreement (fail), budget = gave up, else done *)
@@ -214,6 +215,7 @@ let cmd =
     Term.(
       const main $ archs_arg $ runs_arg $ seed_arg $ check_arg $ stable_arg
       $ C.timeout_arg $ C.max_candidates_arg $ C.journal_arg $ C.resume_arg
-      $ C.json_arg $ C.trace_arg $ C.metrics_arg $ files_arg $ builtin_arg)
+      $ C.json_arg $ C.backend_arg $ C.trace_arg $ C.metrics_arg $ files_arg
+      $ builtin_arg)
 
 let () = Harness.Cli.eval ~name:"klitmus_sim" cmd

@@ -127,7 +127,7 @@ let emit_report ~json ~out rep =
 
 let run_main dir size (seed_lo, seed_hi) shard_size jobs models archs hw_runs
     timeout max_candidates max_events lease_timeout max_rows explain out
-    poison wedge quiet json trace metrics =
+    poison wedge quiet json backend_opt trace metrics =
   C.with_obs ~trace ~metrics @@ fun () ->
   let limits =
     (* flag-less runs keep the deterministic candidate/event caps; any
@@ -153,6 +153,7 @@ let run_main dir size (seed_lo, seed_hi) shard_size jobs models archs hw_runs
       lease_timeout;
       max_rows;
       explain;
+      backend = C.backend ~backend:backend_opt ~no_batch:false;
       poison;
       wedge;
       log =
@@ -177,7 +178,7 @@ let run_cmd =
       $ models_arg $ archs_arg $ hw_runs_arg $ C.timeout_arg
       $ C.max_candidates_arg $ C.max_events_arg $ lease_arg $ max_rows_arg
       $ explain_arg $ out_arg $ poison_arg $ wedge_arg $ quiet_arg $ C.json_arg
-      $ C.trace_arg $ C.metrics_arg)
+      $ C.backend_arg $ C.trace_arg $ C.metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mine                                                                *)

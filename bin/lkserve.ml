@@ -162,8 +162,8 @@ let client_main socket model timeout_ms stats shutdown files =
       code
 
 let main socket workers queue default_timeout wedge_grace cache_journal fsync
-    chaos_ops max_line timeout no_batch client client_files model timeout_ms
-    stats shutdown =
+    chaos_ops max_line timeout no_batch backend_opt client client_files model
+    timeout_ms stats shutdown =
   if client || stats || shutdown then
     client_main socket model timeout_ms stats shutdown client_files
   else
@@ -190,7 +190,7 @@ let main socket workers queue default_timeout wedge_grace cache_journal fsync
           chaos_ops;
           retries = 1;
           backoff = 0.05;
-          no_batch;
+          backend = Harness.Cli.backend ~backend:backend_opt ~no_batch;
         }
       ()
 
@@ -202,7 +202,7 @@ let cmd =
       const main $ socket_arg $ workers_arg $ queue_arg $ default_timeout_arg
       $ wedge_grace_arg $ cache_journal_arg $ fsync_arg $ chaos_ops_arg
       $ max_line_arg $ Harness.Cli.timeout_arg $ Harness.Cli.no_batch_arg
-      $ client_flag $ client_arg $ model_arg $ timeout_ms_arg $ stats_flag
-      $ shutdown_flag)
+      $ Harness.Cli.backend_arg $ client_flag $ client_arg $ model_arg
+      $ timeout_ms_arg $ stats_flag $ shutdown_flag)
 
 let () = Harness.Cli.eval ~name:"lkserve" cmd

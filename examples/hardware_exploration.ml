@@ -61,7 +61,7 @@ let () =
         (fun arch ->
           incr cells;
           let s = Hwsim.run_test arch ~runs:500 ~seed:13 test in
-          match Hwsim.unsound_outcomes (module Lkmm) test s with
+          match Hwsim.unsound_outcomes Lkmm.oracle test s with
           | [] -> ()
           | _ ->
               incr bad;

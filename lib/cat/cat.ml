@@ -138,6 +138,47 @@ let to_batched_model ~name ?budget (model : model) :
   in
   (scalar, batch)
 
+(** [to_oracle ~name model] packages a cat model as an
+    {!Exec.Oracle.t}: the scalar and bit-plane batched engines of
+    {!to_batched_model} sharing one compiled model and one
+    static-prefix slot, budget-indexed per request (the fixpoint
+    interpreter shares the test's deadline).  No symbolic engine yet —
+    a [Sat] request falls back enumeratively, counted, per
+    {!Exec.Oracle.run}. *)
+let to_oracle ~name (model : model) : Exec.Oracle.t =
+  let compiled = Interp.compile model in
+  let slot : (Exec.Event.t array * Interp.prefix) option ref = ref None in
+  let prefix_of budget (x : Exec.t) =
+    match !slot with
+    | Some (ev, p) when ev == x.Exec.events ->
+        Obs.Counter.incr c_cache_hits;
+        p
+    | _ ->
+        Obs.Counter.incr c_cache_misses;
+        let p = Interp.prefix ?budget compiled (Interp.env_of_execution x) in
+        slot := Some (x.Exec.events, p);
+        p
+  in
+  Exec.Oracle.make ~name
+    ~model:(fun budget ->
+      (module struct
+        let name = name
+
+        let consistent (x : Exec.t) =
+          let env = Interp.env_of_execution x in
+          let prefix = prefix_of budget x in
+          let t0 = if Obs.enabled () then Obs.now_us () else 0. in
+          let outcomes = Interp.run_with_prefix ?budget prefix env in
+          if Obs.enabled () then
+            Obs.Histogram.observe h_replay (Obs.now_us () -. t0);
+          List.for_all (fun (o : Interp.outcome) -> o.holds) outcomes
+      end : Exec.Check.MODEL))
+    ~batch:(fun budget ~coherent:_ ~mask (xs : Exec.t array) ->
+      let prefix = prefix_of budget xs.(0) in
+      let benv = Interp.benv_of_executions ~mask xs in
+      Interp.run_with_prefix_batched ?budget prefix benv)
+    ()
+
 (** [explainer ?budget model] is a verdict-forensics hook for
     {!Exec.Check.run}: explanations of every failed check on a rejected
     candidate (see {!Explain}). *)

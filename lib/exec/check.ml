@@ -37,6 +37,22 @@ type unknown_reason =
 
 type verdict = Allow | Forbid | Unknown of unknown_reason
 
+(* Which checking engine produced a result: the scalar enumerator, the
+   bit-plane batched enumerator, or the symbolic SAT backend.  Recorded
+   in every result (and report entry) so runs are attributable. *)
+type backend = Enum | Batch | Sat
+
+let backend_to_string = function
+  | Enum -> "enum"
+  | Batch -> "batch"
+  | Sat -> "sat"
+
+(* Solver-side counters, present on results that went through (or were
+   asked to go through) the SAT backend.  [fallback] marks a result
+   that was requested as [Sat] but ran on an enumerative engine because
+   the oracle ships no solver. *)
+type sat_stats = { conflicts : int; decisions : int; fallback : bool }
+
 let signal_name s =
   if s = Sys.sigsegv then "SIGSEGV"
   else if s = Sys.sigkill then "SIGKILL"
@@ -78,6 +94,8 @@ type result = {
   explanations : Explain.t list;
       (* under [?explainer] and a Forbid verdict: one explanation per
          failing check of [counterexample] *)
+  backend : backend; (* the engine that produced this result *)
+  sat : sat_stats option; (* solver counters, SAT backend only *)
 }
 
 (* Interpret the test's quantifier over the consistent executions:
@@ -277,9 +295,11 @@ let run_exn ?budget ?(prefilter = true) ?delta ?batch ?explainer
     outcomes = List.sort_uniq compare !outcomes;
     counterexample;
     explanations;
+    backend = (match batch with None -> Enum | Some _ -> Batch);
+    sat = None;
   }
 
-let unknown ?budget reason =
+let unknown ?budget ?(backend = Enum) ?sat reason =
   {
     verdict = Unknown reason;
     n_candidates =
@@ -291,6 +311,8 @@ let unknown ?budget reason =
     outcomes = [];
     counterexample = None;
     explanations = [];
+    backend;
+    sat;
   }
 
 (* Budgeted checking: budget violations and model failures become
@@ -299,26 +321,78 @@ let unknown ?budget reason =
    are exactly the pre-budget ones. *)
 let run ?budget ?prefilter ?delta ?batch ?explainer (module M : MODEL)
     (test : Litmus.Ast.t) =
+  let backend = match batch with None -> Enum | Some _ -> Batch in
   match budget with
   | None -> run_exn ?prefilter ?delta ?batch ?explainer (module M) test
   | Some b -> (
       try run_exn ~budget:b ?prefilter ?delta ?batch ?explainer (module M) test
       with
-      | Budget.Exceeded r -> unknown ~budget:b (Budget_exceeded r)
-      | Stack_overflow -> unknown ~budget:b (Model_error Stack_overflow)
-      | exn -> unknown ~budget:b (Model_error exn))
+      | Budget.Exceeded r -> unknown ~budget:b ~backend (Budget_exceeded r)
+      | Stack_overflow ->
+          unknown ~budget:b ~backend (Model_error Stack_overflow)
+      | exn -> unknown ~budget:b ~backend (Model_error exn))
 
 (* The set of observable outcomes under the model, ignoring the condition:
    used to compare models with operational simulators.  May raise
-   {!Budget.Exceeded} when budgeted. *)
-let allowed_outcomes ?budget ?(prefilter = true) (module M : MODEL)
-    (test : Litmus.Ast.t) =
-  Seq.fold_left
-    (fun acc x ->
-      Option.iter Budget.tick budget;
-      if prefilter && not (Execution.coherent x) then acc
-      else if M.consistent x then Execution.outcome x :: acc
-      else acc)
-    []
-    (Execution.of_test_seq ?budget test)
-  |> List.sort_uniq compare
+   {!Budget.Exceeded} when budgeted.  [?batch] routes the consistency
+   decisions through the same bit-plane buffering as {!run}. *)
+let allowed_outcomes ?budget ?(prefilter = true) ?delta ?batch
+    (module M : MODEL) (test : Litmus.Ast.t) =
+  let acc = ref [] in
+  let stream = Execution.of_test_seq ?budget ?delta test in
+  (match batch with
+  | None ->
+      Seq.iter
+        (fun x ->
+          Option.iter Budget.tick budget;
+          if prefilter && not (Execution.coherent x) then ()
+          else if M.consistent x then acc := Execution.outcome x :: !acc)
+        stream
+  | Some batch_fn ->
+      let memo = ref None in
+      let compatible (y : Execution.t) (x : Execution.t) =
+        y.Execution.events == x.Execution.events
+        ||
+        match !memo with
+        | Some (ea, eb, r)
+          when ea == y.Execution.events && eb == x.Execution.events ->
+            r
+        | _ ->
+            let r = Execution.static_compatible y x in
+            memo := Some (y.Execution.events, x.Execution.events, r);
+            r
+      in
+      let buf = ref [] and len = ref 0 in
+      let flush () =
+        if !len > 0 then begin
+          let xs = Array.of_list (List.rev !buf) in
+          buf := [];
+          len := 0;
+          let full = Rel.Batch.full_mask (Array.length xs) in
+          let live =
+            if prefilter then Execution.coherent_mask ~mask:full xs else full
+          in
+          let consistent =
+            if live = 0 then 0
+            else batch_fn ~coherent:prefilter ~mask:live xs
+          in
+          Array.iteri
+            (fun c x ->
+              let bit = 1 lsl c in
+              if live land bit <> 0 && consistent land bit <> 0 then
+                acc := Execution.outcome x :: !acc)
+            xs
+        end
+      in
+      Seq.iter
+        (fun x ->
+          Option.iter Budget.tick budget;
+          (match !buf with
+          | y :: _ when not (compatible y x) -> flush ()
+          | _ -> ());
+          buf := x :: !buf;
+          incr len;
+          if !len = Rel.Batch.width then flush ())
+        stream;
+      flush ());
+  List.sort_uniq compare !acc

@@ -36,6 +36,20 @@ type unknown_reason =
 
 type verdict = Allow | Forbid | Unknown of unknown_reason
 
+(** The checking engine that produced a result: the scalar enumerator,
+    the bit-plane batched enumerator, or the symbolic SAT backend.
+    Engine selection flows through {!Oracle.t}; the result (and the
+    report entry built from it) records which engine actually ran. *)
+type backend = Enum | Batch | Sat
+
+val backend_to_string : backend -> string
+
+(** Solver counters, present on results that involved the SAT backend:
+    conflicts and decisions accumulated across the per-structure
+    solves, and [fallback] marking a result that was requested as [Sat]
+    but ran enumeratively because the oracle ships no solver. *)
+type sat_stats = { conflicts : int; decisions : int; fallback : bool }
+
 (** Human name for a signal number (SIGSEGV, SIGKILL, ...). *)
 val signal_name : int -> string
 
@@ -64,7 +78,16 @@ type result = {
   explanations : Explain.t list;
       (** with [?explainer] and a Forbid verdict: one validated
           explanation per failing check of [counterexample] *)
+  backend : backend;  (** the engine that produced this result *)
+  sat : sat_stats option;  (** solver counters, SAT backend only *)
 }
+
+(** [unknown reason] is an empty result with an [Unknown] verdict —
+    the partial-result constructor used when a budget trips or an
+    engine fails; [n_candidates] reports the budget's partial count. *)
+val unknown :
+  ?budget:Budget.t -> ?backend:backend -> ?sat:sat_stats ->
+  unknown_reason -> result
 
 (** [run (module M) test] streams the candidate executions of [test],
     filters them through [M.consistent] and interprets the quantifier:
@@ -119,5 +142,5 @@ val run :
     given and trips (callers decide how to report partial soundness
     information). *)
 val allowed_outcomes :
-  ?budget:Budget.t -> ?prefilter:bool -> (module MODEL) -> Litmus.Ast.t ->
-  Execution.outcome list
+  ?budget:Budget.t -> ?prefilter:bool -> ?delta:bool -> ?batch:batch_fn ->
+  (module MODEL) -> Litmus.Ast.t -> Execution.outcome list

@@ -8,6 +8,9 @@
    - {!Check}: running a test against a consistency model;
    - {!Explain}: structured verdict forensics (failing check, minimal
      cycle witness, primitive-edge provenance);
+   - {!Solve}: the symbolic SAT backend — the candidate space as CNF;
+   - {!Oracle}: a model's engines (scalar, batched, symbolic) as one
+     first-class value, with backend dispatch;
    - {!Dot}: Graphviz export of executions, with explanation overlays. *)
 
 module Event = Event
@@ -15,5 +18,7 @@ module Sem = Sem
 module Budget = Budget
 module Check = Check
 module Explain = Explain
+module Solve = Solve
+module Oracle = Oracle
 module Dot = Dot
 include Execution

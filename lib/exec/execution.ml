@@ -354,8 +354,31 @@ let c_events = Obs.Counter.make "exec.events"
 let c_delta_patched = Obs.Counter.make "exec.delta.patched"
 let c_delta_full = Obs.Counter.make "exec.delta.full"
 
-let of_test_seq ?budget ?(delta = true) (test : Litmus.Ast.t) =
-  let tick () = Option.iter Budget.tick budget in
+(* The per-structure skeleton: everything the enumeration derives from
+   one event structure before any rf/co witness is chosen.  Both
+   backends consume it — the enumerator takes the cartesian product of
+   [sk_rf_choices] with the per-location coherence orders over
+   [sk_co_writes], the solver turns the same two fields into one-hot
+   rf variables and boolean order constraints. *)
+type skeleton = {
+  sk_test : Litmus.Ast.t;
+  sk_events : Event.t array;
+  sk_po : Rel.t;
+  sk_addr : Rel.t;
+  sk_data : Rel.t;
+  sk_ctrl : Rel.t;
+  sk_rmw : Rel.t;
+  sk_final_regs : (int * string * int) list;
+  sk_st : structure;
+  sk_rf_choices : (int * int) list list;
+      (* per read, in event-id order: its candidate (writer, read)
+         edges — same location, same value *)
+  sk_co_writes : (string * int * int list) list;
+      (* per location, in declaration order: the initialising write
+         and the non-init writes (in event-id order) *)
+}
+
+let skeletons ?budget (test : Litmus.Ast.t) =
   let per_thread =
     Obs.with_span ~item:test.name "sem" (fun () ->
         thread_candidate_lists test)
@@ -363,7 +386,7 @@ let of_test_seq ?budget ?(delta = true) (test : Litmus.Ast.t) =
   Option.iter Budget.check_time budget;
   let globals = Litmus.Ast.globals test in
   let n_init = List.length globals in
-  Seq.concat_map
+  Seq.map
     (fun (chosen : Sem.candidate list) ->
       Obs.Counter.incr c_structures;
       if Obs.enabled () then
@@ -471,6 +494,52 @@ let of_test_seq ?budget ?(delta = true) (test : Litmus.Ast.t) =
         let rec find i = if (events.(i)).Event.loc = x then i else find (i + 1) in
         find 0
       in
+      {
+        sk_test = test;
+        sk_events = events;
+        sk_po = !po;
+        sk_addr = !addr;
+        sk_data = !data;
+        sk_ctrl = !ctrl;
+        sk_rmw = !rmw;
+        sk_final_regs = final_regs;
+        sk_st = structure_of events !po;
+        sk_rf_choices = per_read_writes;
+        sk_co_writes = List.map (fun (x, ws) -> (x, init_id x, ws)) ws_by_loc;
+      })
+    (seq_product per_thread)
+
+(* A candidate from a decoded witness: the structure's derived statics
+   are shared with every enumerated candidate of the same skeleton. *)
+let instantiate sk ~rf ~co =
+  build sk.sk_test sk.sk_events sk.sk_st sk.sk_po sk.sk_addr sk.sk_data
+    sk.sk_ctrl sk.sk_rmw rf co sk.sk_final_regs
+
+(* Coherence from per-location total orders (event-id lists, co order):
+   the initialising write first, then the listed writes in order. *)
+let co_of_orders sk orders =
+  List.fold_left
+    (fun acc (x, init_id, _) ->
+      match List.assoc_opt x orders with
+      | None | Some [] -> acc
+      | Some order ->
+          let rec pairs acc = function
+            | [] -> acc
+            | w :: rest ->
+                pairs
+                  (List.fold_left
+                     (fun acc w' -> Rel.add w w' acc)
+                     (Rel.add init_id w acc) rest)
+                  rest
+          in
+          pairs acc order)
+    Rel.empty sk.sk_co_writes
+
+let of_test_seq ?budget ?(delta = true) (test : Litmus.Ast.t) =
+  let tick () = Option.iter Budget.tick budget in
+  Seq.concat_map
+    (fun sk ->
+      let per_read_writes = sk.sk_rf_choices in
       (* Arithmetic pre-check: the rf choices multiply with the co orders
          (factorial per location); fail before materialising a product
          that cannot fit in the candidate cap. *)
@@ -483,9 +552,9 @@ let of_test_seq ?budget ?(delta = true) (test : Litmus.Ast.t) =
           in
           let n_co =
             List.fold_left
-              (fun acc (_, ws) ->
+              (fun acc (_, _, ws) ->
                 Budget.sat_mul acc (Budget.sat_fact (List.length ws)))
-              1 ws_by_loc
+              1 sk.sk_co_writes
           in
           Budget.claim b (Budget.sat_mul n_rf n_co))
         budget;
@@ -499,17 +568,17 @@ let of_test_seq ?budget ?(delta = true) (test : Litmus.Ast.t) =
       let co_choices =
         cartesian_product ~tick
           (List.map
-             (fun (x, ws) ->
+             (fun (_, init_id, ws) ->
                List.map
                  (fun order ->
                    tick ();
                    List.fold_left
-                     (fun acc w -> Rel.add (init_id x) w acc)
+                     (fun acc w -> Rel.add init_id w acc)
                      order ws)
                  (Rel.linear_extensions ws))
-             ws_by_loc)
+             sk.sk_co_writes)
       in
-      let st = structure_of events !po in
+      let st = sk.sk_st in
       Seq.concat_map
         (fun co_parts ->
           let co = List.fold_left Rel.union Rel.empty co_parts in
@@ -547,11 +616,12 @@ let of_test_seq ?budget ?(delta = true) (test : Litmus.Ast.t) =
                     (rf, Rel.diff (Rel.seq (Rel.inverse rf) co) st.st_id_r)
               in
               prev := Some (rf_pairs, rf, fr);
-              build ~fr ~coi ~coe test events st !po !addr !data !ctrl !rmw rf
-                co final_regs)
+              build ~fr ~coi ~coe sk.sk_test sk.sk_events st sk.sk_po
+                sk.sk_addr sk.sk_data sk.sk_ctrl sk.sk_rmw rf co
+                sk.sk_final_regs)
             (seq_product ~tick per_read_writes))
         (List.to_seq co_choices))
-    (seq_product per_thread)
+    (skeletons ?budget test)
 
 let of_test ?budget ?delta test = List.of_seq (of_test_seq ?budget ?delta test)
 

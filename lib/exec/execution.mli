@@ -59,6 +59,51 @@ val initial_domain : Litmus.Ast.t -> int list
 
 val thread_candidate_lists : Litmus.Ast.t -> Sem.candidate list list
 
+(** The witness-independent part of a candidate, shared by all rf/co
+    witnesses of one event structure (abstract; carried inside
+    {!skeleton} so decoded witnesses share derived statics with
+    enumerated ones). *)
+type structure
+
+(** One event structure plus its witness choice space: the raw material
+    both checking backends consume.  The enumerative engine takes the
+    cartesian product of [sk_rf_choices] with the linear extensions of
+    [sk_co_writes]; the symbolic engine ({!Solve}) turns the same two
+    fields into one-hot rf variables and boolean order constraints. *)
+type skeleton = {
+  sk_test : Litmus.Ast.t;
+  sk_events : Event.t array;
+  sk_po : Rel.t;
+  sk_addr : Rel.t;
+  sk_data : Rel.t;
+  sk_ctrl : Rel.t;
+  sk_rmw : Rel.t;
+  sk_final_regs : (int * string * int) list;
+  sk_st : structure;
+  sk_rf_choices : (int * int) list list;
+      (** per read, in event-id order: its candidate (writer, read)
+          edges — same location, same value *)
+  sk_co_writes : (string * int * int list) list;
+      (** per location, in declaration order: the location, its
+          initialising write and the non-init writes (event-id order) *)
+}
+
+(** [skeletons ?budget test] enumerates the event structures of a test
+    (per-thread symbolic runs branching over read values), before any
+    witness is chosen.  With a budget, forcing the sequence applies the
+    per-structure event-count check. *)
+val skeletons : ?budget:Budget.t -> Litmus.Ast.t -> skeleton Seq.t
+
+(** [instantiate sk ~rf ~co] builds the candidate execution of [sk]
+    with the given witness; derived statics are shared with every other
+    candidate of the same skeleton. *)
+val instantiate : skeleton -> rf:Rel.t -> co:Rel.t -> t
+
+(** [co_of_orders sk orders] assembles a coherence relation from
+    per-location total orders (event-id lists in coherence order): the
+    initialising write first, then the listed writes. *)
+val co_of_orders : skeleton -> (string * int list) list -> Rel.t
+
 (** [of_test_seq ?budget test] enumerates the candidate executions as a
     lazily-produced sequence: each candidate is materialised only when
     the consumer reaches it, so checking can interleave with enumeration

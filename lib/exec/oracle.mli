@@ -1,0 +1,86 @@
+(** A checking oracle: one first-class value bundling every engine a
+    model ships — the scalar model (always), the bit-plane batched
+    evaluator and the symbolic SAT engine (both optional).  Engine
+    selection is a {!Check.backend} request at the call site; the
+    oracle resolves it against what it actually has, falling back
+    (counted, and recorded on the result) when the symbolic engine is
+    requested but absent.
+
+    Oracles replace the old [(model, batch_fn)] pairing that each
+    harness layer re-assembled: construct one next to the model
+    ([Lkmm.oracle], [Cat.to_oracle], …) and pass it as a single value
+    through Runner, Pool, Serve, Campaign, Sweep and the CLIs. *)
+
+type backend_request = Check.backend
+
+type t = {
+  name : string;  (** the model's name, stable across engines *)
+  model : Budget.t option -> (module Check.MODEL);
+      (** the scalar engine — always present; the budget parameter
+          serves models whose [consistent] ticks it (cat
+          interpretation) *)
+  batch : (Budget.t option -> Check.batch_fn) option;
+      (** the bit-plane batched engine *)
+  solve : Solve.solve_fn option;  (** the symbolic engine *)
+}
+
+(** [scalar name model] — an oracle with only the scalar engine. *)
+val scalar : string -> (Budget.t option -> (module Check.MODEL)) -> t
+
+(** [of_model (module M)] — a scalar-only oracle around a
+    budget-oblivious model, named after it. *)
+val of_model : (module Check.MODEL) -> t
+
+val make :
+  name:string ->
+  model:(Budget.t option -> (module Check.MODEL)) ->
+  ?batch:(Budget.t option -> Check.batch_fn) ->
+  ?solve:Solve.solve_fn ->
+  unit ->
+  t
+
+val name : t -> string
+val model : t -> ?budget:Budget.t -> unit -> (module Check.MODEL)
+val has_batch : t -> bool
+val has_solve : t -> bool
+
+(** The engine a request would actually run: [Sat] degrades to [Enum]
+    when no solver is shipped (the counted fallback), [Batch] to [Enum]
+    when no batch engine is shipped (a plain optimisation miss — not
+    counted). *)
+val resolve : t -> backend_request -> Check.backend
+
+(** [run t test] checks [test] through the requested backend (default
+    [Batch], matching the CLIs' default engine):
+    - [Sat]: the symbolic engine if present; otherwise the enumerative
+      path runs, the [sat.fallback] counter ticks, and the result
+      carries [sat = Some {fallback = true; _}];
+    - [Batch]: the batched enumerative path if present, scalar
+      otherwise;
+    - [Enum]: the scalar path with delta re-evaluation off — the
+      reference engine.
+
+    [?prefilter]/[?delta]/[?explainer] forward to {!Check.run} on the
+    enumerative paths; the symbolic engine takes [?explainer] only. *)
+val run :
+  ?budget:Budget.t ->
+  ?prefilter:bool ->
+  ?delta:bool ->
+  ?explainer:(Execution.t -> Explain.t list) ->
+  ?backend:backend_request ->
+  t ->
+  Litmus.Ast.t ->
+  Check.result
+
+(** Model-allowed outcomes through the oracle (enumerative engines
+    only: the symbolic engine answers the per-test existential
+    question, not the all-outcomes one, so [Sat] requests use the
+    batched path). *)
+val allowed_outcomes :
+  ?budget:Budget.t ->
+  ?prefilter:bool ->
+  ?delta:bool ->
+  ?backend:backend_request ->
+  t ->
+  Litmus.Ast.t ->
+  Execution.outcome list

@@ -51,6 +51,7 @@ type config = {
   lease_timeout : float; (* seconds before a straggler is SIGKILLed *)
   max_rows : int; (* disagreement rows kept per shard *)
   explain : bool; (* attach forensics to mined Forbid-side patterns *)
+  backend : Exec.Check.backend; (* engine for the axiomatic columns *)
   poison : int list; (* chaos hook: worker exits 42 at these seeds *)
   wedge : int list; (* chaos hook: worker hangs at these seeds *)
   log : string -> unit;
@@ -76,6 +77,7 @@ let default =
     lease_timeout = 300.;
     max_rows = 64;
     explain = false;
+    backend = Exec.Check.Batch;
     poison = [];
     wedge = [];
     log = ignore;
@@ -116,27 +118,24 @@ let verdict_str = function
   | Exec.Check.Forbid -> "Forbid"
   | Exec.Check.Unknown _ -> "Unknown"
 
-let check_verdict ?batch limits m t =
+let check_verdict ?backend limits oracle t =
   match
-    if Exec.Budget.is_unlimited limits then Exec.Check.run ?batch m t
-    else Exec.Check.run ?batch ~budget:(Exec.Budget.start limits) m t
+    if Exec.Budget.is_unlimited limits then Exec.Oracle.run ?backend oracle t
+    else
+      Exec.Oracle.run ?backend ~budget:(Exec.Budget.start limits) oracle t
   with
   | r -> verdict_str r.Exec.Check.verdict
   | exception _ -> "Unknown"
 
-(* The axiomatic columns, built once per worker: the packaged cat model
-   carries a one-slot prefix cache that must live across the whole
-   shard, not per test.  Each column carries its bit-plane oracle, so
-   campaign sweeps run on the batched path. *)
+(* The axiomatic columns, built once per worker: the packaged cat
+   oracle carries a one-slot prefix cache that must live across the
+   whole shard, not per test.  The config's [backend] picks each
+   column's engine ([Batch] by default). *)
 let build_checks config =
   List.filter_map
     (function
-      | "lk" ->
-          Some
-            ("lk", (module Lkmm : Exec.Check.MODEL), Some Lkmm.consistent_mask)
-      | "cat" ->
-          let m, b = Cat.to_batched_model ~name:"LK(cat)" (Lazy.force Cat.lk) in
-          Some ("cat", m, Some b)
+      | "lk" -> Some ("lk", Lkmm.oracle)
+      | "cat" -> Some ("cat", Cat.to_oracle ~name:"LK(cat)" (Lazy.force Cat.lk))
       | _ -> None)
     config.models
 
@@ -144,20 +143,22 @@ let build_checks config =
      {"seed": 7, "test": null}                      -- walk didn't realise
      {"seed": 8, "test": "...", "time_s": ..,
       "v": {"lk": "Allow", "cat": "Allow", "c11": "-", "hw:Power8": "obs"}} *)
-let classify ~checks ~c11 ~archs ~hw_runs ~limits ~size seed =
+let classify ~checks ~backend ~c11 ~archs ~hw_runs ~limits ~size seed =
   match Diygen.test_of_seed ~vocabulary ~size seed with
   | None -> Printf.sprintf "{\"seed\": %d, \"test\": null}" seed
   | Some t ->
       let t0 = Unix.gettimeofday () in
       let v =
         List.map
-          (fun (name, m, batch) -> (name, check_verdict ?batch limits m t))
+          (fun (name, oracle) -> (name, check_verdict ~backend limits oracle t))
           checks
         @ (if c11 then
              [
                ( "c11",
                  if Models.C11.applicable t then
-                   check_verdict limits (module Models.C11 : Exec.Check.MODEL) t
+                   check_verdict limits
+                     (Exec.Oracle.of_model (module Models.C11))
+                     t
                  else "-" );
              ]
            else [])
@@ -339,8 +340,8 @@ let run_worker config ~lo ~hi ~attempt =
               Unix.sleepf 3600.
             done;
           Journal.write_line w
-            (classify ~checks ~c11 ~archs ~hw_runs:config.hw_runs ~limits
-               ~size:config.size seed)
+            (classify ~checks ~backend:config.backend ~c11 ~archs
+               ~hw_runs:config.hw_runs ~limits ~size:config.size seed)
         end
       done;
       Journal.close w;
@@ -419,10 +420,9 @@ let attach_explanations ~size (p : pattern) =
       | None -> p
       | Some t -> (
           match
-            Exec.Check.run
+            Exec.Oracle.run
               ~budget:(Exec.Budget.start Exec.Budget.default)
-              ~batch:Lkmm.consistent_mask ~explainer:Lkmm.Explain.explainer
-              (module Lkmm) t
+              ~explainer:Lkmm.Explain.explainer Lkmm.oracle t
           with
           | r ->
               {

@@ -32,6 +32,10 @@ type config = {
   lease_timeout : float;  (** seconds before a straggler is SIGKILLed *)
   max_rows : int;  (** disagreement rows kept per shard *)
   explain : bool;  (** attach forensics to mined Forbid-side patterns *)
+  backend : Exec.Check.backend;
+      (** engine for the axiomatic columns ({!Exec.Oracle.run});
+          verdicts are engine-independent, so chaos equality holds
+          across backends *)
   poison : int list;  (** chaos hook: worker exits 42 at these seeds *)
   wedge : int list;  (** chaos hook: worker hangs at these seeds *)
   log : string -> unit;

@@ -364,12 +364,15 @@ let run_queue cfg ~worker ~on_entry ~(drain_sig : int option ref)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* [run ?config ?worker ?journal ?resume ?model items]:
+(* [run ?config ?worker ?journal ?resume ?oracle items]:
 
    - [worker] overrides the per-item computation (tests inject crashing
      workers); the default is {!Runner.run_item} under the config's
      budget, with the heap cap folded into the budget so cooperative
      paths classify allocation blowups before the Gc alarm must;
+   - [oracle]/[backend] select the checking oracle and its engine
+     ({!Exec.Oracle.run}; defaults: {!Lkmm.oracle} on its batched
+     engine);
    - [journal] appends each completed entry to a JSONL journal;
    - [resume] recycles entries from an existing journal and runs only
      the missing items (pass the same path as [journal] to extend it in
@@ -382,20 +385,9 @@ let run_queue cfg ~worker ~on_entry ~(drain_sig : int option ref)
    so an interrupted [--journal] run is always resumable with no item
    half-recorded.  The previous handlers are restored on a normal
    return, so library callers outside a run keep their own behavior. *)
-let run ?(config = default) ?worker ?journal ?resume ?explainer ?delta ?model
-    ?batch (items : Runner.item list) =
+let run ?(config = default) ?worker ?journal ?resume ?explainer ?delta ?backend
+    ?(oracle = Lkmm.oracle) (items : Runner.item list) =
   let t0 = Unix.gettimeofday () in
-  let model, batch =
-    (* same pairing as {!Runner.run}: the default LK model brings its
-       batched oracle, an explicit model only batches with its own *)
-    match (model, batch) with
-    | None, None ->
-        ( Runner.static_model (module Lkmm : Exec.Check.MODEL),
-          Some (Runner.static_batch Lkmm.consistent_mask) )
-    | Some m, b -> (m, b)
-    | None, (Some _ as b) ->
-        (Runner.static_model (module Lkmm : Exec.Check.MODEL), b)
-  in
   let config = { config with jobs = max 1 config.jobs } in
   let limits =
     match config.mem_limit_mb with
@@ -408,8 +400,8 @@ let run ?(config = default) ?worker ?journal ?resume ?explainer ?delta ?model
     | Some w -> w
     | None ->
         fun it ->
-          Runner.run_item ~limits ~lint:config.lint ?explainer ?delta ?batch
-            ~model it
+          Runner.run_item ~limits ~lint:config.lint ?explainer ?delta ?backend
+            ~oracle it
   in
   let recycled =
     match resume with

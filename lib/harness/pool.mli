@@ -58,22 +58,21 @@ val run :
   ?resume:string ->
   ?explainer:(Exec.t -> Exec.Explain.t list) ->
   ?delta:bool ->
-  ?model:Runner.model_factory ->
-  ?batch:Runner.batch_factory ->
+  ?backend:Exec.Check.backend ->
+  ?oracle:Exec.Oracle.t ->
   Runner.item list ->
   Report.t
-(** [run ?config ?worker ?journal ?resume ?explainer ?model ?batch
-    items] — check every item in its own process and summarise.
-    [worker] overrides the per-item computation (tests inject crashing
+(** [run ?config ?worker ?journal ?resume ?explainer ?oracle items] —
+    check every item in its own process and summarise.  [worker]
+    overrides the per-item computation (tests inject crashing
     workers); the default is {!Runner.run_item} under the config's
     budget, with the heap cap folded into the budget so cooperative
     paths classify allocation blowups before the Gc alarm must.
-    [explainer] turns on verdict forensics in the default worker
-    ({!Exec.Check.run}'s [?explainer]); explanations and the
-    counterexample marshal back over the result pipe with the entry.
-    [delta]/[batch] select the incremental and bit-plane evaluation
-    paths as in {!Runner.run} (with neither [model] nor [batch], the
-    native LK model runs batched).  [journal] appends each completed
-    entry; [resume] recycles entries from an existing journal and runs
-    only the missing items (pass the same path as [journal] to extend
-    it in place). *)
+    [explainer] turns on verdict forensics in the default worker;
+    explanations and the counterexample marshal back over the result
+    pipe with the entry.  [oracle] (default {!Lkmm.oracle}) and
+    [backend] (default [Batch]) select the checking oracle and engine
+    through {!Exec.Oracle.run}; [delta] forwards to the enumerative
+    paths.  [journal] appends each completed entry; [resume] recycles
+    entries from an existing journal and runs only the missing items
+    (pass the same path as [journal] to extend it in place). *)

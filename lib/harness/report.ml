@@ -27,7 +27,7 @@
                 v1 consumers that ignore unknown fields read v2
                 documents unchanged; journals written at v1 load at v2
                 (the journal reader has never keyed on the version).
-   v3 (this PR) per-entry: when a check ran with an explainer and the
+   v3 (PR 6)    per-entry: when a check ran with an explainer and the
                 verdict is Forbid, an [explanations] array rides along
                 (one object per failed check: name, constraint kind,
                 the witnessing cycle/pairs as [steps] with primitive
@@ -36,6 +36,15 @@
                 before serialisation).  Absent otherwise, so v2
                 consumers that ignore unknown fields read v3 documents
                 unchanged.
+   v4 (this PR) per-entry: when a check result is present it carries
+                [backend] ("enum" | "batch" | "sat" — the engine that
+                produced it, {!Exec.Check.backend}) and, for the SAT
+                engine only, a [sat] object ({"conflicts": n,
+                "decisions": n, "fallback": bool} — solver counters,
+                [fallback] true when the model had no solver and the
+                check fell back enumeratively).  Absent on entries
+                without a result, so v3 consumers that ignore unknown
+                fields read v4 documents unchanged.
 
    The exit-code policy lives here too, because it is a function of the
    report alone: 0 = all pass, 1 = some FAIL, 2 = some ERROR, 3 = some
@@ -176,7 +185,7 @@ let json_escape s =
 (* Reports and journal lines carry this version so downstream consumers
    can detect format changes; bump on any incompatible field change
    (history in the module header). *)
-let schema_version = 3
+let schema_version = 4
 
 let entry_to_json e =
   let base =
@@ -185,9 +194,19 @@ let entry_to_json e =
       (match e.result with
       | Some r ->
           Printf.sprintf
-            ", \"prefiltered\": %d, \"consistent\": %d, \"matching\": %d%s"
+            ", \"prefiltered\": %d, \"consistent\": %d, \"matching\": %d, \
+             \"backend\": \"%s\"%s%s"
             r.Exec.Check.n_prefiltered r.Exec.Check.n_consistent
             r.Exec.Check.n_matching
+            (Exec.Check.backend_to_string r.Exec.Check.backend)
+            (match r.Exec.Check.sat with
+            | Some s ->
+                Printf.sprintf
+                  ", \"sat\": {\"conflicts\": %d, \"decisions\": %d, \
+                   \"fallback\": %b}"
+                  s.Exec.Check.conflicts s.Exec.Check.decisions
+                  s.Exec.Check.fallback
+            | None -> "")
             (match r.Exec.Check.explanations with
             | [] -> ""
             | es ->

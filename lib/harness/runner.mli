@@ -83,19 +83,26 @@ type report = Report.t = {
 (** Whether an entry records a worker crash. *)
 val is_crash : entry -> bool
 
-(** A model may need the per-item running budget (cat interpretation
-    shares the test's deadline), so batches take a budget-indexed
-    factory. *)
+(** {b Deprecated} (kept one release): the budget-indexed
+    (model, batch) pairing that predates {!Exec.Oracle.t}.  Construct
+    an oracle ([Exec.Oracle.make], [Lkmm.oracle], [Cat.to_oracle]) and
+    pass it as [?oracle] instead; a legacy pair given to {!run_item} or
+    {!run} is wrapped into an anonymous oracle internally. *)
 type model_factory = Exec.Budget.t option -> (module Exec.Check.MODEL)
 
 val static_model : (module Exec.Check.MODEL) -> model_factory
+[@@ocaml.deprecated
+  "construct an Exec.Oracle.t (Exec.Oracle.of_model, Lkmm.oracle, \
+   Cat.to_oracle) and pass it as ?oracle"]
 
-(** A model's batched consistency oracle ({!Exec.Check.batch_fn}),
-    budget-indexed the same way.  Only sound alongside the model it was
-    built for. *)
+(** {b Deprecated} alongside {!model_factory}: a model's batched
+    consistency oracle, budget-indexed the same way. *)
 type batch_factory = Exec.Budget.t option -> Exec.Check.batch_fn
 
 val static_batch : Exec.Check.batch_fn -> batch_factory
+[@@ocaml.deprecated
+  "construct an Exec.Oracle.t carrying the batch engine and pass it as \
+   ?oracle"]
 
 (** Battery entries as runner items, expecting the battery's LK verdict. *)
 val of_battery : Battery.entry list -> item list
@@ -103,44 +110,52 @@ val of_battery : Battery.entry list -> item list
 (** Read a whole file (shared by the CLIs). *)
 val read_file : string -> string
 
-(** [run_item ?limits ?lint ~model item] — parse, lint and check one item
-    inside the fault barrier.  Never raises.  [limits] defaults to
+(** [run_item ?oracle item] — parse, lint and check one item inside the
+    fault barrier.  Never raises.  [limits] defaults to
     {!Exec.Budget.default}; pass {!Exec.Budget.unlimited} to disable
     budgeting (exceptions are still caught).  [lint] defaults to [true]:
     lint errors become [Err {cls = Lint; _}] entries.  When the
     observability collector is on, the item runs inside an "item" span
     with "parse" and "lint" children (checking opens its own spans).
-    [explainer] (forwarded to {!Exec.Check.run}) turns on verdict
-    forensics: Forbid results carry validated explanations, at zero
-    cost when absent.  [deadline] (checking-as-a-service) arms the
-    budget against an absolute deadline via {!Exec.Budget.start_at}, so
-    time spent queued before this call counts against the item.
-    [batch] selects the model's batched path (bit-plane candidate
-    evaluation), [delta] the enumeration's incremental re-checking —
-    both observationally transparent; the CLIs' [--no-batch] turns both
-    off at once (the scalar reference path). *)
+    [explainer] (forwarded to the check) turns on verdict forensics:
+    Forbid results carry validated explanations, at zero cost when
+    absent.  [deadline] (checking-as-a-service) arms the budget against
+    an absolute deadline via {!Exec.Budget.start_at}, so time spent
+    queued before this call counts against the item.
+
+    Engine selection: the item is checked through [oracle] (default:
+    {!Lkmm.oracle}) via {!Exec.Oracle.run} under the requested
+    [backend] (default [Batch]; [Enum] is the scalar reference path
+    with delta re-checking off — what [--no-batch] selects; [Sat] runs
+    the symbolic engine, falling back counted when the oracle ships
+    none).  The legacy [?model]/[?batch] pair is deprecated: it is
+    wrapped into an anonymous oracle, and an explicit [?oracle] wins
+    over it. *)
 val run_item :
   ?limits:Exec.Budget.limits ->
   ?deadline:float ->
   ?lint:bool ->
   ?explainer:(Exec.t -> Exec.Explain.t list) ->
   ?delta:bool ->
+  ?backend:Exec.Check.backend ->
   ?batch:batch_factory ->
-  model:model_factory ->
+  ?model:model_factory ->
+  ?oracle:Exec.Oracle.t ->
   item ->
   entry
 
-(** [run ?limits ?lint ?explainer ?model ?batch items] — the whole
-    batch.  With neither [model] nor [batch], the native LK model runs
-    with its batched oracle; an explicit [model] runs scalar unless its
-    own [batch] comes along. *)
+(** [run ?oracle items] — the whole batch, each item through
+    {!run_item}.  Same oracle/backend resolution; with nothing given,
+    the native LK oracle runs on its batched engine. *)
 val run :
   ?limits:Exec.Budget.limits ->
   ?lint:bool ->
   ?explainer:(Exec.t -> Exec.Explain.t list) ->
   ?delta:bool ->
+  ?backend:Exec.Check.backend ->
   ?model:model_factory ->
   ?batch:batch_factory ->
+  ?oracle:Exec.Oracle.t ->
   item list ->
   report
 

@@ -63,7 +63,9 @@ type config = {
   chaos_ops : bool; (* accept chaos_kill / chaos_wedge *)
   retries : int; (* retries after a worker loss *)
   backoff : float; (* seconds before the first retry, doubling *)
-  no_batch : bool; (* scalar reference evaluation (no planes, no delta) *)
+  backend : Exec.Check.backend;
+      (* checking engine for every job: [Enum] is the scalar reference
+         evaluation (no planes, no delta — the old --no-batch) *)
 }
 
 let default =
@@ -81,7 +83,7 @@ let default =
     chaos_ops = false;
     retries = 1;
     backoff = 0.05;
-    no_batch = false;
+    backend = Exec.Check.Batch;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -93,33 +95,17 @@ let default =
    digest of the file's contents for .cat files (edits invalidate). *)
 type model = {
   mkey : string;
-  factory : Runner.model_factory;
-  batch : Runner.batch_factory option;
-      (* the model's bit-plane oracle; [None] checks scalar *)
+  oracle : Exec.Oracle.t;
+      (* every engine the model ships; the config's [backend] picks *)
 }
 
-let builtin_models ~no_batch () =
-  let scalar mkey m = { mkey; factory = Runner.static_model m; batch = None } in
-  let lk =
-    {
-      mkey = "lk";
-      factory = Runner.static_model (module Lkmm);
-      batch =
-        (if no_batch then None
-         else Some (Runner.static_batch Lkmm.consistent_mask));
-    }
-  in
+let builtin_models () =
+  let scalar mkey m = { mkey; oracle = Exec.Oracle.of_model m } in
+  let lk = { mkey = "lk"; oracle = Lkmm.oracle } in
   let lk_cat =
-    let m = Cat.parse Cat.Stdmodels.lk in
     {
       mkey = "lk-cat";
-      factory = (fun budget -> Cat.to_check_model ~name:"LK(cat)" ?budget m);
-      batch =
-        (if no_batch then None
-         else
-           Some
-             (fun budget ->
-               snd (Cat.to_batched_model ~name:"LK(cat)" ?budget m)));
+      oracle = Cat.to_oracle ~name:"LK(cat)" (Cat.parse Cat.Stdmodels.lk);
     }
   in
   [
@@ -145,8 +131,7 @@ type job = {
   req_id : string;
   conn_id : int;
   test : string;
-  factory : Runner.model_factory;
-  batch : Runner.batch_factory option;
+  oracle : Exec.Oracle.t;
   expected : Exec.Check.verdict option;
   deadline : float; (* absolute, Unix time *)
   vkey : string; (* content fingerprint — cache and quarantine key *)
@@ -256,8 +241,7 @@ let run_job cfg job =
       else
         let entry =
           Runner.run_item ~limits:cfg.limits ~deadline:job.deadline
-            ?delta:(if cfg.no_batch then Some false else None)
-            ?batch:job.batch ~model:job.factory
+            ~backend:cfg.backend ~oracle:job.oracle
             { Runner.id = job.req_id; source = `Text job.test;
               expected = job.expected }
         in
@@ -477,17 +461,7 @@ let resolve_model p name =
                     let m =
                       {
                         mkey = "cat:" ^ digest;
-                        factory =
-                          (fun budget ->
-                            Cat.to_check_model ~name ?budget parsed);
-                        batch =
-                          (if p.cfg.no_batch then None
-                           else
-                             Some
-                               (fun budget ->
-                                 snd
-                                   (Cat.to_batched_model ~name ?budget
-                                      parsed)));
+                        oracle = Cat.to_oracle ~name parsed;
                       }
                     in
                     Hashtbl.replace p.cat_models digest m;
@@ -586,11 +560,7 @@ let handle_line p conn line ~request_shutdown =
                       req_id;
                       conn_id = conn.cid;
                       test = "";
-                      factory = Runner.static_model (module Lkmm);
-                      batch =
-                        (if p.cfg.no_batch then None
-                         else
-                           Some (Runner.static_batch Lkmm.consistent_mask));
+                      oracle = Lkmm.oracle;
                       expected = None;
                       deadline = now +. p.cfg.default_timeout;
                       vkey;
@@ -642,8 +612,7 @@ let handle_line p conn line ~request_shutdown =
                             req_id;
                             conn_id = conn.cid;
                             test = c.test;
-                            factory = m.factory;
-                            batch = m.batch;
+                            oracle = m.oracle;
                             expected = c.expected;
                             deadline = now +. timeout;
                             vkey;
@@ -717,7 +686,7 @@ let warmup p =
           ignore
             (Runner.run_item
                ~limits:(Exec.Budget.limits ~timeout:10. ())
-               ?batch:m.batch ~model:m.factory item)
+               ~backend:p.cfg.backend ~oracle:m.oracle item)
       | None -> ())
     [ "lk"; "lk-cat"; "sc"; "tso"; "c11"; "c11-psc" ]
 
@@ -725,7 +694,7 @@ let create cfg =
   let models = Hashtbl.create 16 in
   List.iter
     (fun (n, m) -> Hashtbl.replace models n m)
-    (builtin_models ~no_batch:cfg.no_batch ());
+    (builtin_models ());
   let wake_r, wake_w = Unix.pipe () in
   Unix.set_nonblock wake_w;
   {

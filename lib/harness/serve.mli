@@ -40,9 +40,11 @@ type config = {
   chaos_ops : bool;  (** accept [chaos_kill]/[chaos_wedge] requests *)
   retries : int;  (** retries for a request that lost its worker *)
   backoff : float;  (** seconds before the first retry, doubling *)
-  no_batch : bool;
-      (** scalar reference evaluation: no bit-plane batching, no delta
-          re-checking (the CLI's [--no-batch]) *)
+  backend : Exec.Check.backend;
+      (** checking engine for every job ({!Exec.Oracle.run}): [Batch]
+          by default; [Enum] is the scalar reference evaluation (the
+          CLI's [--backend enum] / [--no-batch]); [Sat] the symbolic
+          engine, falling back counted where a model ships none *)
 }
 
 val default : config

@@ -222,12 +222,11 @@ let fingerprint (e : Runner.entry) =
 (* One isolated check: a single-item pool run (own process, watchdog,
    heap cap), returning that item's entry.  This is the [check] to
    build oracles from when the failure can kill its process. *)
-let isolated_check ?(config = Pool.default) ?worker
-    ?(model = Runner.static_model (module Lkmm : Exec.Check.MODEL))
-    ?(expected : Exec.Check.verdict option) (t : Ast.t) =
+let isolated_check ?(config = Pool.default) ?worker ?(oracle = Lkmm.oracle)
+    ?backend ?(expected : Exec.Check.verdict option) (t : Ast.t) =
   let config = { config with Pool.jobs = 1; retries = 0 } in
   let item = { Runner.id = t.Ast.name; source = `Ast t; expected } in
-  let report = Pool.run ~config ?worker ~model [ item ] in
+  let report = Pool.run ~config ?worker ?backend ~oracle [ item ] in
   List.hd report.Runner.entries
 
 (* [entry_oracle ~check base] — the canonical oracle: [t'] trips iff

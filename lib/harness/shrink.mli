@@ -51,7 +51,8 @@ val fingerprint : Report.entry -> string
 val isolated_check :
   ?config:Pool.config ->
   ?worker:(Runner.item -> Report.entry) ->
-  ?model:Runner.model_factory ->
+  ?oracle:Exec.Oracle.t ->
+  ?backend:Exec.Check.backend ->
   ?expected:Exec.Check.verdict ->
   Litmus.Ast.t ->
   Report.entry

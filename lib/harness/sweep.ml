@@ -18,14 +18,15 @@ type stats = {
 }
 
 (* A budgeted run: fresh budget per test so one explosion cannot eat the
-   whole sweep's allowance.  [?batch] selects a model's bit-plane
-   oracle (the LK runs below pass the native one). *)
-let budgeted_run ?limits ?batch m t =
+   whole sweep's allowance.  Checks go through {!Exec.Oracle.run}, so
+   [?backend] picks each model's engine (the LK oracle ships all
+   three; the scalar comparison models resolve to their only one). *)
+let budgeted_run ?limits ?backend oracle t =
   match limits with
-  | None -> Exec.Check.run ?batch m t
-  | Some l -> Exec.Check.run ?batch ~budget:(Exec.Budget.start l) m t
+  | None -> Exec.Oracle.run ?backend oracle t
+  | Some l -> Exec.Oracle.run ?backend ~budget:(Exec.Budget.start l) oracle t
 
-let classify ?limits ?(archs = [ Hwsim.Arch.power8; Hwsim.Arch.x86 ])
+let classify ?limits ?backend ?(archs = [ Hwsim.Arch.power8; Hwsim.Arch.x86 ])
     ?(runs = 300) ?(seed = 5) tests =
   let lk_allow = ref 0
   and lk_forbid = ref 0
@@ -37,8 +38,7 @@ let classify ?limits ?(archs = [ Hwsim.Arch.power8; Hwsim.Arch.x86 ])
   List.iter
     (fun (t : Litmus.Ast.t) ->
       let lk =
-        (budgeted_run ?limits ~batch:Lkmm.consistent_mask (module Lkmm) t)
-          .Exec.Check.verdict
+        (budgeted_run ?limits ?backend Lkmm.oracle t).Exec.Check.verdict
       in
       (match lk with
       | Exec.Check.Allow -> incr lk_allow
@@ -47,12 +47,16 @@ let classify ?limits ?(archs = [ Hwsim.Arch.power8; Hwsim.Arch.x86 ])
           incr lk_unknown;
           unknown :=
             (t.name, Exec.Check.unknown_reason_to_string r) :: !unknown);
-      (match (budgeted_run ?limits (module Models.Sc) t).Exec.Check.verdict with
+      (match
+         (budgeted_run ?limits (Exec.Oracle.of_model (module Models.Sc)) t)
+           .Exec.Check.verdict
+       with
       | Exec.Check.Forbid -> incr sc_forbid
       | Exec.Check.Allow | Exec.Check.Unknown _ -> ());
       (if Models.C11.applicable t then
          let c11 =
-           (budgeted_run ?limits (module Models.C11) t).Exec.Check.verdict
+           (budgeted_run ?limits (Exec.Oracle.of_model (module Models.C11)) t)
+             .Exec.Check.verdict
          in
          match (c11, lk) with
          | Exec.Check.Unknown _, _ | _, Exec.Check.Unknown _ -> ()
@@ -66,7 +70,7 @@ let classify ?limits ?(archs = [ Hwsim.Arch.power8; Hwsim.Arch.x86 ])
           List.iter
             (fun arch ->
               let s = Hwsim.run_test arch ~runs ~seed t in
-              match Hwsim.soundness ?limits (module Lkmm) t s with
+              match Hwsim.soundness ?limits ?backend Lkmm.oracle t s with
               | Hwsim.Sound -> ()
               | Hwsim.Unsound _ ->
                   unsound := (t.name, arch.Hwsim.Arch.name) :: !unsound
@@ -100,15 +104,14 @@ let pp ppf s =
    everything TSO allows, LK allows (on non-RCU tests under the LK->x86
    mapping this is the expected strength ordering).  Unknown verdicts are
    skipped — a partial result is not a strength violation. *)
-let strength_issues ?limits tests =
+let strength_issues ?limits ?backend tests =
   List.concat_map
     (fun (t : Litmus.Ast.t) ->
-      let v m = (budgeted_run ?limits m t).Exec.Check.verdict in
-      let sc = v (module Models.Sc)
-      and tso = v (module Models.Tso)
+      let v o = (budgeted_run ?limits o t).Exec.Check.verdict in
+      let sc = v (Exec.Oracle.of_model (module Models.Sc))
+      and tso = v (Exec.Oracle.of_model (module Models.Tso))
       and lk =
-        (budgeted_run ?limits ~batch:Lkmm.consistent_mask (module Lkmm) t)
-          .Exec.Check.verdict
+        (budgeted_run ?limits ?backend Lkmm.oracle t).Exec.Check.verdict
       in
       (if sc = Exec.Check.Allow && tso = Exec.Check.Forbid then
          [ Printf.sprintf "%s: SC allows but TSO forbids" t.name ]

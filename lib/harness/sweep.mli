@@ -20,10 +20,13 @@ type stats = {
       (** (test, reason) for every check that gave up under its budget *)
 }
 
-(** [classify ?limits ?archs ?runs ?seed tests] runs every test under LK,
-    SC and C11 and against the given simulated architectures. *)
+(** [classify ?limits ?backend ?archs ?runs ?seed tests] runs every
+    test under LK, SC and C11 and against the given simulated
+    architectures.  [backend] picks the LK oracle's engine
+    ({!Exec.Oracle.run}; default [Batch]). *)
 val classify :
   ?limits:Exec.Budget.limits ->
+  ?backend:Exec.Check.backend ->
   ?archs:Hwsim.Arch.t list ->
   ?runs:int ->
   ?seed:int ->
@@ -36,4 +39,7 @@ val pp : stats Fmt.t
     non-RCU tests) TSO allows but LK forbids.  Empty on a correct
     implementation; [Unknown] verdicts are skipped. *)
 val strength_issues :
-  ?limits:Exec.Budget.limits -> Litmus.Ast.t list -> string list
+  ?limits:Exec.Budget.limits ->
+  ?backend:Exec.Check.backend ->
+  Litmus.Ast.t list ->
+  string list

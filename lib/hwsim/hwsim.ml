@@ -164,10 +164,12 @@ let run_test_stable (arch : Arch.t) ?(batch = 2_000) ?(max_batches = 25)
 
 (* Soundness against a model: every outcome the simulator produced must be
    allowed by the model (the paper's Table 5 claim).  Returns offending
-   outcomes, empty = sound. *)
-let unsound_outcomes ?budget (model : (module Exec.Check.MODEL))
+   outcomes, empty = sound.  The model comes as an {!Exec.Oracle.t}, so
+   the outcome enumeration runs on the model's batched engine when it
+   ships one ([?backend] overrides). *)
+let unsound_outcomes ?budget ?backend (oracle : Exec.Oracle.t)
     (test : Litmus.Ast.t) (s : stats) =
-  let allowed = Exec.Check.allowed_outcomes ?budget model test in
+  let allowed = Exec.Oracle.allowed_outcomes ?budget ?backend oracle test in
   List.filter_map
     (fun (o, n) -> if List.mem o allowed then None else Some (o, n))
     s.outcomes
@@ -180,9 +182,9 @@ type soundness =
   | Unsound of (Exec.outcome * int) list
   | Soundness_unknown of Exec.Budget.reason
 
-let soundness ?limits model test s =
+let soundness ?limits ?backend oracle test s =
   let budget = Option.map Exec.Budget.start limits in
-  match unsound_outcomes ?budget model test s with
+  match unsound_outcomes ?budget ?backend oracle test s with
   | [] -> Sound
   | bad -> Unsound bad
   | exception Exec.Budget.Exceeded r -> Soundness_unknown r

@@ -12,6 +12,7 @@ module Relations = Relations
 module Axioms = Axioms
 module Rcu = Rcu
 module Explain = Explain
+module Symbolic = Symbolic
 
 let name = Model.name
 let consistent = Model.consistent
@@ -21,6 +22,21 @@ let consistent = Model.consistent
     (see {!Relations.consistent_mask}); plug it into
     [Exec.Check.run ~batch]. *)
 let consistent_mask : Exec.Check.batch_fn = Relations.consistent_mask
+
+(** The symbolic engine: the candidate space as CNF under
+    {!Symbolic.axioms}, decided by [lib/sat]'s CDCL core, witnesses
+    re-validated through the scalar {!Model}. *)
+let solve : Exec.Solve.solve_fn =
+  Exec.Solve.make ~axioms:Symbolic.axioms (module Model)
+
+(** The LK model as a checking oracle: all three engines (scalar,
+    bit-plane batched, symbolic), selected per request by
+    {!Exec.Oracle.run}. *)
+let oracle : Exec.Oracle.t =
+  Exec.Oracle.make ~name:Model.name
+    ~model:(fun _ -> (module Model : Exec.Check.MODEL))
+    ~batch:(fun _ -> consistent_mask)
+    ~solve ()
 
 (** [check ?budget test] runs a litmus test against the LK model; with a
     budget the result may be [Unknown] instead of raising/hanging.

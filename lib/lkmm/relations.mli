@@ -66,11 +66,32 @@ type ctx = {
 
 (** The witness-independent prefix of the model: relations determined by
     the event structure alone (po, dependencies, fences, gp, rscs),
-    identical for every rf/co witness of one structure. *)
-type static_ctx
+    identical for every rf/co witness of one structure.  Concrete so the
+    symbolic backend ({!Symbolic}) can enter them as constants. *)
+type static_ctx = {
+  acq_id : Rel.t;  (** identity over read-acquires *)
+  rel_id : Rel.t;  (** identity over write-releases *)
+  s_acq_po : Rel.t;
+  s_po_rel : Rel.t;
+  s_rmb : Rel.t;
+  s_wmb : Rel.t;
+  s_mb : Rel.t;
+  s_rb_dep : Rel.t;
+  s_sync : Iset.t;
+  s_gp : Rel.t;
+  s_rscs : Rel.t;
+  s_dep : Rel.t;
+  s_rwdep : Rel.t;
+  s_strong_fence : Rel.t;
+  s_fence : Rel.t;
+}
 
 (** [static_of x] computes the static prefix of [x]. *)
 val static_of : Exec.t -> static_ctx
+
+(** [static_cached x] is [static_of x] through the one-slot per-domain
+    cache keyed on the physical identity of [x.events]. *)
+val static_cached : Exec.t -> static_ctx
 
 (** [make ?static x] computes every relation of the model on execution
     [x].  With [?static], the witness-independent prefix is reused

@@ -1,0 +1,68 @@
+(* DPLL with none of the clever parts, as ground truth for the tests. *)
+
+let check model clauses =
+  List.for_all
+    (List.exists (fun l ->
+         let v = abs l in
+         if l > 0 then model.(v) else not model.(v)))
+    clauses
+
+(* assignment: 0 unassigned, 1 true, -1 false *)
+let val_lit a l = if l > 0 then a.(l) else - a.(-l)
+
+(* One pass of unit propagation; [`Conflict], [`Fixpoint] or [`Changed]. *)
+let propagate_once a clauses =
+  let state = ref `Fixpoint in
+  List.iter
+    (fun c ->
+      if !state <> `Conflict then begin
+        let unassigned = ref [] and sat = ref false in
+        List.iter
+          (fun l ->
+            match val_lit a l with
+            | 1 -> sat := true
+            | 0 -> unassigned := l :: !unassigned
+            | _ -> ())
+          c;
+        if not !sat then
+          match !unassigned with
+          | [] -> state := `Conflict
+          | [ l ] ->
+              a.(abs l) <- (if l > 0 then 1 else -1);
+              if !state = `Fixpoint then state := `Changed
+          | _ -> ()
+      end)
+    clauses;
+  !state
+
+let rec propagate a clauses =
+  match propagate_once a clauses with
+  | `Conflict -> false
+  | `Fixpoint -> true
+  | `Changed -> propagate a clauses
+
+let rec search a nvars clauses =
+  if not (propagate a clauses) then None
+  else begin
+    let v = ref 0 in
+    (try
+       for i = 1 to nvars do
+         if a.(i) = 0 then begin
+           v := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !v = 0 then Some (Array.map (fun x -> x = 1) a)
+    else
+      let try_polarity p =
+        let a' = Array.copy a in
+        a'.(!v) <- p;
+        search a' nvars clauses
+      in
+      match try_polarity 1 with Some m -> Some m | None -> try_polarity (-1)
+  end
+
+let solve ~nvars clauses =
+  if List.exists (( = ) []) clauses then None
+  else search (Array.make (nvars + 1) 0) nvars clauses

@@ -1,0 +1,51 @@
+(** A dependency-free CDCL SAT solver: two-watched-literal propagation,
+    first-UIP conflict-driven clause learning, VSIDS-style variable
+    activity with phase saving, and Luby restarts.
+
+    Variables are positive integers allocated with {!new_var}; a literal
+    is a non-zero integer whose sign is its polarity (DIMACS
+    convention).  Clauses are added up front, then {!solve} is called
+    once; the solver is not incremental across calls. *)
+
+type t
+
+type lit = int
+(** Non-zero; [v] is variable [v] asserted true, [-v] asserted false. *)
+
+type outcome = Sat | Unsat
+
+type stats = {
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable learned : int;
+}
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable (1-based). *)
+
+val nvars : t -> int
+
+val add_clause : t -> lit list -> unit
+(** Add a clause over already-allocated variables.  Tautologies are
+    dropped, duplicate literals merged; an empty (or all-false) clause
+    marks the instance unsatisfiable.  Must be called before {!solve}. *)
+
+val solve :
+  ?on_conflict:(unit -> unit) -> ?on_decision:(unit -> unit) -> t -> outcome
+(** Decide the instance.  [on_conflict]/[on_decision] fire once per
+    learned conflict and per branching decision; either may raise to
+    abort the search (the exception propagates, e.g. a budget trip). *)
+
+val value : t -> int -> bool
+(** [value t v]: polarity of variable [v] in the model.  Only
+    meaningful after {!solve} returned [Sat]. *)
+
+val stats : t -> stats
+
+val learnt_clauses : t -> lit list list
+(** The clauses learned during {!solve}, for soundness testing: each is
+    entailed by the original instance. *)

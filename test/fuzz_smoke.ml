@@ -103,8 +103,7 @@ let run_litmus_mutant src =
   in
   match
     Harness.Runner.run_item ~limits ~explainer:Lkmm.Explain.explainer
-      ~model:(Harness.Runner.static_model (module Lkmm))
-      item
+      ~oracle:Lkmm.oracle item
   with
   | e ->
       note_explained e;
@@ -133,14 +132,14 @@ let run_cat_mutant src =
          mutated model also explaining its own verdicts, so explainer
          faults (bad relation references, broken checks) hit the same
          barrier *)
-      let factory budget = Cat.to_check_model ~name:"mutant" ?budget model in
+      let oracle = Cat.to_oracle ~name:"mutant" model in
       let item =
         { Harness.Runner.id = "cat-mutant"; source = `Text sb_probe;
           expected = None }
       in
       match
         Harness.Runner.run_item ~limits ~explainer:(Cat.explainer model)
-          ~model:factory item
+          ~oracle item
       with
       | e ->
           note_explained e;

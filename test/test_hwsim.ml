@@ -107,13 +107,13 @@ let test_stable_retry_cap () =
 
 let test_soundness_budgeted () =
   let s = Hwsim.run_test Hwsim.Arch.x86 ~runs:200 ~seed:3 (battery "SB") in
-  (match Hwsim.soundness (module Lkmm) (battery "SB") s with
+  (match Hwsim.soundness Lkmm.oracle (battery "SB") s with
   | Hwsim.Sound -> ()
   | _ -> Alcotest.fail "expected sound");
   match
     Hwsim.soundness
       ~limits:(Exec.Budget.limits ~max_candidates:1 ())
-      (module Lkmm) (battery "SB") s
+      Lkmm.oracle (battery "SB") s
   with
   | Hwsim.Soundness_unknown (Exec.Budget.Too_many_candidates _) -> ()
   | _ -> Alcotest.fail "expected soundness unknown"
@@ -128,7 +128,7 @@ let test_soundness_battery () =
           Alcotest.(check (list (pair (list (pair string int)) int)))
             (e.name ^ " sound on " ^ arch.Hwsim.Arch.name)
             []
-            (Hwsim.unsound_outcomes (module Lkmm) test s))
+            (Hwsim.unsound_outcomes Lkmm.oracle test s))
         (Hwsim.Arch.alpha :: Hwsim.Arch.table5))
     Harness.Battery.all
 
@@ -142,7 +142,7 @@ let test_tso_sim_sound_wrt_tso_model () =
         Alcotest.(check (list (pair (list (pair string int)) int)))
           (e.name ^ " x86 within TSO")
           []
-          (Hwsim.unsound_outcomes (module Models.Tso) test s))
+          (Hwsim.unsound_outcomes (Exec.Oracle.of_model (module Models.Tso)) test s))
     Harness.Battery.all
 
 let test_sc_sim_sound_wrt_sc_model () =
@@ -154,7 +154,7 @@ let test_sc_sim_sound_wrt_sc_model () =
         Alcotest.(check (list (pair (list (pair string int)) int)))
           (e.name ^ " SC machine within SC")
           []
-          (Hwsim.unsound_outcomes (module Models.Sc) test s))
+          (Hwsim.unsound_outcomes (Exec.Oracle.of_model (module Models.Sc)) test s))
     Harness.Battery.all
 
 let test_soundness_generated () =
@@ -171,7 +171,7 @@ let test_soundness_generated () =
           Alcotest.(check (list (pair (list (pair string int)) int)))
             (t.Litmus.Ast.name ^ " sound on " ^ arch.Hwsim.Arch.name)
             []
-            (Hwsim.unsound_outcomes (module Lkmm) t s))
+            (Hwsim.unsound_outcomes Lkmm.oracle t s))
         [ Hwsim.Arch.power8; Hwsim.Arch.x86 ])
     tests
 

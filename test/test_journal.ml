@@ -185,7 +185,7 @@ let battery_items =
   ]
 
 let limits = B.limits ~timeout:5.0 ()
-let model = R.static_model (module Lkmm : Exec.Check.MODEL)
+let oracle = Lkmm.oracle
 
 let config = { P.default with P.jobs = 1; limits }
 
@@ -193,7 +193,7 @@ let config = { P.default with P.jobs = 1; limits }
    run between journal appends *)
 let slow_worker (it : R.item) =
   Unix.sleepf 0.15;
-  R.run_item ~limits ~model it
+  R.run_item ~limits ~oracle it
 
 let wait_for_journal_lines path n deadline =
   let count () =
@@ -233,7 +233,7 @@ let test_resume_after_sigkill () =
     | 0 ->
         (try
            ignore
-             (P.run ~config ~worker:slow_worker ~journal:path ~model
+             (P.run ~config ~worker:slow_worker ~journal:path ~oracle
                 battery_items)
          with _ -> ());
         Unix._exit 0
@@ -251,11 +251,11 @@ let test_resume_after_sigkill () =
     (journalled >= 2 && journalled < List.length battery_items);
   (* resume: only the missing items re-run *)
   let resumed =
-    P.run ~config ~worker:slow_worker ~journal:path ~resume:path ~model
+    P.run ~config ~worker:slow_worker ~journal:path ~resume:path ~oracle
       battery_items
   in
   (* ... and the report is the one an uninterrupted run produces *)
-  let reference = P.run ~config ~model battery_items in
+  let reference = P.run ~config ~oracle battery_items in
   Alcotest.(check int) "all items reported"
     (List.length battery_items)
     (List.length resumed.R.entries);

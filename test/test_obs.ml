@@ -108,7 +108,7 @@ let run_fixed () =
   let e = Harness.Battery.find "MP+wmb+rmb" in
   let report =
     Harness.Runner.run
-      ~model:(Harness.Runner.static_model (module Lkmm))
+      ~oracle:Lkmm.oracle
       [
         {
           Harness.Runner.id = e.Harness.Battery.name;
@@ -242,7 +242,7 @@ let test_pool_merges_workers () =
   let config = { Harness.Pool.default with Harness.Pool.jobs = 2 } in
   let report =
     Harness.Pool.run ~config
-      ~model:(Harness.Runner.static_model (module Lkmm))
+      ~oracle:Lkmm.oracle
       items
   in
   Alcotest.(check int) "both items pass" 2 report.Harness.Runner.n_pass;
@@ -284,7 +284,7 @@ let test_report_metrics_object () =
     Harness.Report.summarise ~wall:entry.Harness.Runner.time [ entry ]
   in
   let doc = J.of_string (Harness.Report.to_json report) in
-  Alcotest.(check (option (float 0.0))) "schema version 3" (Some 3.)
+  Alcotest.(check (option (float 0.0))) "schema version 4" (Some 4.)
     (Option.bind (J.mem "schema_version" doc) J.num);
   match J.mem "metrics" doc with
   | Some (J.Obj _) -> ()

@@ -12,8 +12,8 @@ module J = Harness.Journal
 module B = Exec.Budget
 
 let limits = B.limits ~timeout:5.0 ~max_candidates:50_000 ()
-let model = R.static_model (module Lkmm : Exec.Check.MODEL)
-let normal_worker = R.run_item ~limits ~model
+let oracle = Lkmm.oracle
+let normal_worker = R.run_item ~limits ~oracle
 
 let src name = (Harness.Battery.find name).Harness.Battery.source
 let item id source expected = { R.id; source = `Text source; expected }
@@ -45,7 +45,7 @@ let test_crash_contained () =
   let report =
     P.run
       ~config:(config 2)
-      ~worker:misbehaving ~model
+      ~worker:misbehaving ~oracle
       [
         item "ok1" (src "SB") (Some Exec.Check.Allow);
         item "segv" (src "SB") None;
@@ -66,7 +66,7 @@ let test_crash_contained () =
 let test_order_preserved () =
   let ids = [ "d"; "c"; "b"; "a" ] in
   let report =
-    P.run ~config:(config 4) ~model
+    P.run ~config:(config 4) ~oracle
       (List.map (fun id -> item id (src "SB") None) ids)
   in
   Alcotest.(check (list string)) "entries in item order" ids
@@ -79,7 +79,7 @@ let test_watchdog_kills_loop () =
   in
   let t0 = Unix.gettimeofday () in
   let report =
-    P.run ~config:cfg ~worker:misbehaving ~model
+    P.run ~config:cfg ~worker:misbehaving ~oracle
       [ item "loop" (src "SB") None; item "ok" (src "SB") None ]
   in
   let wall = Unix.gettimeofday () -. t0 in
@@ -98,7 +98,7 @@ let test_mem_cap_contains_oom () =
       mem_limit_mb = Some 32 }
   in
   let report =
-    P.run ~config:cfg ~worker:misbehaving ~model
+    P.run ~config:cfg ~worker:misbehaving ~oracle
       [ item "oom" (src "SB") None; item "ok" (src "SB") None ]
   in
   (match (find_entry report "oom").R.status with
@@ -124,7 +124,7 @@ let test_flaky_crash_retried () =
     | _ -> normal_worker it
   in
   let report =
-    P.run ~config:(config 1) ~worker:flaky ~model
+    P.run ~config:(config 1) ~worker:flaky ~oracle
       [ item "flaky" (src "SB") (Some Exec.Check.Allow) ]
   in
   if Sys.file_exists marker then Sys.remove marker;
@@ -138,7 +138,7 @@ let test_flaky_crash_retried () =
 
 let test_crash_beats_error_exit_code () =
   let report =
-    P.run ~config:(config 2) ~worker:misbehaving ~model
+    P.run ~config:(config 2) ~worker:misbehaving ~oracle
       [
         item "segv" (src "SB") None;
         item "parse-err" "C broken\n{ x=0;\nP0(int *x" None;
@@ -160,7 +160,7 @@ let test_agrees_with_runner () =
       item "bad" "garbage input" None;
     ]
   in
-  let pooled = P.run ~config:(config 2) ~model items in
+  let pooled = P.run ~config:(config 2) ~oracle items in
   let inproc = R.run ~limits items in
   List.iter2
     (fun (a : R.entry) (b : R.entry) ->
@@ -225,7 +225,7 @@ let test_sigterm_drains_journal () =
     match Unix.fork () with
     | 0 ->
         (* the drain path calls exit itself; 0 would mean it didn't *)
-        (try ignore (P.run ~config:cfg ~worker:slow ~journal:path ~model battery)
+        (try ignore (P.run ~config:cfg ~worker:slow ~journal:path ~oracle battery)
          with _ -> ());
         Unix._exit 0
     | pid -> pid
@@ -252,7 +252,7 @@ let test_sigterm_drains_journal () =
     drained;
   (* the journal resumes: only the missing items re-run, the report is
      the uninterrupted one *)
-  let resumed = P.run ~config:cfg ~journal:path ~resume:path ~model battery in
+  let resumed = P.run ~config:cfg ~journal:path ~resume:path ~oracle battery in
   Alcotest.(check int) "all items reported" (List.length battery)
     (List.length resumed.R.entries);
   Alcotest.(check int) "all passed" (List.length battery) resumed.R.n_pass;

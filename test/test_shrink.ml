@@ -10,7 +10,7 @@ module B = Exec.Budget
 module Ast = Litmus.Ast
 
 let limits = B.limits ~timeout:5.0 ~max_candidates:50_000 ()
-let model = R.static_model (module Lkmm : Exec.Check.MODEL)
+let oracle = Lkmm.oracle
 
 let parse name = Litmus.parse (Harness.Battery.find name).Harness.Battery.source
 
@@ -48,7 +48,7 @@ let test_drop_thread_remaps_condition () =
 (* A seeded FAIL: LB+ctrl+mb is Forbid under LK; expecting Allow makes
    every check a deterministic mismatch. *)
 let mismatch_check t =
-  R.run_item ~limits ~model
+  R.run_item ~limits ~oracle
     { R.id = t.Ast.name; source = `Ast t; expected = Some Exec.Check.Allow }
 
 let test_mismatch_shrinks_to_fixed_point () =
@@ -92,7 +92,7 @@ P1(int *x, int *y) {
 exists (1:r1=1 /\ y=2)|}
 
 let lint_check t =
-  R.run_item ~limits ~model
+  R.run_item ~limits ~oracle
     { R.id = t.Ast.name; source = `Ast t; expected = None }
 
 let test_lint_error_shrinks () =
@@ -148,12 +148,12 @@ let crashy_worker (it : R.item) =
   in
   if List.mem "boom" (Ast.globals t) then
     Unix.kill (Unix.getpid ()) Sys.sigsegv;
-  R.run_item ~limits ~model it
+  R.run_item ~limits ~oracle it
 
 let crash_check t =
   S.isolated_check
     ~config:{ P.default with P.limits = limits; backoff = 0.01 }
-    ~worker:crashy_worker ~model t
+    ~worker:crashy_worker ~oracle t
 
 let test_crash_shrinks_in_isolation () =
   let t = Litmus.parse crash_seed in

@@ -1,0 +1,235 @@
+(* Benchmarks for the symbolic SAT backend: full-corpus battery through
+   all three engines (scalar enum, bit-plane batch, CDCL sat) plus the
+   two budget-breaking tests the enumerative engines give up on and the
+   solver decides.  Writes BENCH_sat.json.
+
+     dune exec tools/bench_sat.exe [-- OUT.json]
+     dune exec tools/bench_sat.exe -- --smoke [BASELINE.json]
+
+   Smoke mode (for CI) reruns a reduced corpus slice — every 5th test —
+   through the SAT backend, requires verdict agreement with the batched
+   engine on every test of the slice and a decided (non-Unknown)
+   verdict on both budget-breakers, and exits 1 if the slice takes more
+   than twice the committed baseline's [smoke.total_s].
+
+   The corpus tests are tiny (the sat encoding overhead dominates
+   there, which the numbers are honest about); the backend's point is
+   the budget-breakers, where the one-hot rf / boolean-order co CNF
+   dodges the candidate-product explosion entirely. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let best_of k f =
+  let best = ref infinity in
+  for _ = 1 to k do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    let t1 = Unix.gettimeofday () in
+    if t1 -. t0 < !best then best := t1 -. t0
+  done;
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* Corpus battery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_dir =
+  List.find_opt Sys.file_exists [ "corpus"; "../corpus"; "../../../corpus" ]
+
+let load_corpus ?(stride = 1) () =
+  match corpus_dir with
+  | None -> failwith "corpus directory not found"
+  | Some dir ->
+      read_file (Filename.concat dir "MANIFEST")
+      |> String.split_on_char '\n'
+      |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+      |> List.filteri (fun i _ -> i mod stride = 0)
+      |> List.map (fun line ->
+             let file = List.hd (String.split_on_char ' ' line) in
+             Litmus.parse (read_file (Filename.concat dir file)))
+
+let battery tests f =
+  best_of 3 (fun () ->
+      List.iter (fun t -> ignore (Sys.opaque_identity (f t))) tests)
+
+let check backend t =
+  Exec.Oracle.run ~budget:(Exec.Budget.start Exec.Budget.default) ~backend
+    Lkmm.oracle t
+
+(* ------------------------------------------------------------------ *)
+(* The budget-breakers: candidate products far past the default caps,
+   trivially decided symbolically.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let big_allow =
+  (* one read, nine same-location writes: ~10^9 rf x co candidates *)
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    "C big-allow\n{ }\nP0(int *x) { int r0 = READ_ONCE(*x); }\n";
+  for i = 1 to 9 do
+    Buffer.add_string b
+      (Printf.sprintf "P%d(int *x) { WRITE_ONCE(*x, 1); }\n" i)
+  done;
+  Buffer.add_string b "exists (0:r0=1)\n";
+  Litmus.parse (Buffer.contents b)
+
+let big_forbid =
+  (* SB+mbs (Forbid) padded with nine bystander writes *)
+  let b = Buffer.create 256 in
+  Buffer.add_string b "C big-forbid\n{ }\n";
+  Buffer.add_string b
+    "P0(int *x, int *y) { WRITE_ONCE(*x, 1); smp_mb(); int r0 = \
+     READ_ONCE(*y); }\n";
+  Buffer.add_string b
+    "P1(int *x, int *y) { WRITE_ONCE(*y, 1); smp_mb(); int r1 = \
+     READ_ONCE(*x); }\n";
+  for i = 2 to 10 do
+    Buffer.add_string b
+      (Printf.sprintf "P%d(int *z) { WRITE_ONCE(*z, 1); }\n" i)
+  done;
+  Buffer.add_string b "exists ((0:r0=0 /\\ 1:r1=0))\n";
+  Litmus.parse (Buffer.contents b)
+
+let decided (r : Exec.Check.result) =
+  match r.Exec.Check.verdict with
+  | Exec.Check.Allow | Exec.Check.Forbid -> true
+  | Exec.Check.Unknown _ -> false
+
+let time_one backend t =
+  let t0 = Unix.gettimeofday () in
+  let r = check backend t in
+  (Unix.gettimeofday () -. t0, r)
+
+(* ------------------------------------------------------------------ *)
+(* Smoke mode                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let smoke_stride = 5
+
+let run_smoke tests =
+  battery tests (fun t -> check Exec.Check.Sat t)
+
+let agreement tests =
+  List.for_all
+    (fun t ->
+      let s = check Exec.Check.Sat t and b = check Exec.Check.Batch t in
+      s.Exec.Check.verdict = b.Exec.Check.verdict)
+    tests
+
+let baseline_field file key =
+  let s = read_file file in
+  let pat = Printf.sprintf "\"%s\":" key in
+  let rec find i =
+    if i + String.length pat > String.length s then None
+    else if String.sub s i (String.length pat) = pat then
+      Some (i + String.length pat)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      let j = ref i in
+      while
+        !j < String.length s
+        && (match s.[!j] with
+           | '0' .. '9' | '.' | ' ' | '-' | 'e' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      float_of_string_opt (String.trim (String.sub s i (!j - i)))
+
+let smoke baseline_file =
+  let tests = load_corpus ~stride:smoke_stride () in
+  if not (agreement tests) then begin
+    prerr_endline "bench_sat: FAIL: sat/batch verdict disagreement on slice";
+    exit 1
+  end;
+  let _, ra = time_one Exec.Check.Sat big_allow in
+  let _, rf = time_one Exec.Check.Sat big_forbid in
+  if not (decided ra && decided rf) then begin
+    prerr_endline "bench_sat: FAIL: solver gave up on a budget-breaker";
+    exit 1
+  end;
+  let total = run_smoke tests in
+  match baseline_field baseline_file "total_s" with
+  | None ->
+      Printf.eprintf "bench_sat: no smoke baseline in %s\n" baseline_file;
+      exit 2
+  | Some base ->
+      Printf.printf
+        "bench_sat smoke: %d tests + 2 budget-breakers, %.4f s (baseline \
+         %.4f s, ratio %.2f)\n"
+        (List.length tests) total base (total /. base);
+      if total > 2.0 *. base then begin
+        prerr_endline "bench_sat: FAIL: smoke slice more than 2x the baseline";
+        exit 1
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let full out =
+  let tests = load_corpus () in
+  let enum_s =
+    battery tests (fun t -> check Exec.Check.Enum t)
+  in
+  let batch_s = battery tests (fun t -> check Exec.Check.Batch t) in
+  let sat_s = battery tests (fun t -> check Exec.Check.Sat t) in
+  let verdict r = Exec.Check.verdict_to_string r.Exec.Check.verdict in
+  let conflicts (r : Exec.Check.result) =
+    match r.Exec.Check.sat with
+    | Some s -> s.Exec.Check.conflicts
+    | None -> -1
+  in
+  let allow_enum_t, allow_enum = time_one Exec.Check.Batch big_allow in
+  let allow_sat_t, allow_sat = time_one Exec.Check.Sat big_allow in
+  let forbid_enum_t, forbid_enum = time_one Exec.Check.Batch big_forbid in
+  let forbid_sat_t, forbid_sat = time_one Exec.Check.Sat big_forbid in
+  let smoke_total = run_smoke (load_corpus ~stride:smoke_stride ()) in
+  let json =
+    Printf.sprintf
+      {|{
+  "description": "symbolic SAT backend (CDCL over one-hot rf / boolean-order co CNF, decoded models re-validated through the scalar axioms) vs the enumerative engines: best-of-3 full-corpus battery per engine, plus two tests whose candidate product breaks the default budget and which only the solver decides",
+  "corpus": {
+    "n_tests": %d,
+    "enum_s": %.4f,
+    "batch_s": %.4f,
+    "sat_s": %.4f,
+    "sat_vs_batch_ratio": %.2f
+  },
+  "budget_breakers": {
+    "big_allow": { "enum_verdict": "%s", "enum_s": %.4f, "sat_verdict": "%s", "sat_s": %.4f, "sat_conflicts": %d },
+    "big_forbid": { "enum_verdict": "%s", "enum_s": %.4f, "sat_verdict": "%s", "sat_s": %.4f, "sat_conflicts": %d }
+  },
+  "smoke": { "stride": %d, "total_s": %.4f },
+  "notes": "On corpus-sized tests (2-4 threads, handfuls of candidates) the solver pays encoding overhead the enumerators never see, so sat_s above batch_s is expected and not a regression signal; the backend earns its keep on the budget-breakers, where the enumerative engines return Unknown at the candidate cap and the solver decides in milliseconds.  Verdict agreement across all three engines over the full corpus is asserted by test_sat; this file records the cost of that agreement."
+}
+|}
+      (List.length tests) enum_s batch_s sat_s (sat_s /. batch_s)
+      (verdict allow_enum) allow_enum_t (verdict allow_sat) allow_sat_t
+      (conflicts allow_sat) (verdict forbid_enum) forbid_enum_t
+      (verdict forbid_sat) forbid_sat_t (conflicts forbid_sat) smoke_stride
+      smoke_total
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  if not (decided allow_sat && decided forbid_sat) then begin
+    prerr_endline "bench_sat: FAIL: solver gave up on a budget-breaker";
+    exit 1
+  end
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--smoke" :: rest ->
+      smoke (match rest with b :: _ -> b | [] -> "BENCH_sat.json")
+  | _ :: out :: _ -> full out
+  | _ -> full "BENCH_sat.json"

@@ -147,8 +147,7 @@ let () =
   let report =
     P.run
       ~config:{ P.default with P.jobs = workers; limits }
-      ~model:(R.static_model (module Lkmm : Exec.Check.MODEL))
-      items
+      ~oracle:Lkmm.oracle items
   in
   let pool_wall = Unix.gettimeofday () -. t0 in
   ignore report;

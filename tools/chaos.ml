@@ -36,7 +36,7 @@ module R = Harness.Runner
 module B = Exec.Budget
 
 let usage =
-  "chaos [--seconds N] [--seed N] [--corpus DIR] [--tests N]\n\
+  "chaos [--seconds N] [--seed N] [--corpus DIR] [--tests N] [--backend E]\n\
   \       chaos --campaign [--camp-seeds N] [--kills N] [--seed N]"
 
 let seconds = ref 30.0
@@ -46,6 +46,12 @@ let n_tests = ref 24
 let campaign_mode = ref false
 let camp_seeds = ref 6000
 let kills = ref 6
+
+(* engine for both the daemon and the in-process ground truth, so a
+   sat soak cross-checks the symbolic backend against itself under
+   fault injection (verdicts are engine-independent, so any engine's
+   truth convicts any engine's daemon) *)
+let backend = ref Exec.Check.Batch
 
 let () =
   let rec parse = function
@@ -70,6 +76,16 @@ let () =
         parse rest
     | "--kills" :: v :: rest ->
         kills := int_of_string v;
+        parse rest
+    | "--backend" :: v :: rest ->
+        (backend :=
+           match v with
+           | "enum" -> Exec.Check.Enum
+           | "batch" -> Exec.Check.Batch
+           | "sat" -> Exec.Check.Sat
+           | _ ->
+               prerr_endline ("chaos: unknown backend " ^ v);
+               exit 124);
         parse rest
     | a :: _ ->
         prerr_endline ("chaos: unknown argument " ^ a ^ "\nusage: " ^ usage);
@@ -103,13 +119,13 @@ let ground_truth () =
     |> List.filteri (fun i _ -> i < !n_tests)
   in
   let limits = B.limits ~timeout:10.0 () in
-  let model = R.static_model (module Lkmm : Exec.Check.MODEL) in
+  let oracle = Lkmm.oracle in
   List.filter_map
     (fun f ->
       let source = R.read_file (Filename.concat !corpus_dir f) in
       let entry =
-        R.run_item ~limits ~model { R.id = f; source = `Text source;
-                                    expected = None }
+        R.run_item ~limits ~backend:!backend ~oracle
+          { R.id = f; source = `Text source; expected = None }
       in
       match entry.R.status with
       | R.Pass Exec.Check.Allow -> Some { name = f; source; verdict = "Allow" }
@@ -138,6 +154,7 @@ let config =
     backoff = 0.02;
     cache_journal = Some journal;
     chaos_ops = true;
+    backend = !backend;
   }
 
 let start_daemon () =

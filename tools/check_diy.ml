@@ -23,7 +23,7 @@ let () =
       List.iter
         (fun arch ->
           let s = Hwsim.run_test arch ~runs:300 ~seed:5 t in
-          match Hwsim.unsound_outcomes (module Lkmm) t s with
+          match Hwsim.unsound_outcomes Lkmm.oracle t s with
           | [] -> ()
           | l ->
               incr bad;

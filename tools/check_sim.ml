@@ -11,7 +11,7 @@ let () =
           List.map
             (fun arch ->
               let s = Hwsim.run_test arch ~runs ~seed:7 test in
-              (match Hwsim.unsound_outcomes (module Lkmm) test s with
+              (match Hwsim.unsound_outcomes Lkmm.oracle test s with
                | [] -> ()
                | bad ->
                    incr unsound;

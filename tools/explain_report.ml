@@ -19,32 +19,27 @@ let usage () =
 
 (* lk (native) plus the cat-engine models; mirrors herd_lk's table. *)
 let model_and_explainer name :
-    Harness.Runner.model_factory * (Exec.t -> Exec.Explain.t list) =
+    Exec.Oracle.t * (Exec.t -> Exec.Explain.t list) =
   match String.lowercase_ascii name with
-  | "lk" | "lkmm" | "linux" ->
-      (Harness.Runner.static_model (module Lkmm), Lkmm.Explain.explainer)
+  | "lk" | "lkmm" | "linux" -> (Lkmm.oracle, Lkmm.Explain.explainer)
   | "lk-cat" ->
       let m = Lazy.force Cat.lk in
-      ( (fun budget -> Cat.to_check_model ~name:"LK(cat)" ?budget m),
-        Cat.explainer m )
+      (Cat.to_oracle ~name:"LK(cat)" m, Cat.explainer m)
   | "sc" ->
       let m = Cat.parse Cat.Stdmodels.sc in
-      ((fun budget -> Cat.to_check_model ~name:"SC" ?budget m), Cat.explainer m)
+      (Cat.to_oracle ~name:"SC" m, Cat.explainer m)
   | "tso" | "x86" ->
       let m = Cat.parse Cat.Stdmodels.tso in
-      ( (fun budget -> Cat.to_check_model ~name:"TSO" ?budget m),
-        Cat.explainer m )
+      (Cat.to_oracle ~name:"TSO" m, Cat.explainer m)
   | "c11" ->
       let m = Cat.parse Cat.Stdmodels.c11 in
-      ( (fun budget -> Cat.to_check_model ~name:"C11" ?budget m),
-        Cat.explainer m )
+      (Cat.to_oracle ~name:"C11" m, Cat.explainer m)
   | "c11-psc" | "rc11" ->
       let m = Cat.parse Cat.Stdmodels.c11_psc in
-      ( (fun budget -> Cat.to_check_model ~name:"C11+psc" ?budget m),
-        Cat.explainer m )
+      (Cat.to_oracle ~name:"C11+psc" m, Cat.explainer m)
   | other when Filename.check_suffix other ".cat" ->
       let m = Cat.load_file name in
-      ((fun budget -> Cat.to_check_model ~name ?budget m), Cat.explainer m)
+      (Cat.to_oracle ~name m, Cat.explainer m)
   | other -> failwith ("unknown model: " ^ other)
 
 let html_escape s =
@@ -102,8 +97,8 @@ let () =
     if !jobs > 1 then
       Harness.Pool.run
         ~config:{ Harness.Pool.default with Harness.Pool.jobs = !jobs }
-        ~explainer ~model:factory items
-    else Harness.Runner.run ~explainer ~model:factory items
+        ~explainer ~oracle:factory items
+    else Harness.Runner.run ~explainer ~oracle:factory items
   in
   if not (Sys.file_exists !out) then Sys.mkdir !out 0o755;
   let buf = Buffer.create 65536 in

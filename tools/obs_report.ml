@@ -197,6 +197,33 @@ let profile path =
            *. float_of_int patched
            /. float_of_int (Stdlib.max 1 (patched + full)))
    end);
+  (* the symbolic backend's own table: per-structure sat/unsat split,
+     conflict totals, and the two "should be zero" columns (spurious
+     witnesses, counted enumerative fallbacks) *)
+  (if counter "solve.structures" <> None || counter "sat.fallback" <> None
+   then begin
+     Printf.printf "\nSymbolic (SAT) backend:\n";
+     (match counter "solve.structures" with
+     | Some s ->
+         let sat = Option.value ~default:0 (counter "solve.sat")
+         and unsat = Option.value ~default:0 (counter "solve.unsat") in
+         Printf.printf "  %-28s %12d (sat %d, unsat %d)\n"
+           "structures solved" s sat unsat
+     | None -> ());
+     (match counter "solve.conflicts" with
+     | Some c -> Printf.printf "  %-28s %12d\n" "conflicts" c
+     | None -> ());
+     (match counter "solve.spurious" with
+     | Some s when s > 0 ->
+         Printf.printf "  %-28s %12d  <- encoder/solver bug\n"
+           "spurious witnesses" s
+     | _ -> ());
+     match counter "sat.fallback" with
+     | Some f when f > 0 ->
+         Printf.printf "  %-28s %12d (solver-less models)\n"
+           "enumerative fallbacks" f
+     | _ -> ()
+   end);
   let hists =
     ref
       (List.filter (fun (n, _, _, _) -> n <> "check.batch.occupancy") !hists)
