@@ -104,6 +104,24 @@ let wedge_arg =
     & info [ "chaos-wedge" ] ~docv:"SEED,.."
         ~doc:"Chaos hook: workers hang at these seeds (exercises leases).")
 
+let flight_arg =
+  Arg.(
+    value & flag
+    & info [ "flight" ]
+        ~doc:
+          "Arm the crash flight recorder in every shard worker: per-seed \
+           checkpoints land in DIR/flight-<pid>.jsonl, so a crashed, \
+           poisoned or wedged worker leaves a post-mortem naming the \
+           victim seed (readable with $(b,obs_report --postmortem)).")
+
+let metrics_interval_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "metrics-interval" ] ~docv:"SECONDS"
+        ~doc:
+          "Seconds between live lkmetrics-1 snapshots appended to \
+           DIR/metrics.jsonl alongside the manifest.")
+
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No progress on stderr.")
 
@@ -127,7 +145,8 @@ let emit_report ~json ~out rep =
 
 let run_main dir size (seed_lo, seed_hi) shard_size jobs models archs hw_runs
     timeout max_candidates max_events lease_timeout max_rows explain out
-    poison wedge quiet json backend_opt trace metrics =
+    poison wedge flight metrics_interval quiet json backend_opt trace metrics
+    =
   C.with_obs ~trace ~metrics @@ fun () ->
   let limits =
     (* flag-less runs keep the deterministic candidate/event caps; any
@@ -156,6 +175,8 @@ let run_main dir size (seed_lo, seed_hi) shard_size jobs models archs hw_runs
       backend = C.backend ~backend:backend_opt ~no_batch:false;
       poison;
       wedge;
+      flight;
+      metrics_interval;
       log =
         (if quiet then ignore
          else fun s -> Printf.eprintf "lkcampaign: %s\n%!" s);
@@ -177,8 +198,9 @@ let run_cmd =
       const run_main $ dir_arg $ size_arg $ seeds_arg $ shard_arg $ C.jobs_arg
       $ models_arg $ archs_arg $ hw_runs_arg $ C.timeout_arg
       $ C.max_candidates_arg $ C.max_events_arg $ lease_arg $ max_rows_arg
-      $ explain_arg $ out_arg $ poison_arg $ wedge_arg $ quiet_arg $ C.json_arg
-      $ C.backend_arg $ C.trace_arg $ C.metrics_arg)
+      $ explain_arg $ out_arg $ poison_arg $ wedge_arg $ flight_arg
+      $ metrics_interval_arg $ quiet_arg $ C.json_arg $ C.backend_arg
+      $ C.trace_arg $ C.metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mine                                                                *)

@@ -86,6 +86,37 @@ let stats_flag =
   let doc = "Query the daemon's stats line and exit." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let metrics_dump_flag =
+  let doc =
+    "Query the daemon's live telemetry snapshot (request counters, queue \
+     and worker gauges, p50/p95/p99 latency and queue-wait percentiles) \
+     and print it as one JSON object ($(i,lkmetrics-1), see \
+     ci/metrics.schema.json)."
+  in
+  Arg.(value & flag & info [ "metrics-dump" ] ~doc)
+
+let prom_flag =
+  let doc =
+    "With $(b,--metrics-dump): render the snapshot as Prometheus-style \
+     text exposition instead of JSON."
+  in
+  Arg.(value & flag & info [ "prom" ] ~doc)
+
+let flight_dir_arg =
+  let doc =
+    "Arm the crash flight recorder: periodic and per-job checkpoints of \
+     the observability ring land in $(docv)/flight-<pid>.jsonl, so a kill \
+     -9, wedge or quarantine leaves a post-mortem readable with \
+     $(b,obs_report --postmortem)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "flight-dir" ] ~docv:"DIR" ~doc)
+
+let flight_interval_arg =
+  let doc = "Seconds between opportunistic flight checkpoints." in
+  Arg.(
+    value & opt float 0.5 & info [ "flight-interval" ] ~docv:"SECONDS" ~doc)
+
 let shutdown_flag =
   let doc = "Ask the daemon to drain and exit." in
   Arg.(value & flag & info [ "shutdown" ] ~doc)
@@ -118,7 +149,53 @@ let print_response label = function
       | Harness.Proto.Unknown -> 3
       | _ -> 2)
 
-let client_main socket model timeout_ms stats shutdown files =
+(* Prometheus-style text exposition of one lkmetrics-1 snapshot. *)
+let print_prom j =
+  let module J = Harness.Journal.Json in
+  let num k obj =
+    match Option.bind (J.mem k obj) J.num with Some v -> v | None -> 0.
+  in
+  let g name v = Printf.printf "%s %g\n" name v in
+  g "lkserve_uptime_seconds" (num "uptime_s" j);
+  g "lkserve_requests_total" (num "requests" j);
+  g "lkserve_queue_depth" (num "queue_depth" j);
+  g "lkserve_retries_gated" (num "gated" j);
+  g "lkserve_workers_live" (num "workers_live" j);
+  g "lkserve_workers_busy" (num "workers_busy" j);
+  g "lkserve_replacements_total" (num "replacements" j);
+  g "lkserve_quarantined_keys" (num "quarantined_keys" j);
+  (match J.mem "cache" j with
+  | Some c ->
+      g "lkserve_cache_size" (num "size" c);
+      g "lkserve_cache_hits_total" (num "hits" c);
+      g "lkserve_cache_misses_total" (num "misses" c)
+  | None -> ());
+  (match J.mem "served" j with
+  | Some (J.Obj kvs) ->
+      List.iter
+        (fun (k, v) ->
+          match J.num v with
+          | Some v ->
+              Printf.printf "lkserve_served_total{class=\"%s\"} %g\n" k v
+          | None -> ())
+        kvs
+  | _ -> ());
+  let hist key name =
+    match J.mem key j with
+    | Some h ->
+        Printf.printf "%s_count %g\n" name (num "count" h);
+        List.iter
+          (fun (q, k) ->
+            Printf.printf "%s{quantile=\"%s\"} %g\n" name q (num k h))
+          [ ("0.5", "p50"); ("0.95", "p95"); ("0.99", "p99") ];
+        Printf.printf "%s_max %g\n" name (num "max" h)
+    | None -> ()
+  in
+  hist "latency_us" "lkserve_request_latency_us";
+  hist "queue_wait_us" "lkserve_queue_wait_us"
+
+let client_main socket model timeout_ms stats metrics_dump prom shutdown files
+    =
   match Harness.Serve.Client.connect socket with
   | exception Unix.Unix_error (e, _, _) ->
       Printf.eprintf "lkserve: cannot reach daemon at %s: %s\n%!" socket
@@ -126,7 +203,24 @@ let client_main socket model timeout_ms stats shutdown files =
       2
   | c ->
       let code =
-        if stats then (
+        if metrics_dump then (
+          match Harness.Serve.Client.metrics c with
+          | Ok r -> (
+              match
+                Harness.Journal.Json.mem "metrics"
+                  r.Harness.Proto.rsp_json
+              with
+              | Some m ->
+                  if prom then print_prom m
+                  else print_endline (Harness.Journal.Json.to_string m);
+                  0
+              | None ->
+                  Printf.eprintf "lkserve: metrics: missing payload\n%!";
+                  2)
+          | Error e ->
+              Printf.eprintf "lkserve: metrics: %s\n%!" e;
+              2)
+        else if stats then (
           match Harness.Serve.Client.stats c with
           | Ok r ->
               (match r.Harness.Proto.rsp_json with
@@ -162,10 +256,12 @@ let client_main socket model timeout_ms stats shutdown files =
       code
 
 let main socket workers queue default_timeout wedge_grace cache_journal fsync
-    chaos_ops max_line timeout no_batch backend_opt client client_files model
-    timeout_ms stats shutdown =
-  if client || stats || shutdown then
-    client_main socket model timeout_ms stats shutdown client_files
+    chaos_ops max_line timeout no_batch backend_opt trace metrics flight_dir
+    flight_interval client client_files model timeout_ms stats metrics_dump
+    prom shutdown =
+  if client || stats || metrics_dump || shutdown then
+    client_main socket model timeout_ms stats metrics_dump prom shutdown
+      client_files
   else
     let limits =
       {
@@ -174,25 +270,32 @@ let main socket workers queue default_timeout wedge_grace cache_journal fsync
           (match timeout with Some t -> Some t | None -> Some default_timeout);
       }
     in
-    Harness.Serve.run
-      ~config:
-        {
-          Harness.Serve.socket;
-          workers;
-          queue_bound = queue;
-          limits;
-          default_timeout;
-          max_line;
-          wedge_grace;
-          max_replacements = 32;
-          cache_journal;
-          fsync;
-          chaos_ops;
-          retries = 1;
-          backoff = 0.05;
-          backend = Harness.Cli.backend ~backend:backend_opt ~no_batch;
-        }
-      ()
+    (* The daemon honours the shared --trace/--metrics flags like every
+       other CLI: collector on iff an output was asked for (or a flight
+       dir is armed), exports written on the way out — even after a
+       failed run. *)
+    Harness.Cli.with_obs ~trace ~metrics (fun () ->
+        Harness.Serve.run
+          ~config:
+            {
+              Harness.Serve.socket;
+              workers;
+              queue_bound = queue;
+              limits;
+              default_timeout;
+              max_line;
+              wedge_grace;
+              max_replacements = 32;
+              cache_journal;
+              fsync;
+              chaos_ops;
+              retries = 1;
+              backoff = 0.05;
+              backend = Harness.Cli.backend ~backend:backend_opt ~no_batch;
+              flight_dir;
+              flight_interval;
+            }
+          ())
 
 let cmd =
   let doc = "litmus checking as a service (daemon and client)" in
@@ -202,7 +305,9 @@ let cmd =
       const main $ socket_arg $ workers_arg $ queue_arg $ default_timeout_arg
       $ wedge_grace_arg $ cache_journal_arg $ fsync_arg $ chaos_ops_arg
       $ max_line_arg $ Harness.Cli.timeout_arg $ Harness.Cli.no_batch_arg
-      $ Harness.Cli.backend_arg $ client_flag $ client_arg $ model_arg
-      $ timeout_ms_arg $ stats_flag $ shutdown_flag)
+      $ Harness.Cli.backend_arg $ Harness.Cli.trace_arg
+      $ Harness.Cli.metrics_arg $ flight_dir_arg $ flight_interval_arg
+      $ client_flag $ client_arg $ model_arg $ timeout_ms_arg $ stats_flag
+      $ metrics_dump_flag $ prom_flag $ shutdown_flag)
 
 let () = Harness.Cli.eval ~name:"lkserve" cmd

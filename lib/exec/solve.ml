@@ -503,6 +503,10 @@ let c_conflicts = Obs.Counter.make "solve.conflicts"
 let c_sat = Obs.Counter.make "solve.sat"
 let c_unsat = Obs.Counter.make "solve.unsat"
 let c_spurious = Obs.Counter.make "solve.spurious"
+let c_propagations = Obs.Counter.make "solve.propagations"
+let c_restarts = Obs.Counter.make "solve.restarts"
+let h_learnt_len = Obs.Histogram.make "solve.learnt_len"
+let h_dlevel = Obs.Histogram.make "solve.dlevel"
 
 type solve_fn =
   ?budget:Budget.t ->
@@ -566,7 +570,26 @@ let run_exn ?budget ~conflicts ~decisions ~axioms (module M : Check.MODEL)
     | Some enc -> (
         encode_cond enc;
         if with_axioms then axioms enc.e;
-        match Sat.Solver.solve ~on_conflict ~on_decision enc.e.ctx.s with
+        let s = enc.e.ctx.s in
+        (* CDCL shape, surfaced in obs_report's symbolic table: learned
+           clause lengths and conflict decision levels as histograms,
+           propagation volume as a counter (delta over this call, even
+           when a budget trip aborts the search mid-way). *)
+        let on_learnt len =
+          Obs.Histogram.observe h_learnt_len (float_of_int len);
+          Obs.Histogram.observe h_dlevel
+            (float_of_int (Sat.Solver.decision_level s))
+        in
+        let on_restart () = Obs.Counter.incr c_restarts in
+        let count_propagations () =
+          Obs.Counter.add c_propagations
+            (Sat.Solver.stats s).Sat.Solver.propagations
+        in
+        match
+          Fun.protect ~finally:count_propagations (fun () ->
+              Sat.Solver.solve ~on_conflict ~on_decision ~on_learnt
+                ~on_restart s)
+        with
         | Sat.Solver.Unsat -> `Unsat
         | Sat.Solver.Sat -> `Sat (decode enc))
   in

@@ -54,6 +54,8 @@ type config = {
   backend : Exec.Check.backend; (* engine for the axiomatic columns *)
   poison : int list; (* chaos hook: worker exits 42 at these seeds *)
   wedge : int list; (* chaos hook: worker hangs at these seeds *)
+  flight : bool; (* arm the crash flight recorder in every worker *)
+  metrics_interval : float; (* seconds between metrics.jsonl snapshots *)
   log : string -> unit;
 }
 
@@ -80,6 +82,8 @@ let default =
     backend = Exec.Check.Batch;
     poison = [];
     wedge = [];
+    flight = false;
+    metrics_interval = 1.0;
     log = ignore;
   }
 
@@ -319,12 +323,30 @@ let summarise config ~lo ~hi (cells : (int, cell) Hashtbl.t) :
 
 let worker_exit_uncaught = 3
 
+(* Orchestrator service histograms.  Unconditional (observe_always) so
+   the metrics journal carries real shard percentiles even when the
+   tracing collector is off. *)
+let h_shard_wall = Obs.Histogram.make "campaign.shard_wall_us"
+let h_shard_pending = Obs.Histogram.make "campaign.shard_pending_us"
+
 (* Resume within the shard: seeds already journalled (by this worker's
    predecessor, any attempt) are skipped, so a retried shard pays only
    for the seeds the crash lost.  Never returns. *)
 let run_worker config ~lo ~hi ~attempt =
   let code =
     try
+      (* Flight recorder: armed post-fork (the orchestrator never arms
+         its own), checkpointed at every seed start, so the poison and
+         wedge chaos hooks — like any real crash — leave a post-mortem
+         whose open [campaign.seed] span names the victim seed.  [last]
+         is kept small: at campaign scale the per-checkpoint span tail
+         is the file-size budget. *)
+      if config.flight then begin
+        if not (Obs.enabled ()) then Obs.set_enabled true;
+        Obs.flight_start ~last:8
+          (Filename.concat config.dir
+             (Printf.sprintf "flight-%d.jsonl" (Unix.getpid ())))
+      end;
       let jpath = shard_journal_path config.dir lo hi in
       let done_cells = read_shard_journal jpath in
       let w = Journal.open_writer jpath in
@@ -333,18 +355,24 @@ let run_worker config ~lo ~hi ~attempt =
       let archs = List.map Hwsim.Arch.find config.archs in
       let limits = if attempt >= 2 then config.reduced else config.limits in
       for seed = lo to hi - 1 do
-        if not (Hashtbl.mem done_cells seed) then begin
-          if List.mem seed config.poison then Unix._exit 42;
-          if List.mem seed config.wedge then
-            while true do
-              Unix.sleepf 3600.
-            done;
+        if not (Hashtbl.mem done_cells seed) then
           Journal.write_line w
-            (classify ~checks ~backend:config.backend ~c11 ~archs
-               ~hw_runs:config.hw_runs ~limits ~size:config.size seed)
-        end
+            (Obs.with_span
+               ~item:("seed:" ^ string_of_int seed)
+               "campaign.seed"
+               (fun () ->
+                 if Obs.flight_active () then
+                   Obs.flight_checkpoint ~reason:"seed-start" ();
+                 if List.mem seed config.poison then Unix._exit 42;
+                 if List.mem seed config.wedge then
+                   while true do
+                     Unix.sleepf 3600.
+                   done;
+                 classify ~checks ~backend:config.backend ~c11 ~archs
+                   ~hw_runs:config.hw_runs ~limits ~size:config.size seed))
       done;
       Journal.close w;
+      if Obs.flight_active () then Obs.flight_stop ();
       0
     with _ -> worker_exit_uncaught
   in
@@ -683,6 +711,50 @@ let run config =
          model copy-on-write instead of each re-parsing it. *)
       if List.mem "cat" config.models then ignore (Lazy.force Cat.lk);
       let running : (int, int * int * float) Hashtbl.t = Hashtbl.create 16 in
+      (* Live telemetry: periodic lkmetrics-1 snapshots journalled
+         alongside the manifest.  A separate file the miner never reads
+         — the chaos byte-equality gates compare mined reports, which
+         stay time-free. *)
+      let t0 = Unix.gettimeofday () in
+      let metrics_w =
+        Journal.open_writer (Filename.concat config.dir "metrics.jsonl")
+      in
+      let seeds_classified = ref 0 in
+      let pending_since : (int * int, float) Hashtbl.t = Hashtbl.create 16 in
+      let note_pending lo hi =
+        if not (Hashtbl.mem pending_since (lo, hi)) then
+          Hashtbl.replace pending_since (lo, hi) (Unix.gettimeofday ())
+      in
+      List.iter
+        (fun (sh : Manifest.shard) ->
+          match sh.state with
+          | Manifest.Pending -> note_pending sh.lo sh.hi
+          | _ -> ())
+        (Manifest.shards m);
+      let metrics_line () =
+        let now = Unix.gettimeofday () in
+        let pending, leased, done_, quarantined =
+          List.fold_left
+            (fun (p, l, d, q) (s : Manifest.shard) ->
+              match s.state with
+              | Manifest.Pending -> (p + 1, l, d, q)
+              | Manifest.Leased _ -> (p, l + 1, d, q)
+              | Manifest.Done _ -> (p, l, d + 1, q)
+              | Manifest.Quarantined _ -> (p, l, d, q + 1))
+            (0, 0, 0, 0) (Manifest.shards m)
+        in
+        Printf.sprintf
+          "{\"schema\": \"lkmetrics-1\", \"ts_us\": %.0f, \"uptime_s\": \
+           %.3f, \"requests\": %d, \"queue_depth\": %d, \"workers_live\": \
+           %d, \"workers_busy\": %d, \"shards\": {\"pending\": %d, \
+           \"leased\": %d, \"done\": %d, \"quarantined\": %d}, \
+           \"latency_us\": %s, \"queue_wait_us\": %s}"
+          (now *. 1e6) (now -. t0) !seeds_classified pending
+          (Hashtbl.length running) (Hashtbl.length running) pending leased
+          done_ quarantined
+          (Obs.hist_metrics_json (Obs.hist_snapshot h_shard_wall))
+          (Obs.hist_metrics_json (Obs.hist_snapshot h_shard_pending))
+      in
       let shard_of lo hi =
         List.find
           (fun (s : Manifest.shard) -> s.lo = lo && s.hi = hi)
@@ -690,11 +762,13 @@ let run config =
       in
       let failure lo hi err =
         Manifest.record m (Manifest.Requeue { lo; hi; failed = true });
+        note_pending lo hi;
         let sh = shard_of lo hi in
         if sh.attempts >= 2 then
           if hi - lo <= 1 then begin
             Manifest.record m
               (Manifest.Quarantine { lo; hi; attempts = sh.attempts; error = err });
+            Hashtbl.remove pending_since (lo, hi);
             (try Sys.remove (shard_journal_path config.dir lo hi)
              with Sys_error _ -> ());
             config.log
@@ -705,6 +779,9 @@ let run config =
             let mid = lo + ((hi - lo) / 2) in
             redistribute config.dir ~lo ~hi ~mid;
             Manifest.record m (Manifest.Split { lo; hi; mid });
+            Hashtbl.remove pending_since (lo, hi);
+            note_pending lo mid;
+            note_pending mid hi;
             config.log
               (Printf.sprintf "shard %s split at %d after %d failures (%s)"
                  (Manifest.shard_id lo hi) mid sh.attempts err)
@@ -724,6 +801,7 @@ let run config =
         if not !complete then failure lo hi "incomplete shard journal"
         else begin
           let summary = summarise config ~lo ~hi cells in
+          seeds_classified := !seeds_classified + (hi - lo);
           (* the Done event embeds the summary; the per-seed journal is
              now redundant and deleted — the disk-budget guard that
              keeps a 10^5-seed campaign's footprint at O(shards) *)
@@ -746,6 +824,12 @@ let run config =
                 | 0 -> run_worker config ~lo:sh.lo ~hi:sh.hi ~attempt
                 | pid ->
                     let now = Unix.gettimeofday () in
+                    (match Hashtbl.find_opt pending_since (sh.lo, sh.hi) with
+                    | Some since ->
+                        Obs.Histogram.observe_always h_shard_pending
+                          ((now -. since) *. 1e6);
+                        Hashtbl.remove pending_since (sh.lo, sh.hi)
+                    | None -> ());
                     Manifest.record m
                       (Manifest.Lease
                          { lo = sh.lo; hi = sh.hi; attempt; pid; since = now });
@@ -763,8 +847,10 @@ let run config =
         | pid, status ->
             (match Hashtbl.find_opt running pid with
             | None -> ()
-            | Some (lo, hi, _) -> (
+            | Some (lo, hi, since) -> (
                 Hashtbl.remove running pid;
+                Obs.Histogram.observe_always h_shard_wall
+                  ((Unix.gettimeofday () -. since) *. 1e6);
                 match status with
                 | Unix.WEXITED 0 -> finalize lo hi
                 | Unix.WEXITED n -> failure lo hi (Printf.sprintf "exit %d" n)
@@ -800,16 +886,25 @@ let run config =
                | _ -> false)
              (Manifest.shards m)
       in
+      let next_metrics = ref (t0 +. config.metrics_interval) in
       let rec loop () =
         if open_work () then begin
           dispatch_some ();
           let progressed = reap_once () in
           let expired = expire_leases () in
+          if Unix.gettimeofday () >= !next_metrics then begin
+            Journal.write_line metrics_w (metrics_line ());
+            next_metrics := Unix.gettimeofday () +. config.metrics_interval
+          end;
           if not (progressed || expired) then Unix.sleepf 0.01;
           loop ()
         end
       in
       loop ();
+      (* One final snapshot so even sub-interval campaigns leave a
+         non-empty metrics journal. *)
+      Journal.write_line metrics_w (metrics_line ());
+      Journal.close metrics_w;
       let rep = mine ~explain:config.explain m in
       Manifest.close m;
       Ok rep

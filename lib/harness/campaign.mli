@@ -38,6 +38,16 @@ type config = {
           across backends *)
   poison : int list;  (** chaos hook: worker exits 42 at these seeds *)
   wedge : int list;  (** chaos hook: worker hangs at these seeds *)
+  flight : bool;
+      (** arm the crash flight recorder in every forked worker
+          ({!Obs.flight_start} on [dir/flight-<pid>.jsonl]): each seed
+          opens a [campaign.seed] span and forces a checkpoint, so a
+          poisoned, wedged or crashed worker leaves a post-mortem
+          naming the victim seed ([obs_report --postmortem]) *)
+  metrics_interval : float;
+      (** seconds between [lkmetrics-1] snapshots appended to
+          [dir/metrics.jsonl] (plus one final snapshot); the miner
+          never reads the file, so report byte-equality is preserved *)
   log : string -> unit;
 }
 

@@ -33,6 +33,9 @@ module Json : sig
   val str : t -> string option
   val num : t -> float option
   val bool_ : t -> bool option
+
+  (** Re-render a parsed value as JSON (member order preserved). *)
+  val to_string : t -> string
 end
 
 (** {1 Entry <-> line} *)

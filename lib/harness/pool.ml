@@ -37,6 +37,11 @@ type config = {
   retries : int; (* attempts after a crash (default 1) *)
   backoff : float; (* seconds before the first crash retry, doubling *)
   lint : bool;
+  flight_dir : string option;
+      (* arm the crash flight recorder in every forked worker: each
+         checkpoints its obs ring to <dir>/flight-<pid>.jsonl, so the
+         watchdog's SIGKILL (which forfeits the result-pipe dump) still
+         leaves a post-mortem trace of the item that died *)
 }
 
 let default =
@@ -48,6 +53,7 @@ let default =
     retries = 1;
     backoff = 0.05;
     lint = true;
+    flight_dir = None;
   }
 
 (* Worker exit codes above the user range: the parent maps them back to
@@ -85,7 +91,26 @@ let worker_main cfg ~worker fd (item : Runner.item) =
         (Gc.create_alarm (fun () ->
              if Exec.Budget.heap_mb () > mb then Unix._exit exit_mem_cap)));
   if Obs.enabled () then Obs.reset ();
-  let entry : Runner.entry = worker item in
+  (match cfg.flight_dir with
+  | Some dir ->
+      (* Post-fork: arm this worker's own recorder (the parent never
+         armed one, so there is no inherited channel to contend with)
+         and leave the item's id on disk before any work happens — a
+         watchdog SIGKILL mid-item then always has a post-mortem. *)
+      if not (Obs.enabled ()) then Obs.set_enabled true;
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+      Obs.flight_start
+        (Filename.concat dir
+           (Printf.sprintf "flight-%d.jsonl" (Unix.getpid ())))
+  | None -> ());
+  let entry : Runner.entry =
+    if Obs.flight_active () then
+      Obs.with_span ~item:item.Runner.id "pool.item" (fun () ->
+          Obs.flight_checkpoint ~reason:"item-start" ();
+          worker item)
+    else worker item
+  in
+  if Obs.flight_active () then Obs.flight_stop ();
   let dump = if Obs.enabled () then Some (Obs.dump ()) else None in
   match
     let oc = Unix.out_channel_of_descr fd in

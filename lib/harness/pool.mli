@@ -39,6 +39,12 @@ type config = {
   retries : int;  (** attempts after a crash (default 1) *)
   backoff : float;  (** seconds before the first crash retry, doubling *)
   lint : bool;
+  flight_dir : string option;
+      (** arm the crash flight recorder in every forked worker
+          ({!Obs.flight_start} on [<dir>/flight-<pid>.jsonl]): a
+          watchdog SIGKILL forfeits the result-pipe {!Obs.dump}, but
+          the worker's last checkpoint — written at item start —
+          survives as a post-mortem ([obs_report --postmortem]) *)
 }
 
 val default : config

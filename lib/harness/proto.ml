@@ -51,16 +51,18 @@ type op =
   | Check of check
   | Ping
   | Stats
+  | Metrics
   | Shutdown
   | Chaos_kill
   | Chaos_wedge of float (* seconds to hang without ticking a budget *)
 
-type request = { req_id : string; op : op }
+type request = { req_id : string; trace : string option; op : op }
 
 let op_name = function
   | Check _ -> "check"
   | Ping -> "ping"
   | Stats -> "stats"
+  | Metrics -> "metrics"
   | Shutdown -> "shutdown"
   | Chaos_kill -> "chaos_kill"
   | Chaos_wedge _ -> "chaos_wedge"
@@ -79,17 +81,20 @@ let parse_request line : (request, string * string option) result =
       | None -> Error ("missing request id", None)
       | Some req_id -> (
           let fail msg = Error (msg, Some req_id) in
+          let trace = str "trace" in
+          let ok op = Ok { req_id; trace; op } in
           match str "op" with
           | None -> fail "missing op"
-          | Some "ping" -> Ok { req_id; op = Ping }
-          | Some "stats" -> Ok { req_id; op = Stats }
-          | Some "shutdown" -> Ok { req_id; op = Shutdown }
-          | Some "chaos_kill" -> Ok { req_id; op = Chaos_kill }
+          | Some "ping" -> ok Ping
+          | Some "stats" -> ok Stats
+          | Some "metrics" -> ok Metrics
+          | Some "shutdown" -> ok Shutdown
+          | Some "chaos_kill" -> ok Chaos_kill
           | Some "chaos_wedge" ->
               let secs =
                 match num "seconds" with Some s -> s | None -> 5.0
               in
-              Ok { req_id; op = Chaos_wedge secs }
+              ok (Chaos_wedge secs)
           | Some "check" -> (
               match str "test" with
               | None -> fail "check without a test"
@@ -104,14 +109,17 @@ let parse_request line : (request, string * string option) result =
                     | Some "Forbid" -> Some Exec.Check.Forbid
                     | _ -> None
                   in
-                  Ok { req_id; op = Check { test; model; timeout_ms; expected } })
+                  ok (Check { test; model; timeout_ms; expected }))
           | Some other -> fail ("unknown op: " ^ other)))
 
 (* Client-side request emission. *)
-let check_line ~id ?(model = "lk") ?timeout_ms ?expected test =
-  Printf.sprintf "{\"id\": \"%s\", \"op\": \"check\", \"model\": \"%s\"%s%s, \
+let check_line ~id ?trace ?(model = "lk") ?timeout_ms ?expected test =
+  Printf.sprintf "{\"id\": \"%s\", \"op\": \"check\", \"model\": \"%s\"%s%s%s, \
                   \"test\": \"%s\"}"
     (Report.json_escape id) (Report.json_escape model)
+    (match trace with
+    | Some t -> Printf.sprintf ", \"trace\": \"%s\"" (Report.json_escape t)
+    | None -> "")
     (match timeout_ms with
     | Some ms -> Printf.sprintf ", \"timeout_ms\": %d" ms
     | None -> "")
@@ -121,12 +129,19 @@ let check_line ~id ?(model = "lk") ?timeout_ms ?expected test =
     | None -> "")
     (Report.json_escape test)
 
-let simple_line ~id op =
-  Printf.sprintf "{\"id\": \"%s\", \"op\": \"%s\"}" (Report.json_escape id) op
+let simple_line ~id ?trace op =
+  Printf.sprintf "{\"id\": \"%s\", \"op\": \"%s\"%s}" (Report.json_escape id)
+    op
+    (match trace with
+    | Some t -> Printf.sprintf ", \"trace\": \"%s\"" (Report.json_escape t)
+    | None -> "")
 
-let chaos_wedge_line ~id seconds =
-  Printf.sprintf "{\"id\": \"%s\", \"op\": \"chaos_wedge\", \"seconds\": %g}"
+let chaos_wedge_line ~id ?trace seconds =
+  Printf.sprintf "{\"id\": \"%s\", \"op\": \"chaos_wedge\", \"seconds\": %g%s}"
     (Report.json_escape id) seconds
+    (match trace with
+    | Some t -> Printf.sprintf ", \"trace\": \"%s\"" (Report.json_escape t)
+    | None -> "")
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
@@ -160,11 +175,16 @@ let cls_of_entry (e : Report.entry) =
   | Report.Gave_up _ -> Unknown
   | Report.Err _ -> Error
 
-let response_line ~id ~cls ?cache ?entry ?msg ?(extra = []) () =
+let response_line ~id ~cls ?trace ?cache ?entry ?msg ?(extra = []) () =
   let b = Buffer.create 256 in
   Buffer.add_string b
     (Printf.sprintf "{\"id\": \"%s\", \"class\": \"%s\""
        (Report.json_escape id) (cls_name cls));
+  (match trace with
+  | Some t ->
+      Buffer.add_string b
+        (Printf.sprintf ", \"trace\": \"%s\"" (Report.json_escape t))
+  | None -> ());
   (match cache with
   | Some hit ->
       Buffer.add_string b
@@ -193,6 +213,7 @@ let response_line ~id ~cls ?cache ?entry ?msg ?(extra = []) () =
 type response = {
   rsp_id : string;
   rsp_cls : cls;
+  rsp_trace : string option; (* trace id, echoed on traced requests *)
   rsp_cache_hit : bool option; (* None when no cache field was sent *)
   rsp_verdict : string option; (* entry.verdict / got, when present *)
   rsp_status : string option; (* entry.status, when present *)
@@ -213,6 +234,7 @@ let parse_response line : (response, string) result =
             {
               rsp_id;
               rsp_cls;
+              rsp_trace = str "trace";
               rsp_cache_hit =
                 Option.map (fun c -> c = "hit") (str "cache");
               rsp_verdict =

@@ -24,13 +24,23 @@ type op =
   | Check of check
   | Ping
   | Stats
+  | Metrics
+      (** live telemetry snapshot: counters, gauges and p50/p95/p99
+          latency/queue-wait percentiles as one [lkmetrics-1] object *)
   | Shutdown
   | Chaos_kill  (** fault injection: the worker dies (needs [--chaos-ops]) *)
   | Chaos_wedge of float
       (** fault injection: the worker hangs for [n] seconds without
           ticking its budget (needs [--chaos-ops]) *)
 
-type request = { req_id : string; op : op }
+type request = {
+  req_id : string;
+  trace : string option;
+      (** client-chosen distributed-trace id; the daemon spans the
+          request's whole lifecycle under it and echoes it back
+          (defaulting to the request id when absent) *)
+  op : op;
+}
 
 val op_name : op -> string
 
@@ -43,6 +53,7 @@ val parse_request : string -> (request, string * string option) result
 
 val check_line :
   id:string ->
+  ?trace:string ->
   ?model:string ->
   ?timeout_ms:int ->
   ?expected:Exec.Check.verdict ->
@@ -50,10 +61,10 @@ val check_line :
   string
 
 (** [simple_line ~id op] for the payload-free ops
-    ("ping"/"stats"/"shutdown"/"chaos_kill"). *)
-val simple_line : id:string -> string -> string
+    ("ping"/"stats"/"metrics"/"shutdown"/"chaos_kill"). *)
+val simple_line : id:string -> ?trace:string -> string -> string
 
-val chaos_wedge_line : id:string -> float -> string
+val chaos_wedge_line : id:string -> ?trace:string -> float -> string
 
 (** {1 Responses} *)
 
@@ -74,13 +85,15 @@ val cls_of_name : string -> cls option
     [Gave_up]→[Unknown], [Err]→[Error]). *)
 val cls_of_entry : Report.entry -> cls
 
-(** [response_line ~id ~cls ?cache ?entry ?msg ?extra ()] — one response
-    line (no trailing newline).  [cache] notes verdict-cache hit/miss,
-    [entry] embeds the schema-v3 entry via {!Journal.line_of_entry},
-    [extra] appends pre-rendered JSON members (the [stats] payload). *)
+(** [response_line ~id ~cls ?trace ?cache ?entry ?msg ?extra ()] — one
+    response line (no trailing newline).  [trace] echoes the request's
+    trace id, [cache] notes verdict-cache hit/miss, [entry] embeds the
+    schema-v3 entry via {!Journal.line_of_entry}, [extra] appends
+    pre-rendered JSON members (the [stats]/[metrics] payloads). *)
 val response_line :
   id:string ->
   cls:cls ->
+  ?trace:string ->
   ?cache:bool ->
   ?entry:Report.entry ->
   ?msg:string ->
@@ -92,6 +105,7 @@ val response_line :
 type response = {
   rsp_id : string;
   rsp_cls : cls;
+  rsp_trace : string option;  (** trace id, echoed on traced requests *)
   rsp_cache_hit : bool option;  (** [None] when no cache field was sent *)
   rsp_verdict : string option;  (** entry's verdict (or [got]), if any *)
   rsp_status : string option;  (** entry's status tag, if any *)

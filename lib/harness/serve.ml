@@ -66,6 +66,11 @@ type config = {
   backend : Exec.Check.backend;
       (* checking engine for every job: [Enum] is the scalar reference
          evaluation (no planes, no delta — the old --no-batch) *)
+  flight_dir : string option;
+      (* arm the crash flight recorder: periodic + per-job checkpoints
+         of the obs ring land in <dir>/flight-<pid>.jsonl, so a kill -9,
+         wedge or quarantine leaves a post-mortem *)
+  flight_interval : float; (* seconds between opportunistic checkpoints *)
 }
 
 let default =
@@ -84,6 +89,8 @@ let default =
     retries = 1;
     backoff = 0.05;
     backend = Exec.Check.Batch;
+    flight_dir = None;
+    flight_interval = 0.5;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -129,6 +136,9 @@ type chaos = No_chaos | Kill | Wedge of float
 
 type job = {
   req_id : string;
+  trace : string; (* distributed-trace id; the req_id unless the client
+                     chose one — stable across retry and replacement *)
+  t_admit : float; (* admission time on the obs clock, microseconds *)
   conn_id : int;
   test : string;
   oracle : Exec.Oracle.t;
@@ -206,6 +216,12 @@ let wake p =
 (* Workers                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* Service-level distributions, observed unconditionally
+   ({!Obs.Histogram.observe_always}): the [metrics] op must answer with
+   real p50/p95/p99 on a daemon that never switched tracing on. *)
+let h_latency = Obs.Histogram.make "serve.latency_us"
+let h_queue_wait = Obs.Histogram.make "serve.queue_wait_us"
+
 exception Chaos_killed
 
 let gave_up_entry job reason =
@@ -264,7 +280,21 @@ let rec worker_loop p slot epoch =
   | Some job -> (
       slot.busy <- Some job;
       Mutex.unlock p.mutex;
-      match run_job p.cfg job with
+      (* Queue wait (cumulative since admission) and the check itself,
+         both on the request's trace.  The forced checkpoint means a
+         worker lost to this job — killed, wedged, OOMed — has already
+         left the victim's trace id on disk. *)
+      let t_dequeue = Obs.now_us () in
+      Obs.Histogram.observe_always h_queue_wait (t_dequeue -. job.t_admit);
+      Obs.record ~item:job.trace ~start_us:job.t_admit
+        ~dur_us:(t_dequeue -. job.t_admit) "serve.queue";
+      let run () =
+        Obs.with_span ~item:job.trace "serve.check" (fun () ->
+            if Obs.flight_active () then
+              Obs.flight_checkpoint ~reason:"job-start" ();
+            run_job p.cfg job)
+      in
+      match run () with
       | entry ->
           let mine =
             locked p (fun () ->
@@ -351,13 +381,23 @@ let entry_of_hit (cached : Report.entry) ~req_id ~expected =
   | None -> { cached with Report.item_id = req_id } (* not reachable: only
       deterministic entries are stored *)
 
+(* Close out a job's request-lifecycle telemetry as its answer leaves:
+   the end-to-end latency distribution and one admission→reply span on
+   the request's trace. *)
+let finish_job_telemetry job =
+  let now = Obs.now_us () in
+  Obs.Histogram.observe_always h_latency (now -. job.t_admit);
+  Obs.record ~item:job.trace ~start_us:job.t_admit
+    ~dur_us:(now -. job.t_admit) "serve.request"
+
 let respond_entry p job ?(cache = false) entry =
   if (not cache) && deterministic entry then Vcache.store p.cache job.vkey entry;
+  finish_job_telemetry job;
   respond p job.conn_id
     ~cls:(Proto.cls_of_entry entry)
     (Proto.response_line ~id:job.req_id
        ~cls:(Proto.cls_of_entry entry)
-       ~cache ~entry ())
+       ~trace:job.trace ~cache ~entry ())
 
 (* ------------------------------------------------------------------ *)
 (* Supervision: losses, retries, quarantine, replacement               *)
@@ -370,20 +410,30 @@ let note_loss p now job why =
   job.attempts <- job.attempts + 1;
   let s = 1 + Option.value ~default:0 (Hashtbl.find_opt p.strikes job.vkey) in
   Hashtbl.replace p.strikes job.vkey s;
-  if s >= 2 then
+  if s >= 2 then begin
+    Obs.event ~item:job.trace "serve.quarantine";
+    finish_job_telemetry job;
     respond p job.conn_id ~cls:Proto.Quarantined
       (Proto.response_line ~id:job.req_id ~cls:Proto.Quarantined
+         ~trace:job.trace
          ~msg:(why ^ "; fingerprint quarantined after " ^ string_of_int s
                ^ " worker losses")
          ())
+  end
   else if job.attempts <= p.cfg.retries then begin
+    (* Same job record, same trace id: the retry is one more hop on the
+       request's trace, not a new request. *)
+    Obs.event ~item:job.trace "serve.retry";
     let delay = p.cfg.backoff *. (2. ** float_of_int (job.attempts - 1)) in
     p.gated <- (now +. delay, job) :: p.gated
   end
-  else
+  else begin
+    Obs.event ~item:job.trace "serve.drop";
+    finish_job_telemetry job;
     respond p job.conn_id ~cls:Proto.Error
-      (Proto.response_line ~id:job.req_id ~cls:Proto.Error
+      (Proto.response_line ~id:job.req_id ~cls:Proto.Error ~trace:job.trace
          ~msg:(why ^ "; no retries left") ())
+  end
 
 (* One supervisor pass: abandon wedged workers, replace dead slots,
    promote backoff-gated retries whose time has come. *)
@@ -509,6 +559,52 @@ let stats_extra p now =
     ("served", "{" ^ served ^ "}");
   ]
 
+(* The [metrics] payload: one self-contained lkmetrics-1 object —
+   counters, gauges and latency/queue-wait percentiles — the same shape
+   {!Campaign}'s periodic snapshots journal, so one schema
+   (ci/metrics.schema.json) validates both surfaces. *)
+let metrics_json p now =
+  let alive =
+    Array.fold_left (fun n s -> if s.alive then n + 1 else n) 0 p.slots
+  in
+  let queued, busy, gated =
+    locked p (fun () ->
+        ( Queue.length p.queue,
+          Array.fold_left
+            (fun n s -> if s.busy <> None then n + 1 else n)
+            0 p.slots,
+          List.length p.gated ))
+  in
+  let served =
+    String.concat ", "
+      (List.mapi
+         (fun i n ->
+           Printf.sprintf "\"%s\": %d"
+             (Proto.cls_name
+                (List.nth
+                   [ Proto.Ok_; Proto.Fail; Proto.Unknown; Proto.Error;
+                     Proto.Overloaded; Proto.Quarantined ]
+                   i))
+             n)
+         (Array.to_list p.served))
+  in
+  Printf.sprintf
+    "{\"schema\": \"lkmetrics-1\", \"ts_us\": %.1f, \"uptime_s\": %.3f, \
+     \"requests\": %d, \"queue_depth\": %d, \"gated\": %d, \
+     \"workers_live\": %d, \"workers_busy\": %d, \"replacements\": %d, \
+     \"quarantined_keys\": %d, \"backend\": \"%s\", \"cache\": {\"size\": \
+     %d, \"hits\": %d, \"misses\": %d}, \"served\": {%s}, \"latency_us\": \
+     %s, \"queue_wait_us\": %s}"
+    (Obs.now_us ())
+    (now -. p.started_at)
+    p.n_requests queued gated alive busy p.replacements
+    (Hashtbl.fold (fun _ s n -> if s >= 2 then n + 1 else n) p.strikes 0)
+    (Exec.Check.backend_to_string p.cfg.backend)
+    (Vcache.size p.cache) (Vcache.hits p.cache) (Vcache.misses p.cache)
+    served
+    (Obs.hist_metrics_json (Obs.hist_snapshot h_latency))
+    (Obs.hist_metrics_json (Obs.hist_snapshot h_queue_wait))
+
 let enqueue p job =
   locked p (fun () ->
       Queue.push job p.queue;
@@ -524,18 +620,26 @@ let handle_line p conn line ~request_shutdown =
   in
   match Proto.parse_request line with
   | Error (msg, id) -> err ?id msg
-  | Ok { req_id; op } -> (
+  | Ok { req_id; trace = rtrace; op } -> (
       if Hashtbl.mem conn.seen req_id then
         err ~id:req_id ("duplicate request id: " ^ req_id)
       else begin
         Hashtbl.replace conn.seen req_id ();
+        (* Every job-producing request carries a trace id — the
+           client's, or the request id itself.  Control-plane answers
+           echo the trace only when the client sent one. *)
+        let trace = Option.value ~default:req_id rtrace in
+        let t_admit = Obs.now_us () in
         let ok ?extra ?msg () =
           respond p conn.cid ~cls:Proto.Ok_
-            (Proto.response_line ~id:req_id ~cls:Proto.Ok_ ?msg ?extra ())
+            (Proto.response_line ~id:req_id ~cls:Proto.Ok_ ?trace:rtrace ?msg
+               ?extra ())
         in
         let overloaded msg =
+          Obs.event ~item:trace "serve.overloaded";
           respond p conn.cid ~cls:Proto.Overloaded
-            (Proto.response_line ~id:req_id ~cls:Proto.Overloaded ~msg ())
+            (Proto.response_line ~id:req_id ~cls:Proto.Overloaded ~trace ~msg
+               ())
         in
         let chaos_gate k =
           if p.cfg.chaos_ops then k ()
@@ -553,11 +657,14 @@ let handle_line p conn line ~request_shutdown =
                 if quarantined p vkey then
                   respond p conn.cid ~cls:Proto.Quarantined
                     (Proto.response_line ~id:req_id ~cls:Proto.Quarantined
-                       ~msg:"fingerprint quarantined" ())
-                else
+                       ~trace ~msg:"fingerprint quarantined" ())
+                else begin
+                  Obs.event ~item:trace "serve.admit";
                   enqueue p
                     {
                       req_id;
+                      trace;
+                      t_admit;
                       conn_id = conn.cid;
                       test = "";
                       oracle = Lkmm.oracle;
@@ -566,11 +673,13 @@ let handle_line p conn line ~request_shutdown =
                       vkey;
                       chaos;
                       attempts = 0;
-                    })
+                    }
+                end)
         in
         match op with
         | Proto.Ping -> ok ~msg:"pong" ()
         | Proto.Stats -> ok ~extra:(stats_extra p now) ()
+        | Proto.Metrics -> ok ~extra:[ ("metrics", metrics_json p now) ] ()
         | Proto.Shutdown ->
             ok ~msg:"draining" ();
             request_shutdown ()
@@ -584,6 +693,7 @@ let handle_line p conn line ~request_shutdown =
                 if quarantined p vkey then
                   respond p conn.cid ~cls:Proto.Quarantined
                     (Proto.response_line ~id:req_id ~cls:Proto.Quarantined
+                       ~trace
                        ~msg:"fingerprint quarantined (killed two workers)" ())
                 else
                   match Vcache.find p.cache vkey with
@@ -591,25 +701,32 @@ let handle_line p conn line ~request_shutdown =
                       let entry =
                         entry_of_hit cached ~req_id ~expected:c.expected
                       in
+                      Obs.Histogram.observe_always h_latency
+                        (Obs.now_us () -. t_admit);
+                      Obs.record ~item:trace ~start_us:t_admit
+                        ~dur_us:(Obs.now_us () -. t_admit) "serve.request";
                       respond p conn.cid ~cls:(Proto.cls_of_entry entry)
                         (Proto.response_line ~id:req_id
                            ~cls:(Proto.cls_of_entry entry)
-                           ~cache:true ~entry ())
+                           ~trace ~cache:true ~entry ())
                   | None ->
                       if p.stopping then overloaded "shutting down"
                       else if
                         locked p (fun () -> Queue.length p.queue)
                         >= p.cfg.queue_bound
                       then overloaded "queue full"
-                      else
+                      else begin
                         let timeout =
                           match c.timeout_ms with
                           | Some ms -> float_of_int ms /. 1000.
                           | None -> p.cfg.default_timeout
                         in
+                        Obs.event ~item:trace "serve.admit";
                         enqueue p
                           {
                             req_id;
+                            trace;
+                            t_admit;
                             conn_id = conn.cid;
                             test = c.test;
                             oracle = m.oracle;
@@ -618,7 +735,8 @@ let handle_line p conn line ~request_shutdown =
                             vkey;
                             chaos = No_chaos;
                             attempts = 0;
-                          }))
+                          }
+                      end))
       end)
 
 (* ------------------------------------------------------------------ *)
@@ -722,7 +840,18 @@ let create cfg =
   }
 
 let run ?(config = default) () =
-  if not (Obs.enabled ()) then Obs.set_enabled true;
+  (* The collector is NOT force-enabled here: tracing is the caller's
+     choice (lkserve honours the shared --trace/--metrics flags).  An
+     armed flight recorder needs the span ring, so it implies it. *)
+  (match config.flight_dir with
+  | Some dir ->
+      if not (Obs.enabled ()) then Obs.set_enabled true;
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+      Obs.flight_start
+        ~interval_us:(config.flight_interval *. 1e6)
+        (Filename.concat dir
+           (Printf.sprintf "flight-%d.jsonl" (Unix.getpid ())))
+  | None -> ());
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let p = create config in
   warmup p;
@@ -799,7 +928,7 @@ let run ?(config = default) () =
         (fun j ->
           respond p j.conn_id ~cls:Proto.Overloaded
             (Proto.response_line ~id:j.req_id ~cls:Proto.Overloaded
-               ~msg:"shutting down" ()))
+               ~trace:j.trace ~msg:"shutting down" ()))
         orphans;
       let gated = p.gated in
       p.gated <- [];
@@ -807,7 +936,7 @@ let run ?(config = default) () =
         (fun (_, j) ->
           respond p j.conn_id ~cls:Proto.Overloaded
             (Proto.response_line ~id:j.req_id ~cls:Proto.Overloaded
-               ~msg:"shutting down" ()))
+               ~trace:j.trace ~msg:"shutting down" ()))
         gated;
       (* Give in-flight work until its own deadline plus grace. *)
       drain_deadline :=
@@ -829,6 +958,7 @@ let run ?(config = default) () =
     end
   done;
   drain_completions p (Unix.gettimeofday ());
+  if Obs.flight_active () then Obs.flight_stop ();
   Vcache.close p.cache;
   Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
     p.conns;
@@ -875,17 +1005,20 @@ module Client = struct
     send t line;
     recv t
 
-  let check t ?id ?model ?timeout_ms ?expected test =
+  let check t ?id ?trace ?model ?timeout_ms ?expected test =
     let id = match id with Some i -> i | None -> fresh_id t in
-    request t (Proto.check_line ~id ?model ?timeout_ms ?expected test)
+    request t (Proto.check_line ~id ?trace ?model ?timeout_ms ?expected test)
 
   let ping t = request t (Proto.simple_line ~id:(fresh_id t) "ping")
   let stats t = request t (Proto.simple_line ~id:(fresh_id t) "stats")
+  let metrics t = request t (Proto.simple_line ~id:(fresh_id t) "metrics")
   let shutdown t = request t (Proto.simple_line ~id:(fresh_id t) "shutdown")
-  let chaos_kill t = request t (Proto.simple_line ~id:(fresh_id t) "chaos_kill")
 
-  let chaos_wedge t seconds =
-    request t (Proto.chaos_wedge_line ~id:(fresh_id t) seconds)
+  let chaos_kill ?trace t =
+    request t (Proto.simple_line ~id:(fresh_id t) ?trace "chaos_kill")
+
+  let chaos_wedge ?trace t seconds =
+    request t (Proto.chaos_wedge_line ~id:(fresh_id t) ?trace seconds)
 
   let close t =
     close_out_noerr t.oc;

@@ -45,11 +45,19 @@ type config = {
           by default; [Enum] is the scalar reference evaluation (the
           CLI's [--backend enum] / [--no-batch]); [Sat] the symbolic
           engine, falling back counted where a model ships none *)
+  flight_dir : string option;
+      (** arm the crash flight recorder ({!Obs.flight_start}): periodic
+          and per-job checkpoints land in [<dir>/flight-<pid>.jsonl],
+          so a [kill -9], wedge or quarantine leaves a post-mortem
+          ([obs_report --postmortem]); implies enabling the collector *)
+  flight_interval : float;
+      (** seconds between opportunistic flight checkpoints *)
 }
 
 val default : config
 (** 2 workers, queue 64, 10 s default deadline, 1 MiB lines, 2 s grace,
-    no cache journal, chaos ops off, one retry at 50 ms backoff. *)
+    no cache journal, chaos ops off, one retry at 50 ms backoff, flight
+    recorder off. *)
 
 val run : ?config:config -> unit -> int
 (** Bind the socket, warm the models, spawn the workers and serve until
@@ -70,6 +78,7 @@ module Client : sig
   val check :
     t ->
     ?id:string ->
+    ?trace:string ->
     ?model:string ->
     ?timeout_ms:int ->
     ?expected:Exec.Check.verdict ->
@@ -77,13 +86,18 @@ module Client : sig
     (Proto.response, string) result
   (** Check one litmus source text; [id] defaults to a fresh
       per-connection id (pass one explicitly to exercise duplicate-id
-      handling). *)
+      handling); [trace] names the request's distributed trace. *)
 
   val ping : t -> (Proto.response, string) result
   val stats : t -> (Proto.response, string) result
+
+  val metrics : t -> (Proto.response, string) result
+  (** Live telemetry snapshot; the response's [metrics] member is one
+      [lkmetrics-1] object (see [ci/metrics.schema.json]). *)
+
   val shutdown : t -> (Proto.response, string) result
-  val chaos_kill : t -> (Proto.response, string) result
-  val chaos_wedge : t -> float -> (Proto.response, string) result
+  val chaos_kill : ?trace:string -> t -> (Proto.response, string) result
+  val chaos_wedge : ?trace:string -> t -> float -> (Proto.response, string) result
 
   val send : t -> string -> unit
   (** Raw line send (protocol-edge tests build their own lines). *)

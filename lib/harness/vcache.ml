@@ -144,10 +144,10 @@ let find c vkey =
   locked c (fun () ->
       match Hashtbl.find_opt c.tbl vkey with
       | Some e ->
-          Obs.Counter.incr c.hits;
+          Obs.Counter.incr_always c.hits;
           Some e
       | None ->
-          Obs.Counter.incr c.misses;
+          Obs.Counter.incr_always c.misses;
           None)
 
 let store c vkey entry =
@@ -155,7 +155,7 @@ let store c vkey entry =
     locked c (fun () ->
         if not (Hashtbl.mem c.tbl vkey) then begin
           Hashtbl.replace c.tbl vkey entry;
-          Obs.Counter.incr c.stores;
+          Obs.Counter.incr_always c.stores;
           match c.writer with
           | Some w -> Journal.write_line w (line_of_binding vkey entry)
           | None -> ()

@@ -134,6 +134,12 @@ let fresh_id () =
   c.next_id <- id + 1;
   id
 
+(* Flight-recorder hook, installed below (the recorder needs the export
+   helpers defined later in this file).  Called with the current clock
+   under the collector lock from the enabled recording paths; a no-op
+   closure until {!flight_start}. *)
+let flight_tick_u : (float -> unit) ref = ref (fun _ -> ())
+
 let enter ?(item = "") name =
   let stk = stack () in
   let parent = match !stk with s :: _ -> s.id | [] -> -1 in
@@ -144,6 +150,7 @@ let enter ?(item = "") name =
             item; start_us = now_us (); dur_us = -1. }
         in
         push_span s;
+        !flight_tick_u s.start_us;
         s)
   in
   stk := s :: !stk;
@@ -167,6 +174,25 @@ let with_span ?item name f =
     let s = enter ?item name in
     Fun.protect ~finally:(fun () -> exit_span s) f
   end
+
+(* Explicitly timed spans and instant events.  The serve daemon
+   assembles request-lifecycle spans (admission -> queue wait -> reply)
+   outside any single domain's open-span stack, and marks retry and
+   quarantine transitions as zero-duration events on the same trace;
+   both are born closed and never touch the DLS stacks. *)
+let record ?(item = "") ?parent ?tid ~start_us ~dur_us name =
+  if !on then begin
+    let tid = match tid with Some t -> t | None -> (Domain.self () :> int) in
+    let parent = Option.value ~default:(-1) parent in
+    locked (fun () ->
+        push_span
+          { id = fresh_id (); parent; tid; name; item; start_us;
+            dur_us = Float.max 0. dur_us };
+        !flight_tick_u (now_us ()))
+  end
+
+let event ?item name =
+  if !on then record ?item ~start_us:(now_us ()) ~dur_us:0. name
 
 (* ------------------------------------------------------------------ *)
 (* Counters                                                            *)
@@ -195,6 +221,11 @@ module Counter = struct
 
   let add c n = if !on then ignore (Atomic.fetch_and_add c.v n)
   let incr c = add c 1
+
+  (* Unconditional: service-level counters (verdict-cache hits/misses)
+     feed the always-on metrics surface, collector or no collector. *)
+  let add_always c n = ignore (Atomic.fetch_and_add c.v n)
+  let incr_always c = add_always c 1
   let value c = Atomic.get c.v
   let name c = c.name
 end
@@ -235,15 +266,21 @@ module Histogram = struct
     if v < 1. then 0
     else min (n_buckets - 1) (int_of_float (Float.log2 v))
 
-  let observe h v =
-    if !on then
-      locked (fun () ->
-          h.count <- h.count + 1;
-          h.sum <- h.sum +. v;
-          if v < h.min_v then h.min_v <- v;
-          if v > h.max_v then h.max_v <- v;
-          let b = bucket_of v in
-          h.buckets.(b) <- h.buckets.(b) + 1)
+  (* Service-level metrics (the daemon's latency and queue-wait
+     distributions) accumulate whether or not tracing is switched on:
+     a metrics snapshot must answer with real percentiles on a daemon
+     that never enabled the collector.  [observe] is the trace-gated
+     variant every pipeline probe uses. *)
+  let observe_always h v =
+    locked (fun () ->
+        h.count <- h.count + 1;
+        h.sum <- h.sum +. v;
+        if v < h.min_v then h.min_v <- v;
+        if v > h.max_v then h.max_v <- v;
+        let b = bucket_of v in
+        h.buckets.(b) <- h.buckets.(b) + 1)
+
+  let observe h v = if !on then observe_always h v
 
   let count h = h.count
   let sum h = h.sum
@@ -290,6 +327,50 @@ let histograms_u () =
   |> List.sort compare
 
 let histograms () = locked histograms_u
+
+let hist_snapshot (h : Histogram.t) =
+  locked (fun () ->
+      { h_count = h.Histogram.count; h_sum = h.Histogram.sum;
+        h_min = h.Histogram.min_v; h_max = h.Histogram.max_v;
+        h_buckets = Array.copy h.Histogram.buckets })
+
+(* Quantile estimate from the log2-us buckets: find the bucket holding
+   the q-th observation and interpolate linearly inside it, clamped to
+   the exact observed min/max so p0/p100 are never invented. *)
+let quantile (h : hist_summary) q =
+  if h.h_count <= 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = q *. float_of_int h.h_count in
+    let rec go i seen =
+      if i >= Array.length h.h_buckets then h.h_max
+      else
+        let n = h.h_buckets.(i) in
+        if n > 0 && float_of_int (seen + n) >= target then begin
+          let lo = if i = 0 then 0. else Float.pow 2. (float_of_int i) in
+          let hi = Float.pow 2. (float_of_int (i + 1)) in
+          let frac = (target -. float_of_int seen) /. float_of_int n in
+          Float.min h.h_max (Float.max h.h_min (lo +. (frac *. (hi -. lo))))
+        end
+        else go (i + 1) (seen + n)
+    in
+    go 0 0
+  end
+
+(* The one latency-summary shape every metrics surface renders
+   (lkserve's [metrics] op, lkcampaign's journalled snapshots):
+   count / p50 / p95 / p99 / max / mean, microseconds. *)
+let hist_metrics_json (h : hist_summary) =
+  if h.h_count = 0 then
+    "{\"count\": 0, \"p50\": 0, \"p95\": 0, \"p99\": 0, \"max\": 0, \
+     \"mean\": 0}"
+  else
+    Printf.sprintf
+      "{\"count\": %d, \"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f, \
+       \"max\": %.1f, \"mean\": %.1f}"
+      h.h_count (quantile h 0.5) (quantile h 0.95) (quantile h 0.99)
+      h.h_max
+      (h.h_sum /. float_of_int h.h_count)
 
 let reset () =
   (stack ()) := [];
@@ -564,3 +645,101 @@ let summary_json () =
     "{\"counters\": {%s}, \"spans\": {%s}, \"histograms\": {%s}, \
      \"dropped_spans\": %d}"
     counters spans_j hists (dropped ())
+
+(* ------------------------------------------------------------------ *)
+(* Crash flight recorder                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A SIGKILLed pool worker, a wedged-and-abandoned serve domain and a
+   poison campaign seed all die without reaching any export path; the
+   flight recorder is the post-mortem for exactly those deaths.  While
+   armed, the collector appends periodic (and caller-forced) checkpoint
+   lines — each a self-contained JSON object carrying the last few
+   spans (open ones flagged) and the counters — to an append-only
+   journal, flushing each line, so whatever killed the process finds
+   the last checkpoint intact on disk.  The file follows the tree's
+   journal conventions (one JSON object per line, torn tail dropped by
+   readers); appending rather than truncating means a restart after
+   [kill -9] cannot erase the previous life's evidence. *)
+
+type flight = {
+  f_oc : out_channel;
+  f_interval_us : float;
+  f_last : int; (* spans per checkpoint *)
+  mutable f_due_us : float;
+}
+
+let flight_state : flight option ref = ref None (* guarded by [lock] *)
+let flight_active () = locked (fun () -> !flight_state <> None)
+
+let checkpoint_line_u f reason =
+  let now = now_us () in
+  (* last [f_last] spans straight off the ring — never the whole ring:
+     checkpoints fire per job/seed, and walking 65536 slots each time
+     would turn a campaign shard quadratic *)
+  let spans =
+    let cap = Array.length c.ring in
+    let live = min c.total cap in
+    let keep = min f.f_last live in
+    List.init keep (fun i -> c.ring.((c.total - keep + i) mod cap))
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"schema\": \"lkflight-1\", \"pid\": %d, \"ts_us\": %.1f, \
+        \"reason\": \"%s\", \"dropped\": %d, \"spans\": ["
+       (Unix.getpid ()) now (json_escape reason) (dropped ()));
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf "{%s, \"open\": %b}" (span_fields s) (s.dur_us < 0.)))
+    spans;
+  Buffer.add_string buf "], \"counters\": {";
+  List.iteri
+    (fun i (n, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Printf.sprintf "\"%s\": %d" (json_escape n) v))
+    (counters_u ());
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let flight_checkpoint_u reason =
+  match !flight_state with
+  | None -> ()
+  | Some f ->
+      let line = checkpoint_line_u f reason in
+      output_string f.f_oc line;
+      output_char f.f_oc '\n';
+      flush f.f_oc;
+      f.f_due_us <- now_us () +. f.f_interval_us
+
+let flight_checkpoint ?(reason = "checkpoint") () =
+  locked (fun () -> flight_checkpoint_u reason)
+
+let () =
+  flight_tick_u :=
+    fun now ->
+      match !flight_state with
+      | Some f when now >= f.f_due_us -> flight_checkpoint_u "interval"
+      | _ -> ()
+
+let flight_start ?(interval_us = 500_000.) ?(last = 32) path =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path in
+  locked (fun () ->
+      (match !flight_state with
+      | Some old -> close_out_noerr old.f_oc
+      | None -> ());
+      flight_state :=
+        Some
+          { f_oc = oc; f_interval_us = interval_us; f_last = max 1 last;
+            f_due_us = now_us () +. interval_us })
+
+let flight_stop () =
+  locked (fun () ->
+      match !flight_state with
+      | None -> ()
+      | Some f ->
+          flight_checkpoint_u "stop";
+          close_out_noerr f.f_oc;
+          flight_state := None)

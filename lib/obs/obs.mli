@@ -40,6 +40,24 @@ val with_span : ?item:string -> string -> (unit -> 'a) -> 'a
     under the innermost open span.  Exception-safe; calls [f] directly
     when the collector is disabled. *)
 
+val record :
+  ?item:string ->
+  ?parent:int ->
+  ?tid:int ->
+  start_us:float ->
+  dur_us:float ->
+  string ->
+  unit
+(** [record ~start_us ~dur_us name] pushes an explicitly timed,
+    already-closed span — the serve daemon's request-lifecycle spans
+    (admission → queue wait → reply) are assembled this way, outside
+    any one domain's open-span stack.  [tid] defaults to the calling
+    domain; never touches the nesting stacks.  No-op when disabled. *)
+
+val event : ?item:string -> string -> unit
+(** A zero-duration span at the current instant (retry and quarantine
+    transitions on a request's trace).  No-op when disabled. *)
+
 val spans : unit -> span list
 (** Recorded spans, oldest first (open spans have [dur_us = -1.]). *)
 
@@ -56,6 +74,14 @@ module Counter : sig
 
   val add : t -> int -> unit
   val incr : t -> unit
+
+  val add_always : t -> int -> unit
+  (** Like {!add} but unconditional: service-level counters (the
+      verdict cache's hits/misses/stores) feed the always-on metrics
+      surface whether or not tracing is enabled.  Not for hot-path
+      probes. *)
+
+  val incr_always : t -> unit
   val value : t -> int
   val name : t -> string
 end
@@ -71,6 +97,12 @@ module Histogram : sig
   val observe : t -> float -> unit
   (** Record one observation (microseconds by convention: log2-µs
       buckets plus count/sum/min/max). *)
+
+  val observe_always : t -> float -> unit
+  (** Like {!observe} but unconditional: service-level metrics (daemon
+      latency and queue-wait distributions) accumulate even when the
+      tracing collector is off, so a metrics snapshot always has real
+      percentiles.  Not for hot-path probes. *)
 
   val count : t -> int
   val sum : t -> float
@@ -92,6 +124,19 @@ type hist_summary = {
 
 val histograms : unit -> (string * hist_summary) list
 (** Non-empty histograms, sorted by name. *)
+
+val hist_snapshot : Histogram.t -> hist_summary
+(** A consistent copy of one histogram's cells (taken under the
+    collector lock), whether or not the collector is enabled. *)
+
+val quantile : hist_summary -> float -> float
+(** [quantile h q] estimates the [q]-th quantile ([0..1]) from the
+    log2-µs buckets, interpolating within the matched bucket and
+    clamped to the observed min/max; [0.] on an empty histogram. *)
+
+val hist_metrics_json : hist_summary -> string
+(** The metrics-snapshot latency object:
+    [{"count", "p50", "p95", "p99", "max", "mean"}] (µs). *)
 
 val reset : unit -> unit
 (** Clear spans and zero all counters/histograms in place (registered
@@ -131,3 +176,30 @@ val span_totals : unit -> (string * (int * float)) list
 val summary_json : unit -> string
 (** One JSON object — counters, per-phase span totals, histogram
     summaries, drop count — for embedding in runner reports. *)
+
+(** {1 Crash flight recorder}
+
+    A SIGKILLed pool worker, a wedged serve domain or a poison campaign
+    seed dies without reaching any export path.  While armed, the
+    collector appends checkpoint lines — each a self-contained
+    [lkflight-1] JSON object with the last few spans (open ones
+    flagged) and the counters — to an append-only journal, flushed per
+    line, so the last checkpoint survives any kill.  Checkpoints are
+    written opportunistically from the recording paths once the
+    interval has elapsed, and on demand via {!flight_checkpoint}
+    (e.g. at the start of each job, so a death mid-job always leaves
+    the victim's id on disk).  Readers drop a torn tail, per the
+    tree's journal conventions. *)
+
+val flight_start : ?interval_us:float -> ?last:int -> string -> unit
+(** Arm the recorder on [path] (append mode; a restart cannot erase a
+    previous life's evidence).  [interval_us] defaults to 500ms worth;
+    [last] (default 32) bounds spans per checkpoint. *)
+
+val flight_active : unit -> bool
+
+val flight_checkpoint : ?reason:string -> unit -> unit
+(** Force one checkpoint line now (no-op when not armed). *)
+
+val flight_stop : unit -> unit
+(** Write a final ["stop"] checkpoint and disarm. *)

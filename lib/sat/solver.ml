@@ -318,7 +318,8 @@ let luby i =
 
 let restart_base = 64
 
-let solve ?(on_conflict = fun () -> ()) ?(on_decision = fun () -> ()) t =
+let solve ?(on_conflict = fun () -> ()) ?(on_decision = fun () -> ())
+    ?(on_learnt = fun _ -> ()) ?(on_restart = fun () -> ()) t =
   if not t.ok then Unsat
   else begin
     let result = ref None in
@@ -336,6 +337,7 @@ let solve ?(on_conflict = fun () -> ()) ?(on_decision = fun () -> ()) t =
           else begin
             on_conflict ();
             let learnt, btlevel = analyze t confl in
+            on_learnt (List.length learnt);
             record_learnt t learnt btlevel;
             if not t.ok then result := Some Unsat;
             decay t
@@ -343,6 +345,7 @@ let solve ?(on_conflict = fun () -> ()) ?(on_decision = fun () -> ()) t =
       | None ->
           if !since_restart >= !limit && t.dlevel > 0 then begin
             t.stats.restarts <- t.stats.restarts + 1;
+            on_restart ();
             since_restart := 0;
             limit := restart_base * luby t.stats.restarts;
             cancel_until t 0
@@ -364,4 +367,5 @@ let solve ?(on_conflict = fun () -> ()) ?(on_decision = fun () -> ()) t =
 
 let value t v = t.value.(v) = 1
 let stats t = t.stats
+let decision_level t = t.dlevel
 let learnt_clauses t = List.rev_map Array.to_list t.learnts

@@ -35,16 +35,29 @@ val add_clause : t -> lit list -> unit
     marks the instance unsatisfiable.  Must be called before {!solve}. *)
 
 val solve :
-  ?on_conflict:(unit -> unit) -> ?on_decision:(unit -> unit) -> t -> outcome
+  ?on_conflict:(unit -> unit) ->
+  ?on_decision:(unit -> unit) ->
+  ?on_learnt:(int -> unit) ->
+  ?on_restart:(unit -> unit) ->
+  t ->
+  outcome
 (** Decide the instance.  [on_conflict]/[on_decision] fire once per
     learned conflict and per branching decision; either may raise to
-    abort the search (the exception propagates, e.g. a budget trip). *)
+    abort the search (the exception propagates, e.g. a budget trip).
+    [on_learnt] fires with each learned clause's length (after
+    [on_conflict], while {!decision_level} still reports the conflict
+    level); [on_restart] fires at each Luby restart.  All callbacks
+    default to no-ops — instrumentation costs nothing when unused. *)
 
 val value : t -> int -> bool
 (** [value t v]: polarity of variable [v] in the model.  Only
     meaningful after {!solve} returned [Sat]. *)
 
 val stats : t -> stats
+
+val decision_level : t -> int
+(** Current decision level; from inside [on_conflict]/[on_learnt], the
+    level the conflict occurred at. *)
 
 val learnt_clauses : t -> lit list list
 (** The clauses learned during {!solve}, for soundness testing: each is

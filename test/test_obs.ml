@@ -223,6 +223,167 @@ let test_chrome_shape () =
     events
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry surfaces: explicit spans, quantiles, the flight recorder  *)
+(* ------------------------------------------------------------------ *)
+
+let test_record_and_event () =
+  with_collector @@ fun () ->
+  Obs.record ~item:"r1" ~tid:77 ~start_us:100. ~dur_us:50. "manual";
+  Obs.event ~item:"retrying" "serve.retry";
+  (match Obs.spans () with
+  | [ manual; ev ] ->
+      Alcotest.(check string) "record name" "manual" manual.Obs.name;
+      Alcotest.(check string) "record item" "r1" manual.Obs.item;
+      Alcotest.(check int) "record keeps the explicit tid" 77 manual.Obs.tid;
+      Alcotest.(check (float 1e-6)) "record start" 100. manual.Obs.start_us;
+      Alcotest.(check (float 1e-6)) "record duration" 50. manual.Obs.dur_us;
+      Alcotest.(check int) "record is a root" (-1) manual.Obs.parent;
+      Alcotest.(check string) "event name" "serve.retry" ev.Obs.name;
+      Alcotest.(check (float 1e-6)) "event has zero duration" 0. ev.Obs.dur_us
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans));
+  (* neither touched the nesting stack: the next span is still a root *)
+  Obs.with_span "after" (fun () -> ());
+  let after = List.nth (Obs.spans ()) 2 in
+  Alcotest.(check int) "stacks untouched" (-1) after.Obs.parent
+
+let test_quantiles () =
+  Obs.reset ();
+  Obs.set_enabled false;
+  Fun.protect ~finally:Obs.reset @@ fun () ->
+  let h = Obs.Histogram.make "test.quantiles" in
+  (* observe_always accumulates with the collector off: the always-on
+     service histograms (latency, queue wait) depend on this *)
+  for i = 1 to 1000 do
+    Obs.Histogram.observe_always h (float_of_int i)
+  done;
+  let s = Obs.hist_snapshot h in
+  Alcotest.(check int) "count" 1000 s.Obs.h_count;
+  let p50 = Obs.quantile s 0.5
+  and p95 = Obs.quantile s 0.95
+  and p99 = Obs.quantile s 0.99 in
+  Alcotest.(check bool) "quantiles monotone" true (p50 <= p95 && p95 <= p99);
+  Alcotest.(check bool) "p50 inside the observed range" true
+    (p50 >= s.Obs.h_min && p50 <= s.Obs.h_max);
+  Alcotest.(check bool) "p99 clamped to the observed max" true
+    (p99 <= s.Obs.h_max +. 1e-6);
+  Alcotest.(check (float 1e-6)) "empty histogram quantile is 0" 0.
+    (Obs.quantile (Obs.hist_snapshot (Obs.Histogram.make "test.empty")) 0.5);
+  (* the metrics-snapshot object is valid JSON with every member *)
+  let j = J.of_string (Obs.hist_metrics_json s) in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present") true (nfield j k <> None))
+    [ "count"; "p50"; "p95"; "p99"; "max"; "mean" ];
+  Alcotest.(check (option (float 0.5))) "count member" (Some 1000.)
+    (nfield j "count")
+
+let test_flight_recorder () =
+  with_collector @@ fun () ->
+  let path = Filename.temp_file "obs_flight" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Obs.flight_active () then Obs.flight_stop ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Obs.flight_start ~interval_us:1e12 ~last:4 path;
+      Alcotest.(check bool) "armed" true (Obs.flight_active ());
+      Obs.Counter.add (Obs.Counter.make "flight.work") 3;
+      Obs.with_span ~item:"victim-item" "job" (fun () ->
+          Obs.flight_checkpoint ~reason:"job-start" ());
+      Obs.flight_stop ();
+      Alcotest.(check bool) "disarmed" false (Obs.flight_active ());
+      let lines = Harness.Journal.load_json path in
+      Alcotest.(check int) "job-start and stop checkpoints" 2
+        (List.length lines);
+      let ckpt = List.hd lines in
+      Alcotest.(check (option string)) "schema" (Some "lkflight-1")
+        (sfield ckpt "schema");
+      Alcotest.(check (option (float 0.5))) "pid"
+        (Some (float_of_int (Unix.getpid ())))
+        (nfield ckpt "pid");
+      Alcotest.(check (option string)) "reason" (Some "job-start")
+        (sfield ckpt "reason");
+      (* the span open at checkpoint time is flagged, with its item *)
+      let spans =
+        match J.mem "spans" ckpt with
+        | Some (J.Arr l) -> l
+        | _ -> Alcotest.fail "no spans array"
+      in
+      let open_spans =
+        List.filter
+          (fun s -> Option.bind (J.mem "open" s) J.bool_ = Some true)
+          spans
+      in
+      (match open_spans with
+      | [ s ] ->
+          Alcotest.(check (option string)) "open span is the job" (Some "job")
+            (sfield s "name");
+          Alcotest.(check (option string)) "victim named" (Some "victim-item")
+            (sfield s "item")
+      | l -> Alcotest.failf "expected 1 open span, got %d" (List.length l));
+      (* counters ride along *)
+      let counters =
+        match J.mem "counters" ckpt with
+        | Some c -> c
+        | None -> Alcotest.fail "no counters object"
+      in
+      Alcotest.(check (option (float 0.5))) "counter at death" (Some 3.)
+        (nfield counters "flight.work");
+      (* re-arming appends: a restart cannot erase the first life *)
+      Obs.flight_start ~interval_us:1e12 path;
+      Obs.flight_checkpoint ~reason:"second-life" ();
+      Obs.flight_stop ();
+      let lives = Harness.Journal.load_json path in
+      Alcotest.(check int) "both lives on disk" 4 (List.length lives);
+      Alcotest.(check (option string)) "first life intact"
+        (Some "job-start")
+        (sfield (List.hd lives) "reason"))
+
+let test_concurrent_domains_chrome () =
+  with_collector @@ fun () ->
+  let worker i () =
+    for _ = 1 to 50 do
+      Obs.with_span ~item:(string_of_int i) "domain.outer" (fun () ->
+          Obs.with_span "domain.inner" (fun () -> ()))
+    done
+  in
+  let ds = List.init 3 (fun i -> Domain.spawn (worker (i + 1))) in
+  List.iter Domain.join ds;
+  let spans = Obs.spans () in
+  Alcotest.(check int) "all spans recorded" 300 (List.length spans);
+  let tids = List.sort_uniq compare (List.map (fun s -> s.Obs.tid) spans) in
+  Alcotest.(check int) "one tid per domain" 3 (List.length tids);
+  (* nesting holds per domain even under interleaved recording *)
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun s -> Hashtbl.replace by_id s.Obs.id s) spans;
+  List.iter
+    (fun s ->
+      if s.Obs.name = "domain.inner" then
+        match Hashtbl.find_opt by_id s.Obs.parent with
+        | None -> Alcotest.fail "inner span with a dangling parent"
+        | Some p ->
+            Alcotest.(check string) "parent is the outer span" "domain.outer"
+              p.Obs.name;
+            Alcotest.(check int) "parent on the same domain" s.Obs.tid
+              p.Obs.tid)
+    spans;
+  (* and the merged Chrome export stays schema-valid: X/C phases only *)
+  let doc = J.of_string (Obs.to_chrome ()) in
+  let events =
+    match J.mem "traceEvents" doc with
+    | Some (J.Arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check bool) "events exported" true (List.length events >= 300);
+  List.iter
+    (fun ev ->
+      match sfield ev "ph" with
+      | Some ("X" | "C") -> ()
+      | ph ->
+          Alcotest.failf "bad phase %s" (Option.value ~default:"<none>" ph))
+    events
+
+(* ------------------------------------------------------------------ *)
 (* Fork-boundary aggregation through the pool                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -277,6 +438,60 @@ let test_pool_merges_workers () =
   in
   Alcotest.(check int) "worker candidate counters merged" expected merged
 
+(* A pool worker SIGKILLed mid-item forfeits its result-pipe dump; the
+   flight recorder's item-start checkpoint is the only evidence left.
+   The injected worker kills itself the way the watchdog would. *)
+let test_pool_flight_postmortem () =
+  let dir = Filename.temp_file "obs_pool_flight" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      let e = Harness.Battery.find "SB" in
+      let items =
+        [
+          {
+            Harness.Runner.id = "SB";
+            source = `Text e.Harness.Battery.source;
+            expected = None;
+          };
+        ]
+      in
+      let config =
+        {
+          Harness.Pool.default with
+          Harness.Pool.jobs = 1;
+          retries = 0;
+          flight_dir = Some dir;
+        }
+      in
+      let crashing _item =
+        Unix.kill (Unix.getpid ()) Sys.sigkill;
+        assert false
+      in
+      let report = Harness.Pool.run ~config ~worker:crashing items in
+      Alcotest.(check int) "crash classified" 1 report.Harness.Runner.n_crash;
+      (* the dead worker left a readable post-mortem naming its item *)
+      let victims =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f > 7 && String.sub f 0 7 = "flight-")
+        |> List.concat_map (fun f ->
+               Harness.Journal.load_json (Filename.concat dir f))
+        |> List.concat_map (fun ckpt ->
+               match J.mem "spans" ckpt with
+               | Some (J.Arr spans) ->
+                   List.filter_map (fun s -> sfield s "item") spans
+               | _ -> [])
+      in
+      Alcotest.(check bool) "post-mortem names the victim item" true
+        (List.mem "SB" victims))
+
 let test_report_metrics_object () =
   with_collector @@ fun () ->
   let entry = run_fixed () in
@@ -315,5 +530,19 @@ let () =
         [
           Alcotest.test_case "merges worker collectors" `Quick
             test_pool_merges_workers;
+          Alcotest.test_case "flight post-mortem survives SIGKILL" `Quick
+            test_pool_flight_postmortem;
+        ] );
+      (* last: Unix.fork is forbidden once another domain has existed,
+         so the domain-spawning test must follow every forking one *)
+      ( "telemetry",
+        [
+          Alcotest.test_case "record and event" `Quick test_record_and_event;
+          Alcotest.test_case "quantiles and metrics object" `Quick
+            test_quantiles;
+          Alcotest.test_case "flight recorder round-trip" `Quick
+            test_flight_recorder;
+          Alcotest.test_case "chrome export across domains" `Quick
+            test_concurrent_domains_chrome;
         ] );
     ]

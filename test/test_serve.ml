@@ -142,6 +142,129 @@ let test_deadline_zero () =
       S.Client.close c)
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: metrics op, trace propagation, flight post-mortems       *)
+(* ------------------------------------------------------------------ *)
+
+module J = Harness.Journal.Json
+
+let test_metrics_op () =
+  with_daemon (fun socket _pid ->
+      let c = connect_retry socket in
+      let _ = ok_response "warm check" (S.Client.check c (src "SB")) in
+      let r = ok_response "metrics" (S.Client.metrics c) in
+      check_cls "metrics is ok" Pr.Ok_ r;
+      let m =
+        match J.mem "metrics" r.Pr.rsp_json with
+        | Some m -> m
+        | None -> Alcotest.fail "response has no metrics member"
+      in
+      Alcotest.(check (option string)) "schema" (Some "lkmetrics-1")
+        (Option.bind (J.mem "schema" m) J.str);
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " present") true (J.mem k m <> None))
+        [
+          "ts_us"; "uptime_s"; "requests"; "queue_depth"; "workers_live";
+          "workers_busy"; "backend"; "served"; "latency_us"; "queue_wait_us";
+        ];
+      (* the check we just served is on the latency surface, even though
+         the collector is off by default *)
+      let count =
+        Option.bind (Option.bind (J.mem "latency_us" m) (J.mem "count")) J.num
+      in
+      Alcotest.(check bool) "served check counted in latency_us" true
+        (match count with Some n -> n >= 1. | None -> false);
+      let live =
+        Option.bind (J.mem "workers_live" m) J.num
+      in
+      Alcotest.(check (option (float 0.5))) "both workers live" (Some 2.) live;
+      S.Client.close c)
+
+let test_trace_propagation () =
+  with_daemon (fun socket _pid ->
+      let c = connect_retry socket in
+      let r =
+        ok_response "traced check"
+          (S.Client.check c ~trace:"trace-abc" (src "SB"))
+      in
+      check_cls "traced check ok" Pr.Ok_ r;
+      Alcotest.(check (option string)) "trace echoed" (Some "trace-abc")
+        r.Pr.rsp_trace;
+      (* without an explicit trace the request id names the trace *)
+      let r2 =
+        ok_response "untraced check"
+          (S.Client.check c ~id:"req-7" (src "MP+wmb+rmb"))
+      in
+      Alcotest.(check (option string)) "default trace is the request id"
+        (Some "req-7") r2.Pr.rsp_trace;
+      S.Client.close c)
+
+(* The trace id must survive the whole supervision ladder: a kill is
+   retried on a replacement worker and finally quarantined; a wedge is
+   abandoned-and-replaced.  Both answers must still carry the trace the
+   client chose, so a fleet-side collector can join them. *)
+let test_trace_stable_across_supervision () =
+  with_daemon
+    ~configure:(fun c -> { c with S.default_timeout = 0.3; wedge_grace = 0.3 })
+    (fun socket _pid ->
+      let c = connect_retry socket in
+      let r = ok_response "kill" (S.Client.chaos_kill ~trace:"poison-1" c) in
+      check_cls "kill quarantined" Pr.Quarantined r;
+      Alcotest.(check (option string)) "trace survives retry and quarantine"
+        (Some "poison-1") r.Pr.rsp_trace;
+      let r2 =
+        ok_response "wedge" (S.Client.chaos_wedge ~trace:"wedge-1" c 30.0)
+      in
+      check_cls "wedge quarantined" Pr.Quarantined r2;
+      Alcotest.(check (option string)) "trace survives abandon-and-replace"
+        (Some "wedge-1") r2.Pr.rsp_trace;
+      S.Client.close c)
+
+(* With the flight recorder armed, a chaos-killed worker's job-start
+   checkpoint must name the victim request's trace — readable after the
+   daemon itself is SIGKILLed (stop_daemon), exactly the post-mortem
+   situation obs_report --postmortem serves. *)
+let test_flight_postmortem () =
+  let dir = Filename.temp_file "serve_flight" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      with_daemon
+        ~configure:(fun c ->
+          { c with S.flight_dir = Some dir; flight_interval = 0.1 })
+        (fun socket _pid ->
+          let c = connect_retry socket in
+          let r =
+            ok_response "kill" (S.Client.chaos_kill ~trace:"victim-9" c)
+          in
+          check_cls "kill quarantined" Pr.Quarantined r;
+          S.Client.close c);
+      (* daemon SIGKILLed by with_daemon: whatever is on disk is all the
+         evidence there will ever be *)
+      let victims =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f > 7 && String.sub f 0 7 = "flight-")
+        |> List.concat_map (fun f ->
+               Harness.Journal.load_json (Filename.concat dir f))
+        |> List.concat_map (fun ckpt ->
+               match J.mem "spans" ckpt with
+               | Some (J.Arr spans) ->
+                   List.filter_map
+                     (fun s -> Option.bind (J.mem "item" s) J.str)
+                     spans
+               | _ -> [])
+      in
+      Alcotest.(check bool) "post-mortem names the victim trace" true
+        (List.mem "victim-9" victims))
+
+(* ------------------------------------------------------------------ *)
 (* Protocol edges                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -335,6 +458,15 @@ let () =
             test_parse_error_classified;
           Alcotest.test_case "deadline zero is unknown" `Slow
             test_deadline_zero;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "metrics op" `Slow test_metrics_op;
+          Alcotest.test_case "trace propagation" `Slow test_trace_propagation;
+          Alcotest.test_case "trace stable across supervision" `Slow
+            test_trace_stable_across_supervision;
+          Alcotest.test_case "flight post-mortem after chaos kill" `Slow
+            test_flight_postmortem;
         ] );
       ( "protocol",
         [

@@ -34,6 +34,7 @@ module S = Harness.Serve
 module Pr = Harness.Proto
 module R = Harness.Runner
 module B = Exec.Budget
+module J = Harness.Journal.Json
 
 let usage =
   "chaos [--seconds N] [--seed N] [--corpus DIR] [--tests N] [--backend E]\n\
@@ -141,6 +142,14 @@ let ground_truth () =
 let socket = Filename.temp_file "chaos" ".sock"
 let journal = Filename.temp_file "chaos" ".jsonl"
 
+(* every daemon incarnation writes flight-<pid>.jsonl here; the post-run
+   audit asserts each injected kill/wedge left a post-mortem naming it *)
+let flight_dir =
+  let d = Filename.temp_file "chaos" ".flight" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
 let config =
   {
     S.default with
@@ -155,7 +164,29 @@ let config =
     cache_journal = Some journal;
     chaos_ops = true;
     backend = !backend;
+    flight_dir = Some flight_dir;
+    flight_interval = 0.2;
   }
+
+(* Every span item mentioned by any checkpoint of any flight journal
+   under [dir] — the set a post-mortem audit checks victims against.
+   Torn tails are dropped by the tolerant reader, like any journal. *)
+let flight_span_items dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+      Array.to_list files
+      |> List.filter (fun f ->
+             String.length f > 7 && String.sub f 0 7 = "flight-")
+      |> List.concat_map (fun f ->
+             Harness.Journal.load_json (Filename.concat dir f)
+             |> List.concat_map (fun j ->
+                    match J.mem "spans" j with
+                    | Some (J.Arr spans) ->
+                        List.filter_map
+                          (fun s -> Option.bind (J.mem "item" s) J.str)
+                          spans
+                    | _ -> []))
 
 let start_daemon () =
   flush stdout;
@@ -198,6 +229,11 @@ let restart_hits = ref 0
 let restarts = ref 0
 let classes = Hashtbl.create 8
 let actions = Hashtbl.create 8
+
+(* trace ids of injected kills and wedges, each of which must be found
+   in a flight checkpoint at the end of the run *)
+let injected_traces = ref []
+let inject_seq = ref 0
 
 let bump tbl k =
   Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
@@ -251,14 +287,30 @@ let check_action truths ctl =
         (Pr.cls_name rr.Pr.rsp_cls) (Pr.cls_name want)
   | _ -> ()
 
+(* An overloaded rejection never reached a worker, so no checkpoint can
+   name it; every other response means the job was dispatched at least
+   once and the job-start checkpoint must have hit the flight journal
+   before the worker died. *)
+let note_injected trace = function
+  | Ok (r : Pr.response) when r.Pr.rsp_cls <> Pr.Overloaded ->
+      injected_traces := trace :: !injected_traces
+  | _ -> ()
+
 let kill_action ctl =
   bump actions "chaos_kill";
-  note_response "chaos_kill" None (S.Client.chaos_kill ctl)
+  incr inject_seq;
+  let trace = Printf.sprintf "chaos-kill-%d" !inject_seq in
+  let r = S.Client.chaos_kill ~trace ctl in
+  note_injected trace r;
+  note_response "chaos_kill" None r
 
 let wedge_action ctl =
   bump actions "chaos_wedge";
-  note_response "chaos_wedge" None
-    (S.Client.chaos_wedge ctl (3.0 +. Random.State.float rng 5.0))
+  incr inject_seq;
+  let trace = Printf.sprintf "chaos-wedge-%d" !inject_seq in
+  let r = S.Client.chaos_wedge ~trace ctl (3.0 +. Random.State.float rng 5.0) in
+  note_injected trace r;
+  note_response "chaos_wedge" None r
 
 let malformed_action ctl =
   bump actions "malformed";
@@ -438,7 +490,12 @@ let campaign_chaos () =
         exit 124
   in
   let ch_dir = Filename.concat tmp "chaos" in
-  let ch_cfg = cfg ch_dir in
+  (* the chaos run flies with the recorder armed: the poison and wedge
+     workers must leave post-mortems naming their victim seeds, and the
+     orchestrator must journal live metrics alongside the manifest *)
+  let ch_cfg =
+    { (cfg ch_dir) with Camp.flight = true; metrics_interval = 0.25 }
+  in
   let kills_done = ref 0 and truncations = ref 0 and resumes = ref 0 in
   let finished = ref false in
   while not !finished do
@@ -520,14 +577,40 @@ let campaign_chaos () =
           :: !violations);
   if !kills_done = 0 then
     violations := "campaign finished before any kill landed" :: !violations;
+  (* flight audit: both injected worker deaths left post-mortems naming
+     their seeds (each quarantine took several attempts; any one
+     checkpoint naming the seed is evidence enough) *)
+  let items = flight_span_items ch_dir in
+  let wants =
+    [ Printf.sprintf "seed:%d" poison; Printf.sprintf "seed:%d" wedge ]
+  in
+  let missing_pm = List.filter (fun w -> not (List.mem w items)) wants in
+  if missing_pm <> [] then
+    violations :=
+      ("no post-mortem for injected " ^ String.concat ", " missing_pm)
+      :: !violations;
+  let snapshots =
+    List.filter
+      (fun j ->
+        match Option.bind (J.mem "schema" j) J.str with
+        | Some "lkmetrics-1" -> true
+        | _ -> false)
+      (Harness.Journal.load_json (Filename.concat ch_dir "metrics.jsonl"))
+  in
+  if snapshots = [] then
+    violations := "no lkmetrics-1 snapshot journalled" :: !violations;
   sweep_orphans ();
   rm_rf tmp;
   Printf.printf
     "\nchaos: campaign over %d seeds: %d kills, %d manifest truncations, %d \
      resumes\n\
      report identical to uninterrupted run: %b (zero lost or duplicated \
-     verdicts)\n%!"
-    !camp_seeds !kills_done !truncations !resumes (ch = gt);
+     verdicts)\n\
+     post-mortems: %d/2 injected worker deaths recovered; %d metrics \
+     snapshots\n%!"
+    !camp_seeds !kills_done !truncations !resumes (ch = gt)
+    (2 - List.length missing_pm)
+    (List.length snapshots);
   if !violations <> [] then begin
     Printf.eprintf "chaos: FAIL — %s\n%!" (String.concat "; " !violations);
     exit 1
@@ -611,6 +694,18 @@ let () =
           prerr_endline "chaos: daemon exited abnormally on shutdown"
   in
   reap 100;
+  (* post-mortem audit: every dispatched kill/wedge must be named, by
+     its trace id, in some checkpoint of some incarnation's flight
+     journal — the crash left readable evidence *)
+  let items = flight_span_items flight_dir in
+  let missing_pm =
+    List.filter (fun tr -> not (List.mem tr items)) !injected_traces
+  in
+  let n_injected = List.length !injected_traces in
+  List.iter
+    (fun tr -> Printf.eprintf "chaos: NO POST-MORTEM for %s\n%!" tr)
+    missing_pm;
+  rm_rf flight_dir;
   (try Sys.remove journal with Sys_error _ -> ());
   (try Sys.remove socket with Sys_error _ -> ());
   let total = Hashtbl.fold (fun _ n acc -> n + acc) classes 0 in
@@ -622,12 +717,16 @@ let () =
     "wrong verdicts:      %d\n\
      unexpected deaths:   %d\n\
      unanswered:          %d\n\
-     post-restart hits:   %d\n%!"
-    !wrong_verdicts !daemon_deaths !unanswered !restart_hits;
+     post-restart hits:   %d\n\
+     post-mortems:        %d/%d dispatched kills/wedges recovered\n%!"
+    !wrong_verdicts !daemon_deaths !unanswered !restart_hits
+    (n_injected - List.length missing_pm)
+    n_injected;
   let violations =
     (if !wrong_verdicts > 0 then [ "wrong verdicts" ] else [])
     @ (if !daemon_deaths > 0 then [ "daemon deaths" ] else [])
     @ (if !unanswered > 0 then [ "unanswered requests" ] else [])
+    @ (if missing_pm <> [] then [ "missing post-mortems" ] else [])
     @
     if !restarts > 0 && !restart_hits = 0 then
       [ "no cache hit survived any restart" ]

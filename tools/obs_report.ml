@@ -2,6 +2,8 @@
 
      obs_report run.jsonl                  # profile tables from --metrics
      obs_report --validate SCHEMA TRACE    # validate a --trace file
+     obs_report --postmortem FLIGHT.jsonl  # last spans before death
+     obs_report --postmortem-json FLIGHT.jsonl   # last checkpoint, raw
 
    The profile mode aggregates the JSONL metrics stream (spans,
    counters, histograms) into a per-phase table (time per span name), a
@@ -12,7 +14,14 @@
    Schema (the subset used by ci/trace.schema.json: type, properties,
    required, items, enum, minimum, minItems).  CI runs it on a corpus
    slice so the trace format cannot drift silently.  Exit codes: 0 ok,
-   2 malformed input or schema violation. *)
+   2 malformed input or schema violation.
+
+   The postmortem mode reads a crash flight-recorder journal
+   (Obs.flight_start; lkflight-1 lines), takes the last parseable
+   checkpoint — a SIGKILL mid-write tears at most that final line —
+   and renders the victim's last spans before death, open spans
+   flagged.  --postmortem-json emits the same checkpoint as one JSON
+   object for schema validation (ci/postmortem.schema.json). *)
 
 module J = Harness.Journal.Json
 
@@ -213,6 +222,26 @@ let profile path =
      (match counter "solve.conflicts" with
      | Some c -> Printf.printf "  %-28s %12d\n" "conflicts" c
      | None -> ());
+     (match counter "solve.propagations" with
+     | Some p -> Printf.printf "  %-28s %12d\n" "propagations" p
+     | None -> ());
+     (match counter "solve.restarts" with
+     | Some r -> Printf.printf "  %-28s %12d\n" "restarts" r
+     | None -> ());
+     let hist n = List.find_opt (fun (n', _, _, _) -> n' = n) !hists in
+     (match hist "solve.learnt_len" with
+     | Some (_, c, sum, mx) ->
+         Printf.printf "  %-28s %12.1f lits (max %.0f, %d clauses)\n"
+           "mean learnt length"
+           (sum /. float_of_int (Stdlib.max 1 c))
+           mx c
+     | None -> ());
+     (match hist "solve.dlevel" with
+     | Some (_, c, sum, mx) ->
+         Printf.printf "  %-28s %12.1f (max %.0f)\n" "mean conflict level"
+           (sum /. float_of_int (Stdlib.max 1 c))
+           mx
+     | None -> ());
      (match counter "solve.spurious" with
      | Some s when s > 0 ->
          Printf.printf "  %-28s %12d  <- encoder/solver bug\n"
@@ -224,9 +253,19 @@ let profile path =
            "enumerative fallbacks" f
      | _ -> ()
    end);
+  (* plane counts, clause lengths and decision levels are not durations:
+     they have their own tables above and stay out of the µs-labelled
+     one *)
   let hists =
     ref
-      (List.filter (fun (n, _, _, _) -> n <> "check.batch.occupancy") !hists)
+      (List.filter
+         (fun (n, _, _, _) ->
+           not
+             (List.mem n
+                [
+                  "check.batch.occupancy"; "solve.learnt_len"; "solve.dlevel";
+                ]))
+         !hists)
   in
   if !hists <> [] then begin
     Printf.printf "\nHistograms:\n";
@@ -354,12 +393,86 @@ let validate schema_path doc_path =
       List.iter (fun e -> Printf.eprintf "obs_report: %s: %s\n" doc_path e) errs;
       2
 
+(* ------------------------------------------------------------------ *)
+(* Post-mortem mode: the crash flight recorder's reader                *)
+(* ------------------------------------------------------------------ *)
+
+(* The last parseable lkflight-1 checkpoint of a flight journal.  A
+   SIGKILL mid-write tears at most the final line, which load_json
+   drops — exactly the journal convention the recorder writes under. *)
+let last_checkpoint path =
+  List.fold_left
+    (fun acc j ->
+      match sfield j "schema" with Some "lkflight-1" -> Some j | _ -> acc)
+    None
+    (Harness.Journal.load_json path)
+
+let postmortem path =
+  match last_checkpoint path with
+  | None ->
+      Printf.eprintf "obs_report: %s: no flight checkpoint found\n" path;
+      2
+  | Some j ->
+      let num k = Option.value ~default:0. (nfield j k) in
+      Printf.printf "Post-mortem: %s\n" path;
+      Printf.printf "  pid %d, last checkpoint \"%s\" at t=%.0fus%s\n"
+        (int_of_float (num "pid"))
+        (Option.value ~default:"?" (sfield j "reason"))
+        (num "ts_us")
+        (if num "dropped" > 0. then
+           Printf.sprintf " (%d older spans overwritten)"
+             (int_of_float (num "dropped"))
+         else "");
+      (match J.mem "spans" j with
+      | Some (J.Arr spans) ->
+          Printf.printf "\n  Last %d spans before death (oldest first):\n"
+            (List.length spans);
+          Printf.printf "  %-6s %-20s %-32s %12s  %s\n" "tid" "name" "item"
+            "dur_us" "";
+          List.iter
+            (fun s ->
+              let sn k = Option.value ~default:0. (nfield s k) in
+              Printf.printf "  %-6d %-20s %-32s %12.1f  %s\n"
+                (int_of_float (sn "tid"))
+                (Option.value ~default:"" (sfield s "name"))
+                (Option.value ~default:"" (sfield s "item"))
+                (sn "dur_us")
+                (match Option.bind (J.mem "open" s) J.bool_ with
+                | Some true -> "<- open at death"
+                | _ -> ""))
+            spans
+      | _ -> ());
+      (match J.mem "counters" j with
+      | Some (J.Obj kvs) when kvs <> [] ->
+          Printf.printf "\n  Counters at death:\n";
+          List.iter
+            (fun (k, v) ->
+              match J.num v with
+              | Some v -> Printf.printf "    %-28s %12.0f\n" k v
+              | None -> ())
+            kvs
+      | _ -> ());
+      0
+
+let postmortem_json path =
+  match last_checkpoint path with
+  | None ->
+      Printf.eprintf "obs_report: %s: no flight checkpoint found\n" path;
+      2
+  | Some j ->
+      print_endline (J.to_string j);
+      0
+
 let () =
   match Array.to_list Sys.argv with
   | [ _; "--validate"; schema; doc ] -> exit (validate schema doc)
-  | [ _; path ] when path <> "--validate" -> exit (profile path)
+  | [ _; "--postmortem"; path ] -> exit (postmortem path)
+  | [ _; "--postmortem-json"; path ] -> exit (postmortem_json path)
+  | [ _; path ] when String.length path > 0 && path.[0] <> '-' ->
+      exit (profile path)
   | _ ->
       Printf.eprintf
         "usage: obs_report METRICS.jsonl\n       obs_report --validate \
-         SCHEMA.json TRACE.json\n";
+         SCHEMA.json TRACE.json\n       obs_report --postmortem[-json] \
+         FLIGHT.jsonl\n";
       exit 124
